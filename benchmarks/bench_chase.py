@@ -1,0 +1,71 @@
+"""Experiment: the typed chase (Lemma A.2).
+
+Series: chase time vs number of conjuncts and number of dependencies;
+fd-merge-heavy vs ind-addition-heavy workloads.
+"""
+
+import pytest
+
+from repro.cq.chase import chase
+from repro.cq.model import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.relation import schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "R": schema_of(("a", "D"), ("b", "D")),
+        "S": schema_of(("c", "D")),
+        "T": schema_of(("d", "D")),
+    }
+)
+
+FDS = [FunctionalDependency("R", ("a",), "b")]
+INDS = [
+    InclusionDependency("R", ("a",), "S", ("c",)),
+    InclusionDependency("R", ("b",), "S", ("c",)),
+    InclusionDependency("S", ("c",), "T", ("d",)),
+]
+
+
+def star_query(n_atoms):
+    """One shared source, n distinct targets: n-1 fd merges."""
+    source = Variable("x", "D")
+    targets = [Variable(f"y{i}", "D") for i in range(n_atoms)]
+    atoms = [Atom("R", (source, target)) for target in targets]
+    return ConjunctiveQuery((source,), atoms)
+
+
+def chain_query(n_atoms):
+    """A chain: no fd merges, 2n ind additions (plus transitive S->T)."""
+    variables = [Variable(f"v{i}", "D") for i in range(n_atoms + 1)]
+    atoms = [
+        Atom("R", (variables[i], variables[i + 1]))
+        for i in range(n_atoms)
+    ]
+    return ConjunctiveQuery((variables[0],), atoms)
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_fd_merge_heavy(benchmark, size):
+    query = star_query(size)
+    result = benchmark(lambda: chase(query, FDS, DB_SCHEMA))
+    assert len(result.atoms) == 1  # everything merges
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_ind_addition_heavy(benchmark, size):
+    query = chain_query(size)
+    result = benchmark(lambda: chase(query, INDS, DB_SCHEMA))
+    # Each variable gains an S-atom and a T-atom.
+    assert len(result.atoms) == size + 2 * (size + 1)
+
+
+@pytest.mark.parametrize("size", [4, 16, 64])
+def test_combined_dependencies(benchmark, size):
+    query = star_query(size)
+    result = benchmark(lambda: chase(query, FDS + INDS, DB_SCHEMA))
+    assert result is not None

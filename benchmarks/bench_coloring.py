@@ -1,0 +1,98 @@
+"""Experiment: the coloring machinery (Section 4).
+
+Series: soundness checking (linear in schema size), canonical-method
+application, order-dependence witness generation, and the cost of
+empirical minimal-coloring inference (exponential in schema size — the
+price of the semantic definition).
+"""
+
+import random
+
+import pytest
+
+from repro.coloring.canonical import INFLATIONARY, canonical_method
+from repro.coloring.coloring import Coloring, full_coloring
+from repro.coloring.inference import infer_coloring
+from repro.coloring.soundness import (
+    is_sound_deflationary,
+    is_sound_inflationary,
+)
+from repro.coloring.witnesses import order_dependence_witness
+from repro.graph.schema import Schema
+from repro.workloads.canonical_battery import canonical_battery
+from repro.workloads.instances import random_samples
+from repro.workloads.schemas import random_schema
+
+AB_SCHEMA = Schema(["A", "B"], [("A", "e", "B")])
+
+
+@pytest.mark.parametrize("n_classes,n_edges", [(2, 2), (4, 6), (8, 12)])
+def test_soundness_check(benchmark, n_classes, n_edges):
+    rng = random.Random(5)
+    schema = random_schema(rng, n_classes, n_edges)
+    coloring = full_coloring(schema)
+    benchmark(
+        lambda: (
+            is_sound_inflationary(coloring),
+            is_sound_deflationary(coloring),
+        )
+    )
+
+
+def test_canonical_method_application(benchmark):
+    kappa = Coloring(
+        AB_SCHEMA,
+        {"A": {"u", "c", "d"}, "B": {"u"}, "e": {"u", "c", "d"}},
+    )
+    method = canonical_method(kappa, INFLATIONARY)
+    samples = canonical_battery(AB_SCHEMA, method.signature)
+
+    def run():
+        applied = 0
+        for instance, receiver in samples:
+            try:
+                method.apply(instance, receiver)
+                applied += 1
+            except Exception:
+                pass
+        return applied
+
+    assert benchmark(run) > 0
+
+
+def test_witness_generation_and_replay(benchmark):
+    from repro.core.sequential import apply_sequence
+
+    kappa = Coloring(AB_SCHEMA, {"A": {"u", "d"}, "B": {"u"}})
+
+    def run():
+        witness = order_dependence_witness(kappa)
+        first = apply_sequence(
+            witness.method, witness.instance, [witness.first, witness.second]
+        )
+        second = apply_sequence(
+            witness.method, witness.instance, [witness.second, witness.first]
+        )
+        return first != second
+
+    assert benchmark(run)
+
+
+def test_coloring_inference(benchmark):
+    kappa = Coloring(AB_SCHEMA, {"A": {"u", "c"}})
+    method = canonical_method(kappa, INFLATIONARY)
+    rng = random.Random(2)
+    samples = canonical_battery(AB_SCHEMA, method.signature)
+    samples += random_samples(
+        rng,
+        AB_SCHEMA,
+        method.signature,
+        count=10,
+        objects_per_class=2,
+        include_canonical_objects=True,
+        vary_class_sizes=True,
+    )
+    result = benchmark(
+        lambda: infer_coloring(method, samples, INFLATIONARY)
+    )
+    assert result == kappa

@@ -1,0 +1,85 @@
+"""Experiment: containment under dependencies (Appendix A).
+
+Series:
+
+* the classical fast path (equality-only container: one chase + one
+  homomorphism search) vs the full Klug representative-set enumeration,
+  as the number of same-domain variables grows — the Bell-number blowup
+  the typed-partition machinery pays for non-equalities;
+* containment time with vs without dependencies (the chase's share).
+"""
+
+import pytest
+
+from repro.cq.containment import cq_contained_in
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.cq.partitions import bell_number
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.relation import schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "S": schema_of(("c", "D")),
+    }
+)
+
+
+def path_query(length):
+    variables = [Variable(f"v{i}", "D") for i in range(length + 1)]
+    atoms = [
+        Atom("E", (variables[i], variables[i + 1]))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery((variables[0],), atoms)
+
+
+def edge_container(with_neq):
+    x, y = Variable("x", "D"), Variable("y", "D")
+    pairs = [frozenset((x, y))] if with_neq else []
+    loop = ConjunctiveQuery((x,), [Atom("E", (x, x))])
+    edge = ConjunctiveQuery((x,), [Atom("E", (x, y))], pairs)
+    if with_neq:
+        return PositiveQuery([edge, loop])
+    return PositiveQuery([edge])
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_fast_path_equality_only(benchmark, length):
+    # One canonical instance; cost grows mildly with the path length.
+    query = path_query(length)
+    container = edge_container(with_neq=False)
+    assert benchmark(
+        lambda: cq_contained_in(query, container, [], DB_SCHEMA)
+    )
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_full_representative_enumeration(benchmark, length):
+    # The container's non-equality forces enumerating all typed
+    # partitions of length+1 variables: B(n) canonical instances.
+    query = path_query(length)
+    container = edge_container(with_neq=True)
+    assert benchmark(
+        lambda: cq_contained_in(query, container, [], DB_SCHEMA)
+    )
+    assert bell_number(length + 1) >= 5
+
+
+@pytest.mark.parametrize("length", [2, 4])
+def test_containment_under_dependencies(benchmark, length):
+    # Adding fds + full inds makes each representative re-chase.
+    deps = [
+        FunctionalDependency("E", ("s",), "t"),
+        InclusionDependency("E", ("s",), "S", ("c",)),
+        InclusionDependency("E", ("t",), "S", ("c",)),
+    ]
+    query = path_query(length)
+    container = edge_container(with_neq=True)
+    assert benchmark(
+        lambda: cq_contained_in(query, container, deps, DB_SCHEMA)
+    )

@@ -1,0 +1,57 @@
+"""Experiment: the Theorem 5.12 decision procedure.
+
+Series: decision time for every method the paper discusses, for both
+notions (absolute and key-order independence).  The verdicts are
+asserted to match the paper's:
+
+* favorite_bar — order dependent, key-order independent;
+* add_bar, delete_bar, add_serving_bars — order independent;
+* Section 7 (B') — key-order independent; (C') — key-order dependent.
+"""
+
+import pytest
+
+from repro.algebraic.decision import (
+    decide_key_order_independence,
+    decide_order_independence,
+)
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    add_serving_bars_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.sqlsim.scenarios import scenario_b_method, scenario_c_method
+
+CASES = [
+    ("favorite_bar", favorite_bar_algebraic, False, True),
+    ("add_bar", add_bar_algebraic, True, True),
+    ("delete_bar", delete_bar_algebraic, True, True),
+    ("add_serving_bars", add_serving_bars_algebraic, True, True),
+    ("scenario_b", scenario_b_method, False, True),
+    ("scenario_c", scenario_c_method, False, False),
+]
+
+
+@pytest.mark.parametrize(
+    "name,factory,expect_oi,expect_koi",
+    CASES,
+    ids=[c[0] for c in CASES],
+)
+def test_decide_order_independence(benchmark, name, factory, expect_oi, expect_koi):
+    method = factory()
+    result = benchmark(lambda: decide_order_independence(method))
+    assert result.order_independent == expect_oi
+
+
+@pytest.mark.parametrize(
+    "name,factory,expect_oi,expect_koi",
+    CASES,
+    ids=[c[0] for c in CASES],
+)
+def test_decide_key_order_independence(
+    benchmark, name, factory, expect_oi, expect_koi
+):
+    method = factory()
+    result = benchmark(lambda: decide_key_order_independence(method))
+    assert result.order_independent == expect_koi

@@ -1,0 +1,59 @@
+"""Experiment: sequential vs parallel application cost (Section 6).
+
+Paper claim: "The parallel application of algebraic update methods can be
+implemented much more efficiently than the sequential application ...
+the application to a set of n receivers results in the evaluation of n
+separate relational algebra expressions" — while the parallel strategy
+evaluates one expression, once.
+
+Series: wall time of M_seq, M_par, and the improved (receiver-query
+composed) statement for the Section 7 salary update (B'), as the number
+of employees grows.  Theorem 6.5 guarantees all three agree on key sets;
+the benchmark asserts that too.
+"""
+
+import pytest
+
+from benchmarks.conftest import company_instance_and_receivers
+from repro.core.sequential import apply_sequence
+from repro.parallel.apply import apply_parallel
+from repro.parallel.improver import improve
+from repro.sqlsim.scenarios import scenario_b_method, scenario_b_receiver_query
+
+SIZES = [8, 32, 96]
+
+
+@pytest.fixture(scope="module")
+def method():
+    return scenario_b_method()
+
+
+@pytest.fixture(scope="module")
+def improved(method):
+    return improve(method, scenario_b_receiver_query())
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sequential_application(benchmark, method, size):
+    _, _, instance, receivers = company_instance_and_receivers(size)
+    result = benchmark(
+        lambda: apply_sequence(method, instance, receivers)
+    )
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_parallel_application(benchmark, method, size):
+    _, _, instance, receivers = company_instance_and_receivers(size)
+    result = benchmark(
+        lambda: apply_parallel(method, instance, receivers)
+    )
+    # Theorem 6.5: parallel equals sequential on this key set.
+    assert result == apply_sequence(method, instance, receivers)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_improved_set_oriented_statement(benchmark, improved, size):
+    _, _, instance, receivers = company_instance_and_receivers(size)
+    result = benchmark(lambda: improved.apply(instance))
+    assert result == apply_parallel(improved.method, instance, receivers)

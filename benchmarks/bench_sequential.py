@@ -1,0 +1,68 @@
+"""Experiment: sequential application and order-independence testing
+costs (Section 3).
+
+Series:
+
+* ``M(I, s)`` cost as the receiver sequence grows (linear in n — one
+  expression evaluation per receiver);
+* exhaustive order-independence checking over all n! enumerations vs the
+  pairwise transposition check of Lemma 3.3 (n! vs n^2) — the lemma is
+  what makes checking practical.
+"""
+
+import pytest
+
+from repro.algebraic.examples import add_bar_algebraic
+from repro.core.independence import (
+    is_order_independent_on,
+    is_order_independent_on_pairs,
+)
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.builder import InstanceBuilder
+from repro.graph.instance import Obj
+from repro.graph.schema import drinker_bar_beer_schema
+
+
+def star_instance(n_bars):
+    builder = InstanceBuilder(drinker_bar_beer_schema())
+    builder.node("Drinker", 0).nodes("Bar", range(n_bars))
+    return builder.build()
+
+
+def receivers(n):
+    return [
+        Receiver([Obj("Drinker", 0), Obj("Bar", i)]) for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("size", [2, 8, 24])
+def test_sequential_fold(benchmark, size):
+    method = add_bar_algebraic()
+    instance = star_instance(size)
+    result = benchmark(
+        lambda: apply_sequence(method, instance, receivers(size))
+    )
+    assert len(result.edges_labeled("frequents")) == size
+
+
+@pytest.mark.parametrize("size", [2, 4, 5])
+def test_exhaustive_order_independence(benchmark, size):
+    # All size! enumerations — only feasible for tiny sets.
+    method = add_bar_algebraic()
+    instance = star_instance(size)
+    assert benchmark(
+        lambda: is_order_independent_on(method, instance, receivers(size))
+    )
+
+
+@pytest.mark.parametrize("size", [2, 5, 10])
+def test_pairwise_order_independence(benchmark, size):
+    # Lemma 3.3: transpositions suffice — quadratic, not factorial.
+    method = add_bar_algebraic()
+    instance = star_instance(size)
+    assert benchmark(
+        lambda: is_order_independent_on_pairs(
+            method, instance, receivers(size)
+        )
+    )

@@ -1,0 +1,76 @@
+"""Experiment: the Section 7 SQL scenarios at scale.
+
+Series: cursor-based vs set-oriented execution time for the firing
+deletes and the salary updates (A)/(B) as the Employee table grows.  The
+paper's qualitative point — "(A) is much more efficient [than (B)]
+because it computes the changes to be made in one global query" — shows
+up here as the per-row-lookup cost of the cursor loops.
+"""
+
+import pytest
+
+from repro.sqlsim.scenarios import (
+    fire_by_salary_cursor,
+    fire_by_salary_set,
+    make_company,
+    salary_update_cursor,
+    salary_update_set,
+)
+
+SIZES = [50, 200, 800]
+
+
+def fresh(size):
+    return make_company(size, seed=13)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fire_by_salary_cursor(benchmark, size):
+    employees, fire, _ = fresh(size)
+
+    def run():
+        copy = employees.snapshot()
+        fire_by_salary_cursor(copy, fire)
+        return copy
+
+    result = benchmark(run)
+    assert len(result) < size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fire_by_salary_set(benchmark, size):
+    employees, fire, _ = fresh(size)
+
+    def run():
+        copy = employees.snapshot()
+        fire_by_salary_set(copy, fire)
+        return copy
+
+    result = benchmark(run)
+    assert len(result) < size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_salary_update_cursor_b(benchmark, size):
+    employees, _, newsal = fresh(size)
+
+    def run():
+        copy = employees.snapshot()
+        salary_update_cursor(copy, newsal)
+        return copy
+
+    result = benchmark(run)
+    assert len(result) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_salary_update_set_a(benchmark, size):
+    employees, _, newsal = fresh(size)
+
+    def run():
+        copy = employees.snapshot()
+        salary_update_set(copy, newsal)
+        return copy
+
+    result = benchmark(run)
+    assert len(result) == size

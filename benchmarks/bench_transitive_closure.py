@@ -1,0 +1,53 @@
+"""Experiment: Example 6.4 — sequential application expresses transitive
+closure, parallel application cannot.
+
+Series: time for the sequential application over ``C x C`` (which
+computes the closure) and for the parallel application (which merely
+copies edges) as the chain length grows; the results are asserted to
+match the example's claims (closure vs copy).
+"""
+
+import pytest
+
+from benchmarks.conftest import chain_instance
+from repro.algebraic.specimens import transitive_closure_method
+from repro.core.receiver import receivers_over
+from repro.core.sequential import apply_sequence
+from repro.parallel.apply import apply_parallel
+
+SIZES = [3, 5, 7]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sequential_transitive_closure(benchmark, size):
+    method = transitive_closure_method()
+    instance = chain_instance(size)
+    receivers = sorted(receivers_over(instance, method.signature))
+
+    result = benchmark(
+        lambda: apply_sequence(method, instance, receivers)
+    )
+    closure_pairs = {
+        (e.source.key, e.target.key) for e in result.edges_labeled("tc")
+    }
+    assert closure_pairs == {
+        (i, j) for i in range(size) for j in range(size) if i < j
+    }
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_parallel_single_pass(benchmark, size):
+    method = transitive_closure_method()
+    instance = chain_instance(size)
+    receivers = sorted(receivers_over(instance, method.signature))
+
+    result = benchmark(
+        lambda: apply_parallel(method, instance, receivers)
+    )
+    copied = {
+        (e.source.key, e.target.key) for e in result.edges_labeled("tc")
+    }
+    assert copied == {
+        (e.source.key, e.target.key)
+        for e in instance.edges_labeled("e")
+    }

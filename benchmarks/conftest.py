@@ -1,0 +1,39 @@
+"""Shared fixtures and builders for the benchmark harness.
+
+Every benchmark regenerates one of the experiment series listed in
+DESIGN.md's per-experiment index; EXPERIMENTS.md records the measured
+shapes against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.receiver import Receiver
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+
+
+def chain_instance(length: int) -> Instance:
+    """A directed e-chain over the Example 6.4 schema."""
+    from repro.algebraic.specimens import tc_schema
+
+    schema = tc_schema()
+    nodes = [Obj("C", i) for i in range(length)]
+    edges = [Edge(nodes[i], "e", nodes[i + 1]) for i in range(length - 1)]
+    return Instance(schema, nodes, edges)
+
+
+def company_instance_and_receivers(n_employees: int, seed: int = 7):
+    """The Section 7 company as an object base plus the (B') key set."""
+    from repro.sqlsim.scenarios import make_company, tables_to_instance
+
+    employees, _, newsal = make_company(n_employees, seed=seed)
+    instance = tables_to_instance(employees, newsal=newsal)
+    receivers = [
+        Receiver([Obj("Employee", r["EmpId"]), Obj("Money", r["Salary"])])
+        for r in employees
+    ]
+    return employees, newsal, instance, receivers

@@ -1,0 +1,76 @@
+"""Quickstart: the paper's running example, end to end.
+
+Rebuilds Figures 1-5, applies ``add_bar`` / ``favorite_bar`` to sets of
+receivers, and shows the three notions of order independence in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Receiver, is_order_independent_on
+from repro.core.examples import add_bar, favorite_bar
+from repro.core.receiver import is_key_set
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.graph.render import render_instance, render_schema
+from repro.graph.schema import drinker_bar_beer_schema
+from repro.workloads.drinkers import figure_1_instance, figure_2_instance
+
+
+def main() -> None:
+    schema = drinker_bar_beer_schema()
+    print(render_schema(schema))
+    print()
+
+    print(render_instance(figure_1_instance(), "Figure 1"))
+    print()
+
+    instance = figure_2_instance()
+    print(render_instance(instance, "Figure 2"))
+    print()
+
+    drinker = Obj("Drinker", 1)
+    bars = {i: Obj("Bar", i) for i in (1, 2, 3)}
+
+    # Figure 3: add_bar(I, [Drinker1, Bar3]).
+    added = add_bar().apply(instance, Receiver([drinker, bars[3]]))
+    print(render_instance(added, "Figure 3 = add_bar(I, [D1, Bar3])"))
+    print()
+
+    # Figure 4: favorite_bar(I, [Drinker1, Bar1]).
+    favored = favorite_bar().apply(instance, Receiver([drinker, bars[1]]))
+    print(render_instance(favored, "Figure 4 = favorite_bar(I, [D1, Bar1])"))
+    print()
+
+    # Figure 5 vs Figure 4: favorite_bar is order dependent.
+    t1, t2 = Receiver([drinker, bars[1]]), Receiver([drinker, bars[3]])
+    forward = apply_sequence(favorite_bar(), instance, [t1, t2])
+    backward = apply_sequence(favorite_bar(), instance, [t2, t1])
+    print(render_instance(forward, "Figure 5 = favorite_bar(I, t1, t2)"))
+    print()
+    print("favorite_bar(I, t2, t1) equals Figure 4:", backward == favored)
+    print(
+        "favorite_bar order independent on {t1, t2}:",
+        is_order_independent_on(favorite_bar(), instance, [t1, t2]),
+    )
+    print(
+        "add_bar order independent on {t1, t2}:    ",
+        is_order_independent_on(add_bar(), instance, [t1, t2]),
+    )
+    print("{t1, t2} is a key set:", is_key_set([t1, t2]))
+
+    # Key sets rescue favorite_bar (key-order independence).
+    other_drinker = Obj("Drinker", 2)
+    keyed_instance = instance.with_nodes([other_drinker])
+    key_pair = [
+        Receiver([drinker, bars[1]]),
+        Receiver([other_drinker, bars[3]]),
+    ]
+    print("key pair is a key set:", is_key_set(key_pair))
+    print(
+        "favorite_bar order independent on the key pair:",
+        is_order_independent_on(favorite_bar(), keyed_instance, key_pair),
+    )
+
+
+if __name__ == "__main__":
+    main()

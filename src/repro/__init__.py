@@ -1,0 +1,40 @@
+"""Reproduction of *Applying an Update Method to a Set of Receivers*.
+
+M. Andries, L. Cabibbo, J. Paredaens, J. Van den Bussche (PODS 1995;
+extended version in ACM TODS).
+
+The library implements, from scratch:
+
+* the object-base data model and update methods (Section 2),
+* sequential application and the three notions of order independence
+  (Section 3),
+* the theory of schema colorings for both axiomatizations of "use"
+  (Section 4) with executable soundness criteria, canonical methods, and
+  order-dependence witnesses,
+* the relational substrate, object-relational mapping, and algebraic
+  update methods (Section 5), including the Theorem 5.6 reduction and the
+  Theorem 5.12 decision procedure for positive methods,
+* the conjunctive-query machinery of Appendix A (homomorphisms, Klug
+  representative sets, the typed chase, containment under functional and
+  full inclusion dependencies),
+* parallel application and the parallelization theorem (Section 6), and
+* the SQL-context simulation of Section 7.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "core",
+    "coloring",
+    "relational",
+    "objrel",
+    "cq",
+    "algebraic",
+    "parallel",
+    "sqlsim",
+    "workloads",
+]

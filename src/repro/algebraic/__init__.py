@@ -1,0 +1,67 @@
+"""Algebraic update methods (Sections 5.2-5.3).
+
+Methods in this framework update only properties of the receiving object,
+via assignment statements ``a := E`` whose right-hand sides are unary
+relational algebra expressions over the object base's relational
+representation plus the special singleton relations ``self`` and
+``arg1 ... argk`` (Definition 5.4).
+
+The package provides:
+
+* update expressions and their evaluation against a receiver
+  (:mod:`repro.algebraic.expression`),
+* algebraic update methods as :class:`~repro.core.method.UpdateMethod`
+  subclasses (:mod:`repro.algebraic.method`),
+* the paper's example methods in algebraic form — Example 5.5
+  (:mod:`repro.algebraic.examples`),
+* the reduction of order independence to expression equivalence under
+  dependencies — Theorem 5.6 (:mod:`repro.algebraic.reduction`),
+* the decision procedure for positive methods — Theorem 5.12
+  (:mod:`repro.algebraic.decision`), and
+* Proposition 5.8's syntactic sufficient condition
+  (:mod:`repro.algebraic.sufficient`).
+"""
+
+from repro.algebraic.expression import (
+    SELF,
+    UpdateTypeError,
+    arg_name,
+    bind_receiver,
+    evaluate_update_expression,
+    primed,
+    special_relation_schemas,
+)
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.algebraic.reduction import (
+    ReductionResult,
+    order_independence_reduction,
+    post_update_expression,
+)
+from repro.algebraic.decision import (
+    DecisionResult,
+    NotPositiveError,
+    counterexample_to_scenario,
+    decide_key_order_independence,
+    decide_order_independence,
+)
+from repro.algebraic.sufficient import satisfies_prop_5_8
+
+__all__ = [
+    "SELF",
+    "arg_name",
+    "primed",
+    "special_relation_schemas",
+    "bind_receiver",
+    "evaluate_update_expression",
+    "UpdateTypeError",
+    "AlgebraicUpdateMethod",
+    "post_update_expression",
+    "order_independence_reduction",
+    "ReductionResult",
+    "decide_order_independence",
+    "decide_key_order_independence",
+    "DecisionResult",
+    "NotPositiveError",
+    "counterexample_to_scenario",
+    "satisfies_prop_5_8",
+]

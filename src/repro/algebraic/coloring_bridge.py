@@ -1,0 +1,116 @@
+"""Colorings "inferred from the specification" (Section 4 meets Section 5).
+
+Section 4 notes colorings "could be provided by the programmer or could
+be inferred from the specification".  For *algebraic* methods the
+specification is syntax, so a sound over-approximation of the minimal
+coloring can be read off the statements:
+
+* an assignment ``a := E`` may create and delete ``a``-edges: color
+  ``a`` with ``{c, d}`` (``favorite_bar`` both deletes the old edges and
+  creates the new one);
+* every relation referenced by some right-hand side is *used*: its
+  class/property gets ``u``;
+* the signature classes are used (condition 4 of Theorem 4.8), incident
+  nodes of used edges are used (condition 5), and endpoints of created
+  edges must be ``u`` or ``c`` (Proposition 4.13 property 2) — the
+  closure rules are applied until the coloring is well-formed.
+
+The result is an *upper bound*: every color in the true minimal coloring
+appears in the syntactic one (the converse can fail — ``f := arg1``
+never actually creates an edge that was already there, but syntax cannot
+see that).  The test suite checks the bound against the empirically
+inferred colorings of all the example methods.
+
+The payoff mirrors Section 7's informal analyses: when even the
+syntactic over-approximation is simple, Theorem 4.14 already guarantees
+order independence without running the (exponential) Theorem 5.12
+procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.coloring.coloring import CREATES, DELETES, USES, Coloring
+from repro.objrel.mapping import property_relation_name
+from repro.relational.algebra import referenced_relations
+
+
+def syntactic_coloring(method: AlgebraicUpdateMethod) -> Coloring:
+    """A sound syntactic over-approximation of the minimal coloring."""
+    schema = method.object_schema
+    assignment: Dict[str, Set[str]] = {
+        item: set() for item in schema.items()
+    }
+
+    # Updated properties are created and deleted.
+    for label in method.updated_properties:
+        assignment[label] |= {CREATES, DELETES}
+
+    # Referenced relations are used.
+    property_names = {
+        property_relation_name(schema, e.label): e.label
+        for e in schema.edges
+    }
+    for expr in method.statements.values():
+        for name in referenced_relations(expr):
+            if name in schema.class_names:
+                assignment[name].add(USES)
+            elif name in property_names:
+                assignment[property_names[name]].add(USES)
+            # self/arg references carry no schema item of their own;
+            # the signature classes are added below.
+
+    # Condition 4 of Theorem 4.8: signature classes are used.
+    for cls in method.signature:
+        assignment[cls].add(USES)
+
+    # Closure: condition 5 (used edges have used endpoints),
+    # Proposition 4.13 property 2 (created edges have u-or-c endpoints),
+    # and Lemma 4.11 (under the inflationary axiom, a deleted edge whose
+    # endpoints are not deleted is itself used — algebraic methods never
+    # delete objects, so every updated property is also colored u).
+    changed = True
+    while changed:
+        changed = False
+        for edge in schema.edges:
+            colors = assignment[edge.label]
+            if DELETES in colors and USES not in colors:
+                colors.add(USES)
+                changed = True
+            for endpoint in edge.incident_nodes():
+                endpoint_colors = assignment[endpoint]
+                if USES in colors and USES not in endpoint_colors:
+                    endpoint_colors.add(USES)
+                    changed = True
+                if (
+                    CREATES in colors
+                    and USES not in endpoint_colors
+                    and CREATES not in endpoint_colors
+                ):
+                    endpoint_colors.add(USES)
+                    changed = True
+                if DELETES in colors and USES not in endpoint_colors:
+                    # Deleted edges of the receiving object are located
+                    # through it — mark the endpoints used.
+                    endpoint_colors.add(USES)
+                    changed = True
+
+    return Coloring(
+        schema,
+        {item: colors for item, colors in assignment.items() if colors},
+    )
+
+
+def syntactically_order_independent(
+    method: AlgebraicUpdateMethod,
+) -> bool:
+    """Whether the syntactic coloring alone certifies order independence.
+
+    True only when the over-approximated coloring is simple — rare for
+    methods that rewrite a whole property (the ``{c, d}`` on the updated
+    label is never simple), but exactly the situation of Section 7's
+    insert-only and delete-only statements.
+    """
+    return syntactic_coloring(method).is_simple()

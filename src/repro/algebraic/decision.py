@@ -1,0 +1,169 @@
+"""Deciding (key-)order independence of positive methods (Theorem 5.12).
+
+The pipeline: build the Theorem 5.6 reduction, compile both guarded
+expressions of every updated property to unions of conjunctive queries
+with non-equalities (the reduction preserves positivity), and decide
+their equivalence under the reduction's functional and full inclusion
+dependencies with the Appendix A procedure.
+
+When the method is order *dependent*, the procedure yields a concrete
+dependency-satisfying counterexample database, which
+:func:`counterexample_to_scenario` decodes back into an object-base
+instance and a pair of receivers on which the two application orders
+disagree — the test suite replays those scenarios against the actual
+method to validate the whole pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebraic.expression import SELF, arg_name, primed
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.algebraic.reduction import (
+    ReductionResult,
+    order_independence_reduction,
+)
+from repro.core.receiver import Receiver
+from repro.cq.containment import (
+    Counterexample,
+    positive_equivalence_counterexample,
+)
+from repro.cq.translate import translate_expression
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+
+
+class NotPositiveError(ValueError):
+    """The decision procedure only applies to positive methods.
+
+    For general algebraic methods order independence is undecidable
+    (Corollary 5.7).
+    """
+
+
+@dataclass(frozen=True)
+class DecisionResult:
+    """Outcome of the Theorem 5.12 decision procedure."""
+
+    order_independent: bool
+    key_order: bool
+    witness_property: Optional[str]
+    """The updated property whose expressions differ (if dependent)."""
+
+    counterexample: Optional[Counterexample]
+    """A dependency-satisfying database separating the two orders."""
+
+    reduction: ReductionResult
+
+
+def _decide(
+    method: AlgebraicUpdateMethod,
+    key_order: bool,
+    max_partitions: Optional[int],
+) -> DecisionResult:
+    if not method.is_positive():
+        raise NotPositiveError(
+            f"method {method.name!r} uses the difference operator; "
+            "order independence of general algebraic methods is "
+            "undecidable (Corollary 5.7)"
+        )
+    reduction = order_independence_reduction(method, key_order=key_order)
+    for label, (forward, backward) in sorted(reduction.pairs.items()):
+        first = translate_expression(forward, reduction.db_schema)
+        second = translate_expression(backward, reduction.db_schema)
+        counterexample = positive_equivalence_counterexample(
+            first,
+            second,
+            reduction.dependencies,
+            reduction.db_schema,
+            max_partitions=max_partitions,
+        )
+        if counterexample is not None:
+            return DecisionResult(
+                False, key_order, label, counterexample, reduction
+            )
+    return DecisionResult(True, key_order, None, None, reduction)
+
+
+def decide_order_independence(
+    method: AlgebraicUpdateMethod,
+    max_partitions: Optional[int] = None,
+) -> DecisionResult:
+    """Decide absolute order independence (Theorem 5.12)."""
+    return _decide(method, key_order=False, max_partitions=max_partitions)
+
+
+def decide_key_order_independence(
+    method: AlgebraicUpdateMethod,
+    max_partitions: Optional[int] = None,
+) -> DecisionResult:
+    """Decide key-order independence (Theorem 5.12).
+
+    The guard drops the argument-distinctness terms, so the expressions
+    become empty whenever the two receivers share their receiving
+    object (receiver pairs a key set never contains).
+    """
+    return _decide(method, key_order=True, max_partitions=max_partitions)
+
+
+def counterexample_to_scenario(
+    result: DecisionResult, method: AlgebraicUpdateMethod
+) -> Optional[Tuple[Instance, Receiver, Receiver]]:
+    """Decode a counterexample database into ``(I, t, t')``.
+
+    The canonical constants (typed variables) become objects; the
+    special singleton relations yield the two receivers.  Returns
+    ``None`` for order-independent results.  The decoded scenario
+    satisfies ``M(I, t t') != M(I, t' t)``.
+    """
+    if result.counterexample is None:
+        return None
+    database = result.counterexample.database
+    schema: Schema = method.object_schema
+    signature = method.signature
+
+    def to_obj(constant) -> Obj:
+        # Canonical constants are cq Variables carrying their domain.
+        return Obj(constant.domain, constant.name)
+
+    nodes = set()
+    edges = set()
+    # Class relations contribute nodes; property relations contribute
+    # edges (their endpoints are nodes by the inclusion dependencies,
+    # which the chased canonical database satisfies).
+    for class_name in schema.class_names:
+        if database.has_relation(class_name):
+            for (constant,) in database.relation(class_name):
+                nodes.add(to_obj(constant))
+    for schema_edge in schema.edges:
+        rel_name = f"{schema_edge.source}.{schema_edge.label}"
+        if database.has_relation(rel_name):
+            for source, target in database.relation(rel_name):
+                source_obj, target_obj = to_obj(source), to_obj(target)
+                nodes.add(source_obj)
+                nodes.add(target_obj)
+                edges.add(Edge(source_obj, schema_edge.label, target_obj))
+    instance = Instance(schema, nodes, edges)
+
+    def receiver_from(prefix_primed: bool) -> Optional[Receiver]:
+        objects: List[Obj] = []
+        names = [SELF] + [
+            arg_name(i + 1) for i in range(signature.arity)
+        ]
+        for name in names:
+            key = primed(name) if prefix_primed else name
+            if not database.has_relation(key):
+                return None
+            rows = list(database.relation(key))
+            if len(rows) != 1:
+                return None
+            objects.append(to_obj(rows[0][0]))
+        return Receiver(objects)
+
+    first = receiver_from(prefix_primed=False)
+    second = receiver_from(prefix_primed=True)
+    if first is None or second is None:
+        return None
+    return (instance, first, second)

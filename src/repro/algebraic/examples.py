@@ -1,0 +1,126 @@
+"""The paper's example methods in algebraic form (Example 5.5).
+
+Abbreviating relation names as the paper does (``Df`` is
+``Drinker.frequents`` here):
+
+* ``favorite_bar``:  ``f := arg1``
+* ``add_bar``:       ``f := pi_f(self join_{self=D} Df) u arg1``
+* ``add_serving_bars`` (Example 4.15's method):
+  ``f := pi_f(self join Df) u pi_Ba(self join Dl join_{l=s} Bas)``
+* ``delete_bar`` (Example 5.11):
+  ``f := pi_f(self join_{self=D} Df join_{f != arg} arg1)``
+
+All four are positive; their graph-level twins live in
+:mod:`repro.core.examples`, and the test suite checks the two
+implementations agree on random instances.
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.expression import SELF, arg_name
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+from repro.objrel.mapping import property_relation_name
+from repro.relational.algebra import (
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+
+SIG_DRINKER_BAR = MethodSignature(["Drinker", "Bar"])
+SIG_DRINKER = MethodSignature(["Drinker"])
+
+ARG1 = arg_name(1)
+
+
+def _schema() -> Schema:
+    return drinker_bar_beer_schema()
+
+
+def _frequents_rel(schema: Schema) -> Rel:
+    return Rel(property_relation_name(schema, "frequents"))
+
+
+def _own_frequented(schema: Schema) -> Expr:
+    """``pi_f(self join_{self=Drinker} Df)`` — the receiver's current bars."""
+    joined = Select(
+        Product(Rel(SELF), _frequents_rel(schema)),
+        SELF,
+        "Drinker",
+        True,
+    )
+    return Project(joined, ("frequents",))
+
+
+def favorite_bar_algebraic(schema: Schema = None) -> AlgebraicUpdateMethod:
+    """``f := arg1`` — key-order independent, not order independent."""
+    schema = schema or _schema()
+    expr = Rename(Rel(ARG1), ARG1, "frequents")
+    return AlgebraicUpdateMethod(
+        schema, SIG_DRINKER_BAR, {"frequents": expr}, "favorite_bar"
+    )
+
+
+def add_bar_algebraic(schema: Schema = None) -> AlgebraicUpdateMethod:
+    """``f := pi_f(self join Df) u arg1`` — order independent."""
+    schema = schema or _schema()
+    expr = Union(
+        _own_frequented(schema),
+        Rename(Rel(ARG1), ARG1, "frequents"),
+    )
+    return AlgebraicUpdateMethod(
+        schema, SIG_DRINKER_BAR, {"frequents": expr}, "add_bar"
+    )
+
+
+def add_serving_bars_algebraic(
+    schema: Schema = None,
+) -> AlgebraicUpdateMethod:
+    """Example 4.15's method: also frequent all bars serving a liked beer."""
+    schema = schema or _schema()
+    likes = Rel(property_relation_name(schema, "likes"))
+    serves = Rel(property_relation_name(schema, "serves"))
+    liked_serving = Select(
+        Select(
+            Product(Product(Rel(SELF), likes), serves),
+            SELF,
+            "Drinker",
+            True,
+        ),
+        "likes",
+        "serves",
+        True,
+    )
+    new_bars = Rename(
+        Project(liked_serving, ("Bar",)), "Bar", "frequents"
+    )
+    expr = Union(_own_frequented(schema), new_bars)
+    return AlgebraicUpdateMethod(
+        schema, SIG_DRINKER, {"frequents": expr}, "add_serving_bars"
+    )
+
+
+def delete_bar_algebraic(schema: Schema = None) -> AlgebraicUpdateMethod:
+    """Example 5.11: ``f := pi_f(self join Df join_{f != arg} arg1)``.
+
+    Positive, yet it deletes information — the running example that
+    positive methods are monotone as queries but not inflationary as
+    updates.
+    """
+    schema = schema or _schema()
+    joined = Select(
+        Product(Product(Rel(SELF), _frequents_rel(schema)), Rel(ARG1)),
+        SELF,
+        "Drinker",
+        True,
+    )
+    kept = Select(joined, "frequents", ARG1, False)
+    expr = Project(kept, ("frequents",))
+    return AlgebraicUpdateMethod(
+        schema, SIG_DRINKER_BAR, {"frequents": expr}, "delete_bar"
+    )

@@ -1,0 +1,297 @@
+"""The reduction of Theorem 5.6 (second part).
+
+Order independence of an algebraic method reduces to equivalence of
+relational algebra expressions under functional, inclusion, and
+disjointness dependencies:
+
+* ``E_a[t]`` expresses the relation ``Ca`` after applying ``M`` to the
+  receiver held in the singleton relations ``self, arg1, ...``::
+
+      pi_{C,a}( sigma_{C != self}(Ca x self) )  u  rho_{self->C}(self) x E_a
+
+* ``E'_a`` is ``E_a[t]``'s "second application" body: ``E_a`` with each
+  updated property relation ``Cb`` replaced by ``E_b[t]`` and the special
+  relations replaced by their primed (second-receiver) copies;
+
+* ``E_a[tt']`` then expresses ``Ca`` after the sequence ``t, t'``, and
+  ``E_a[t't]`` is obtained by reversing the roles.
+
+``M`` is order independent iff ``E_a[tt'] = E_a[t't]`` for each updated
+property ``a``, under
+
+* the inclusion dependencies of the object-base representation,
+* inclusion of each special relation in its class (receivers consist of
+  objects *in* the instance),
+* the functional dependencies ``self: {} -> self`` etc. (singletons), and
+* a guard factor enforcing non-emptiness of the special relations and
+  distinctness of the two receivers (only ``self != self'`` for the
+  key-order variant).
+
+Disjointness dependencies are carried by typing throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.algebraic.expression import (
+    SELF,
+    arg_name,
+    primed,
+    update_db_schema,
+)
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.schema import Schema
+from repro.objrel.mapping import (
+    property_relation_name,
+    schema_dependencies,
+)
+from repro.relational.algebra import (
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+    product_all,
+    project_empty,
+    substitute,
+    union_all,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    Dependency,
+    FunctionalDependency,
+    InclusionDependency,
+)
+
+
+def _special_names(
+    signature: MethodSignature, use_primed: bool
+) -> List[str]:
+    names = [SELF] + [
+        arg_name(i + 1) for i in range(signature.arity)
+    ]
+    if use_primed:
+        return [primed(n) for n in names]
+    return names
+
+
+def post_update_expression(
+    method: AlgebraicUpdateMethod,
+    label: str,
+    use_primed: bool = False,
+) -> Expr:
+    """``E_a[t]``: the relation ``Ca`` in ``M(I, t)`` as an expression.
+
+    With ``use_primed``, the receiver is read from the primed special
+    relations instead (``E_a[t']``).
+    """
+    schema = method.object_schema
+    receiving = method.signature.receiving_class
+    self_name = primed(SELF) if use_primed else SELF
+    ca = Rel(property_relation_name(schema, label))
+    # Edges of *other* receiving objects survive.
+    survivors = Project(
+        Select(Product(ca, Rel(self_name)), receiving, self_name, False),
+        (receiving, label),
+    )
+    # The receiving object gets exactly E_a's result.
+    body = method.expression(label)
+    if use_primed:
+        body = _prime_specials(body, method.signature)
+    out_attr = method.output_attribute(label)
+    if out_attr != label:
+        body = Rename(body, out_attr, label)
+    fresh_edges = Product(
+        Rename(Rel(self_name), self_name, receiving), body
+    )
+    return Union(survivors, fresh_edges)
+
+
+def _prime_specials(expr: Expr, signature: MethodSignature) -> Expr:
+    """Replace ``self``/``argi`` references and attributes by primed ones."""
+    specials = set(_special_names(signature, use_primed=False))
+
+    def replace(node: Rel) -> Expr:
+        if node.name in specials:
+            return Rename(
+                Rel(primed(node.name)), primed(node.name), node.name
+            )
+        return node
+
+    return substitute(expr, replace)
+
+
+def _second_application_body(
+    method: AlgebraicUpdateMethod,
+    label: str,
+    first_primed: bool,
+) -> Expr:
+    """``E'_a``: ``E_a`` reading the *other* receiver, over the updated
+    property relations.
+
+    ``first_primed=False`` means the first application used the unprimed
+    receiver, so the body reads the primed one and each ``Cb`` becomes
+    ``E_b[t]`` (unprimed); ``first_primed=True`` is the mirror image.
+    """
+    schema = method.object_schema
+    signature = method.signature
+    updated = {
+        property_relation_name(schema, b): b
+        for b in method.updated_properties
+    }
+    specials = set(_special_names(signature, use_primed=False))
+    body = method.expression(label)
+
+    def replace(node: Rel) -> Expr:
+        if node.name in updated:
+            return post_update_expression(
+                method, updated[node.name], use_primed=first_primed
+            )
+        if node.name in specials:
+            if first_primed:
+                return node  # second receiver is the unprimed one
+            return Rename(
+                Rel(primed(node.name)), primed(node.name), node.name
+            )
+        return node
+
+    return substitute(body, replace)
+
+
+def sequence_expression(
+    method: AlgebraicUpdateMethod,
+    label: str,
+    first_primed: bool = False,
+) -> Expr:
+    """``E_a[tt']`` (or ``E_a[t't]`` with ``first_primed=True``).
+
+    Expresses the relation ``Ca`` in ``M(I, t, t')``.
+    """
+    schema = method.object_schema
+    receiving = method.signature.receiving_class
+    second_self = SELF if first_primed else primed(SELF)
+    first_stage = post_update_expression(
+        method, label, use_primed=first_primed
+    )
+    survivors = Project(
+        Select(
+            Product(first_stage, Rel(second_self)),
+            receiving,
+            second_self,
+            False,
+        ),
+        (receiving, label),
+    )
+    body = _second_application_body(method, label, first_primed)
+    out_attr = method.output_attribute(label)
+    if out_attr != label:
+        body = Rename(body, out_attr, label)
+    fresh_edges = Product(
+        Rename(Rel(second_self), second_self, receiving), body
+    )
+    return Union(survivors, fresh_edges)
+
+
+def receiver_guard(
+    signature: MethodSignature, key_order: bool = False
+) -> Expr:
+    """The 0-ary guard enforcing valid, distinct receiver pairs.
+
+    ``pi_{}(self x arg1 x ... x self' x arg1' x ...)`` (both receivers
+    present) times the union of distinctness tests.  For key-order
+    independence only ``self != self'`` remains (the proof of
+    Theorem 5.12 omits the argument-distinctness terms).
+    """
+    unprimed = _special_names(signature, use_primed=False)
+    all_specials = unprimed + [primed(n) for n in unprimed]
+    non_empty = project_empty(
+        product_all([Rel(name) for name in all_specials])
+    )
+    distinct_terms: List[Expr] = [
+        project_empty(
+            Select(
+                Product(Rel(SELF), Rel(primed(SELF))),
+                SELF,
+                primed(SELF),
+                False,
+            )
+        )
+    ]
+    if not key_order:
+        for i in range(signature.arity):
+            name = arg_name(i + 1)
+            distinct_terms.append(
+                project_empty(
+                    Select(
+                        Product(Rel(name), Rel(primed(name))),
+                        name,
+                        primed(name),
+                        False,
+                    )
+                )
+            )
+    return Product(non_empty, union_all(distinct_terms))
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """The expression pairs and dependencies of the Theorem 5.6 reduction."""
+
+    pairs: Dict[str, Tuple[Expr, Expr]]
+    """Per updated property: ``(guarded E_a[tt'], guarded E_a[t't])``."""
+
+    dependencies: Tuple[Dependency, ...]
+    db_schema: DatabaseSchema
+    key_order: bool
+
+
+def reduction_dependencies(
+    object_schema: Schema, signature: MethodSignature
+) -> List[Dependency]:
+    """The dependency set the equivalence test runs under."""
+    dependencies: List[Dependency] = list(
+        schema_dependencies(object_schema)
+    )
+    names = _special_names(signature, use_primed=False)
+    classes = list(signature)
+    for base, cls in zip(names, classes):
+        for name in (base, primed(base)):
+            dependencies.append(FunctionalDependency(name, (), name))
+            dependencies.append(
+                InclusionDependency(name, (name,), cls, (cls,))
+            )
+    return dependencies
+
+
+def order_independence_reduction(
+    method: AlgebraicUpdateMethod, key_order: bool = False
+) -> ReductionResult:
+    """Build the full reduction for ``method``.
+
+    ``method`` is order independent iff, for every updated property
+    ``a``, the two guarded expressions are equivalent under the returned
+    dependencies (over the returned schema) — Theorem 5.6 combined with
+    Lemma 3.3.
+    """
+    guard = receiver_guard(method.signature, key_order)
+    pairs: Dict[str, Tuple[Expr, Expr]] = {}
+    for label in method.updated_properties:
+        forward = Product(
+            sequence_expression(method, label, first_primed=False), guard
+        )
+        backward = Product(
+            sequence_expression(method, label, first_primed=True), guard
+        )
+        pairs[label] = (forward, backward)
+    db_schema = update_db_schema(
+        method.object_schema, method.signature, include_primed=True
+    )
+    dependencies = tuple(
+        reduction_dependencies(method.object_schema, method.signature)
+    )
+    return ReductionResult(pairs, dependencies, db_schema, key_order)

@@ -1,0 +1,216 @@
+"""Further method specimens from Sections 5-6.
+
+* Example 6.4's transitive-closure method: sequential application over
+  ``C x C`` computes the transitive closure of the ``e``-edges into the
+  ``tc``-edges, while parallel application merely duplicates each
+  ``e``-edge — the separation showing sequential application is strictly
+  more powerful than parallel application.
+
+* Proposition 5.14's two counterexample methods and queries, disproving
+  both directions of the pairwise (Lemma 3.3 style) characterization for
+  *query*-order independence.
+
+* Footnote 8's parity method: sequential application can also express
+  the parity test, another query outside the relational algebra.  The
+  method toggles a flag edge on a distinguished pivot object on *every*
+  application — a side effect on a non-receiving object, which is
+  exactly what the algebraic model of Section 5 forbids, so it is
+  realized as a general (functional) update method.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algebraic.expression import SELF, arg_name
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.schema import Schema
+from repro.objrel.mapping import (
+    property_relation_name,
+    schema_to_database_schema,
+)
+from repro.relational.algebra import (
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.cardinality import at_least, guarded
+
+ARG1 = arg_name(1)
+
+
+def tc_schema() -> Schema:
+    """One class ``C`` with two self-loop properties ``e`` and ``tc``."""
+    return Schema(["C"], [("C", "e", "C"), ("C", "tc", "C")])
+
+
+def transitive_closure_method(
+    schema: Schema = None,
+) -> AlgebraicUpdateMethod:
+    """Example 6.4's method of type ``[C, C]``::
+
+        tc := pi_e(self join_{self=C} Ce)
+            u pi_e'(self join_{self=C} Ctc join_{tc=C'} rho_{C->C'}(Ce))
+
+    Each application extends the receiver's ``tc``-set one ``e``-step
+    further; |C| sequential applications per object reach the closure.
+    """
+    schema = schema or tc_schema()
+    ce = Rel(property_relation_name(schema, "e"))
+    ctc = Rel(property_relation_name(schema, "tc"))
+    direct = Rename(
+        Project(
+            Select(Product(Rel(SELF), ce), SELF, "C", True), ("e",)
+        ),
+        "e",
+        "tc",
+    )
+    shifted_ce = Rename(Rename(ce, "C", "C2"), "e", "e2")
+    one_step = Select(
+        Select(
+            Product(Product(Rel(SELF), ctc), shifted_ce),
+            SELF,
+            "C",
+            True,
+        ),
+        "tc",
+        "C2",
+        True,
+    )
+    extended = Rename(Project(one_step, ("e2",)), "e2", "tc")
+    return AlgebraicUpdateMethod(
+        schema,
+        MethodSignature(["C", "C"]),
+        {"tc": Union(direct, extended)},
+        "transitive_closure",
+    )
+
+
+def parity_schema() -> Schema:
+    """One class ``C`` with a self-loop ``flag`` property."""
+    return Schema(["C"], [("C", "flag", "C")])
+
+
+PARITY_PIVOT_KEY = "parity-pivot"
+
+
+def parity_method(schema: Schema = None):
+    """Footnote 8: sequential application expresses the parity test.
+
+    Each application toggles the edge ``(pivot, flag, pivot)``; applying
+    the method sequentially to a set of ``n`` distinct receivers leaves
+    the flag set iff ``n`` is odd (starting from unset).  The update is
+    order independent — the result depends only on the toggle count —
+    yet no relational algebra expression over ``rec`` can express it,
+    so no parallel method matches it on all receiver sets.
+    """
+    from repro.core.method import FunctionalUpdateMethod, MethodUndefined
+    from repro.graph.instance import Edge, Obj
+
+    schema = schema or parity_schema()
+
+    def toggle(instance, receiver):
+        pivot = Obj("C", PARITY_PIVOT_KEY)
+        if not instance.has_node(pivot):
+            raise MethodUndefined("the parity pivot object is missing")
+        edge = Edge(pivot, "flag", pivot)
+        if instance.has_edge(edge):
+            return instance.without_edges([edge])
+        return instance.with_edges([edge])
+
+    return FunctionalUpdateMethod(
+        MethodSignature(["C"]), toggle, "parity"
+    )
+
+
+def two_property_schema() -> Schema:
+    """Proposition 5.14's schema: class ``C`` with properties ``a``, ``b``."""
+    return Schema(["C"], [("C", "a", "C"), ("C", "b", "C")])
+
+
+def prop_5_14_if_direction() -> Tuple[AlgebraicUpdateMethod, Expr]:
+    """The counterexample disproving the *if* direction.
+
+    Method ``M`` of type ``[C, C]``::
+
+        a := if #Ca >= 2 then pi_a(self join_{self=C} Ca join_{a!=arg} arg)
+             else emptyset
+
+    Query ``Q := if #Ca >= 3 then Cb else emptyset`` (receivers of type
+    ``[C, C]``).  ``M`` is order independent on every two-element subset
+    of ``Q(I)`` yet not ``Q``-order independent.
+    """
+    schema = two_property_schema()
+    db_schema = schema_to_database_schema(schema)
+    ca = Rel(property_relation_name(schema, "a"))
+    cb = Rel(property_relation_name(schema, "b"))
+    kept = Project(
+        Select(
+            Select(
+                Product(Product(Rel(SELF), ca), Rel(ARG1)),
+                SELF,
+                "C",
+                True,
+            ),
+            "a",
+            ARG1,
+            False,
+        ),
+        ("a",),
+    )
+    method_expr = guarded(kept, at_least(ca, 2, db_schema))
+    method = AlgebraicUpdateMethod(
+        schema,
+        MethodSignature(["C", "C"]),
+        {"a": method_expr},
+        "prop_5_14_if",
+    )
+    # Q's scheme must be (self, arg1) for use as a receiver query.
+    query = guarded(
+        Rename(Rename(cb, "C", SELF), "b", ARG1),
+        at_least(ca, 3, db_schema),
+    )
+    return method, query
+
+
+def prop_5_14_only_if_direction() -> Tuple[AlgebraicUpdateMethod, Expr]:
+    """The counterexample disproving the *only-if* direction.
+
+    Method ``M`` of type ``[C, C, C]``::
+
+        a := pi_b(self join_{self=C} Cb)
+        b := pi_b(self join_{self=C} Cb) u arg1
+
+    (the second argument is unused).  Query ``Q``: the three-fold
+    Cartesian product of ``C`` with itself.  ``M`` is ``Q``-order
+    independent, yet order dependent on some two-element subset of some
+    ``Q(I)``.
+    """
+    schema = two_property_schema()
+    cb = Rel(property_relation_name(schema, "b"))
+    own_b = Project(
+        Select(Product(Rel(SELF), cb), SELF, "C", True), ("b",)
+    )
+    statements = {
+        "a": Rename(own_b, "b", "a"),
+        "b": Union(own_b, Rename(Rel(ARG1), ARG1, "b")),
+    }
+    method = AlgebraicUpdateMethod(
+        schema,
+        MethodSignature(["C", "C", "C"]),
+        statements,
+        "prop_5_14_only_if",
+    )
+    query = Product(
+        Product(
+            Rename(Rel("C"), "C", SELF),
+            Rename(Rel("C"), "C", ARG1),
+        ),
+        Rename(Rel("C"), "C", arg_name(2)),
+    )
+    return method, query

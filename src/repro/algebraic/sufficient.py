@@ -1,0 +1,40 @@
+"""Proposition 5.8: a syntactic sufficient condition.
+
+An algebraic method is key-order independent if none of its update
+expressions accesses the relations corresponding to the properties the
+method updates.  The condition is sufficient only: ``add_bar`` both
+accesses and updates ``Drinker.frequents`` yet is order independent
+(Example 5.9).
+
+Trivial as it may be, the paper notes it "covers many practical cases" —
+e.g. the Section 7 salary update (B'), whose right-hand side reads only
+``NewSal`` while assigning ``Employee.Salary``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.objrel.mapping import property_relation_name
+from repro.relational.algebra import referenced_relations
+
+
+def accessed_updated_relations(
+    method: AlgebraicUpdateMethod,
+) -> FrozenSet[str]:
+    """Updated property relations that some update expression reads."""
+    schema = method.object_schema
+    updated = {
+        property_relation_name(schema, label)
+        for label in method.updated_properties
+    }
+    accessed = set()
+    for expr in method.statements.values():
+        accessed.update(referenced_relations(expr))
+    return frozenset(accessed & updated)
+
+
+def satisfies_prop_5_8(method: AlgebraicUpdateMethod) -> bool:
+    """Whether Proposition 5.8 certifies key-order independence."""
+    return not accessed_updated_relations(method)

@@ -1,0 +1,80 @@
+"""Schema colorings (Section 4).
+
+A *coloring* annotates each schema item (class or property name) with a
+subset of the letters ``u`` (uses), ``c`` (creates), ``d`` (deletes)
+(Definition 4.6).  The paper studies two axiomatizations of "using
+information" — an *inflationary* one (Definition 4.7) and a *deflationary*
+one (Definition 4.16) — and characterizes, for both, the sound colorings
+(Propositions 4.13 and 4.22) and the colorings all of whose methods are
+order independent: exactly the *simple* ones (Theorems 4.14 and 4.23).
+
+This package implements:
+
+* the coloring lattice and simplicity (:mod:`repro.coloring.coloring`),
+* both "uses only" axioms as executable checks
+  (:mod:`repro.coloring.use_axioms`),
+* both soundness criteria (:mod:`repro.coloring.soundness`),
+* the canonical update method a sound coloring is the minimal coloring of,
+  following the constructive proof of Proposition 4.13
+  (:mod:`repro.coloring.canonical`),
+* the six order-dependence witnesses from the proof of Theorem 4.14
+  (:mod:`repro.coloring.witnesses`),
+* empirical inference of minimal colorings for black-box methods
+  (:mod:`repro.coloring.inference`), and
+* the order-independence verdicts of Theorems 4.14 / 4.23
+  (:mod:`repro.coloring.analysis`).
+"""
+
+from repro.coloring.coloring import (
+    COLORS,
+    Coloring,
+    full_coloring,
+    meet,
+    join,
+)
+from repro.coloring.soundness import (
+    is_sound_deflationary,
+    is_sound_inflationary,
+    soundness_violations_deflationary,
+    soundness_violations_inflationary,
+)
+from repro.coloring.use_axioms import (
+    uses_only_deflationary,
+    uses_only_inflationary,
+    valid_use_set,
+)
+from repro.coloring.canonical import canonical_method
+from repro.coloring.witnesses import order_dependence_witness
+from repro.coloring.analysis import (
+    guarantees_order_independence,
+    is_deflationary_on,
+    is_inflationary_on,
+)
+from repro.coloring.inference import (
+    infer_coloring,
+    observed_created_items,
+    observed_deleted_items,
+)
+
+__all__ = [
+    "COLORS",
+    "Coloring",
+    "full_coloring",
+    "meet",
+    "join",
+    "is_sound_inflationary",
+    "is_sound_deflationary",
+    "soundness_violations_inflationary",
+    "soundness_violations_deflationary",
+    "uses_only_inflationary",
+    "uses_only_deflationary",
+    "valid_use_set",
+    "canonical_method",
+    "order_dependence_witness",
+    "guarantees_order_independence",
+    "is_inflationary_on",
+    "is_deflationary_on",
+    "infer_coloring",
+    "observed_created_items",
+    "observed_deleted_items",
+]

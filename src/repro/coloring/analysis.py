@@ -1,0 +1,94 @@
+"""Order-independence verdicts from colorings (Theorems 4.14 / 4.23).
+
+Both theorems say: for a *sound* coloring ``kappa``, all update methods
+having ``kappa`` as their minimal coloring are order independent **iff**
+``kappa`` is simple.  This module turns that characterization into a
+verdict function, plus sample-based checks of the inflationary /
+deflationary behavior Propositions 4.10 / 4.19 predict for simple
+colorings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.coloring.canonical import DEFLATIONARY, INFLATIONARY
+from repro.coloring.coloring import Coloring
+from repro.coloring.soundness import (
+    is_sound_deflationary,
+    is_sound_inflationary,
+)
+from repro.core.method import MethodDiverges, MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance
+
+
+def guarantees_order_independence(
+    coloring: Coloring, axiom: str = INFLATIONARY
+) -> bool:
+    """Whether every method with minimal coloring ``coloring`` is order
+    independent.
+
+    True exactly when the coloring is simple (Theorems 4.14 and 4.23).
+    Raises ``ValueError`` for unsound colorings — those are not the
+    minimal coloring of any method, so the question is vacuous.
+    """
+    if axiom == INFLATIONARY:
+        sound = is_sound_inflationary(coloring)
+    elif axiom == DEFLATIONARY:
+        sound = is_sound_deflationary(coloring)
+    else:
+        raise ValueError(f"unknown axiom {axiom!r}")
+    if not sound:
+        raise ValueError(
+            f"coloring is not sound for the {axiom} axiom; it is not "
+            "the minimal coloring of any update method"
+        )
+    return coloring.is_simple()
+
+
+def _first_failure(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Receiver]],
+    check,
+) -> Optional[Tuple[Instance, Receiver]]:
+    for instance, receiver in samples:
+        try:
+            result = method.apply(instance, receiver)
+        except (MethodUndefined, MethodDiverges):
+            continue
+        if not check(instance, result):
+            return (instance, receiver)
+    return None
+
+
+def is_inflationary_on(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Receiver]],
+) -> bool:
+    """Check ``I <= M(I, t)`` on every sample (Proposition 4.10).
+
+    Methods whose minimal inflationary coloring is simple must pass.
+    """
+    return (
+        _first_failure(
+            method, samples, lambda before, after: before <= after
+        )
+        is None
+    )
+
+
+def is_deflationary_on(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Receiver]],
+) -> bool:
+    """Check ``M(I, t) <= I`` on every sample (Proposition 4.19).
+
+    Methods whose minimal deflationary coloring is simple must pass.
+    """
+    return (
+        _first_failure(
+            method, samples, lambda before, after: after <= before
+        )
+        is None
+    )

@@ -1,0 +1,497 @@
+"""Canonical update methods for sound colorings.
+
+The if-direction of Proposition 4.13 *constructs*, for each sound
+coloring ``kappa``, an update method whose minimal coloring is ``kappa``.
+This module implements that construction executably, for both
+axiomatizations of "use":
+
+* the inflationary construction follows the proof of Proposition 4.13
+  verbatim (fixed objects per item, provisional creations and deletions,
+  presence tests, and divergence — modeled as :class:`MethodDiverges` —
+  for pure-``u`` items not otherwise tested);
+* the deflationary construction follows the proof sketch of
+  Proposition 4.22: node deletions reuse the same provisional-deletion
+  tests (the property "is identical in both propositions"), creations of
+  ``c``-but-not-``u`` edges piggy-back on the creation of a ``c``-colored
+  endpoint as illustrated by Example 4.21, and pure deletions need no
+  ``u`` color (the duality of Example 4.17).
+
+The construction ignores its receiver entirely: "regardless of the
+particular receiver to which it is applied, the update performed by the
+method is the following ...".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.coloring.coloring import CREATES, DELETES, USES, Coloring
+from repro.coloring.soundness import (
+    soundness_violations_deflationary,
+    soundness_violations_inflationary,
+)
+from repro.core.method import FunctionalUpdateMethod, MethodDiverges
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema, SchemaEdge
+
+INFLATIONARY = "inflationary"
+DEFLATIONARY = "deflationary"
+
+
+# ----------------------------------------------------------------------
+# Fixed objects (the o^X_c, o^X_u, o^X_d and o^e_1 ... o^e_4 of the proof)
+# ----------------------------------------------------------------------
+def node_fixed(cls: str, color: str) -> Obj:
+    """The fixed object ``o^X_color`` of type ``cls``."""
+    return Obj(cls, f"kappa-{color}")
+
+
+def edge_fixed(schema: Schema, label: str, index: int) -> Obj:
+    """The fixed object ``o^e_index``; 1, 2 are sources, 3, 4 targets."""
+    edge = schema.edge(label)
+    cls = edge.source if index in (1, 2) else edge.target
+    return Obj(cls, f"kappa-{label}-{index}")
+
+
+def fixed_edge_pair(schema: Schema, label: str, pair: int) -> Edge:
+    """The fixed edge ``(o^e_1, e, o^e_3)`` (pair 1) or ``(o^e_2, e, o^e_4)``."""
+    if pair == 1:
+        return Edge(
+            edge_fixed(schema, label, 1), label, edge_fixed(schema, label, 3)
+        )
+    return Edge(
+        edge_fixed(schema, label, 2), label, edge_fixed(schema, label, 4)
+    )
+
+
+# ----------------------------------------------------------------------
+# Provisional deletion (shared by both constructions)
+# ----------------------------------------------------------------------
+def _provisional_delete_blocked(
+    coloring: Coloring, instance: Instance, node: Obj
+) -> bool:
+    """Whether the provisional deletion of ``node`` must be skipped.
+
+    The node (and its incident edges) is removed "on condition that the
+    following two tests fail for each schema edge incident to its class":
+
+    * if the edge label is not colored ``d`` but is colored ``u``: test
+      for the presence of any such edges incident to the node;
+    * if the edge label is neither colored ``d`` nor ``u``: test for the
+      presence of any nodes of the other endpoint's class.
+
+    Returns True when some test *succeeds* (deletion blocked).
+    """
+    schema = coloring.schema
+    for schema_edge in schema.edges_incident_to(node.cls):
+        edge_colors = coloring.colors_of(schema_edge.label)
+        if DELETES in edge_colors:
+            continue
+        if USES in edge_colors:
+            incident = any(
+                e.label == schema_edge.label
+                for e in instance.edges_incident_to(node)
+            )
+            if incident:
+                return True
+        else:
+            other = (
+                schema_edge.target
+                if schema_edge.source == node.cls
+                else schema_edge.source
+            )
+            if instance.objects_of_class(other):
+                return True
+    return False
+
+
+def _provisional_delete_tested_items(
+    coloring: Coloring, cls: str
+) -> Tuple[Set[str], Set[str]]:
+    """Schema items whose presence the provisional deletion of a
+    ``cls``-node tests: ``(node classes, edge labels)``."""
+    schema = coloring.schema
+    tested_nodes: Set[str] = set()
+    tested_edges: Set[str] = set()
+    for schema_edge in schema.edges_incident_to(cls):
+        edge_colors = coloring.colors_of(schema_edge.label)
+        if DELETES in edge_colors:
+            continue
+        if USES in edge_colors:
+            tested_edges.add(schema_edge.label)
+        else:
+            other = (
+                schema_edge.target
+                if schema_edge.source == cls
+                else schema_edge.source
+            )
+            tested_nodes.add(other)
+    return tested_nodes, tested_edges
+
+
+# ----------------------------------------------------------------------
+# A mutable plan of simultaneous additions/deletions
+# ----------------------------------------------------------------------
+class _Plan:
+    """Net effect of all canonical actions, decided against the input."""
+
+    def __init__(self) -> None:
+        self.add_nodes: Set[Obj] = set()
+        self.del_nodes: Set[Obj] = set()
+        self.add_edges: Set[Edge] = set()
+        self.del_edges: Set[Edge] = set()
+
+    def apply(self, instance: Instance) -> Instance:
+        nodes = (instance.nodes - self.del_nodes) | self.add_nodes
+        edges = {
+            e
+            for e in (instance.edges | self.add_edges) - self.del_edges
+            if e.source in nodes and e.target in nodes
+        }
+        return Instance(instance.schema, nodes, edges)
+
+
+# ----------------------------------------------------------------------
+# The inflationary construction (proof of Proposition 4.13)
+# ----------------------------------------------------------------------
+def _inflationary_tested_items(
+    coloring: Coloring,
+) -> Tuple[Set[str], Set[str]]:
+    """Statically determine which item types the prescribed actions test.
+
+    Used to decide which pure-``u`` items need the explicit
+    presence-test-or-diverge action ("If some of the actions described so
+    far ... test for the presence of certain objects of type X, we do
+    nothing extra").
+    """
+    schema = coloring.schema
+    tested_nodes: Set[str] = set()
+    tested_edges: Set[str] = set()
+
+    for cls in schema.class_names:
+        colors = coloring.colors_of(cls)
+        if CREATES in colors and USES in colors:
+            tested_nodes.add(cls)  # tests o^X_u
+        if DELETES in colors and USES in colors:
+            more_nodes, more_edges = _provisional_delete_tested_items(
+                coloring, cls
+            )
+            tested_nodes |= more_nodes
+            tested_edges |= more_edges
+
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        colors = coloring.colors_of(label)
+        if CREATES in colors:
+            # Provisional creation tests the presence of an endpoint
+            # fixed object exactly when the endpoint class is not
+            # colored c.
+            if CREATES not in coloring.colors_of(schema_edge.source):
+                tested_nodes.add(schema_edge.source)
+            if CREATES not in coloring.colors_of(schema_edge.target):
+                tested_nodes.add(schema_edge.target)
+        if CREATES in colors and USES in colors:
+            tested_edges.add(label)  # tests (o^e_1, e, o^e_3)
+        if DELETES in colors and USES not in colors:
+            # Provisional deletion of o^e_1 or o^e_3.
+            if DELETES in coloring.colors_of(schema_edge.source):
+                victim_cls = schema_edge.source
+            else:
+                victim_cls = schema_edge.target
+            more_nodes, more_edges = _provisional_delete_tested_items(
+                coloring, victim_cls
+            )
+            tested_nodes |= more_nodes
+            tested_edges |= more_edges
+
+    return tested_nodes, tested_edges
+
+
+def _provisionally_create(
+    coloring: Coloring,
+    instance: Instance,
+    plan: _Plan,
+    edge: Edge,
+) -> None:
+    """Provisional creation of ``edge`` (proof of Proposition 4.13).
+
+    The edge is added, as well as its endpoints if not yet present,
+    except when an endpoint's class is not colored ``c`` and the endpoint
+    is not yet present — in that case nothing happens.
+    """
+    source_creatable = CREATES in coloring.colors_of(edge.source.cls)
+    target_creatable = CREATES in coloring.colors_of(edge.target.cls)
+    if not source_creatable and not instance.has_node(edge.source):
+        return
+    if not target_creatable and not instance.has_node(edge.target):
+        return
+    plan.add_nodes.add(edge.source)
+    plan.add_nodes.add(edge.target)
+    plan.add_edges.add(edge)
+
+
+def _inflationary_update(
+    coloring: Coloring, instance: Instance
+) -> Instance:
+    schema = coloring.schema
+    tested_nodes, tested_edges = _inflationary_tested_items(coloring)
+    plan = _Plan()
+
+    # Pure-u presence tests (divergence when absent).
+    for cls in sorted(schema.class_names):
+        if coloring.colors_of(cls) == frozenset({USES}) and cls not in tested_nodes:
+            if not instance.has_node(node_fixed(cls, USES)):
+                raise MethodDiverges(
+                    f"canonical method diverges: {node_fixed(cls, USES)} absent"
+                )
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        if (
+            coloring.colors_of(label) == frozenset({USES})
+            and label not in tested_edges
+        ):
+            if not instance.has_edge(fixed_edge_pair(schema, label, 1)):
+                raise MethodDiverges(
+                    f"canonical method diverges: fixed {label}-edge absent"
+                )
+
+    # Node actions.
+    for cls in sorted(schema.class_names):
+        colors = coloring.colors_of(cls)
+        if colors == frozenset({CREATES}):
+            plan.add_nodes.add(node_fixed(cls, CREATES))
+        if CREATES in colors and USES in colors:
+            if instance.has_node(node_fixed(cls, USES)):
+                plan.add_nodes.add(node_fixed(cls, CREATES))
+        if DELETES in colors and USES in colors:
+            victim = node_fixed(cls, DELETES)
+            if instance.has_node(victim) and not _provisional_delete_blocked(
+                coloring, instance, victim
+            ):
+                plan.del_nodes.add(victim)
+
+    # Edge actions.
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        colors = coloring.colors_of(label)
+        first_pair = fixed_edge_pair(schema, label, 1)
+        second_pair = fixed_edge_pair(schema, label, 2)
+        if CREATES in colors and USES not in colors:
+            # {c}, {c,d}: provisionally create the first fixed edge.
+            _provisionally_create(coloring, instance, plan, first_pair)
+        if DELETES in colors and USES not in colors:
+            # {d}, {c,d}: provisionally delete a d-colored endpoint.
+            if DELETES in coloring.colors_of(schema_edge.source):
+                victim = edge_fixed(schema, label, 1)
+            else:
+                victim = edge_fixed(schema, label, 3)
+            if instance.has_node(victim) and not _provisional_delete_blocked(
+                coloring, instance, victim
+            ):
+                plan.del_nodes.add(victim)
+        if CREATES in colors and USES in colors and DELETES not in colors:
+            # {c,u}: test the first fixed edge, create the second.
+            if instance.has_edge(first_pair):
+                _provisionally_create(coloring, instance, plan, second_pair)
+        if DELETES in colors and USES in colors:
+            # {d,u}, {c,d,u}: remove the second fixed edge.
+            plan.del_edges.add(second_pair)
+        if CREATES in colors and USES in colors and DELETES in colors:
+            # {c,d,u}: additionally the {c} action.
+            _provisionally_create(coloring, instance, plan, first_pair)
+
+    return plan.apply(instance)
+
+
+# ----------------------------------------------------------------------
+# The deflationary construction (proof sketch of Proposition 4.22)
+# ----------------------------------------------------------------------
+def _deflationary_tested_items(
+    coloring: Coloring,
+) -> Tuple[Set[str], Set[str]]:
+    """Which item types the deflationary actions *use* (in the local
+    sense of Definition 4.16).
+
+    Endpoint-presence checks before creating an edge do not count: the
+    ``G`` operator silently compensates for a missing endpoint, which is
+    precisely why Example 4.21's method does not use its ``B`` class.
+    """
+    schema = coloring.schema
+    tested_nodes: Set[str] = set()
+    tested_edges: Set[str] = set()
+
+    for cls in schema.class_names:
+        colors = coloring.colors_of(cls)
+        if CREATES in colors and USES in colors:
+            tested_nodes.add(cls)  # adding o^X_c back is u-detectable
+        if DELETES in colors:
+            more_nodes, more_edges = _provisional_delete_tested_items(
+                coloring, cls
+            )
+            tested_nodes |= more_nodes
+            tested_edges |= more_edges
+            if USES in colors:
+                tested_nodes.add(cls)  # deletion conditioned on o^X_u
+
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        colors = coloring.colors_of(label)
+        if CREATES in colors and USES not in colors:
+            # Piggy-back creation tests the absence of the anchor
+            # fixed object (whose class is colored c, hence u).
+            anchor_cls = (
+                schema_edge.source
+                if CREATES in coloring.colors_of(schema_edge.source)
+                else schema_edge.target
+            )
+            tested_nodes.add(anchor_cls)
+        if USES in colors and (CREATES in colors or DELETES in colors):
+            tested_edges.add(label)  # conditioned on (o^e_1, e, o^e_3)
+
+    return tested_nodes, tested_edges
+
+
+def _deflationary_update(
+    coloring: Coloring, instance: Instance
+) -> Instance:
+    schema = coloring.schema
+    tested_nodes, tested_edges = _deflationary_tested_items(coloring)
+    plan = _Plan()
+
+    # Pure-u presence tests (divergence when absent).
+    for cls in sorted(schema.class_names):
+        if coloring.colors_of(cls) == frozenset({USES}) and cls not in tested_nodes:
+            if not instance.has_node(node_fixed(cls, USES)):
+                raise MethodDiverges(
+                    f"canonical method diverges: {node_fixed(cls, USES)} absent"
+                )
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        if (
+            coloring.colors_of(label) == frozenset({USES})
+            and label not in tested_edges
+        ):
+            if not instance.has_edge(fixed_edge_pair(schema, label, 1)):
+                raise MethodDiverges(
+                    f"canonical method diverges: fixed {label}-edge absent"
+                )
+
+    # Node actions.
+    for cls in sorted(schema.class_names):
+        colors = coloring.colors_of(cls)
+        if CREATES in colors:
+            # Sound deflationary colorings have u here too (Lemma 4.20);
+            # re-adding o^X_c when deleted is exactly what makes u
+            # indispensable under the local axiom.
+            plan.add_nodes.add(node_fixed(cls, CREATES))
+        if DELETES in colors:
+            deletion_allowed = True
+            if USES in colors:
+                # Condition the deletion on o^X_u so that u is needed.
+                deletion_allowed = instance.has_node(node_fixed(cls, USES))
+            victim = node_fixed(cls, DELETES)
+            if (
+                deletion_allowed
+                and instance.has_node(victim)
+                and not _provisional_delete_blocked(coloring, instance, victim)
+            ):
+                plan.del_nodes.add(victim)
+
+    # Edge actions.
+    for schema_edge in schema.edges:
+        label = schema_edge.label
+        colors = coloring.colors_of(label)
+        first_pair = fixed_edge_pair(schema, label, 1)
+        second_pair = fixed_edge_pair(schema, label, 2)
+        if CREATES in colors and USES not in colors:
+            # Example 4.21 piggy-back: when the anchor fixed object is
+            # absent, it is (re)created by the node action above; also
+            # attach edges to all present partner nodes.
+            if CREATES in coloring.colors_of(schema_edge.source):
+                anchor = node_fixed(schema_edge.source, CREATES)
+                if not instance.has_node(anchor):
+                    partners = instance.objects_of_class(schema_edge.target)
+                    for partner in sorted(partners):
+                        plan.add_edges.add(Edge(anchor, label, partner))
+            else:
+                anchor = node_fixed(schema_edge.target, CREATES)
+                if not instance.has_node(anchor):
+                    partners = instance.objects_of_class(schema_edge.source)
+                    for partner in sorted(partners):
+                        plan.add_edges.add(Edge(partner, label, anchor))
+        if CREATES in colors and USES in colors:
+            # {c,u}, {c,d,u}: conditioned on the first fixed edge,
+            # create the second (endpoints permitting — both endpoint
+            # classes are colored u by property Q4).
+            if instance.has_edge(first_pair):
+                if instance.has_node(second_pair.source) and instance.has_node(
+                    second_pair.target
+                ):
+                    plan.add_edges.add(second_pair)
+        if DELETES in colors:
+            if USES in colors and CREATES not in colors:
+                # {d,u}: conditioned removal of the second fixed edge.
+                if instance.has_edge(first_pair):
+                    plan.del_edges.add(second_pair)
+            else:
+                # {d}, {c,d}, {c,d,u}: unconditional removal of the
+                # first fixed edge (pure deletion needs no u under the
+                # local axiom — Example 4.17).
+                plan.del_edges.add(first_pair)
+
+    result = plan.apply(instance)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def canonical_method(
+    coloring: Coloring,
+    axiom: str = INFLATIONARY,
+    signature: Optional[MethodSignature] = None,
+) -> FunctionalUpdateMethod:
+    """Build an update method whose minimal coloring is ``coloring``.
+
+    ``coloring`` must be sound for the chosen ``axiom``
+    ("inflationary" — Proposition 4.13 — or "deflationary" —
+    Proposition 4.22).  The method's signature may be passed explicitly
+    (all its classes must be colored ``u``); by default the first
+    ``u``-colored class becomes a unary signature.
+    """
+    if axiom == INFLATIONARY:
+        violations = soundness_violations_inflationary(coloring)
+        update = _inflationary_update
+    elif axiom == DEFLATIONARY:
+        violations = soundness_violations_deflationary(coloring)
+        update = _deflationary_update
+    else:
+        raise ValueError(f"unknown axiom {axiom!r}")
+    if violations:
+        raise ValueError(
+            f"coloring is not sound for the {axiom} axiom: {violations}"
+        )
+
+    schema = coloring.schema
+    if signature is None:
+        u_classes = sorted(
+            cls
+            for cls in schema.class_names
+            if USES in coloring.colors_of(cls)
+        )
+        signature = MethodSignature([u_classes[0]])
+    else:
+        for cls in signature:
+            if USES not in coloring.colors_of(cls):
+                raise ValueError(
+                    f"signature class {cls!r} must be colored u"
+                )
+
+    def run(instance: Instance, receiver: Receiver) -> Instance:
+        return update(coloring, instance)
+
+    return FunctionalUpdateMethod(
+        signature, run, f"canonical[{axiom}]"
+    )

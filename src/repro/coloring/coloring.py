@@ -1,0 +1,177 @@
+"""The coloring lattice (Definitions 4.6 and 4.9).
+
+A coloring of a schema ``S`` assigns each schema item a subset of
+``{u, c, d}``.  Colorings are compared pointwise by subset ordering; the
+lattice of subsets of ``{u, c, d}`` extends canonically to a lattice of
+colorings (used in the proof of Theorem 4.8).  A coloring is *simple* when
+each item has at most one color (Definition 4.9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from repro.graph.schema import Schema, SchemaError
+
+USES = "u"
+CREATES = "c"
+DELETES = "d"
+COLORS: FrozenSet[str] = frozenset({USES, CREATES, DELETES})
+
+ColorSet = FrozenSet[str]
+
+
+def _normalize(colors: Iterable[str]) -> ColorSet:
+    color_set = frozenset(colors)
+    bad = color_set - COLORS
+    if bad:
+        raise ValueError(f"unknown colors: {sorted(bad)}")
+    return color_set
+
+
+class Coloring:
+    """A function from schema items to subsets of ``{u, c, d}``.
+
+    Items not mentioned in ``assignment`` get the empty color set.
+    """
+
+    __slots__ = ("_schema", "_assignment")
+
+    def __init__(
+        self,
+        schema: Schema,
+        assignment: Mapping[str, Iterable[str]] = (),
+    ) -> None:
+        self._schema = schema
+        normalized: Dict[str, ColorSet] = {}
+        mapping = dict(assignment) if not isinstance(assignment, dict) else assignment
+        for item, colors in mapping.items():
+            if item not in schema:
+                raise SchemaError(f"unknown schema item {item!r}")
+            color_set = _normalize(colors)
+            if color_set:
+                normalized[item] = color_set
+        self._assignment: Dict[str, ColorSet] = normalized
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def colors_of(self, item: str) -> ColorSet:
+        """``kappa(item)``: the color set of a schema item."""
+        if item not in self._schema:
+            raise SchemaError(f"unknown schema item {item!r}")
+        return self._assignment.get(item, frozenset())
+
+    def __getitem__(self, item: str) -> ColorSet:
+        return self.colors_of(item)
+
+    def is_colored(self, item: str, color: str) -> bool:
+        """Whether ``color`` is in ``kappa(item)``."""
+        if color not in COLORS:
+            raise ValueError(f"unknown color {color!r}")
+        return color in self.colors_of(item)
+
+    def items_colored(self, color: str) -> FrozenSet[str]:
+        """All schema items whose color set contains ``color``."""
+        if color not in COLORS:
+            raise ValueError(f"unknown color {color!r}")
+        return frozenset(
+            item
+            for item in self._schema.items()
+            if color in self._assignment.get(item, frozenset())
+        )
+
+    def use_set(self) -> FrozenSet[str]:
+        """The set ``U`` of items colored ``u`` (used in Theorem 4.8)."""
+        return self.items_colored(USES)
+
+    def is_simple(self) -> bool:
+        """Whether each item has at most one color (Definition 4.9)."""
+        return all(len(colors) <= 1 for colors in self._assignment.values())
+
+    # ------------------------------------------------------------------
+    # Lattice structure
+    # ------------------------------------------------------------------
+    def __le__(self, other: "Coloring") -> bool:
+        """Pointwise subset ordering ``kappa <= kappa'``."""
+        if self._schema != other._schema:
+            raise ValueError("colorings over different schemas")
+        return all(
+            colors <= other.colors_of(item)
+            for item, colors in self._assignment.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coloring):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._assignment == other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._schema, frozenset(self._assignment.items()))
+        )
+
+    def __iter__(self) -> Iterator[Tuple[str, ColorSet]]:
+        for item in self._schema.items():
+            yield item, self.colors_of(item)
+
+    def with_colors(self, item: str, colors: Iterable[str]) -> "Coloring":
+        """A new coloring with ``item`` additionally colored ``colors``."""
+        updated = dict(self._assignment)
+        updated[item] = self.colors_of(item) | _normalize(colors)
+        return Coloring(self._schema, updated)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{item}:{''.join(sorted(colors))}"
+            for item, colors in self
+            if colors
+        ]
+        return f"Coloring({', '.join(parts)})"
+
+
+def full_coloring(schema: Schema) -> Coloring:
+    """The coloring assigning all three colors to every item.
+
+    It satisfies the conditions of Theorem 4.8 for any method, which is
+    why a minimal coloring always exists.
+    """
+    return Coloring(schema, {item: COLORS for item in schema.items()})
+
+
+def empty_coloring(schema: Schema) -> Coloring:
+    """The coloring assigning no colors anywhere."""
+    return Coloring(schema, {})
+
+
+def meet(first: Coloring, second: Coloring) -> Coloring:
+    """Pointwise intersection of two colorings (greatest lower bound)."""
+    if first.schema != second.schema:
+        raise ValueError("colorings over different schemas")
+    return Coloring(
+        first.schema,
+        {
+            item: first.colors_of(item) & second.colors_of(item)
+            for item in first.schema.items()
+        },
+    )
+
+
+def join(first: Coloring, second: Coloring) -> Coloring:
+    """Pointwise union of two colorings (least upper bound)."""
+    if first.schema != second.schema:
+        raise ValueError("colorings over different schemas")
+    return Coloring(
+        first.schema,
+        {
+            item: first.colors_of(item) | second.colors_of(item)
+            for item in first.schema.items()
+        },
+    )

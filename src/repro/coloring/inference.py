@@ -1,0 +1,163 @@
+"""Empirical inference of minimal colorings for black-box methods.
+
+The minimal coloring of a method (Theorem 4.8 / 4.18) is a semantic,
+undecidable property.  Given a finite family of sample
+``(instance, receiver)`` pairs, this module computes the best *empirical*
+approximation:
+
+* ``c`` / ``d`` colors from observed creations / deletions
+  (Definition 4.2) — a lower bound on the true colors;
+* the ``u`` color as the least use set consistent with the chosen axiom
+  on every sample — enumerated over the (small) lattice of admissible
+  use sets, exploiting the intersection property proven in Theorem 4.8.
+
+With representative samples (e.g. the generators in
+:mod:`repro.workloads`) the inferred coloring matches the true minimal
+coloring for the paper's example methods; the test suite checks this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.coloring.canonical import DEFLATIONARY, INFLATIONARY
+from repro.coloring.coloring import CREATES, DELETES, USES, Coloring
+from repro.coloring.use_axioms import (
+    uses_only_deflationary,
+    uses_only_inflationary,
+    valid_use_set,
+)
+from repro.core.method import MethodDiverges, MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance, item_label
+from repro.graph.schema import Schema
+
+Sample = Tuple[Instance, Receiver]
+
+
+def observed_created_items(
+    method: UpdateMethod, samples: Iterable[Sample]
+) -> FrozenSet[str]:
+    """Schema items of which the method was seen to create information."""
+    created: Set[str] = set()
+    for instance, receiver in samples:
+        try:
+            result = method.apply(instance, receiver)
+        except (MethodUndefined, MethodDiverges):
+            continue
+        for item in result.items() - instance.items():
+            created.add(item_label(item))
+    return frozenset(created)
+
+
+def observed_deleted_items(
+    method: UpdateMethod, samples: Iterable[Sample]
+) -> FrozenSet[str]:
+    """Schema items of which the method was seen to delete information."""
+    deleted: Set[str] = set()
+    for instance, receiver in samples:
+        try:
+            result = method.apply(instance, receiver)
+        except (MethodUndefined, MethodDiverges):
+            continue
+        for item in instance.items() - result.items():
+            deleted.add(item_label(item))
+    return frozenset(deleted)
+
+
+def _admissible_use_sets(
+    schema: Schema, signature_classes: Sequence[str]
+) -> List[FrozenSet[str]]:
+    """All use sets satisfying the side conditions of Definition 4.7
+    (contain the signature classes; closed under incident nodes), small
+    ones first."""
+    items = schema.items()
+    required = frozenset(signature_classes)
+    candidates: List[FrozenSet[str]] = []
+    optional = [item for item in items if item not in required]
+    for size in range(len(optional) + 1):
+        for combo in itertools.combinations(optional, size):
+            use_set = required | frozenset(combo)
+            if valid_use_set(schema, use_set, required):
+                candidates.append(use_set)
+    return candidates
+
+
+def minimal_use_set(
+    method: UpdateMethod,
+    samples: Sequence[Sample],
+    axiom: str = INFLATIONARY,
+) -> FrozenSet[str]:
+    """The least use set consistent with the axiom on all samples.
+
+    Theorem 4.8 (and 4.18) shows the consistent sets are closed under
+    intersection, so the least one is the intersection of all consistent
+    sets; we verify the intersection is itself consistent and fall back
+    to the smallest consistent set otherwise (a sampling artifact).
+    """
+    if axiom == INFLATIONARY:
+        check = uses_only_inflationary
+    elif axiom == DEFLATIONARY:
+        check = uses_only_deflationary
+    else:
+        raise ValueError(f"unknown axiom {axiom!r}")
+
+    schema = method_schema(method, samples)
+    signature_classes = tuple(method.signature)
+    consistent: List[FrozenSet[str]] = []
+    for use_set in _admissible_use_sets(schema, signature_classes):
+        if all(
+            check(method, instance, receiver, use_set)
+            for instance, receiver in samples
+        ):
+            consistent.append(use_set)
+    if not consistent:
+        raise ValueError(
+            "no admissible use set is consistent with the samples"
+        )
+    meet: FrozenSet[str] = frozenset(schema.items())
+    for use_set in consistent:
+        meet &= use_set
+    if meet in consistent:
+        return meet
+    return min(consistent, key=lambda s: (len(s), sorted(s)))
+
+
+def method_schema(
+    method: UpdateMethod, samples: Sequence[Sample]
+) -> Schema:
+    """The schema the samples are over (they must agree)."""
+    schemas = {instance.schema for instance, _ in samples}
+    if len(schemas) != 1:
+        raise ValueError("samples must share a single schema")
+    return next(iter(schemas))
+
+
+def infer_coloring(
+    method: UpdateMethod,
+    samples: Sequence[Sample],
+    axiom: str = INFLATIONARY,
+) -> Coloring:
+    """Empirically infer the minimal coloring of ``method``.
+
+    Combines observed creations/deletions with the minimal consistent
+    use set; the signature classes are always colored ``u``
+    (condition 4 of Theorem 4.8).
+    """
+    schema = method_schema(method, samples)
+    created = observed_created_items(method, samples)
+    deleted = observed_deleted_items(method, samples)
+    use_set = minimal_use_set(method, samples, axiom)
+    assignment = {}
+    for item in schema.items():
+        colors = set()
+        if item in created:
+            colors.add(CREATES)
+        if item in deleted:
+            colors.add(DELETES)
+        if item in use_set:
+            colors.add(USES)
+        if colors:
+            assignment[item] = colors
+    return Coloring(schema, assignment)

@@ -1,0 +1,196 @@
+"""Soundness criteria for colorings (Propositions 4.13 and 4.22).
+
+A coloring is *sound* (for a given axiomatization of "use") when it is the
+minimal coloring of some update method (Definition 4.12).  The paper
+characterizes soundness syntactically; both characterizations are
+implemented here as checkable predicates that also report which property
+fails and where.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.coloring.coloring import CREATES, DELETES, USES, Coloring
+
+Violation = Tuple[str, str]
+"""A pair ``(property-id, human-readable description)``."""
+
+
+def soundness_violations_inflationary(coloring: Coloring) -> List[Violation]:
+    """Violations of Proposition 4.13's five properties (empty = sound).
+
+    1. A node colored ``d`` is colored ``u``; an edge colored ``d`` is
+       colored ``u`` or has an incident node colored ``d``.
+    2. An edge colored ``c`` has both incident nodes colored ``u`` or
+       ``c``.
+    3. If a node ``B`` is colored ``d`` then, for each incident edge
+       neither colored ``d`` nor ``u``, the other endpoint is colored
+       ``u``.
+    4. At least one node is colored ``u``.
+    5. An edge colored ``u`` has both incident nodes colored ``u``.
+    """
+    schema = coloring.schema
+    violations: List[Violation] = []
+
+    for cls in sorted(schema.class_names):
+        colors = coloring.colors_of(cls)
+        if DELETES in colors and USES not in colors:
+            violations.append(
+                ("P1", f"node {cls} colored d but not u")
+            )
+
+    for edge in schema.edges:
+        colors = coloring.colors_of(edge.label)
+        src_colors = coloring.colors_of(edge.source)
+        dst_colors = coloring.colors_of(edge.target)
+        if DELETES in colors and USES not in colors:
+            if DELETES not in src_colors and DELETES not in dst_colors:
+                violations.append(
+                    (
+                        "P1",
+                        f"edge {edge.label} colored d but not u, and "
+                        f"neither endpoint is colored d",
+                    )
+                )
+        if CREATES in colors:
+            for endpoint, endpoint_colors in (
+                (edge.source, src_colors),
+                (edge.target, dst_colors),
+            ):
+                if USES not in endpoint_colors and CREATES not in endpoint_colors:
+                    violations.append(
+                        (
+                            "P2",
+                            f"edge {edge.label} colored c but endpoint "
+                            f"{endpoint} is neither u nor c",
+                        )
+                    )
+        if USES in colors:
+            for endpoint, endpoint_colors in (
+                (edge.source, src_colors),
+                (edge.target, dst_colors),
+            ):
+                if USES not in endpoint_colors:
+                    violations.append(
+                        (
+                            "P5",
+                            f"edge {edge.label} colored u but endpoint "
+                            f"{endpoint} is not",
+                        )
+                    )
+
+    for cls in sorted(schema.class_names):
+        if DELETES not in coloring.colors_of(cls):
+            continue
+        for edge in schema.edges_incident_to(cls):
+            edge_colors = coloring.colors_of(edge.label)
+            if DELETES in edge_colors or USES in edge_colors:
+                continue
+            other = edge.target if edge.source == cls else edge.source
+            if USES not in coloring.colors_of(other):
+                violations.append(
+                    (
+                        "P3",
+                        f"node {cls} colored d, incident edge "
+                        f"{edge.label} neither d nor u, but {other} "
+                        f"is not colored u",
+                    )
+                )
+
+    if not any(
+        USES in coloring.colors_of(cls) for cls in schema.class_names
+    ):
+        violations.append(("P4", "no node is colored u"))
+
+    return violations
+
+
+def is_sound_inflationary(coloring: Coloring) -> bool:
+    """Soundness under the inflationary axiom (Proposition 4.13)."""
+    return not soundness_violations_inflationary(coloring)
+
+
+def soundness_violations_deflationary(coloring: Coloring) -> List[Violation]:
+    """Violations of Proposition 4.22's four properties (empty = sound).
+
+    1. A node colored ``c`` is colored ``u``; an edge colored ``c`` is
+       colored ``u`` or has an incident node colored ``c``
+       (Lemma 4.20 — the dual of Lemma 4.11).
+    2. If a node ``B`` is colored ``d`` then, for each incident edge
+       neither colored ``d`` nor ``u``, the other endpoint is colored
+       ``u``.  The paper notes this property "is identical in both
+       propositions", i.e. it coincides with property 3 of
+       Proposition 4.13: deleting a node silently deletes its incident
+       edges, so either the edge may be deleted (``d``), or its absence
+       is tested (``u``), or the absence of possible partners is tested
+       (other endpoint ``u``).
+    3. At least one node is colored ``u``.
+    4. An edge colored ``u`` has both incident nodes colored ``u``.
+    """
+    schema = coloring.schema
+    violations: List[Violation] = []
+
+    for cls in sorted(schema.class_names):
+        colors = coloring.colors_of(cls)
+        if CREATES in colors and USES not in colors:
+            violations.append(
+                ("Q1", f"node {cls} colored c but not u")
+            )
+
+    for edge in schema.edges:
+        colors = coloring.colors_of(edge.label)
+        src_colors = coloring.colors_of(edge.source)
+        dst_colors = coloring.colors_of(edge.target)
+        if CREATES in colors and USES not in colors:
+            if CREATES not in src_colors and CREATES not in dst_colors:
+                violations.append(
+                    (
+                        "Q1",
+                        f"edge {edge.label} colored c but not u, and "
+                        f"neither endpoint is colored c",
+                    )
+                )
+        if USES in colors:
+            for endpoint, endpoint_colors in (
+                (edge.source, src_colors),
+                (edge.target, dst_colors),
+            ):
+                if USES not in endpoint_colors:
+                    violations.append(
+                        (
+                            "Q4",
+                            f"edge {edge.label} colored u but endpoint "
+                            f"{endpoint} is not",
+                        )
+                    )
+
+    for cls in sorted(schema.class_names):
+        if DELETES not in coloring.colors_of(cls):
+            continue
+        for edge in schema.edges_incident_to(cls):
+            edge_colors = coloring.colors_of(edge.label)
+            if DELETES in edge_colors or USES in edge_colors:
+                continue
+            other = edge.target if edge.source == cls else edge.source
+            if USES not in coloring.colors_of(other):
+                violations.append(
+                    (
+                        "Q2",
+                        f"node {cls} colored d, incident edge "
+                        f"{edge.label} neither d nor u, and {other} "
+                        f"is not colored u",
+                    )
+                )
+
+    if not any(
+        USES in coloring.colors_of(cls) for cls in schema.class_names
+    ):
+        violations.append(("Q3", "no node is colored u"))
+
+    return violations
+
+
+def is_sound_deflationary(coloring: Coloring) -> bool:
+    """Soundness under the deflationary axiom (Proposition 4.22)."""
+    return not soundness_violations_deflationary(coloring)

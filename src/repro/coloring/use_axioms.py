@@ -1,0 +1,150 @@
+"""The two axiomatizations of "using information" (Definitions 4.7 / 4.16).
+
+Both definitions quantify over *all* instances and receivers, so they are
+not decidable for black-box methods; this module provides the
+per-(instance, receiver) checks from which sampling-based verification and
+the inference of minimal colorings (:mod:`repro.coloring.inference`) are
+built.
+
+Inflationary axiom (Definition 4.7): ``M`` uses only information of type
+``X`` when for any instance ``I`` and receiver ``t``::
+
+    M(I, t) = G(M(I|X, t) | (I - I|X))
+
+with ``X`` closed under incident nodes and containing the signature
+classes (so that ``I|X`` is an instance and ``t`` lies in it).
+
+Deflationary axiom (Definition 4.16): for any item ``x`` of ``I`` whose
+label is not in ``X``::
+
+    M(G(I - {x}), t) = G(M(I, t) - {x})
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.method import MethodDiverges, MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance, Item, item_label
+from repro.graph.partial import PartialInstance, g_operator, restrict
+from repro.graph.schema import Schema
+
+
+def valid_use_set(
+    schema: Schema,
+    items: Iterable[str],
+    signature_classes: Iterable[str] = (),
+) -> bool:
+    """Side conditions on ``X`` in Definition 4.7.
+
+    ``X`` must contain the incident nodes of each of its edges (so
+    ``I|X`` is an instance) and each class name in the method's
+    signature (so the receiver lies in ``I|X``).
+    """
+    allowed = frozenset(items)
+    for cls in signature_classes:
+        if cls not in allowed:
+            return False
+    for label in allowed:
+        if label in schema.property_names:
+            edge = schema.edge(label)
+            if edge.source not in allowed or edge.target not in allowed:
+                return False
+    return True
+
+
+def _apply_or_none(
+    method: UpdateMethod, instance: Instance, receiver: Receiver
+) -> Optional[Instance]:
+    try:
+        return method.apply(instance, receiver)
+    except (MethodUndefined, MethodDiverges):
+        return None
+
+
+def uses_only_inflationary(
+    method: UpdateMethod,
+    instance: Instance,
+    receiver: Receiver,
+    use_items: Iterable[str],
+) -> bool:
+    """Check Definition 4.7's equation on one ``(I, t)`` pair.
+
+    ``M(I, t) = G(M(I|X, t) | (I - I|X))``.  When both sides are
+    undefined (the method diverges on both inputs) the pair counts as
+    satisfying the axiom, mirroring the treatment of non-termination in
+    the proof of Proposition 4.13.
+    """
+    use_set = frozenset(use_items)
+    if not valid_use_set(instance.schema, use_set, method.signature):
+        raise ValueError(
+            "use set must contain signature classes and be closed "
+            "under incident nodes"
+        )
+    restricted = restrict(instance, use_set).to_instance()
+    left = _apply_or_none(method, instance, receiver)
+    inner = _apply_or_none(method, restricted, receiver)
+    if left is None or inner is None:
+        return left is None and inner is None
+    rest = PartialInstance.from_instance(instance) - restrict(
+        instance, use_set
+    )
+    right = g_operator(PartialInstance.from_instance(inner) | rest)
+    return left == right
+
+
+def uses_only_deflationary(
+    method: UpdateMethod,
+    instance: Instance,
+    receiver: Receiver,
+    use_items: Iterable[str],
+    items_to_probe: Optional[Iterable[Item]] = None,
+) -> bool:
+    """Check Definition 4.16's equation on one ``(I, t)`` pair.
+
+    For every item ``x`` in ``I`` whose label is outside ``X`` (and, to
+    keep ``t`` a receiver, which is not a component of ``t``), verify
+    ``M(G(I - {x}), t) = G(M(I, t) - {x})``.
+
+    ``items_to_probe`` restricts which ``x`` are tried (all label-outside
+    items by default).
+    """
+    use_set: FrozenSet[str] = frozenset(use_items)
+    left_full = _apply_or_none(method, instance, receiver)
+    probes = (
+        list(items_to_probe)
+        if items_to_probe is not None
+        else [
+            item
+            for item in instance.items()
+            if item_label(item) not in use_set
+        ]
+    )
+    receiver_objects = set(receiver.objects)
+    for probe in probes:
+        if item_label(probe) in use_set:
+            continue
+        if probe in receiver_objects:
+            # Removing a receiver component makes t not a receiver over
+            # the shrunken instance; Definition 4.16 quantifies over
+            # receivers over I, and we skip probes that would make the
+            # left-hand side trivially undefined while the right-hand
+            # side is defined.
+            continue
+        shrunk = g_operator(
+            PartialInstance.from_instance(instance)
+            - PartialInstance(instance.schema, [probe])
+        )
+        left = _apply_or_none(method, shrunk, receiver)
+        if left_full is None:
+            if left is not None:
+                return False
+            continue
+        right = g_operator(
+            PartialInstance.from_instance(left_full)
+            - PartialInstance(instance.schema, [probe])
+        )
+        if left is None or left != right:
+            return False
+    return True

@@ -1,0 +1,202 @@
+"""Order-dependence witnesses (proof of Theorems 4.14 / 4.23).
+
+For every sound but *non-simple* coloring, the only-if direction of
+Theorem 4.14 exhibits an update method with that minimal coloring which is
+not order independent, together with a concrete instance and receiver set
+demonstrating the order dependence.  Soundness reduces the possibilities
+to six cases: a node or an edge colored ``{u,d}``, ``{u,c,d}``, or
+``{u,c}``.
+
+This module builds those six witness methods executably.  Each witness
+comes bundled with the demonstrating instance and a pair of receivers
+``(t1, t2)`` with ``M(I, t1 t2) != M(I, t2 t1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.coloring.coloring import CREATES, DELETES, USES, Coloring
+from repro.core.method import FunctionalUpdateMethod
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A non-order-independent method plus a demonstrating input."""
+
+    method: FunctionalUpdateMethod
+    instance: Instance
+    first: Receiver
+    second: Receiver
+    case: int
+    """Which of the proof's six cases produced this witness (1-6)."""
+
+
+def _fresh(cls: str, index: int) -> Obj:
+    return Obj(cls, f"witness-new-{index}")
+
+
+def _node_witness(schema: Schema, cls: str, case: int) -> Witness:
+    """Cases 1-3: a node ``R`` colored {u,d}, {u,c,d}, or {u,c}."""
+    signature = MethodSignature([cls])
+    n = Obj(cls, "witness-n")
+    m = Obj(cls, "witness-m")
+    fixed = n  # "some fixed object" of case 3
+
+    def case_1(instance: Instance, receiver: Receiver) -> Instance:
+        # If there are exactly two objects of type R, delete the
+        # receiving object.
+        if len(instance.objects_of_class(cls)) == 2:
+            return instance.without_nodes([receiver.receiving_object])
+        return instance
+
+    def case_2(instance: Instance, receiver: Receiver) -> Instance:
+        # As case 1, but if the test fails add two new objects.
+        if len(instance.objects_of_class(cls)) == 2:
+            return instance.without_nodes([receiver.receiving_object])
+        return instance.with_nodes([_fresh(cls, 1), _fresh(cls, 2)])
+
+    def case_3(instance: Instance, receiver: Receiver) -> Instance:
+        # If there are not exactly two objects of type R, do nothing.
+        # Otherwise add two new objects when the receiving object equals
+        # the fixed object, else add only one.
+        if len(instance.objects_of_class(cls)) != 2:
+            return instance
+        if receiver.receiving_object == fixed:
+            return instance.with_nodes([_fresh(cls, 1), _fresh(cls, 2)])
+        return instance.with_nodes([_fresh(cls, 1)])
+
+    behaviors = {1: case_1, 2: case_2, 3: case_3}
+    method = FunctionalUpdateMethod(
+        signature, behaviors[case], f"witness-case-{case}"
+    )
+    instance = Instance(schema, [n, m])
+    return Witness(method, instance, Receiver([n]), Receiver([m]), case)
+
+
+def _edge_witness(schema: Schema, label: str, case: int) -> Witness:
+    """Cases 4-6: an edge ``(R, a, A)`` colored {u,d}, {u,c,d}, or {u,c}."""
+    schema_edge = schema.edge(label)
+    source_cls, target_cls = schema_edge.source, schema_edge.target
+    signature = MethodSignature([source_cls, target_cls])
+
+    def delete_other_edges(instance: Instance, keep: Edge) -> Instance:
+        doomed = instance.edges_labeled(label) - {keep}
+        return instance.without_edges(doomed)
+
+    def case_4(instance: Instance, receiver: Receiver) -> Instance:
+        # If there is an a-edge between receiving and argument object,
+        # delete all other a-edges.
+        link = Edge(receiver[0], label, receiver[1])
+        if instance.has_edge(link):
+            return delete_other_edges(instance, link)
+        return instance
+
+    def case_5(instance: Instance, receiver: Receiver) -> Instance:
+        # As case 4, but if the test fails add the a-edge and delete all
+        # other a-edges.
+        link = Edge(receiver[0], label, receiver[1])
+        if instance.has_edge(link):
+            return delete_other_edges(instance, link)
+        return delete_other_edges(instance.with_edges([link]), link)
+
+    def case_6(instance: Instance, receiver: Receiver) -> Instance:
+        # If there are no a-edges, add one between receiving and
+        # argument object.
+        if not instance.edges_labeled(label):
+            return instance.with_edges(
+                [Edge(receiver[0], label, receiver[1])]
+            )
+        return instance
+
+    behaviors = {4: case_4, 5: case_5, 6: case_6}
+    method = FunctionalUpdateMethod(
+        signature, behaviors[case], f"witness-case-{case}"
+    )
+
+    n = Obj(source_cls, "witness-n")
+    n_prime = Obj(source_cls, "witness-n2")
+    m = Obj(target_cls, "witness-m")
+    if case in (4, 5):
+        # An instance of the form R -> A <- R.
+        instance = Instance(
+            schema,
+            [n, n_prime, m],
+            [Edge(n, label, m), Edge(n_prime, label, m)],
+        )
+    else:
+        # Two possible sources, one target, no a-edges yet.
+        instance = Instance(schema, [n, n_prime, m])
+    return Witness(
+        method,
+        instance,
+        Receiver([n, m]),
+        Receiver([n_prime, m]),
+        case,
+    )
+
+
+def _case_for_colors(colors: frozenset, is_node: bool) -> Optional[int]:
+    base = 0 if is_node else 3
+    if USES in colors and DELETES in colors and CREATES in colors:
+        return base + 2
+    if USES in colors and DELETES in colors:
+        return base + 1
+    if USES in colors and CREATES in colors:
+        return base + 3
+    return None
+
+
+def order_dependence_witness(
+    coloring: Coloring, item: Optional[str] = None
+) -> Witness:
+    """Construct an order-dependence witness for a non-simple coloring.
+
+    Picks a witnessed item automatically unless ``item`` is given.  For a
+    sound non-simple coloring one of the six cases always applies: a
+    multi-colored item lacking ``u`` forces, through the soundness
+    properties, a ``{u,d}``-colored endpoint which is then witnessed
+    instead.
+
+    Raises ``ValueError`` for simple colorings (Theorems 4.14 / 4.23: all
+    their methods are order independent — no witness exists).
+    """
+    schema = coloring.schema
+    candidates = (
+        [item]
+        if item is not None
+        else list(schema.items())
+    )
+
+    # Direct matches first.
+    for candidate in candidates:
+        colors = coloring.colors_of(candidate)
+        is_node = schema.is_node_item(candidate)
+        case = _case_for_colors(colors, is_node)
+        if case is None:
+            continue
+        if is_node:
+            return _node_witness(schema, candidate, case)
+        return _edge_witness(schema, candidate, case)
+
+    # An edge colored {c,d} without u: soundness (property 1) forces an
+    # endpoint colored d, hence (node case of property 1) colored {u,d}.
+    for candidate in candidates:
+        colors = coloring.colors_of(candidate)
+        if len(colors) < 2 or schema.is_node_item(candidate):
+            continue
+        edge = schema.edge(candidate)
+        for endpoint in edge.incident_nodes():
+            endpoint_colors = coloring.colors_of(endpoint)
+            case = _case_for_colors(endpoint_colors, is_node=True)
+            if case is not None:
+                return _node_witness(schema, endpoint, case)
+
+    raise ValueError(
+        "no witness: the coloring is simple (or the requested item is)"
+    )

@@ -1,0 +1,50 @@
+"""Update methods and set-oriented sequential application (Sections 2-3).
+
+The paper's primary objects of study: update methods (computable functions
+from an instance and a receiver to a new instance, Definition 2.6), their
+sequential application to a sequence or set of receivers (Section 3), and
+the three notions of order independence (Definition 3.1):
+
+* absolute order independence,
+* key-order independence (receiver sets whose first column is a key), and
+* query-order independence (receiver sets produced by a fixed query).
+"""
+
+from repro.core.signature import MethodSignature
+from repro.core.receiver import Receiver, is_key_set
+from repro.core.method import (
+    FunctionalUpdateMethod,
+    MethodDiverges,
+    MethodUndefined,
+    UpdateMethod,
+)
+from repro.core.sequential import (
+    apply_sequence,
+    sequential_application,
+    sequential_results,
+)
+from repro.core.independence import (
+    is_order_independent_on,
+    is_order_independent_on_pairs,
+    order_independent_on_samples,
+    key_order_independent_on_samples,
+    query_order_independent_on_samples,
+)
+
+__all__ = [
+    "MethodSignature",
+    "Receiver",
+    "is_key_set",
+    "UpdateMethod",
+    "FunctionalUpdateMethod",
+    "MethodDiverges",
+    "MethodUndefined",
+    "apply_sequence",
+    "sequential_application",
+    "sequential_results",
+    "is_order_independent_on",
+    "is_order_independent_on_pairs",
+    "order_independent_on_samples",
+    "key_order_independent_on_samples",
+    "query_order_independent_on_samples",
+]

@@ -1,0 +1,78 @@
+"""The paper's running example methods, at the graph level (Example 2.7).
+
+* ``add_bar`` — adds the argument bar to those frequented by the receiving
+  drinker; (absolutely) order independent.
+* ``favorite_bar`` — removes all ``frequents`` edges of the receiving
+  drinker and adds a single one to the argument bar; key-order independent
+  but not order independent (Example 3.2).
+* ``add_serving_bars`` — Example 4.15: adds to the bars frequented by the
+  receiving drinker all those serving a beer he likes; inflationary and
+  order independent.
+* ``delete_bar`` — Example 5.11: deletes the argument bar from those
+  frequented by the receiving drinker.
+
+Algebraic implementations of the same methods live in
+:mod:`repro.algebraic.examples` (Example 5.5).
+"""
+
+from __future__ import annotations
+
+from repro.core.method import FunctionalUpdateMethod
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance
+
+SIG_DRINKER_BAR = MethodSignature(["Drinker", "Bar"])
+SIG_DRINKER = MethodSignature(["Drinker"])
+
+
+def _add_bar(instance: Instance, receiver: Receiver) -> Instance:
+    drinker, bar = receiver
+    return instance.with_edges([Edge(drinker, "frequents", bar)])
+
+
+def _favorite_bar(instance: Instance, receiver: Receiver) -> Instance:
+    drinker, bar = receiver
+    return instance.replace_property(drinker, "frequents", [bar])
+
+
+def _add_serving_bars(instance: Instance, receiver: Receiver) -> Instance:
+    (drinker,) = receiver
+    liked = instance.property_values(drinker, "likes")
+    serving = {
+        bar
+        for bar in instance.objects_of_class("Bar")
+        if instance.property_values(bar, "serves") & liked
+    }
+    return instance.with_edges(
+        Edge(drinker, "frequents", bar) for bar in serving
+    )
+
+
+def _delete_bar(instance: Instance, receiver: Receiver) -> Instance:
+    drinker, bar = receiver
+    return instance.without_edges([Edge(drinker, "frequents", bar)])
+
+
+def add_bar() -> FunctionalUpdateMethod:
+    """Example 2.7's ``add_bar`` method of type ``[Drinker, Bar]``."""
+    return FunctionalUpdateMethod(SIG_DRINKER_BAR, _add_bar, "add_bar")
+
+
+def favorite_bar() -> FunctionalUpdateMethod:
+    """Example 2.7's ``favorite_bar`` method of type ``[Drinker, Bar]``."""
+    return FunctionalUpdateMethod(
+        SIG_DRINKER_BAR, _favorite_bar, "favorite_bar"
+    )
+
+
+def add_serving_bars() -> FunctionalUpdateMethod:
+    """Example 4.15's method of type ``[Drinker]``."""
+    return FunctionalUpdateMethod(
+        SIG_DRINKER, _add_serving_bars, "add_serving_bars"
+    )
+
+
+def delete_bar() -> FunctionalUpdateMethod:
+    """Example 5.11's ``delete_bar`` method of type ``[Drinker, Bar]``."""
+    return FunctionalUpdateMethod(SIG_DRINKER_BAR, _delete_bar, "delete_bar")

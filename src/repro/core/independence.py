@@ -1,0 +1,184 @@
+"""Testing order independence (Definition 3.1 and Lemma 3.3).
+
+The three *global* notions — absolute, key-, and query-order independence
+— quantify over all instances and are undecidable for general computable
+methods (Rice's theorem, Section 3).  This module provides:
+
+* exact tests on a *given* pair ``(I, T)``:
+  :func:`is_order_independent_on` (all enumerations) and
+  :func:`is_order_independent_on_pairs` (two-element subsets, per
+  Lemma 3.3 — valid for absolute and key-order independence, not for
+  query-order independence, cf. Proposition 5.14);
+* sampling-based refutation procedures over generated instances, which can
+  prove order *dependence* but only give evidence of independence.
+
+For the decidable special case of positive algebraic methods, use
+:mod:`repro.algebraic.decision` instead (Theorem 5.12).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.method import MethodDiverges, MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver, is_key_set
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Instance
+
+
+def _result_or_none(
+    method: UpdateMethod,
+    instance: Instance,
+    order: Sequence[Receiver],
+) -> Optional[Instance]:
+    try:
+        return apply_sequence(method, instance, order)
+    except (MethodUndefined, MethodDiverges):
+        return None
+
+
+def is_order_independent_on(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    max_orders: Optional[int] = None,
+) -> bool:
+    """Whether ``M`` is order independent on ``(I, T)`` (Definition 3.1).
+
+    Tries every enumeration of ``T`` (capped at ``max_orders`` if given)
+    and compares results; per footnote 2, an application undefined for one
+    order must be undefined for all orders to count as order independent.
+    """
+    receiver_set = sorted(set(receivers))
+    reference: Optional[Instance] = None
+    have_reference = False
+    for count, perm in enumerate(itertools.permutations(receiver_set)):
+        if max_orders is not None and count >= max_orders:
+            break
+        result = _result_or_none(method, instance, perm)
+        if not have_reference:
+            reference = result
+            have_reference = True
+        elif result != reference:
+            return False
+    return True
+
+
+def is_order_independent_on_pairs(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    require_distinct_receiving: bool = False,
+) -> bool:
+    """Pairwise order-independence test following Lemma 3.3.
+
+    Checks ``M(I, t t') = M(I, t' t)`` for all two-element subsets
+    ``{t, t'}`` of the receiver set.  With ``require_distinct_receiving``,
+    only pairs with different receiving objects are checked (the key-order
+    variant of the lemma).
+
+    Note Lemma 3.3 equates the *global* notions with the pairwise ones
+    quantified over all instances; on a single ``(I, T)`` the pairwise
+    test is necessary but not sufficient for order independence of the
+    whole set — it is exactly the transposition check the lemma's proof
+    composes.
+    """
+    receiver_list = sorted(set(receivers))
+    for t1, t2 in itertools.combinations(receiver_list, 2):
+        if (
+            require_distinct_receiving
+            and t1.receiving_object == t2.receiving_object
+        ):
+            continue
+        first = _result_or_none(method, instance, (t1, t2))
+        second = _result_or_none(method, instance, (t2, t1))
+        if first != second:
+            return False
+    return True
+
+
+InstanceSampler = Callable[[], Instance]
+ReceiverSampler = Callable[[Instance], Sequence[Receiver]]
+
+
+def _counterexample_search(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Sequence[Receiver]]],
+    pair_filter: Callable[[Receiver, Receiver], bool],
+) -> Optional[Tuple[Instance, Receiver, Receiver]]:
+    for instance, receivers in samples:
+        distinct = sorted(set(receivers))
+        for t1, t2 in itertools.combinations(distinct, 2):
+            if not pair_filter(t1, t2):
+                continue
+            first = _result_or_none(method, instance, (t1, t2))
+            second = _result_or_none(method, instance, (t2, t1))
+            if first != second:
+                return (instance, t1, t2)
+    return None
+
+
+def order_independent_on_samples(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Sequence[Receiver]]],
+) -> Optional[Tuple[Instance, Receiver, Receiver]]:
+    """Search for an order-dependence witness over sampled pairs.
+
+    Returns a counterexample ``(I, t, t')`` with
+    ``M(I, t t') != M(I, t' t)``, or ``None`` when no sample refutes order
+    independence.  By Lemma 3.3 a two-receiver counterexample exists
+    whenever the method is not (absolutely) order independent.
+    """
+    return _counterexample_search(method, samples, lambda t1, t2: True)
+
+
+def key_order_independent_on_samples(
+    method: UpdateMethod,
+    samples: Iterable[Tuple[Instance, Sequence[Receiver]]],
+) -> Optional[Tuple[Instance, Receiver, Receiver]]:
+    """Like :func:`order_independent_on_samples` for key-order independence.
+
+    Only pairs with distinct receiving objects are considered (the key-set
+    version of Lemma 3.3).
+    """
+    return _counterexample_search(
+        method,
+        samples,
+        lambda t1, t2: t1.receiving_object != t2.receiving_object,
+    )
+
+
+def query_order_independent_on_samples(
+    method: UpdateMethod,
+    query: Callable[[Instance], Iterable[Receiver]],
+    instances: Iterable[Instance],
+    max_orders: Optional[int] = 24,
+) -> Optional[Tuple[Instance, Set[Receiver]]]:
+    """Search for a query-order-dependence witness.
+
+    For each sampled instance ``I``, computes ``T = Q(I)`` and compares
+    sequential applications over enumerations of the *whole* set ``T``
+    (Lemma 3.3 fails for query-order independence — Proposition 5.14 —
+    so pairs do not suffice).  ``max_orders`` caps the permutations tried
+    per instance.
+    """
+    for instance in instances:
+        receivers = set(query(instance))
+        if len(receivers) < 2:
+            continue
+        if not is_order_independent_on(
+            method, instance, receivers, max_orders=max_orders
+        ):
+            return (instance, receivers)
+    return None
+
+
+__all__ = [
+    "is_order_independent_on",
+    "is_order_independent_on_pairs",
+    "order_independent_on_samples",
+    "key_order_independent_on_samples",
+    "query_order_independent_on_samples",
+    "is_key_set",
+]

@@ -1,0 +1,123 @@
+"""Update methods (Definition 2.6).
+
+An update method of type ``sigma`` is a computable function which, given an
+instance ``I`` and a receiver ``t`` over ``I`` of type ``sigma``, yields a
+new instance ``M(I, t)``.
+
+The paper allows methods to be *partial*: a method may diverge (the
+canonical methods constructed in the proof of Proposition 4.13 "go into an
+infinite loop" on certain inputs).  We model divergence as the
+:class:`MethodDiverges` exception — semantically the method is undefined
+there, but the interpreter does not hang.
+
+A method may also be *inapplicable* (e.g. the receiver is not over the
+instance); that is :class:`MethodUndefined`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Instance
+
+
+class MethodDiverges(Exception):
+    """The method does not terminate on this input (modeled divergence)."""
+
+
+class MethodUndefined(Exception):
+    """The method is not applicable to this (instance, receiver) pair."""
+
+
+class UpdateMethod(abc.ABC):
+    """Abstract base class for update methods."""
+
+    def __init__(self, signature: MethodSignature, name: str = "") -> None:
+        self._signature = signature
+        self._name = name or type(self).__name__
+
+    @property
+    def signature(self) -> MethodSignature:
+        return self._signature
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def check_receiver(self, instance: Instance, receiver: Receiver) -> None:
+        """Validate the receiver against signature and instance.
+
+        Raises :class:`MethodUndefined` when the receiver is ill-typed or
+        not over the instance (footnote to Section 3: ``M(I, s)`` may fail
+        if a later receiver is not a receiver over the intermediate
+        instance).
+        """
+        if not receiver.matches(self._signature):
+            raise MethodUndefined(
+                f"receiver {receiver} does not match signature "
+                f"{list(self._signature)}"
+            )
+        if not receiver.is_over(instance):
+            raise MethodUndefined(
+                f"receiver {receiver} is not over the instance"
+            )
+
+    def apply(self, instance: Instance, receiver: Receiver) -> Instance:
+        """Compute ``M(I, t)``; validates the receiver first."""
+        self.check_receiver(instance, receiver)
+        return self._apply(instance, receiver)
+
+    def __call__(self, instance: Instance, receiver: Receiver) -> Instance:
+        return self.apply(instance, receiver)
+
+    @abc.abstractmethod
+    def _apply(self, instance: Instance, receiver: Receiver) -> Instance:
+        """Subclass hook: the actual update, receiver already validated."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._name!r}>"
+
+
+class FunctionalUpdateMethod(UpdateMethod):
+    """Wrap an arbitrary Python function as an update method.
+
+    The most general form of Definition 2.6: any computable function of
+    ``(instance, receiver)``.  Used throughout Section 4, where update
+    behavior is analyzed without assuming any particular implementation
+    language.
+    """
+
+    def __init__(
+        self,
+        signature: MethodSignature,
+        fn: Callable[[Instance, Receiver], Instance],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(signature, name or getattr(fn, "__name__", "fn"))
+        self._fn = fn
+
+    def _apply(self, instance: Instance, receiver: Receiver) -> Instance:
+        return self._fn(instance, receiver)
+
+
+def update_method(
+    signature: MethodSignature, name: Optional[str] = None
+) -> Callable[[Callable[[Instance, Receiver], Instance]], FunctionalUpdateMethod]:
+    """Decorator sugar for defining functional update methods.
+
+    >>> from repro.graph.schema import drinker_bar_beer_schema
+    >>> sig = MethodSignature(["Drinker", "Bar"])
+    >>> @update_method(sig)
+    ... def add_bar(instance, receiver):
+    ...     drinker, bar = receiver
+    ...     from repro.graph.instance import Edge
+    ...     return instance.with_edges([Edge(drinker, "frequents", bar)])
+    """
+
+    def wrap(fn: Callable[[Instance, Receiver], Instance]) -> FunctionalUpdateMethod:
+        return FunctionalUpdateMethod(signature, fn, name)
+
+    return wrap

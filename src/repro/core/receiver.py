@@ -1,0 +1,115 @@
+"""Receivers (Definition 2.5) and key sets of receivers (Section 3).
+
+A receiver of type ``[C0, ..., Ck]`` over an instance ``I`` is a tuple
+``[o0, ..., ok]`` of objects in ``I`` of the corresponding types.  The
+first object is the *receiving object*; the rest are the *arguments*.
+
+A set ``T`` of receivers is a *key set* if, viewing ``T`` as a relation,
+the first column (the receiving objects) is a key for ``T``: no receiving
+object occurs twice with different arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Instance, Obj
+
+
+class Receiver:
+    """A tuple ``[o0, ..., ok]`` of objects."""
+
+    __slots__ = ("_objects",)
+
+    def __init__(self, objects: Sequence[Obj]) -> None:
+        objs = tuple(objects)
+        if not objs:
+            raise ValueError("a receiver must be non-empty")
+        if not all(isinstance(o, Obj) for o in objs):
+            raise TypeError("receiver entries must be objects")
+        self._objects: Tuple[Obj, ...] = objs
+
+    @property
+    def receiving_object(self) -> Obj:
+        return self._objects[0]
+
+    @property
+    def arguments(self) -> Tuple[Obj, ...]:
+        return self._objects[1:]
+
+    @property
+    def objects(self) -> Tuple[Obj, ...]:
+        return self._objects
+
+    def matches(self, signature: MethodSignature) -> bool:
+        """Type compatibility with a signature (same length, same classes)."""
+        if len(self._objects) != len(signature):
+            return False
+        return all(
+            obj.cls == cls for obj, cls in zip(self._objects, signature)
+        )
+
+    def is_over(self, instance: Instance) -> bool:
+        """Whether all component objects are present in ``instance``."""
+        return all(instance.has_node(o) for o in self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __getitem__(self, index: int) -> Obj:
+        return self._objects[index]
+
+    def __iter__(self) -> Iterator[Obj]:
+        return iter(self._objects)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Receiver):
+            return NotImplemented
+        return self._objects == other._objects
+
+    def __lt__(self, other: "Receiver") -> bool:
+        return self._objects < other._objects
+
+    def __hash__(self) -> int:
+        return hash(self._objects)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(o) for o in self._objects)
+        return f"[{inner}]"
+
+
+def make_receiver(*objects: Obj) -> Receiver:
+    """Convenience constructor: ``make_receiver(o0, o1, ...)``."""
+    return Receiver(objects)
+
+
+def is_key_set(receivers: Iterable[Receiver]) -> bool:
+    """Whether the first column is a key for the receiver set (Section 3)."""
+    seen: Dict[Obj, Tuple[Obj, ...]] = {}
+    for receiver in receivers:
+        head = receiver.receiving_object
+        args = receiver.arguments
+        if head in seen and seen[head] != args:
+            return False
+        seen[head] = args
+    return True
+
+
+def receivers_over(
+    instance: Instance, signature: MethodSignature
+) -> Tuple[Receiver, ...]:
+    """All receivers of type ``signature`` over ``instance``.
+
+    The Cartesian product of the classes named in the signature, in a
+    deterministic order.  Useful for exhaustive testing on small
+    instances.
+    """
+    import itertools
+
+    pools = [
+        sorted(instance.objects_of_class(cls)) for cls in signature
+    ]
+    return tuple(
+        Receiver(combo) for combo in itertools.product(*pools)
+    )

@@ -1,0 +1,115 @@
+"""Sequential application of an update method (Section 3).
+
+``M(I, s)`` for a sequence ``s = t1, ..., tn`` of distinct receivers is
+``I`` when ``n = 0`` and ``M(M(I, t1), t2, ..., tn)`` otherwise, provided
+the value is well-defined (a later ``ti`` may fail to be a receiver over
+the intermediate instance, making the whole application undefined).
+
+``M_seq(I, T)`` for a *set* ``T`` is only defined when ``M`` is order
+independent on ``(I, T)`` (Definition 3.1); then it is ``M(I, s)`` for an
+arbitrary enumeration ``s`` of ``T``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.method import MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance
+
+
+def apply_sequence(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Sequence[Receiver],
+) -> Instance:
+    """``M(I, t1 ... tn)``: fold the method over the sequence.
+
+    Raises :class:`MethodUndefined` (or :class:`MethodDiverges`) when the
+    application is undefined at some step.
+    """
+    if len(set(receivers)) != len(receivers):
+        raise ValueError("sequential application requires distinct receivers")
+    current = instance
+    for receiver in receivers:
+        current = method.apply(current, receiver)
+    return current
+
+
+def sequential_results(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    max_orders: Optional[int] = None,
+) -> Dict[Tuple[Receiver, ...], Optional[Instance]]:
+    """Evaluate ``M(I, s)`` for enumerations ``s`` of the receiver set.
+
+    Returns a mapping from each tried enumeration to its result
+    (``None`` marks an undefined application).  ``max_orders`` caps the
+    number of permutations tried (all of them by default) — all ``n!``
+    orders of a large set are intractable, so callers usually combine this
+    with the pairwise test of Lemma 3.3.
+    """
+    receiver_set: Set[Receiver] = set(receivers)
+    ordered = sorted(receiver_set)
+    results: Dict[Tuple[Receiver, ...], Optional[Instance]] = {}
+    for count, perm in enumerate(itertools.permutations(ordered)):
+        if max_orders is not None and count >= max_orders:
+            break
+        try:
+            results[perm] = apply_sequence(method, instance, perm)
+        except MethodUndefined:
+            results[perm] = None
+    return results
+
+
+def sequential_application(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    check_order_independence: bool = True,
+) -> Instance:
+    """``M_seq(I, T)`` (Definition 3.1).
+
+    When ``check_order_independence`` is true (the default), verifies that
+    every enumeration of ``T`` yields the same result and raises
+    :class:`OrderDependenceError` otherwise; with the flag off, applies an
+    arbitrary (sorted) enumeration — the caller asserts order
+    independence, e.g. via Theorem 5.12's decision procedure.
+    """
+    receiver_set = set(receivers)
+    if not check_order_independence:
+        return apply_sequence(method, instance, sorted(receiver_set))
+    results = sequential_results(method, instance, receiver_set)
+    distinct = {
+        result for result in results.values() if result is not None
+    }
+    if any(result is None for result in results.values()):
+        if all(result is None for result in results.values()):
+            raise MethodUndefined(
+                "sequential application undefined for every order"
+            )
+        raise OrderDependenceError(method, instance, receiver_set)
+    if len(distinct) > 1:
+        raise OrderDependenceError(method, instance, receiver_set)
+    return distinct.pop() if distinct else instance
+
+
+class OrderDependenceError(Exception):
+    """Sequential application depends on the enumeration order."""
+
+    def __init__(
+        self,
+        method: UpdateMethod,
+        instance: Instance,
+        receivers: Set[Receiver],
+    ) -> None:
+        super().__init__(
+            f"method {method.name!r} is order dependent on this "
+            f"({len(receivers)}-receiver) set"
+        )
+        self.method = method
+        self.instance = instance
+        self.receivers = receivers

@@ -1,0 +1,69 @@
+"""Method signatures (Definition 2.4).
+
+A signature over a schema ``S`` is a non-empty tuple of class names of
+``S``.  The first element is the *receiving class*; the rest are the
+*argument classes*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.graph.schema import Schema, SchemaError
+
+
+class MethodSignature:
+    """A non-empty tuple of class names ``[C0, ..., Ck]``."""
+
+    __slots__ = ("_classes",)
+
+    def __init__(self, class_names: Sequence[str]) -> None:
+        classes = tuple(class_names)
+        if not classes:
+            raise ValueError("a method signature must be non-empty")
+        if not all(isinstance(c, str) and c for c in classes):
+            raise ValueError("signature entries must be class names")
+        self._classes: Tuple[str, ...] = classes
+
+    def validate(self, schema: Schema) -> None:
+        """Check that every entry is a class name of ``schema``."""
+        for cls in self._classes:
+            if not schema.has_class(cls):
+                raise SchemaError(
+                    f"signature class {cls!r} is not in the schema"
+                )
+
+    @property
+    def receiving_class(self) -> str:
+        """The class of the receiving object (first position)."""
+        return self._classes[0]
+
+    @property
+    def argument_classes(self) -> Tuple[str, ...]:
+        """The classes of the argument objects (remaining positions)."""
+        return self._classes[1:]
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions (excludes the receiver)."""
+        return len(self._classes) - 1
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __getitem__(self, index: int) -> str:
+        return self._classes[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._classes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MethodSignature):
+            return NotImplemented
+        return self._classes == other._classes
+
+    def __hash__(self) -> int:
+        return hash(self._classes)
+
+    def __repr__(self) -> str:
+        return f"MethodSignature({list(self._classes)!r})"

@@ -1,0 +1,72 @@
+"""Conjunctive-query machinery (Appendix A).
+
+Implements the decision procedure behind Lemma 5.13: containment (and
+equivalence) of positive relational algebra expressions — viewed as
+unions of conjunctive queries with non-equalities — under functional and
+full inclusion dependencies, in the typed setting where attributes and
+variables carry disjoint domains.
+
+Components:
+
+* :mod:`repro.cq.model` — typed variables, atoms, conjunctive queries
+  with non-equalities, positive (union) queries;
+* :mod:`repro.cq.homomorphism` — the evaluation/backtracking engine used
+  both for query evaluation on canonical instances and for
+  Chandra-Merlin homomorphism tests;
+* :mod:`repro.cq.partitions` — typed set partitions (the representative
+  valuations of Klug's Theorem A.1);
+* :mod:`repro.cq.chase` — the typed chase with fd and full-ind rules
+  (Lemmas A.2/A.3), including the unsatisfiability bottom;
+* :mod:`repro.cq.containment` — the end-to-end containment and
+  equivalence tests;
+* :mod:`repro.cq.translate` — compilation of positive algebra
+  expressions into unions of conjunctive queries with non-equalities.
+"""
+
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.cq.homomorphism import (
+    evaluate_cq,
+    evaluate_positive,
+    find_homomorphism,
+    tuple_in_cq,
+    tuple_in_query,
+)
+from repro.cq.partitions import set_partitions, typed_partitions
+from repro.cq.chase import chase
+from repro.cq.containment import (
+    ContainmentBudgetExceeded,
+    Counterexample,
+    canonical_database,
+    cq_contained_in,
+    positive_contained,
+    positive_equivalent,
+)
+from repro.cq.translate import translate_expression
+from repro.cq.minimize import minimize_cq, minimize_positive
+from repro.cq.to_algebra import cq_to_expression, positive_to_expression
+
+__all__ = [
+    "Variable",
+    "Atom",
+    "ConjunctiveQuery",
+    "PositiveQuery",
+    "evaluate_cq",
+    "evaluate_positive",
+    "find_homomorphism",
+    "tuple_in_cq",
+    "tuple_in_query",
+    "set_partitions",
+    "typed_partitions",
+    "chase",
+    "canonical_database",
+    "cq_contained_in",
+    "positive_contained",
+    "positive_equivalent",
+    "ContainmentBudgetExceeded",
+    "Counterexample",
+    "translate_expression",
+    "minimize_cq",
+    "minimize_positive",
+    "cq_to_expression",
+    "positive_to_expression",
+]

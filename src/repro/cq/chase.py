@@ -1,0 +1,203 @@
+"""The typed chase with fd and full-ind rules (Appendix A).
+
+The chase successively modifies a query's conjuncts to enforce a set of
+functional and full inclusion dependencies:
+
+* **fd rule** — for ``R : X -> A`` and conjuncts ``R(u), R(v)`` with
+  ``u[X] = v[X]`` but ``u[A] != v[A]``: substitute the greater variable
+  (under the ordering in which distinguished variables precede
+  undistinguished ones) by the lesser.  If the two variables are related
+  by a non-equality the query is unsatisfiable over instances satisfying
+  the dependencies — the chase returns ``None`` (the paper's bottom).
+* **ind rule** — for ``R[X] <= S[Y]`` with ``Y`` exactly the scheme of
+  ``S`` and a conjunct ``R(u)``: add the conjunct ``S(u[X])`` if absent.
+
+Because the inclusion dependencies are *full*, the chase never invents
+variables; it terminates and satisfies the Church-Rosser property (all
+terminal chasing sequences agree), which the test suite verifies by
+randomizing rule order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cq.model import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    Dependency,
+    DisjointnessDependency,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.relation import RelationError
+
+
+def _variable_order_key(
+    query: ConjunctiveQuery, variable: Variable
+) -> Tuple[int, str, str]:
+    """Distinguished variables precede undistinguished ones."""
+    distinguished = variable in query.distinguished()
+    return (0 if distinguished else 1, variable.name, variable.domain)
+
+
+def _find_fd_violation(
+    query: ConjunctiveQuery,
+    fd: FunctionalDependency,
+    db_schema: DatabaseSchema,
+) -> Optional[Tuple[Variable, Variable]]:
+    """A pair of variables an applicable fd rule would merge."""
+    schema = db_schema.relation_schema(fd.relation)
+    lhs_positions = [schema.position(a) for a in fd.lhs]
+    rhs_position = schema.position(fd.rhs)
+    atoms = sorted(
+        a for a in query.atoms if a.relation == fd.relation
+    )
+    seen: Dict[Tuple[Variable, ...], Variable] = {}
+    for atom in atoms:
+        key = tuple(atom.args[p] for p in lhs_positions)
+        value = atom.args[rhs_position]
+        if key in seen and seen[key] != value:
+            return (seen[key], value)
+        seen.setdefault(key, value)
+    return None
+
+
+def _find_missing_ind_atom(
+    query: ConjunctiveQuery,
+    ind: InclusionDependency,
+    db_schema: DatabaseSchema,
+) -> Optional[Atom]:
+    """An atom an applicable ind rule would add."""
+    if not ind.is_full(db_schema):
+        raise RelationError(
+            f"the chase requires full inclusion dependencies; {ind} "
+            "is not full"
+        )
+    child_schema = db_schema.relation_schema(ind.child)
+    child_positions = [
+        child_schema.position(a) for a in ind.child_attrs
+    ]
+    present = {
+        atom.args for atom in query.atoms if atom.relation == ind.parent
+    }
+    for atom in sorted(query.atoms):
+        if atom.relation != ind.child:
+            continue
+        required = tuple(atom.args[p] for p in child_positions)
+        if required not in present:
+            return Atom(ind.parent, required)
+    return None
+
+
+def chase(
+    query: ConjunctiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+) -> Optional[ConjunctiveQuery]:
+    """``chase_Sigma(q)``, or ``None`` when the chase derives bottom.
+
+    Disjointness dependencies are ignored — they are enforced by the
+    typing of variables (a fd rule can only merge same-domain variables,
+    and the canonical instances use typed constants).
+    """
+    fds: List[FunctionalDependency] = []
+    inds: List[InclusionDependency] = []
+    for dep in dependencies:
+        if isinstance(dep, FunctionalDependency):
+            fds.append(dep)
+        elif isinstance(dep, InclusionDependency):
+            inds.append(dep)
+        elif isinstance(dep, DisjointnessDependency):
+            continue
+        else:
+            raise TypeError(f"unknown dependency {dep!r}")
+
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            violation = _find_fd_violation(current, fd, db_schema)
+            if violation is None:
+                continue
+            first, second = violation
+            keep, drop = sorted(
+                (first, second),
+                key=lambda v: _variable_order_key(current, v),
+            )
+            substituted = current.substitute({drop: keep})
+            if substituted is None:
+                return None  # bottom: a non-equality collapsed
+            current = substituted
+            changed = True
+            break
+        if changed:
+            continue
+        for ind in inds:
+            missing = _find_missing_ind_atom(current, ind, db_schema)
+            if missing is None:
+                continue
+            current = ConjunctiveQuery(
+                current.summary,
+                set(current.atoms) | {missing},
+                current.nonequalities,
+            )
+            changed = True
+            break
+    return current
+
+
+def chase_steps(
+    query: ConjunctiveQuery,
+    dependencies: Sequence[Dependency],
+    db_schema: DatabaseSchema,
+    rule_order: Optional[Sequence[int]] = None,
+) -> List[ConjunctiveQuery]:
+    """The intermediate queries of a chasing sequence.
+
+    ``rule_order`` permutes the dependency list, letting tests exercise
+    the Church-Rosser property (all terminal sequences end in the same
+    query).  Returns the sequence including the final chased query; the
+    list ends early (with the last satisfiable query) when bottom is
+    reached, mirroring :func:`chase` returning ``None``.
+    """
+    if rule_order is not None:
+        dependencies = [dependencies[i] for i in rule_order]
+    steps = [query]
+    current: Optional[ConjunctiveQuery] = query
+    while True:
+        previous = current
+        current = _one_step(previous, dependencies, db_schema)
+        if current is None or current == previous:
+            break
+        steps.append(current)
+    return steps
+
+
+def _one_step(
+    query: ConjunctiveQuery,
+    dependencies: Sequence[Dependency],
+    db_schema: DatabaseSchema,
+) -> Optional[ConjunctiveQuery]:
+    for dep in dependencies:
+        if isinstance(dep, FunctionalDependency):
+            violation = _find_fd_violation(query, dep, db_schema)
+            if violation is None:
+                continue
+            first, second = violation
+            keep, drop = sorted(
+                (first, second),
+                key=lambda v: _variable_order_key(query, v),
+            )
+            return query.substitute({drop: keep})
+        if isinstance(dep, InclusionDependency):
+            missing = _find_missing_ind_atom(query, dep, db_schema)
+            if missing is None:
+                continue
+            return ConjunctiveQuery(
+                query.summary,
+                set(query.atoms) | {missing},
+                query.nonequalities,
+            )
+    return query

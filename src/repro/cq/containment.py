@@ -1,0 +1,245 @@
+"""Containment of positive queries under dependencies (Lemma 5.13).
+
+The decision procedure combines the classical ingredients exactly as the
+appendix does:
+
+* Chandra-Merlin homomorphisms for equality conjunctive queries,
+* Sagiv-Yannakakis for unions (a conjunctive query is contained in a
+  union iff a single canonical-instance test passes),
+* Klug's representative sets for non-equalities (Theorem A.1), and
+* the typed chase for functional and full inclusion dependencies
+  (Lemmas A.2 / A.3).
+
+One refinement over the appendix's presentation: each representative
+merge is *re-chased* before building its canonical instance.  Merging
+variables can make an fd rule applicable that was not applicable before,
+and without re-chasing the canonical instance might violate the
+dependencies.  Because the chase with full inds never invents variables,
+a merged-and-rechased query corresponds to a coarser partition of the
+same variable set, so the enumeration stays complete:
+
+* *soundness* — every canonical instance we test satisfies the
+  dependencies (no applicable fd rule + injective constants, ind-closed
+  atoms, typed constants for disjointness), and its summary tuple is in
+  ``q``'s answer, so a failing test is a genuine counterexample;
+* *completeness* — a counterexample valuation of ``q`` into a
+  dependency-satisfying instance has some kernel partition; that
+  partition triggers no further fd merges, its canonical instance embeds
+  injectively into the counterexample instance, and the membership test
+  fails for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cq.chase import chase
+from repro.cq.homomorphism import tuple_in_query
+from repro.cq.model import ConjunctiveQuery, PositiveQuery, Variable
+from repro.cq.partitions import (
+    count_typed_partitions,
+    partition_substitution,
+    typed_partitions,
+)
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.dependencies import Dependency
+from repro.relational.relation import Attribute, Relation, RelationSchema
+
+
+class ContainmentBudgetExceeded(RuntimeError):
+    """The representative-set enumeration exceeded the caller's budget."""
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A dependency-satisfying instance separating two queries."""
+
+    database: Database
+    row: Tuple
+
+
+def canonical_database(
+    query: ConjunctiveQuery,
+    db_schema: Optional[DatabaseSchema] = None,
+) -> Database:
+    """The "magic" canonical instance of a query.
+
+    Each variable becomes a distinct constant (the variable itself —
+    typed, so class universes stay disjoint); each conjunct becomes a
+    tuple.  When ``db_schema`` is supplied, relation attributes keep
+    their real names (so dependency checkers can address them); absent
+    relations are materialized empty.
+    """
+    by_relation: dict = {}
+    for atom in query.atoms:
+        by_relation.setdefault(atom.relation, set()).add(atom.args)
+    relations = {}
+    for name, rows in by_relation.items():
+        if db_schema is not None and db_schema.has_relation(name):
+            schema = db_schema.relation_schema(name)
+        else:
+            sample = next(iter(rows))
+            schema = RelationSchema(
+                [
+                    Attribute(f"a{i}", sample[i].domain)
+                    for i in range(len(sample))
+                ]
+            )
+        relations[name] = Relation(schema, rows)
+    if db_schema is not None:
+        for name in db_schema.relation_names:
+            if name not in relations:
+                relations[name] = Relation(
+                    db_schema.relation_schema(name), ()
+                )
+    return Database(relations)
+
+
+def _membership_fails(
+    query: ConjunctiveQuery, container: PositiveQuery
+) -> Optional[Counterexample]:
+    database = canonical_database(query)
+    row = tuple(query.summary)
+    if tuple_in_query(container, database, row):
+        return None
+    return Counterexample(database, row)
+
+
+def cq_containment_counterexample(
+    query: ConjunctiveQuery,
+    container: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> Optional[Counterexample]:
+    """A counterexample to ``q <=_Sigma Q``, or ``None`` if contained.
+
+    Fast path (classical Chandra-Merlin / Sagiv-Yannakakis /
+    Johnson-Klug): when no disjunct of the container carries
+    non-equalities, a single chased canonical instance decides
+    containment.  Otherwise the full representative-set enumeration of
+    Theorem A.1 runs; ``max_partitions`` guards against Bell-number
+    blowup by raising :class:`ContainmentBudgetExceeded`.
+    """
+    dependencies = list(dependencies)
+    chased = chase(query, dependencies, db_schema)
+    if chased is None:
+        return None  # q unsatisfiable under Sigma: vacuously contained
+
+    if not container.has_nonequalities():
+        return _membership_fails(chased, container)
+
+    variables = sorted(chased.variables())
+    if max_partitions is not None:
+        total = count_typed_partitions(variables)
+        if total > max_partitions:
+            raise ContainmentBudgetExceeded(
+                f"{total} typed partitions exceed the budget "
+                f"{max_partitions}"
+            )
+    for partition in typed_partitions(variables):
+        substitution = partition_substitution(partition)
+        if not substitution:
+            merged: Optional[ConjunctiveQuery] = chased
+        else:
+            merged = chased.substitute(substitution)
+        if merged is None:
+            continue  # the partition collapses a non-equality
+        rechased = chase(merged, dependencies, db_schema)
+        if rechased is None:
+            continue  # bottom: no dependency-satisfying valuation here
+        counterexample = _membership_fails(rechased, container)
+        if counterexample is not None:
+            return counterexample
+    return None
+
+
+def cq_contained_in(
+    query: ConjunctiveQuery,
+    container: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> bool:
+    """``q <=_Sigma Q`` (one conjunctive query in a positive query)."""
+    return (
+        cq_containment_counterexample(
+            query, container, dependencies, db_schema, max_partitions
+        )
+        is None
+    )
+
+
+def positive_containment_counterexample(
+    first: PositiveQuery,
+    second: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> Optional[Counterexample]:
+    """A counterexample to ``Q1 <=_Sigma Q2``, or ``None``.
+
+    ``Q1 <= Q2`` iff every disjunct of ``Q1`` is contained in ``Q2``.
+    """
+    if first.summary_domains != second.summary_domains:
+        raise ValueError(
+            f"queries of different summary types: "
+            f"{first.summary_domains} vs {second.summary_domains}"
+        )
+    for disjunct in first:
+        counterexample = cq_containment_counterexample(
+            disjunct, second, dependencies, db_schema, max_partitions
+        )
+        if counterexample is not None:
+            return counterexample
+    return None
+
+
+def positive_contained(
+    first: PositiveQuery,
+    second: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> bool:
+    """``Q1 <=_Sigma Q2``."""
+    return (
+        positive_containment_counterexample(
+            first, second, dependencies, db_schema, max_partitions
+        )
+        is None
+    )
+
+
+def positive_equivalent(
+    first: PositiveQuery,
+    second: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> bool:
+    """``Q1 =_Sigma Q2`` (containment both ways)."""
+    return positive_contained(
+        first, second, dependencies, db_schema, max_partitions
+    ) and positive_contained(
+        second, first, dependencies, db_schema, max_partitions
+    )
+
+
+def positive_equivalence_counterexample(
+    first: PositiveQuery,
+    second: PositiveQuery,
+    dependencies: Iterable[Dependency],
+    db_schema: DatabaseSchema,
+    max_partitions: Optional[int] = None,
+) -> Optional[Counterexample]:
+    """A dependency-satisfying instance on which the answers differ."""
+    counterexample = positive_containment_counterexample(
+        first, second, dependencies, db_schema, max_partitions
+    )
+    if counterexample is not None:
+        return counterexample
+    return positive_containment_counterexample(
+        second, first, dependencies, db_schema, max_partitions
+    )

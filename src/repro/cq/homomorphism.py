@@ -1,0 +1,168 @@
+"""Backtracking evaluation of conjunctive queries; homomorphism tests.
+
+One engine serves three purposes:
+
+* evaluating a conjunctive query over a database (typed valuations, as in
+  Appendix A's semantics),
+* testing whether a given tuple is in a query's answer over a database
+  (the membership tests of Theorem A.1's representative-set procedure),
+* finding a homomorphism between two queries (Chandra-Merlin): a
+  homomorphism ``q2 -> q1`` is exactly a valuation of ``q2`` over the
+  canonical ("magic") database of ``q1`` that maps summary to summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.database import Database
+
+Binding = Dict[Variable, object]
+
+
+def _order_atoms(
+    atoms: FrozenSet[Atom], bound: FrozenSet[Variable]
+) -> List[Atom]:
+    """Greedy join order: repeatedly pick the atom sharing the most
+    variables with those already bound (connected atoms first)."""
+    remaining = sorted(atoms)
+    ordered: List[Atom] = []
+    seen = set(bound)
+    while remaining:
+        best_index = 0
+        best_score = -1
+        for index, atom in enumerate(remaining):
+            score = sum(1 for v in atom.args if v in seen)
+            if score > best_score:
+                best_index, best_score = index, score
+        atom = remaining.pop(best_index)
+        ordered.append(atom)
+        seen.update(atom.args)
+    return ordered
+
+
+def _violates_nonequalities(
+    query: ConjunctiveQuery, binding: Binding
+) -> bool:
+    for pair in query.nonequalities:
+        first, second = tuple(pair)
+        if first in binding and second in binding:
+            if binding[first] == binding[second]:
+                return True
+    return False
+
+
+def _match_atom(
+    atom: Atom, database: Database, binding: Binding
+) -> Iterator[Binding]:
+    """Extensions of ``binding`` matching ``atom`` against the database."""
+    if not database.has_relation(atom.relation):
+        return
+    relation = database.relation(atom.relation)
+    for row in relation:
+        extended = dict(binding)
+        consistent = True
+        for var, value in zip(atom.args, row):
+            if var in extended:
+                if extended[var] != value:
+                    consistent = False
+                    break
+            else:
+                extended[var] = value
+        if consistent:
+            yield extended
+
+
+def _search(
+    query: ConjunctiveQuery,
+    atoms: Sequence[Atom],
+    database: Database,
+    binding: Binding,
+) -> Iterator[Binding]:
+    if _violates_nonequalities(query, binding):
+        return
+    if not atoms:
+        yield binding
+        return
+    head, rest = atoms[0], atoms[1:]
+    for extended in _match_atom(head, database, binding):
+        yield from _search(query, rest, database, extended)
+
+
+def valuations(
+    query: ConjunctiveQuery,
+    database: Database,
+    binding: Optional[Binding] = None,
+) -> Iterator[Binding]:
+    """All typed valuations of ``query`` over ``database`` extending
+    ``binding`` and satisfying the conjuncts and non-equalities."""
+    start: Binding = dict(binding or {})
+    ordered = _order_atoms(query.atoms, frozenset(start))
+    yield from _search(query, ordered, database, start)
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery, database: Database
+) -> FrozenSet[Tuple]:
+    """``q(I)``: the set of summary images of satisfying valuations."""
+    results = set()
+    for binding in valuations(query, database):
+        results.add(tuple(binding[v] for v in query.summary))
+    return frozenset(results)
+
+
+def evaluate_positive(
+    query: PositiveQuery, database: Database
+) -> FrozenSet[Tuple]:
+    """``Q(I)``: the union of the disjuncts' answers."""
+    results: set = set()
+    for disjunct in query:
+        results |= evaluate_cq(disjunct, database)
+    return frozenset(results)
+
+
+def tuple_in_cq(
+    query: ConjunctiveQuery, database: Database, row: Sequence
+) -> bool:
+    """Whether ``row`` is in ``q(I)`` — an early-exit membership test."""
+    if len(row) != len(query.summary):
+        return False
+    binding: Binding = {}
+    for var, value in zip(query.summary, row):
+        if var in binding and binding[var] != value:
+            return False
+        binding[var] = value
+    for _ in valuations(query, database, binding):
+        return True
+    return False
+
+
+def tuple_in_query(
+    query: PositiveQuery, database: Database, row: Sequence
+) -> bool:
+    """Whether ``row`` is in ``Q(I)`` for the union query ``Q``."""
+    return any(tuple_in_cq(q, database, row) for q in query)
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Dict[Variable, Variable]]:
+    """A homomorphism ``source -> target`` (Chandra-Merlin), if any.
+
+    Maps ``source``'s conjuncts into ``target``'s and summary onto
+    summary; ``source``'s non-equalities must hold between the *image*
+    variables (which is the right notion when the target is interpreted
+    as its canonical instance with all-distinct constants).
+    """
+    from repro.cq.containment import canonical_database
+
+    database = canonical_database(target)
+    binding: Binding = {}
+    for var, value in zip(source.summary, target.summary):
+        if var in binding and binding[var] != value:
+            return None
+        binding[var] = value
+    for solution in valuations(source, database, binding):
+        return {var: value for var, value in solution.items()}
+    return None

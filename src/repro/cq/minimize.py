@@ -1,0 +1,98 @@
+"""Minimization of positive queries (conjunctive-query cores).
+
+Chandra-Merlin minimization: a conjunctive query is equivalent to its
+*core* — the smallest subquery it folds onto.  At the union level,
+disjuncts contained in the union of the others are redundant
+(Sagiv-Yannakakis).  Containment checks run through the full Appendix A
+procedure, so non-equalities are handled exactly.
+
+The practical payoff here is the Section 7 code-improvement tool: the
+``par`` transform plus receiver-query substitution produces expressions
+with redundant self-joins (three copies of ``Employee.salary`` in the
+paper's example); minimizing the translated query and regenerating
+algebra recovers the paper's hand-simplified statement
+``select EmpId, New from Employee, NewSal where Salary = Old``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cq.containment import cq_contained_in
+from repro.cq.model import ConjunctiveQuery, PositiveQuery
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import Dependency
+
+
+def minimize_cq(
+    query: ConjunctiveQuery,
+    db_schema: DatabaseSchema,
+    dependencies: Iterable[Dependency] = (),
+    max_partitions: Optional[int] = None,
+) -> ConjunctiveQuery:
+    """The core of ``query``: drop atoms while equivalence is preserved.
+
+    Dropping an atom relaxes the query (``query <= candidate`` always);
+    the candidate replaces the query when the converse containment holds
+    too.  Iterates to a fixpoint.
+    """
+    dependencies = list(dependencies)
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for atom in sorted(current.atoms):
+            if len(current.atoms) == 1:
+                break
+            remaining = set(current.atoms) - {atom}
+            try:
+                candidate = ConjunctiveQuery(
+                    current.summary, remaining, current.nonequalities
+                )
+            except ValueError:
+                continue  # the atom carried a summary/non-equality variable
+            if cq_contained_in(
+                candidate,
+                PositiveQuery([current]),
+                dependencies,
+                db_schema,
+                max_partitions=max_partitions,
+            ):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def minimize_positive(
+    query: PositiveQuery,
+    db_schema: DatabaseSchema,
+    dependencies: Iterable[Dependency] = (),
+    max_partitions: Optional[int] = None,
+) -> PositiveQuery:
+    """Minimize a union: drop redundant disjuncts, core the rest."""
+    dependencies = list(dependencies)
+    disjuncts: List[ConjunctiveQuery] = list(query.disjuncts)
+
+    # Remove disjuncts contained in the union of the others.
+    index = 0
+    while index < len(disjuncts):
+        others = disjuncts[:index] + disjuncts[index + 1 :]
+        if others and cq_contained_in(
+            disjuncts[index],
+            PositiveQuery(
+                others, summary_domains=query.summary_domains
+            ),
+            dependencies,
+            db_schema,
+            max_partitions=max_partitions,
+        ):
+            disjuncts.pop(index)
+        else:
+            index += 1
+
+    cores = [
+        minimize_cq(d, db_schema, dependencies, max_partitions)
+        for d in disjuncts
+    ]
+    return PositiveQuery(cores, summary_domains=query.summary_domains)

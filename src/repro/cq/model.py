@@ -1,0 +1,261 @@
+"""Typed conjunctive queries with non-equalities (Appendix A).
+
+A conjunctive query ``q`` consists of
+
+* a summary ``s(q)`` — a tuple of distinguished variables,
+* a set of conjuncts ``c(q)`` — atoms ``R(z1, ..., zh)`` whose variables
+  are typed by the domains of ``R``'s attributes, and
+* a set of non-equalities ``n(q)`` — unordered pairs of variables of the
+  same domain.
+
+Variables carry their domain; variables of different domains can never be
+equated or compared, which realizes the disjointness dependencies of the
+object-relational representation "by typing", exactly as the appendix
+prescribes.
+
+A positive query is a finite set of conjunctive queries with the same
+summary type, interpreted as their union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A typed variable."""
+
+    name: str
+    domain: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A conjunct ``relation(args)``."""
+
+    relation: str
+    args: Tuple[Variable, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.relation}({inner})"
+
+
+NonEquality = FrozenSet[Variable]
+
+
+def nonequality(first: Variable, second: Variable) -> NonEquality:
+    """An unordered non-equality pair; the variables must share a domain
+    and differ."""
+    if first.domain != second.domain:
+        raise ValueError(
+            f"non-equality between domains {first.domain} and "
+            f"{second.domain}"
+        )
+    if first == second:
+        raise ValueError(f"non-equality {first} != {first} is unsatisfiable")
+    return frozenset((first, second))
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with non-equalities."""
+
+    __slots__ = ("_summary", "_atoms", "_nonequalities")
+
+    def __init__(
+        self,
+        summary: Sequence[Variable],
+        atoms: Iterable[Atom],
+        nonequalities: Iterable[NonEquality] = (),
+    ) -> None:
+        self._summary: Tuple[Variable, ...] = tuple(summary)
+        self._atoms: FrozenSet[Atom] = frozenset(atoms)
+        pairs = set()
+        for pair in nonequalities:
+            pair = frozenset(pair)
+            if len(pair) != 2:
+                raise ValueError(f"malformed non-equality {set(pair)}")
+            first, second = sorted(pair)
+            pairs.add(nonequality(first, second))
+        self._nonequalities: FrozenSet[NonEquality] = frozenset(pairs)
+        atom_vars = self.atom_variables()
+        for var in self._summary:
+            if var not in atom_vars:
+                raise ValueError(
+                    f"summary variable {var} does not occur in any atom "
+                    "(unsafe query)"
+                )
+        for pair in self._nonequalities:
+            for var in pair:
+                if var not in atom_vars:
+                    raise ValueError(
+                        f"non-equality variable {var} does not occur in "
+                        "any atom"
+                    )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def summary(self) -> Tuple[Variable, ...]:
+        return self._summary
+
+    @property
+    def atoms(self) -> FrozenSet[Atom]:
+        return self._atoms
+
+    @property
+    def nonequalities(self) -> FrozenSet[NonEquality]:
+        return self._nonequalities
+
+    def atom_variables(self) -> FrozenSet[Variable]:
+        return frozenset(
+            var for atom in self._atoms for var in atom.args
+        )
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the query (``v(q)``)."""
+        return self.atom_variables() | frozenset(self._summary)
+
+    def distinguished(self) -> FrozenSet[Variable]:
+        """``d(q)``: the summary variables."""
+        return frozenset(self._summary)
+
+    def summary_domains(self) -> Tuple[str, ...]:
+        return tuple(var.domain for var in self._summary)
+
+    def is_equality_query(self) -> bool:
+        """Whether the query has no non-equalities (Klug's terminology)."""
+        return not self._nonequalities
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+    def substitute(
+        self, mapping: Dict[Variable, Variable]
+    ) -> Optional["ConjunctiveQuery"]:
+        """Apply a variable substitution.
+
+        Returns ``None`` when the substitution collapses a non-equality
+        (the query becomes unsatisfiable, the chase's bottom).
+        Domains must be preserved.
+        """
+        for old, new in mapping.items():
+            if old.domain != new.domain:
+                raise ValueError(
+                    f"substitution {old} -> {new} crosses domains"
+                )
+
+        def image(var: Variable) -> Variable:
+            return mapping.get(var, var)
+
+        new_pairs = set()
+        for pair in self._nonequalities:
+            first, second = sorted(pair)
+            first, second = image(first), image(second)
+            if first == second:
+                return None
+            new_pairs.add(frozenset((first, second)))
+        new_atoms = {
+            Atom(atom.relation, tuple(image(v) for v in atom.args))
+            for atom in self._atoms
+        }
+        new_summary = tuple(image(v) for v in self._summary)
+        return ConjunctiveQuery(new_summary, new_atoms, new_pairs)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self._summary == other._summary
+            and self._atoms == other._atoms
+            and self._nonequalities == other._nonequalities
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._summary, self._atoms, self._nonequalities))
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(v) for v in self._summary)
+        body = " & ".join(str(a) for a in sorted(self._atoms))
+        parts = [body] if body else []
+        for pair in sorted(self._nonequalities, key=sorted):
+            first, second = sorted(pair)
+            parts.append(f"{first} != {second}")
+        return f"({head}) <- {' & '.join(parts) or 'true'}"
+
+
+class PositiveQuery:
+    """A finite union of conjunctive queries with a common summary type.
+
+    May be empty (the constantly-empty query) — the summary domains must
+    then be supplied explicitly.
+    """
+
+    __slots__ = ("_disjuncts", "_domains")
+
+    def __init__(
+        self,
+        disjuncts: Iterable[ConjunctiveQuery],
+        summary_domains: Optional[Sequence[str]] = None,
+    ) -> None:
+        queries = tuple(disjuncts)
+        domain_signatures = {q.summary_domains() for q in queries}
+        if len(domain_signatures) > 1:
+            raise ValueError(
+                f"disjuncts with different summary types: "
+                f"{sorted(domain_signatures)}"
+            )
+        if queries:
+            inferred = queries[0].summary_domains()
+            if summary_domains is not None and tuple(summary_domains) != inferred:
+                raise ValueError("summary_domains conflicts with disjuncts")
+            self._domains = inferred
+        else:
+            if summary_domains is None:
+                raise ValueError(
+                    "an empty positive query needs explicit summary domains"
+                )
+            self._domains = tuple(summary_domains)
+        self._disjuncts = queries
+
+    @property
+    def disjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        return self._disjuncts
+
+    @property
+    def summary_domains(self) -> Tuple[str, ...]:
+        return self._domains
+
+    def is_empty_union(self) -> bool:
+        return not self._disjuncts
+
+    def has_nonequalities(self) -> bool:
+        return any(not q.is_equality_query() for q in self._disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __repr__(self) -> str:
+        if not self._disjuncts:
+            return f"PositiveQuery(empty over {self._domains})"
+        return " | ".join(repr(q) for q in self._disjuncts)

@@ -1,0 +1,116 @@
+"""Typed set partitions — the representative valuations of Theorem A.1.
+
+Klug's representative set for a query with non-equalities consists of one
+valuation per equivalence class of non-equality-preserving valuations;
+equivalence classes correspond to partitions of the variable set.  In the
+typed setting only variables of the *same domain* may be identified, so
+the partitions of ``v(q)`` factor into independent partitions per domain,
+combined by Cartesian product.
+
+The number of partitions of an ``n``-element set is the Bell number
+``B(n)`` — the source of the procedure's exponential cost, measured in
+``benchmarks/bench_containment.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.cq.model import Variable
+
+Block = FrozenSet
+Partition = Tuple[Block, ...]
+
+
+def set_partitions(items: Sequence) -> Iterator[Partition]:
+    """All partitions of ``items`` into non-empty blocks.
+
+    Standard recursive scheme: each new element either starts its own
+    block or joins an existing one; yields ``B(len(items))`` partitions.
+    The all-singletons partition comes *first* (finest-first order): the
+    containment procedure probes the most generic canonical instance
+    before the degenerate ones, which finds counterexamples for
+    inequivalent queries immediately.
+    """
+    items = list(items)
+    if not items:
+        yield ()
+        return
+
+    def recurse(index: int, blocks: List[List]) -> Iterator[Partition]:
+        if index == len(items):
+            yield tuple(frozenset(b) for b in blocks)
+            return
+        item = items[index]
+        blocks.append([item])
+        yield from recurse(index + 1, blocks)
+        blocks.pop()
+        for block in blocks:
+            block.append(item)
+            yield from recurse(index + 1, blocks)
+            block.pop()
+
+    yield from recurse(0, [])
+
+
+def bell_number(n: int) -> int:
+    """``B(n)`` via the Bell triangle (for cost estimates and tests)."""
+    if n == 0:
+        return 1
+    row = [1]
+    for _ in range(n - 1):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    return row[-1]
+
+
+def typed_partitions(
+    variables: Iterable[Variable],
+) -> Iterator[Partition]:
+    """All partitions of a typed variable set that respect domains.
+
+    Variables are grouped by domain; the per-domain partitions are
+    combined by Cartesian product.  The count is the product of the
+    per-domain Bell numbers.
+    """
+    by_domain: Dict[str, List[Variable]] = {}
+    for var in sorted(set(variables)):
+        by_domain.setdefault(var.domain, []).append(var)
+    domain_partitions = [
+        list(set_partitions(group))
+        for _, group in sorted(by_domain.items())
+    ]
+    for combo in itertools.product(*domain_partitions):
+        yield tuple(block for part in combo for block in part)
+
+
+def count_typed_partitions(variables: Iterable[Variable]) -> int:
+    """The number of typed partitions without enumerating them."""
+    by_domain: Dict[str, int] = {}
+    for var in set(variables):
+        by_domain[var.domain] = by_domain.get(var.domain, 0) + 1
+    product = 1
+    for size in by_domain.values():
+        product *= bell_number(size)
+    return product
+
+
+def partition_substitution(
+    partition: Partition,
+) -> Dict[Variable, Variable]:
+    """The substitution sending each variable to its block representative.
+
+    The representative is the least block member under the appendix's
+    ordering (here: lexicographic on ``(name, domain)``), matching the
+    chase's choice of surviving variable.
+    """
+    mapping: Dict[Variable, Variable] = {}
+    for block in partition:
+        representative = min(block)
+        for var in block:
+            if var != representative:
+                mapping[var] = representative
+    return mapping

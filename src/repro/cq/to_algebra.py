@@ -1,0 +1,156 @@
+"""Regenerating algebra expressions from positive queries.
+
+The inverse of :mod:`repro.cq.translate`: a conjunctive query becomes a
+product of renamed-apart relation references, equality selections for
+repeated variables, non-equality selections, a projection onto the
+summary, and renames to the requested output attributes.  A positive
+query becomes the union of its disjuncts (or an explicit empty relation).
+
+Round-tripping ``translate -> minimize -> to_algebra`` yields an
+equivalent, usually smaller, expression — the backend of
+:func:`repro.parallel.minimizer.minimize_positive_expression`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.cq.model import ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.algebra import (
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    product_all,
+    union_all,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.relation import (
+    Attribute,
+    RelationError,
+    RelationSchema,
+)
+
+_COUNTER = itertools.count()
+
+
+def cq_to_expression(
+    query: ConjunctiveQuery,
+    db_schema: DatabaseSchema,
+    output: RelationSchema,
+) -> Expr:
+    """An algebra expression equivalent to ``query``.
+
+    ``output`` supplies the attribute names (and checks the domains) of
+    the result, aligned positionally with the query's summary.
+    """
+    if len(output) != len(query.summary):
+        raise RelationError(
+            f"output schema {output} does not match summary arity "
+            f"{len(query.summary)}"
+        )
+    for attr, var in zip(output.attributes, query.summary):
+        if attr.domain != var.domain:
+            raise RelationError(
+                f"output attribute {attr} does not match summary "
+                f"variable {var} of domain {var.domain}"
+            )
+
+    # One renamed-apart factor per atom.
+    factors: List[Expr] = []
+    locations: List[Tuple[str, Variable]] = []
+    for atom_index, atom in enumerate(sorted(query.atoms)):
+        schema = db_schema.relation_schema(atom.relation)
+        factor: Expr = Rel(atom.relation)
+        tag = next(_COUNTER)
+        for position, attribute in enumerate(schema.attributes):
+            fresh = f"__m{tag}_{position}"
+            factor = Rename(factor, attribute.name, fresh)
+            locations.append((fresh, atom.args[position]))
+        factors.append(factor)
+    base: Expr = product_all(factors)
+
+    # Equate all locations of each variable with its first location.
+    first_location: Dict[Variable, str] = {}
+    for attr_name, var in locations:
+        if var in first_location:
+            base = Select(base, first_location[var], attr_name, True)
+        else:
+            first_location[var] = attr_name
+
+    # Non-equalities.
+    for pair in sorted(query.nonequalities, key=sorted):
+        first, second = sorted(pair)
+        base = Select(
+            base, first_location[first], first_location[second], False
+        )
+
+    # Summary columns; a repeated summary variable needs a duplicated
+    # column, produced by joining in a fresh copy of an atom containing
+    # it.
+    columns: List[str] = []
+    used: set = set()
+    for position, var in enumerate(query.summary):
+        source = first_location[var]
+        if source not in used:
+            columns.append(source)
+            used.add(source)
+            continue
+        base, copy_attr = _duplicate_column(
+            base, query, db_schema, var, source
+        )
+        columns.append(copy_attr)
+        used.add(copy_attr)
+
+    projected = Project(base, tuple(columns))
+    # Two-phase rename to the output names (avoids transient clashes).
+    result: Expr = projected
+    for column, attr in zip(columns, output.attributes):
+        if column != attr.name:
+            result = Rename(result, column, attr.name)
+    return result
+
+
+def _duplicate_column(
+    base: Expr,
+    query: ConjunctiveQuery,
+    db_schema: DatabaseSchema,
+    var: Variable,
+    source_attr: str,
+) -> Tuple[Expr, str]:
+    """Join in a fresh copy of an atom containing ``var`` so the column
+    can appear twice in the projection."""
+    atom = next(a for a in sorted(query.atoms) if var in a.args)
+    schema = db_schema.relation_schema(atom.relation)
+    tag = next(_COUNTER)
+    copy: Expr = Rel(atom.relation)
+    copy_attr = None
+    join_pairs: List[Tuple[str, str]] = []
+    for position, attribute in enumerate(schema.attributes):
+        fresh = f"__d{tag}_{position}"
+        copy = Rename(copy, attribute.name, fresh)
+        if atom.args[position] == var and copy_attr is None:
+            copy_attr = fresh
+    joined: Expr = Product(base, copy)
+    joined = Select(joined, source_attr, copy_attr, True)
+    return joined, copy_attr
+
+
+def positive_to_expression(
+    query: PositiveQuery,
+    db_schema: DatabaseSchema,
+    output: RelationSchema,
+) -> Expr:
+    """An algebra expression equivalent to the union query."""
+    if query.is_empty_union():
+        return Empty(output)
+    return union_all(
+        [
+            cq_to_expression(disjunct, db_schema, output)
+            for disjunct in query
+        ]
+    )

@@ -1,0 +1,175 @@
+"""Compiling positive algebra expressions to positive queries.
+
+"Positive expressions can be viewed as conjunctive queries extended with
+union and non-equality" (Appendix A).  This module makes that view
+executable: a positive expression over a typed database schema becomes a
+:class:`~repro.cq.model.PositiveQuery` whose summary is aligned with the
+expression's output attributes.
+
+Translation rules (unions are pushed to the top):
+
+* a relation reference becomes a single atom over fresh typed variables;
+* union concatenates disjunct lists;
+* product combines disjuncts pairwise after renaming variables apart;
+* equality selection unifies two summary variables (dropping disjuncts
+  that would collapse a non-equality);
+* non-equality selection adds a non-equality pair (dropping disjuncts
+  where both sides are already the same variable);
+* projection and renaming reshape the summary.
+
+The inverse direction (evaluating the query and the expression agree on
+every database) is checked by property-based tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+from repro.relational.relation import RelationError, RelationSchema
+
+
+class _Translator:
+    def __init__(self, db_schema: DatabaseSchema) -> None:
+        self._db_schema = db_schema
+        self._counter = itertools.count()
+
+    def _fresh(self, domain: str) -> Variable:
+        return Variable(f"v{next(self._counter)}", domain)
+
+    def translate(
+        self, expr: Expr
+    ) -> Tuple[RelationSchema, List[ConjunctiveQuery]]:
+        if isinstance(expr, Difference):
+            raise RelationError(
+                "only positive expressions can be translated to "
+                "conjunctive queries (difference found)"
+            )
+        if isinstance(expr, Rel):
+            schema = self._db_schema.relation_schema(expr.name)
+            variables = tuple(
+                self._fresh(attr.domain) for attr in schema
+            )
+            query = ConjunctiveQuery(
+                variables, [Atom(expr.name, variables)]
+            )
+            return schema, [query]
+        if isinstance(expr, Empty):
+            return expr.schema, []
+        if isinstance(expr, Union):
+            left_schema, left = self.translate(expr.left)
+            right_schema, right = self.translate(expr.right)
+            if left_schema != right_schema:
+                raise RelationError(
+                    f"union of different schemas {left_schema} vs "
+                    f"{right_schema}"
+                )
+            return left_schema, left + right
+        if isinstance(expr, Product):
+            left_schema, left = self.translate(expr.left)
+            right_schema, right = self.translate(expr.right)
+            schema = left_schema.concat(right_schema)
+            combined: List[ConjunctiveQuery] = []
+            for first in left:
+                for second in right:
+                    renamed = self._rename_apart(second)
+                    combined.append(
+                        ConjunctiveQuery(
+                            first.summary + renamed.summary,
+                            set(first.atoms) | set(renamed.atoms),
+                            set(first.nonequalities)
+                            | set(renamed.nonequalities),
+                        )
+                    )
+            return schema, combined
+        if isinstance(expr, Select):
+            schema, disjuncts = self.translate(expr.child)
+            i = schema.position(expr.left)
+            j = schema.position(expr.right)
+            if schema.attributes[i].domain != schema.attributes[j].domain:
+                raise RelationError(
+                    "selection compares attributes of different domains"
+                )
+            result: List[ConjunctiveQuery] = []
+            for query in disjuncts:
+                first, second = query.summary[i], query.summary[j]
+                if expr.equal:
+                    if first == second:
+                        result.append(query)
+                        continue
+                    keep, drop = sorted((first, second))
+                    merged = query.substitute({drop: keep})
+                    if merged is not None:
+                        result.append(merged)
+                else:
+                    if first == second:
+                        continue  # sigma_{A != A'} with A == A': empty
+                    result.append(
+                        ConjunctiveQuery(
+                            query.summary,
+                            query.atoms,
+                            set(query.nonequalities)
+                            | {frozenset((first, second))},
+                        )
+                    )
+            return schema, result
+        if isinstance(expr, Project):
+            schema, disjuncts = self.translate(expr.child)
+            positions = [schema.position(a) for a in expr.attrs]
+            projected_schema = schema.project(expr.attrs)
+            result = [
+                ConjunctiveQuery(
+                    tuple(query.summary[p] for p in positions),
+                    query.atoms,
+                    query.nonequalities,
+                )
+                for query in disjuncts
+            ]
+            return projected_schema, result
+        if isinstance(expr, Rename):
+            schema, disjuncts = self.translate(expr.child)
+            return schema.rename(expr.old, expr.new), disjuncts
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def _rename_apart(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        mapping: Dict[Variable, Variable] = {
+            var: self._fresh(var.domain) for var in query.variables()
+        }
+        renamed = query.substitute(mapping)
+        assert renamed is not None  # injective renaming never collapses
+        return renamed
+
+
+def translate_expression(
+    expr: Expr, db_schema: DatabaseSchema
+) -> PositiveQuery:
+    """Translate a positive expression into a positive query.
+
+    The query's summary domains follow the expression's output schema
+    (checked via :func:`~repro.relational.evaluate.infer_schema` first,
+    so type errors surface with the algebra-level message).
+    """
+    output_schema = infer_schema(expr, db_schema)
+    translator = _Translator(db_schema)
+    schema, disjuncts = translator.translate(expr)
+    if schema != output_schema:
+        raise RelationError(
+            f"translation schema {schema} disagrees with inferred "
+            f"schema {output_schema}"
+        )
+    domains = tuple(attr.domain for attr in schema)
+    return PositiveQuery(disjuncts, summary_domains=domains)

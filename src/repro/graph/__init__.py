@@ -1,0 +1,33 @@
+"""Object-base schemas and instances (Section 2 of the paper).
+
+An object-base schema is a finite, edge-labeled, directed graph whose nodes
+are class names and whose edges are properties (Definition 2.1).  An
+instance of a schema is a finite, labeled, directed graph whose nodes are
+objects and whose edges are property links (Definition 2.2).
+
+This package also provides *partial instances* (Definition 4.3), the ``G``
+operator eliminating dangling edges (Definition 4.4), and the restriction
+of an instance to a set of schema items (Definition 4.5) — the machinery
+Section 4 builds schema colorings on.
+"""
+
+from repro.graph.schema import Schema, SchemaEdge, schema_items
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.partial import PartialInstance, g_operator, restrict
+from repro.graph.builder import InstanceBuilder
+from repro.graph.render import render_instance, render_schema
+
+__all__ = [
+    "Schema",
+    "SchemaEdge",
+    "schema_items",
+    "Obj",
+    "Edge",
+    "Instance",
+    "PartialInstance",
+    "g_operator",
+    "restrict",
+    "InstanceBuilder",
+    "render_instance",
+    "render_schema",
+]

@@ -1,0 +1,83 @@
+"""Fluent construction of instances.
+
+Building instances edge-by-edge with explicit :class:`~repro.graph.instance.Obj`
+and :class:`~repro.graph.instance.Edge` values is verbose; the builder
+accepts bare keys and infers classes from the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Set, Tuple, Union
+
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema, SchemaError
+
+NodeSpec = Union[Obj, Tuple[str, Hashable]]
+
+
+class InstanceBuilder:
+    """Accumulates nodes and edges, then freezes into an :class:`Instance`.
+
+    Example
+    -------
+    >>> from repro.graph.schema import drinker_bar_beer_schema
+    >>> builder = InstanceBuilder(drinker_bar_beer_schema())
+    >>> _ = builder.node("Drinker", 1).node("Bar", 1)
+    >>> _ = builder.edge(("Drinker", 1), "frequents", ("Bar", 1))
+    >>> instance = builder.build()
+    >>> len(instance.nodes), len(instance.edges)
+    (2, 1)
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._nodes: Set[Obj] = set()
+        self._edges: Set[Edge] = set()
+
+    def _coerce(self, spec: NodeSpec) -> Obj:
+        if isinstance(spec, Obj):
+            return spec
+        cls, key = spec
+        if not self._schema.has_class(cls):
+            raise SchemaError(f"unknown class {cls!r}")
+        return Obj(cls, key)
+
+    def node(self, cls: str, key: Hashable) -> "InstanceBuilder":
+        """Add the object ``cls#key``."""
+        self._nodes.add(self._coerce((cls, key)))
+        return self
+
+    def nodes(self, cls: str, keys: Iterable[Hashable]) -> "InstanceBuilder":
+        """Add several objects of the same class."""
+        for key in keys:
+            self.node(cls, key)
+        return self
+
+    def edge(
+        self, source: NodeSpec, label: str, target: NodeSpec
+    ) -> "InstanceBuilder":
+        """Add an edge, implicitly adding its endpoints."""
+        src = self._coerce(source)
+        dst = self._coerce(target)
+        schema_edge = self._schema.edge(label)
+        if src.cls != schema_edge.source or dst.cls != schema_edge.target:
+            raise SchemaError(
+                f"edge ({src}, {label}, {dst}) incompatible with "
+                f"schema edge {schema_edge}"
+            )
+        self._nodes.add(src)
+        self._nodes.add(dst)
+        self._edges.add(Edge(src, label, dst))
+        return self
+
+    def edges(
+        self, triples: Iterable[Tuple[NodeSpec, str, NodeSpec]]
+    ) -> "InstanceBuilder":
+        """Add several edges at once."""
+        for source, label, target in triples:
+            self.edge(source, label, target)
+        return self
+
+    def build(self) -> Instance:
+        """Freeze into an immutable :class:`Instance`."""
+        return Instance(self._schema, self._nodes, self._edges)

@@ -1,0 +1,392 @@
+"""The extended object data model of footnote 1.
+
+The paper notes that "many of our results also hold for a more involved
+object data model featuring inheritance and a distinction between
+single- and multi-valued properties [Cabibbo 1996]".  This module
+implements that richer model:
+
+* classes form an ISA hierarchy (a DAG of direct superclasses); an
+  object carries its most specific class and is a member of every
+  superclass;
+* a property declared at class ``C`` applies to all subclasses of ``C``,
+  and its targets may come from any subclass of the declared target;
+* properties are *single-valued* (at most one outgoing edge per object)
+  or *multi-valued*.
+
+The generic Section 2-3 machinery — update methods, sequential
+application, order-independence testing — works unchanged on extended
+instances: :func:`repro.core.sequential.apply_sequence` and the
+independence checks only rely on method application and instance
+equality, both provided here.  Receiver matching becomes subtype-aware
+(:class:`ExtendedFunctionalMethod`).  The schema-coloring and algebraic
+layers intentionally target the paper's plain model; the mapping of
+those results to the extended model is exactly the further work the
+footnote cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.method import MethodUndefined, UpdateMethod
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Obj
+from repro.graph.schema import SchemaError
+
+SINGLE = "single"
+MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class ExtendedEdge:
+    """A property declaration: ``(source, label, target, multiplicity)``."""
+
+    source: str
+    label: str
+    target: str
+    multiplicity: str = MULTI
+
+    def __post_init__(self) -> None:
+        if self.multiplicity not in (SINGLE, MULTI):
+            raise SchemaError(
+                f"multiplicity must be '{SINGLE}' or '{MULTI}', got "
+                f"{self.multiplicity!r}"
+            )
+
+    def is_single_valued(self) -> bool:
+        return self.multiplicity == SINGLE
+
+
+class ExtendedSchema:
+    """Classes with an ISA hierarchy plus typed property declarations."""
+
+    def __init__(
+        self,
+        class_names: Iterable[str],
+        isa: Mapping[str, Iterable[str]] = (),
+        edges: Iterable = (),
+    ) -> None:
+        self._classes: FrozenSet[str] = frozenset(class_names)
+        parents: Dict[str, FrozenSet[str]] = {}
+        isa_mapping = dict(isa) if not isinstance(isa, dict) else isa
+        for cls, supers in isa_mapping.items():
+            if cls not in self._classes:
+                raise SchemaError(f"unknown class {cls!r} in ISA")
+            supers = frozenset(supers)
+            unknown = supers - self._classes
+            if unknown:
+                raise SchemaError(
+                    f"unknown superclasses {sorted(unknown)} for {cls!r}"
+                )
+            parents[cls] = supers
+        self._parents = parents
+        self._check_acyclic()
+
+        by_label: Dict[str, ExtendedEdge] = {}
+        for raw in edges:
+            edge = raw if isinstance(raw, ExtendedEdge) else ExtendedEdge(*raw)
+            if edge.source not in self._classes:
+                raise SchemaError(f"unknown source class {edge.source!r}")
+            if edge.target not in self._classes:
+                raise SchemaError(f"unknown target class {edge.target!r}")
+            if edge.label in by_label:
+                raise SchemaError(f"duplicate property label {edge.label!r}")
+            by_label[edge.label] = edge
+        self._edges = by_label
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(cls: str) -> None:
+            if state.get(cls) == 1:
+                raise SchemaError(f"cyclic ISA hierarchy through {cls!r}")
+            if state.get(cls) == 2:
+                return
+            state[cls] = 1
+            for parent in self._parents.get(cls, ()):  # noqa: B023
+                visit(parent)
+            state[cls] = 2
+
+        for cls in self._classes:
+            visit(cls)
+
+    @property
+    def class_names(self) -> FrozenSet[str]:
+        return self._classes
+
+    @property
+    def edges(self) -> Tuple[ExtendedEdge, ...]:
+        return tuple(self._edges[label] for label in sorted(self._edges))
+
+    def edge(self, label: str) -> ExtendedEdge:
+        try:
+            return self._edges[label]
+        except KeyError:
+            raise SchemaError(f"unknown property {label!r}") from None
+
+    def direct_superclasses(self, cls: str) -> FrozenSet[str]:
+        if cls not in self._classes:
+            raise SchemaError(f"unknown class {cls!r}")
+        return self._parents.get(cls, frozenset())
+
+    def superclasses_of(self, cls: str) -> FrozenSet[str]:
+        """All superclasses, reflexively and transitively."""
+        result: Set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            if current not in self._classes:
+                raise SchemaError(f"unknown class {current!r}")
+            result.add(current)
+            stack.extend(self._parents.get(current, ()))
+        return frozenset(result)
+
+    def subclasses_of(self, cls: str) -> FrozenSet[str]:
+        """All subclasses, reflexively and transitively."""
+        return frozenset(
+            other
+            for other in self._classes
+            if cls in self.superclasses_of(other)
+        )
+
+    def is_subclass(self, cls: str, ancestor: str) -> bool:
+        """Reflexive subclassing: ``cls ISA* ancestor``."""
+        return ancestor in self.superclasses_of(cls)
+
+    def properties_applicable_to(self, cls: str) -> Tuple[ExtendedEdge, ...]:
+        """Properties declared at ``cls`` or any of its superclasses."""
+        supers = self.superclasses_of(cls)
+        return tuple(
+            e for e in self.edges if e.source in supers
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedSchema):
+            return NotImplemented
+        return (
+            self._classes == other._classes
+            and self._parents == other._parents
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._classes,
+                frozenset(self._parents.items()),
+                frozenset(self._edges.values()),
+            )
+        )
+
+
+class ExtendedInstance:
+    """An instance of an extended schema.
+
+    Objects carry their most specific class; edges are validated with
+    subtyping, and single-valued properties admit at most one outgoing
+    edge per object.  Same immutable, value-semantics design as the
+    plain :class:`~repro.graph.instance.Instance`.
+    """
+
+    __slots__ = ("_schema", "_nodes", "_edges")
+
+    def __init__(
+        self,
+        schema: ExtendedSchema,
+        nodes: Iterable[Obj] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        node_set = frozenset(nodes)
+        edge_set = frozenset(edges)
+        for node in node_set:
+            if node.cls not in schema.class_names:
+                raise SchemaError(
+                    f"object {node} labeled by unknown class {node.cls!r}"
+                )
+        single_counts: Dict[Tuple[Obj, str], int] = {}
+        for edge in edge_set:
+            declaration = schema.edge(edge.label)
+            if edge.source not in node_set or edge.target not in node_set:
+                raise SchemaError(f"dangling edge {edge}")
+            if not schema.is_subclass(edge.source.cls, declaration.source):
+                raise SchemaError(
+                    f"edge {edge}: {edge.source.cls} is not a subclass "
+                    f"of {declaration.source}"
+                )
+            if not schema.is_subclass(edge.target.cls, declaration.target):
+                raise SchemaError(
+                    f"edge {edge}: {edge.target.cls} is not a subclass "
+                    f"of {declaration.target}"
+                )
+            if declaration.is_single_valued():
+                key = (edge.source, edge.label)
+                single_counts[key] = single_counts.get(key, 0) + 1
+                if single_counts[key] > 1:
+                    raise SchemaError(
+                        f"single-valued property {edge.label!r} has "
+                        f"multiple values at {edge.source}"
+                    )
+        self._schema = schema
+        self._nodes = node_set
+        self._edges = edge_set
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> ExtendedSchema:
+        return self._schema
+
+    @property
+    def nodes(self) -> FrozenSet[Obj]:
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def has_node(self, node: Obj) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, edge: Edge) -> bool:
+        return edge in self._edges
+
+    def members_of(self, cls: str) -> FrozenSet[Obj]:
+        """All objects that are members of ``cls`` — *including*
+        members via subclassing (unlike the plain model)."""
+        return frozenset(
+            o
+            for o in self._nodes
+            if self._schema.is_subclass(o.cls, cls)
+        )
+
+    def direct_extent(self, cls: str) -> FrozenSet[Obj]:
+        """Objects whose most specific class is exactly ``cls``."""
+        return frozenset(o for o in self._nodes if o.cls == cls)
+
+    def property_values(self, node: Obj, label: str) -> FrozenSet[Obj]:
+        return frozenset(
+            e.target
+            for e in self._edges
+            if e.source == node and e.label == label
+        )
+
+    def single_value(self, node: Obj, label: str) -> Optional[Obj]:
+        """The unique value of a single-valued property (or ``None``)."""
+        declaration = self._schema.edge(label)
+        if not declaration.is_single_valued():
+            raise SchemaError(f"property {label!r} is multi-valued")
+        values = self.property_values(node, label)
+        if not values:
+            return None
+        (value,) = values
+        return value
+
+    # ------------------------------------------------------------------
+    def with_nodes(self, nodes: Iterable[Obj]) -> "ExtendedInstance":
+        return ExtendedInstance(
+            self._schema, self._nodes | set(nodes), self._edges
+        )
+
+    def with_edges(self, edges: Iterable[Edge]) -> "ExtendedInstance":
+        return ExtendedInstance(
+            self._schema, self._nodes, self._edges | set(edges)
+        )
+
+    def without_edges(self, edges: Iterable[Edge]) -> "ExtendedInstance":
+        return ExtendedInstance(
+            self._schema, self._nodes, self._edges - set(edges)
+        )
+
+    def replace_property(
+        self, node: Obj, label: str, targets: Iterable[Obj]
+    ) -> "ExtendedInstance":
+        """Replace ``label``-edges at ``node``; single-valuedness is
+        re-validated by the constructor."""
+        old = {
+            e
+            for e in self._edges
+            if e.source == node and e.label == label
+        }
+        new = {Edge(node, label, t) for t in targets}
+        return ExtendedInstance(
+            self._schema, self._nodes, (self._edges - old) | new
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedInstance):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._nodes == other._nodes
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedInstance({len(self._nodes)} objects, "
+            f"{len(self._edges)} links)"
+        )
+
+
+class ExtendedFunctionalMethod(UpdateMethod):
+    """An update method over extended instances.
+
+    Receiver matching is subtype-aware: an object of a *subclass* of a
+    signature class is an acceptable receiver component — inheritance's
+    substitution principle.
+    """
+
+    def __init__(
+        self,
+        schema: ExtendedSchema,
+        signature: MethodSignature,
+        fn,
+        name: str = "extended",
+    ) -> None:
+        super().__init__(signature, name)
+        for cls in signature:
+            if cls not in schema.class_names:
+                raise SchemaError(
+                    f"signature class {cls!r} is not in the schema"
+                )
+        self._extended_schema = schema
+        self._fn = fn
+
+    def check_receiver(self, instance, receiver: Receiver) -> None:
+        if len(receiver) != len(self.signature):
+            raise MethodUndefined(
+                f"receiver {receiver} has the wrong arity"
+            )
+        for obj, cls in zip(receiver, self.signature):
+            if not self._extended_schema.is_subclass(obj.cls, cls):
+                raise MethodUndefined(
+                    f"receiver component {obj} is not a member of {cls!r}"
+                )
+            if not instance.has_node(obj):
+                raise MethodUndefined(
+                    f"receiver {receiver} is not over the instance"
+                )
+
+    def _apply(self, instance, receiver: Receiver):
+        return self._fn(instance, receiver)

@@ -1,0 +1,203 @@
+"""Partial instances, the ``G`` operator, and restriction (Section 4.1).
+
+A *partial instance* (Definition 4.3) is a subset of some instance, viewed
+as a set of items.  Unlike instances, partial instances may contain
+"dangling edges": an edge may be present while one of its endpoints is
+not.  The operator ``G`` (Definition 4.4) returns the largest instance
+contained in a partial instance, i.e. drops all dangling edges.
+
+The *restriction* ``I|X`` of an instance to a set of schema items ``X``
+(Definition 4.5) removes all items whose label is not in ``X``.
+
+Partial instances support the set-theoretic operations the paper applies
+to them (union, difference, intersection).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Union
+
+from repro.graph.instance import Edge, Instance, Item, Obj, item_label
+from repro.graph.schema import Schema
+
+
+class PartialInstance:
+    """A set of instance items, possibly with dangling edges."""
+
+    __slots__ = ("_schema", "_nodes", "_edges")
+
+    def __init__(
+        self,
+        schema: Schema,
+        items: Iterable[Item] = (),
+    ) -> None:
+        nodes = set()
+        edges = set()
+        for item in items:
+            if isinstance(item, Obj):
+                nodes.add(item)
+            elif isinstance(item, Edge):
+                edges.add(item)
+            else:
+                raise TypeError(f"not an instance item: {item!r}")
+        self._schema = schema
+        self._nodes: FrozenSet[Obj] = frozenset(nodes)
+        self._edges: FrozenSet[Edge] = frozenset(edges)
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "PartialInstance":
+        return cls(instance.schema, instance.items())
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def nodes(self) -> FrozenSet[Obj]:
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def items(self) -> FrozenSet[Item]:
+        return self._nodes | self._edges
+
+    def dangling_edges(self) -> FrozenSet[Edge]:
+        """Edges with at least one endpoint missing from the node set."""
+        return frozenset(
+            e
+            for e in self._edges
+            if e.source not in self._nodes or e.target not in self._nodes
+        )
+
+    def is_instance(self) -> bool:
+        """Whether this partial instance has no dangling edges."""
+        return not self.dangling_edges()
+
+    def to_instance(self) -> Instance:
+        """Convert to an :class:`Instance`; fails on dangling edges."""
+        return Instance(self._schema, self._nodes, self._edges)
+
+    # ------------------------------------------------------------------
+    # Set-theoretic operations (the paper treats partial instances as
+    # sets of items)
+    # ------------------------------------------------------------------
+    def _coerce(
+        self, other: Union["PartialInstance", Instance]
+    ) -> "PartialInstance":
+        if isinstance(other, Instance):
+            return PartialInstance.from_instance(other)
+        return other
+
+    def union(
+        self, other: Union["PartialInstance", Instance]
+    ) -> "PartialInstance":
+        other = self._coerce(other)
+        return PartialInstance(
+            self._schema, self.items() | other.items()
+        )
+
+    def difference(
+        self, other: Union["PartialInstance", Instance]
+    ) -> "PartialInstance":
+        other = self._coerce(other)
+        return PartialInstance(
+            self._schema, self.items() - other.items()
+        )
+
+    def intersection(
+        self, other: Union["PartialInstance", Instance]
+    ) -> "PartialInstance":
+        other = self._coerce(other)
+        return PartialInstance(
+            self._schema, self.items() & other.items()
+        )
+
+    __or__ = union
+    __sub__ = difference
+    __and__ = intersection
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            other = PartialInstance.from_instance(other)
+        if not isinstance(other, PartialInstance):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __contains__(self, item: Item) -> bool:
+        if isinstance(item, Obj):
+            return item in self._nodes
+        return item in self._edges
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.items())
+
+    def __len__(self) -> int:
+        return len(self._nodes) + len(self._edges)
+
+    def __le__(self, other: "PartialInstance") -> bool:
+        other = self._coerce(other)
+        return self._nodes <= other._nodes and self._edges <= other._edges
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialInstance(nodes={sorted(map(str, self._nodes))}, "
+            f"edges={sorted(map(str, self._edges))})"
+        )
+
+
+def g_operator(partial: Union[PartialInstance, Instance]) -> Instance:
+    """``G(J)``: the largest instance contained in ``J`` (Definition 4.4).
+
+    Drops every dangling edge; keeps all nodes.
+    """
+    if isinstance(partial, Instance):
+        return partial
+    kept = {
+        e
+        for e in partial.edges
+        if e.source in partial.nodes and e.target in partial.nodes
+    }
+    return Instance(partial.schema, partial.nodes, kept)
+
+
+def restrict(
+    instance: Union[Instance, PartialInstance],
+    schema_items: Iterable[str],
+) -> PartialInstance:
+    """``I|X``: remove all items whose label is not in ``X`` (Definition 4.5).
+
+    The result is a partial instance: removing a node does not remove its
+    incident edges.
+    """
+    allowed = frozenset(schema_items)
+    kept = [item for item in instance.items() if item_label(item) in allowed]
+    return PartialInstance(instance.schema, kept)
+
+
+def restriction_is_instance(
+    schema: Schema, schema_items: Iterable[str]
+) -> bool:
+    """Whether ``I|X`` is guaranteed to be an instance for every ``I``.
+
+    This holds exactly when ``X`` is closed under incident nodes: if an
+    edge label is in ``X`` then so are the class names of both endpoints
+    (the side condition of Definition 4.7).
+    """
+    allowed = frozenset(schema_items)
+    for label in allowed:
+        if label in schema.property_names:
+            edge = schema.edge(label)
+            if edge.source not in allowed or edge.target not in allowed:
+                return False
+    return True

@@ -1,0 +1,44 @@
+"""Plain-text rendering of schemas and instances.
+
+Used by the example scripts to print the paper's figures, and handy when
+debugging tests.  The format is deterministic (sorted) so renders can be
+compared in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.graph.instance import Instance
+from repro.graph.partial import PartialInstance
+from repro.graph.schema import Schema
+
+
+def render_schema(schema: Schema) -> str:
+    """Render a schema as one class per line plus one edge per line."""
+    lines: List[str] = ["schema:"]
+    for cls in sorted(schema.class_names):
+        lines.append(f"  class {cls}")
+    for edge in schema.edges:
+        lines.append(f"  {edge.source} --{edge.label}--> {edge.target}")
+    return "\n".join(lines)
+
+
+def render_instance(
+    instance: Union[Instance, PartialInstance], title: str = "instance"
+) -> str:
+    """Render an instance: nodes grouped by class, then sorted edges."""
+    lines: List[str] = [f"{title}:"]
+    by_class: dict = {}
+    for node in instance.nodes:
+        by_class.setdefault(node.cls, []).append(node)
+    for cls in sorted(by_class):
+        members = ", ".join(str(n) for n in sorted(by_class[cls]))
+        lines.append(f"  {cls}: {members}")
+    for edge in sorted(instance.edges):
+        lines.append(f"  {edge.source} --{edge.label}--> {edge.target}")
+    if isinstance(instance, PartialInstance):
+        dangling = instance.dangling_edges()
+        if dangling:
+            lines.append(f"  ({len(dangling)} dangling edge(s))")
+    return "\n".join(lines)

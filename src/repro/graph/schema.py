@@ -1,0 +1,187 @@
+"""Object-base schemas (Definition 2.1).
+
+A schema is a finite, edge-labeled, directed graph: nodes are class names,
+edges are triples ``(B, e, C)`` where ``e`` is a property name.  Different
+edges must carry different labels, so a property name identifies its edge.
+
+Schema *items* (Definition 4.1) are the nodes and edges of the schema.  We
+identify an item by its name: class names and property names are assumed to
+come from disjoint sets, which :class:`Schema` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised when a schema or instance violates the model's constraints."""
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """An edge ``(source, label, target)`` of a schema.
+
+    ``label`` is a *property* of class ``source`` of type ``target``
+    (Definition 2.1).
+    """
+
+    source: str
+    label: str
+    target: str
+
+    def incident_nodes(self) -> Tuple[str, str]:
+        """Return the two (possibly equal) class names this edge touches."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        return f"{self.source} --{self.label}--> {self.target}"
+
+
+class Schema:
+    """A finite, edge-labeled, directed graph of class names.
+
+    Parameters
+    ----------
+    class_names:
+        The nodes of the schema graph.
+    edges:
+        Triples ``(B, e, C)`` — either :class:`SchemaEdge` instances or
+        plain 3-tuples.  Labels must be unique across all edges and must
+        not collide with class names.
+    """
+
+    def __init__(
+        self,
+        class_names: Iterable[str],
+        edges: Iterable = (),
+    ) -> None:
+        self._classes: FrozenSet[str] = frozenset(class_names)
+        if not all(isinstance(c, str) and c for c in self._classes):
+            raise SchemaError("class names must be non-empty strings")
+        by_label: Dict[str, SchemaEdge] = {}
+        for raw in edges:
+            edge = raw if isinstance(raw, SchemaEdge) else SchemaEdge(*raw)
+            if edge.source not in self._classes:
+                raise SchemaError(f"unknown source class {edge.source!r}")
+            if edge.target not in self._classes:
+                raise SchemaError(f"unknown target class {edge.target!r}")
+            if edge.label in by_label:
+                raise SchemaError(f"duplicate property label {edge.label!r}")
+            if edge.label in self._classes:
+                raise SchemaError(
+                    f"property label {edge.label!r} collides with a class name"
+                )
+            by_label[edge.label] = edge
+        self._edges: Dict[str, SchemaEdge] = by_label
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def class_names(self) -> FrozenSet[str]:
+        """The nodes of the schema graph."""
+        return self._classes
+
+    @property
+    def edges(self) -> Tuple[SchemaEdge, ...]:
+        """All edges, in a deterministic (label-sorted) order."""
+        return tuple(self._edges[label] for label in sorted(self._edges))
+
+    @property
+    def property_names(self) -> FrozenSet[str]:
+        """The labels of all edges."""
+        return frozenset(self._edges)
+
+    def edge(self, label: str) -> SchemaEdge:
+        """Return the unique edge carrying ``label``.
+
+        Raises :class:`SchemaError` for unknown labels.
+        """
+        try:
+            return self._edges[label]
+        except KeyError:
+            raise SchemaError(f"unknown property {label!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def has_property(self, label: str) -> bool:
+        return label in self._edges
+
+    def properties_of(self, class_name: str) -> Tuple[SchemaEdge, ...]:
+        """The edges leaving ``class_name`` (its properties)."""
+        if class_name not in self._classes:
+            raise SchemaError(f"unknown class {class_name!r}")
+        return tuple(
+            e for e in self.edges if e.source == class_name
+        )
+
+    def edges_incident_to(self, class_name: str) -> Tuple[SchemaEdge, ...]:
+        """All edges touching ``class_name`` (as source or target)."""
+        if class_name not in self._classes:
+            raise SchemaError(f"unknown class {class_name!r}")
+        return tuple(
+            e
+            for e in self.edges
+            if e.source == class_name or e.target == class_name
+        )
+
+    def items(self) -> Tuple[str, ...]:
+        """All schema items (Definition 4.1): class names then edge labels."""
+        return tuple(sorted(self._classes)) + tuple(sorted(self._edges))
+
+    def is_node_item(self, item: str) -> bool:
+        """Whether ``item`` names a class (as opposed to a property)."""
+        if item in self._classes:
+            return True
+        if item in self._edges:
+            return False
+        raise SchemaError(f"unknown schema item {item!r}")
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __contains__(self, item: str) -> bool:
+        return item in self._classes or item in self._edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._classes == other._classes and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._classes, frozenset(self._edges.values())))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.items())
+
+    def __repr__(self) -> str:
+        classes = ", ".join(sorted(self._classes))
+        edges = "; ".join(str(e) for e in self.edges)
+        return f"Schema(classes=[{classes}], edges=[{edges}])"
+
+
+def schema_items(schema: Schema) -> Tuple[str, ...]:
+    """Convenience alias for :meth:`Schema.items`."""
+    return schema.items()
+
+
+def drinker_bar_beer_schema() -> Schema:
+    """Ullman's well-known example schema (Example 2.3).
+
+    Class names ``Drinker``, ``Bar``, ``Beer``; ``Drinker`` has properties
+    ``frequents`` (type ``Bar``) and ``likes`` (type ``Beer``); ``Bar`` has
+    property ``serves`` (type ``Beer``).
+    """
+    return Schema(
+        ["Drinker", "Bar", "Beer"],
+        [
+            ("Drinker", "frequents", "Bar"),
+            ("Drinker", "likes", "Beer"),
+            ("Bar", "serves", "Beer"),
+        ],
+    )

@@ -1,0 +1,36 @@
+"""Object-relational bridge (Section 5.1).
+
+Object-base schemas and instances "can be naturally viewed as relational
+database schemas and instances": each class ``C`` becomes a unary relation
+scheme ``C``, each property edge ``(C, a, B)`` a binary relation scheme
+``C.a`` with attributes ``C`` (domain ``C``) and ``a`` (domain ``B``), and
+the schema carries the inclusion dependencies ``C.a[C] <= C[C]`` and
+``C.a[a] <= B[B]`` plus pairwise disjointness of class extents
+(Proposition 5.1 makes the correspondence exact).
+"""
+
+from repro.objrel.mapping import (
+    class_relation_name,
+    database_to_instance,
+    instance_to_database,
+    property_relation_name,
+    schema_dependencies,
+    schema_to_database_schema,
+)
+from repro.objrel.encoding import (
+    decode_relation,
+    encode_binary_relation,
+    rewrite_binary_references,
+)
+
+__all__ = [
+    "class_relation_name",
+    "property_relation_name",
+    "schema_to_database_schema",
+    "schema_dependencies",
+    "instance_to_database",
+    "database_to_instance",
+    "encode_binary_relation",
+    "decode_relation",
+    "rewrite_binary_references",
+]

@@ -1,0 +1,121 @@
+"""Encoding binary relations in object bases (Lemma 5.3).
+
+Lemma 5.3 reduces equivalence of relational algebra expressions over
+arbitrary relational instances to equivalence over object-base instances:
+a binary relation ``r = {(a1,b1), ..., (an,bn)}`` over a scheme ``AB`` is
+represented in a schema with classes ``C``, ``D`` and edges ``(C, A, D)``
+and ``(C, B, D)`` by
+
+* ``D``-nodes ``{a1, ..., an, b1, ..., bn}``,
+* ``n`` abstract ``C``-nodes ``t1, ..., tn``, and
+* edges ``(ti, A, ai)`` and ``(ti, B, bi)``.
+
+In such an instance, ``pi_{A,B}(CA join CB)`` evaluates back to ``r``,
+and an expression ``E`` over ``R = AB`` is satisfiable iff its rewriting
+``E'`` (each ``R`` replaced by that join) is satisfiable over object-base
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set, Tuple
+
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+from repro.objrel.mapping import property_relation_name
+from repro.relational.algebra import (
+    Expr,
+    Project,
+    Rel,
+    Select,
+    eq_join,
+    substitute,
+)
+
+
+def encoding_schema(
+    tuple_class: str = "C",
+    value_class: str = "D",
+    first_label: str = "A",
+    second_label: str = "B",
+) -> Schema:
+    """The two-class schema used by Lemma 5.3's encoding."""
+    return Schema(
+        [tuple_class, value_class],
+        [
+            (tuple_class, first_label, value_class),
+            (tuple_class, second_label, value_class),
+        ],
+    )
+
+
+def encode_binary_relation(
+    pairs: Iterable[Tuple[Hashable, Hashable]],
+    schema: Schema,
+    tuple_class: str = "C",
+    value_class: str = "D",
+    first_label: str = "A",
+    second_label: str = "B",
+) -> Instance:
+    """Encode a binary relation as an object-base instance (Lemma 5.3)."""
+    nodes: Set[Obj] = set()
+    edges: Set[Edge] = set()
+    for index, (a, b) in enumerate(sorted(set(pairs), key=repr)):
+        t = Obj(tuple_class, f"t{index}")
+        obj_a = Obj(value_class, a)
+        obj_b = Obj(value_class, b)
+        nodes |= {t, obj_a, obj_b}
+        edges.add(Edge(t, first_label, obj_a))
+        edges.add(Edge(t, second_label, obj_b))
+    return Instance(schema, nodes, edges)
+
+
+def decode_expression(
+    schema: Schema,
+    first_label: str = "A",
+    second_label: str = "B",
+) -> Expr:
+    """The expression ``pi_{A,B}(CA join CB)`` recovering the relation.
+
+    The join equates the shared tuple-class attribute of the two
+    property relations.
+    """
+    tuple_class = schema.edge(first_label).source
+    ca = Rel(property_relation_name(schema, first_label))
+    cb = Rel(property_relation_name(schema, second_label))
+    joined = eq_join(ca, cb, [(tuple_class, tuple_class)])
+    return Project(joined, (first_label, second_label))
+
+
+def decode_relation(instance: Instance, first_label: str = "A",
+                    second_label: str = "B") -> Set[Tuple[Hashable, Hashable]]:
+    """Evaluate the decoding expression and strip the object wrappers."""
+    from repro.objrel.mapping import instance_to_database
+    from repro.relational.evaluate import evaluate
+
+    database = instance_to_database(instance)
+    expr = decode_expression(instance.schema, first_label, second_label)
+    relation = evaluate(expr, database)
+    return {(a.key, b.key) for a, b in relation}
+
+
+def rewrite_binary_references(
+    expr: Expr,
+    relation_name: str,
+    schema: Schema,
+    first_label: str = "A",
+    second_label: str = "B",
+) -> Expr:
+    """Replace each reference to ``relation_name`` by the decoding join.
+
+    This is the expression rewriting ``E -> E'`` in the proof of
+    Lemma 5.3.
+    """
+    decoded = decode_expression(schema, first_label, second_label)
+
+    def replace(node: Rel) -> Expr:
+        if node.name == relation_name:
+            return decoded
+        return node
+
+    return substitute(expr, replace)

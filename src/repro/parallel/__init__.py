@@ -1,0 +1,56 @@
+"""Parallel application of algebraic update methods (Section 6).
+
+Instead of folding a method over receivers one at a time, the parallel
+strategy stores the whole receiver set in one relation ``rec`` over the
+scheme ``self arg1 ... argk`` and rewrites each update expression ``E``
+into ``par(E)`` (Definition 6.1), which keeps a copy of the receiving
+object ``self`` threaded through the evaluation so arguments of different
+receiving objects never mix.
+
+Key results implemented and tested here:
+
+* Proposition 6.3 — on a single receiver, parallel and ordinary
+  application coincide;
+* Lemma 6.7 — ``par(E)(I, T) = union over t of {t(self)} x E(I, t)`` for
+  key sets ``T``;
+* Theorem 6.5 — for key-order-independent methods, sequential and
+  parallel application agree on key sets;
+* Example 6.4 — sequential application can compute transitive closure,
+  parallel application (being one algebra expression) cannot;
+* the Section 7 "code improvement" tool: composing ``par(E)`` with a
+  receiver-set query yields the efficient set-oriented statement
+  equivalent to a key-order-independent cursor-based update.
+"""
+
+from repro.parallel.transform import REC, par_transform, rec_schema
+from repro.parallel.apply import (
+    apply_parallel,
+    lemma_6_7_holds,
+    parallel_update_relation,
+    rec_relation,
+)
+from repro.parallel.improver import ImprovedUpdate, improve
+from repro.parallel.combination import (
+    apply_intersection_union_diff,
+    apply_union_combination,
+    separate_effects,
+)
+from repro.parallel.minimizer import minimize_positive_expression
+from repro.parallel.simplify import simplify
+
+__all__ = [
+    "REC",
+    "rec_schema",
+    "par_transform",
+    "rec_relation",
+    "parallel_update_relation",
+    "apply_parallel",
+    "lemma_6_7_holds",
+    "improve",
+    "ImprovedUpdate",
+    "separate_effects",
+    "apply_union_combination",
+    "apply_intersection_union_diff",
+    "minimize_positive_expression",
+    "simplify",
+]

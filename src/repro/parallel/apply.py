@@ -1,0 +1,136 @@
+"""Parallel application ``M_par`` (Definition 6.2) and Lemma 6.7.
+
+``M_par(I, T)``: interpret ``rec`` by the receiver set ``T``, evaluate
+``par(E_a)`` once per statement, and for each receiving object occurring
+in ``T`` replace its ``a``-edges by edges to the objects linked to it in
+the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.algebraic.expression import UpdateTypeError, evaluate_update_expression
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Instance, Obj
+from repro.objrel.mapping import instance_to_database
+from repro.parallel.transform import REC, par_transform, rec_schema
+from repro.relational.algebra import Expr, Rename
+from repro.relational.database import Database
+from repro.relational.optimizer import evaluate_optimized as evaluate
+from repro.relational.relation import Relation, RelationError
+
+
+def rec_relation(
+    signature: MethodSignature, receivers: Iterable[Receiver]
+) -> Relation:
+    """The relation ``rec`` holding a receiver set."""
+    rows = set()
+    for receiver in receivers:
+        if not receiver.matches(signature):
+            raise RelationError(
+                f"receiver {receiver} does not match signature "
+                f"{list(signature)}"
+            )
+        rows.add(tuple(receiver.objects))
+    return Relation(rec_schema(signature), rows)
+
+
+def parallel_update_relation(
+    method: AlgebraicUpdateMethod,
+    label: str,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> Relation:
+    """``par(E_a)(I, T)``: a relation over ``(self, a)``."""
+    body = method.expression(label)
+    out_attr = method.output_attribute(label)
+    if out_attr != label:
+        body = Rename(body, out_attr, label)
+    transformed = par_transform(
+        body, method.object_schema, method.signature
+    )
+    database = instance_to_database(instance).with_relation(
+        REC, rec_relation(method.signature, receivers)
+    )
+    return evaluate(transformed, database)
+
+
+def apply_parallel(
+    method: AlgebraicUpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> Instance:
+    """``M_par(I, T)`` (Definition 6.2)."""
+    receivers = list(receivers)
+    # Evaluate all statements first (simultaneous semantics).
+    updates: Dict[str, Dict[Obj, Set[Obj]]] = {}
+    for label in method.updated_properties:
+        relation = parallel_update_relation(
+            method, label, instance, receivers
+        )
+        by_receiver: Dict[Obj, Set[Obj]] = {}
+        for row in relation:
+            self_position = relation.schema.position("self")
+            break
+        self_position = relation.schema.position("self")
+        value_position = 1 - self_position if relation.schema.arity == 2 else None
+        if relation.schema.arity != 2:
+            raise RelationError(
+                f"par(E) must be binary (self plus value); got "
+                f"{relation.schema}"
+            )
+        target_class = method.object_schema.edge(label).target
+        targets = instance.objects_of_class(target_class)
+        for row in relation:
+            receiver_obj = row[self_position]
+            value = row[value_position]
+            if value not in targets:
+                raise UpdateTypeError(
+                    f"parallel statement {label} produced {value} outside "
+                    f"class {target_class}"
+                )
+            by_receiver.setdefault(receiver_obj, set()).add(value)
+        updates[label] = by_receiver
+
+    receiving_objects = {r.receiving_object for r in receivers}
+    result = instance
+    for label, by_receiver in updates.items():
+        for obj in receiving_objects:
+            result = result.replace_property(
+                obj, label, by_receiver.get(obj, ())
+            )
+    return result
+
+
+def lemma_6_7_holds(
+    method: AlgebraicUpdateMethod,
+    label: str,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> bool:
+    """Check ``par(E)(I, T) = union_t {t(self)} x E(I, t)`` (Lemma 6.7).
+
+    Stated for key sets; the proof's difference-operator case is where
+    keyness matters, so non-key receiver sets may fail the equation for
+    non-positive expressions.
+    """
+    receivers = list(receivers)
+    relation = parallel_update_relation(method, label, instance, receivers)
+    self_position = relation.schema.position("self")
+    parallel_pairs: FrozenSet[Tuple[Obj, Obj]] = frozenset(
+        (row[self_position], row[1 - self_position]) for row in relation
+    )
+    sequential_pairs = set()
+    for receiver in receivers:
+        values = evaluate_update_expression(
+            method.expression(label),
+            instance,
+            receiver,
+            method.signature,
+        )
+        for value in values:
+            sequential_pairs.add((receiver.receiving_object, value))
+    return parallel_pairs == frozenset(sequential_pairs)

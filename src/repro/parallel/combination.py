@@ -1,0 +1,93 @@
+"""Coarser-grained parallel semantics (Section 1, related work).
+
+Besides the fine-grained ``par(E)`` strategy of Section 6, the paper's
+introduction surveys "coarser grained" parallel interpretations of
+for-each loops, which compute the effects of the update on each receiver
+*separately* and then combine them:
+
+* **Abiteboul-Vianu union** — ``U_i M(I, t_i)`` (as sets of items, with
+  dangling edges dropped by ``G``); adequate for inflationary updates
+  but unable to realize deletions;
+* the **intersection-union-difference operator** the paper singles out
+  as "one which seems to be well-behaved"::
+
+      /\\_i D_i  u  U_i (D_i - D)
+
+  where ``D_i = M(I, t_i)`` and ``D`` is the input instance: keep what
+  *every* separate application kept, plus everything *some* application
+  created.
+
+The test suite verifies the paper's intuition: on key sets of receivers
+for key-order-independent methods, the intersection-union-difference
+semantics coincides with both the sequential and the Section 6 parallel
+semantics — including for deleting methods, where the plain union does
+not.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, List
+
+from repro.core.method import UpdateMethod
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance
+from repro.graph.partial import PartialInstance, g_operator
+
+
+def separate_effects(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> List[Instance]:
+    """``D_i = M(I, t_i)`` for each receiver, all against the input."""
+    return [method.apply(instance, receiver) for receiver in receivers]
+
+
+def apply_union_combination(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> Instance:
+    """The Abiteboul-Vianu semantics: the union of the separate effects.
+
+    With no receivers the result is the input instance unchanged.
+    """
+    effects = separate_effects(method, instance, receivers)
+    if not effects:
+        return instance
+    combined = reduce(
+        lambda acc, eff: acc | PartialInstance.from_instance(eff),
+        effects,
+        PartialInstance(instance.schema),
+    )
+    return g_operator(combined)
+
+
+def apply_intersection_union_diff(
+    method: UpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> Instance:
+    """The ``/\\_i D_i u U_i (D_i - D)`` combination operator.
+
+    Keeps the items every separate application retained (so a deletion
+    by any single application takes effect) plus the items any
+    application created.  ``G`` drops edges whose endpoints were deleted
+    by some other application.
+    """
+    effects = separate_effects(method, instance, receivers)
+    if not effects:
+        return instance
+    base = PartialInstance.from_instance(instance)
+    intersection = reduce(
+        lambda acc, eff: acc & PartialInstance.from_instance(eff),
+        effects[1:],
+        PartialInstance.from_instance(effects[0]),
+    )
+    additions = PartialInstance(instance.schema)
+    for effect in effects:
+        additions = additions | (
+            PartialInstance.from_instance(effect) - base
+        )
+    return g_operator(intersection | additions)

@@ -1,0 +1,144 @@
+"""The "code improvement" tool (Section 7, Theorem 6.5).
+
+Given a cursor-based update program — modeled as a key-order-independent
+algebraic method ``M`` applied to a key set of receivers computed by a
+query ``Q`` — Theorem 6.5 licenses replacing the n-fold sequential
+application by a single set-oriented statement: evaluate ``par(E_a)``
+once with ``rec := Q(I)``.
+
+:func:`improve` composes the two, substituting the receiver query for
+``rec`` inside the parallelized expression, and renders the result as
+SQL — recovering, for the paper's Section 7 example, exactly the
+statement ``select EmpId, New from Employee, NewSal where Salary = Old``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.algebraic.sufficient import satisfies_prop_5_8
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance
+from repro.objrel.mapping import (
+    instance_to_database,
+    schema_to_database_schema,
+)
+from repro.parallel.simplify import simplify
+from repro.parallel.transform import REC, par_transform, rec_schema
+from repro.relational.algebra import Expr, Rel, Rename, substitute
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+from repro.relational.optimizer import evaluate_optimized as evaluate
+from repro.relational.relation import Relation, RelationError
+from repro.relational.sqlrender import to_sql
+
+
+@dataclass(frozen=True)
+class ImprovedUpdate:
+    """A set-oriented replacement for a cursor-based update."""
+
+    method: AlgebraicUpdateMethod
+    receiver_query: Expr
+    expressions: Dict[str, Expr]
+    """Per updated property: one expression computing ``(self, value)``
+    pairs for the whole receiver set at once."""
+
+    def sql(self, label: str) -> str:
+        """Render the combined expression for one property as SQL."""
+        db_schema = schema_to_database_schema(self.method.object_schema)
+        return to_sql(self.expressions[label], db_schema)
+
+    def receiver_sql(self) -> str:
+        """Render the receiver-set query as SQL."""
+        db_schema = schema_to_database_schema(self.method.object_schema)
+        return to_sql(self.receiver_query, db_schema)
+
+    def apply(self, instance: Instance) -> Instance:
+        """Run the set-oriented update against an instance."""
+        database = instance_to_database(instance)
+        receivers_relation = evaluate(self.receiver_query, database)
+        updates: Dict[str, Dict] = {}
+        for label, expr in self.expressions.items():
+            relation = evaluate(expr, database)
+            self_position = relation.schema.position("self")
+            by_receiver: Dict = {}
+            for row in relation:
+                by_receiver.setdefault(row[self_position], set()).add(
+                    row[1 - self_position]
+                )
+            updates[label] = by_receiver
+        self_position = receivers_relation.schema.position("self")
+        receiving = {row[self_position] for row in receivers_relation}
+        result = instance
+        for label, by_receiver in updates.items():
+            for obj in receiving:
+                result = result.replace_property(
+                    obj, label, by_receiver.get(obj, ())
+                )
+        return result
+
+
+def improve(
+    method: AlgebraicUpdateMethod,
+    receiver_query: Expr,
+    require_certificate: bool = True,
+    do_simplify: bool = True,
+    do_minimize: bool = True,
+) -> ImprovedUpdate:
+    """Derive the set-oriented equivalent of a cursor-based update.
+
+    ``receiver_query`` must produce the receiver-set relation with the
+    scheme ``self arg1 ... argk`` (a key set at runtime).  With
+    ``require_certificate`` (default), the method must pass the
+    Proposition 5.8 syntactic check — the common, cheaply-verified
+    certificate of key-order independence; pass ``False`` when key-order
+    independence was established another way (e.g. Theorem 5.12's
+    decision procedure).
+    """
+    if require_certificate and not satisfies_prop_5_8(method):
+        raise RelationError(
+            f"method {method.name!r} lacks the Proposition 5.8 "
+            "certificate; verify key-order independence (e.g. via "
+            "decide_key_order_independence) and pass "
+            "require_certificate=False"
+        )
+    db_schema = schema_to_database_schema(method.object_schema)
+    expected = rec_schema(method.signature)
+    actual = infer_schema(receiver_query, db_schema)
+    if actual != expected:
+        raise RelationError(
+            f"receiver query has scheme {actual}, expected {expected}"
+        )
+
+    def replace_rec(node: Rel) -> Expr:
+        if node.name == REC:
+            return receiver_query
+        return node
+
+    expressions: Dict[str, Expr] = {}
+    for label in method.updated_properties:
+        body = method.expression(label)
+        out_attr = method.output_attribute(label)
+        if out_attr != label:
+            body = Rename(body, out_attr, label)
+        parallel = par_transform(
+            body, method.object_schema, method.signature
+        )
+        combined = substitute(parallel, replace_rec)
+        if do_simplify:
+            combined = simplify(combined, db_schema)
+        if do_minimize:
+            from repro.objrel.mapping import schema_dependencies
+            from repro.parallel.minimizer import (
+                minimize_positive_expression,
+            )
+
+            combined = minimize_positive_expression(
+                combined,
+                db_schema,
+                schema_dependencies(method.object_schema),
+            )
+        expressions[label] = combined
+    return ImprovedUpdate(method, receiver_query, expressions)

@@ -1,0 +1,54 @@
+"""Minimizing positive expressions via conjunctive-query cores.
+
+``minimize_positive_expression`` pipes an expression through
+translate -> minimize (cores + redundant-disjunct elimination) ->
+regenerate, producing an equivalent, usually much smaller, positive
+expression.  The improver uses it so the derived set-oriented SQL
+matches the paper's hand-simplified form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cq.containment import ContainmentBudgetExceeded
+from repro.cq.minimize import minimize_positive
+from repro.cq.to_algebra import positive_to_expression
+from repro.cq.translate import translate_expression
+from repro.relational.algebra import Expr
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import Dependency
+from repro.relational.evaluate import infer_schema
+from repro.relational.positivity import is_positive
+
+
+def minimize_positive_expression(
+    expr: Expr,
+    db_schema: DatabaseSchema,
+    dependencies: Iterable[Dependency] = (),
+    max_partitions: Optional[int] = 100_000,
+) -> Expr:
+    """An equivalent minimized expression (falls back to the input).
+
+    Only positive expressions are minimized; supplying the schema's
+    dependencies lets the core computation exploit them (a join that is
+    redundant only under an inclusion dependency still folds).  When the
+    containment budget trips, the original expression is returned
+    unchanged.
+    """
+    if not is_positive(expr):
+        return expr
+    output = infer_schema(expr, db_schema)
+    try:
+        query = translate_expression(expr, db_schema)
+        minimized = minimize_positive(
+            query,
+            db_schema,
+            dependencies,
+            max_partitions=max_partitions,
+        )
+        return positive_to_expression(minimized, db_schema, output)
+    except ContainmentBudgetExceeded:
+        # Minimization is best-effort; an over-budget containment test
+        # just means the original expression is kept.
+        return expr

@@ -1,0 +1,87 @@
+"""Light algebraic simplification.
+
+The parallelizer produces expressions with administrative projections and
+renames (from the natural-join expansion of Definition 6.1); these safe,
+semantics-preserving rewrites make the rendered SQL match the paper's
+hand-simplified forms, e.g. turning update (B)'s parallel version into
+``pi_{EmpId,New}(Employee join_{Salary=Old} NewSal)``.
+
+Rules (applied bottom-up to a fixpoint):
+
+* ``pi_X(pi_Y(e)) -> pi_X(e)``
+* identity projections and renames disappear
+* ``rho_{b->c}(rho_{a->b}(e)) -> rho_{a->c}(e)``
+* projections commute into the top of a select chain when that exposes
+  further collapses (kept conservative: only ``pi`` over ``pi``).
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+
+
+def _simplify_once(expr: Expr, db_schema: DatabaseSchema) -> Expr:
+    if isinstance(expr, (Rel, Empty)):
+        return expr
+    if isinstance(expr, Union):
+        return Union(
+            _simplify_once(expr.left, db_schema),
+            _simplify_once(expr.right, db_schema),
+        )
+    if isinstance(expr, Difference):
+        return Difference(
+            _simplify_once(expr.left, db_schema),
+            _simplify_once(expr.right, db_schema),
+        )
+    if isinstance(expr, Product):
+        return Product(
+            _simplify_once(expr.left, db_schema),
+            _simplify_once(expr.right, db_schema),
+        )
+    if isinstance(expr, Select):
+        return Select(
+            _simplify_once(expr.child, db_schema),
+            expr.left,
+            expr.right,
+            expr.equal,
+        )
+    if isinstance(expr, Project):
+        child = _simplify_once(expr.child, db_schema)
+        if isinstance(child, Project):
+            child = child.child
+        child_schema = infer_schema(child, db_schema)
+        if tuple(expr.attrs) == child_schema.names:
+            return child
+        return Project(child, expr.attrs)
+    if isinstance(expr, Rename):
+        child = _simplify_once(expr.child, db_schema)
+        if expr.old == expr.new:
+            return child
+        if isinstance(child, Rename) and child.new == expr.old:
+            if child.old == expr.new:
+                return child.child
+            return Rename(child.child, child.old, expr.new)
+        return Rename(child, expr.old, expr.new)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def simplify(expr: Expr, db_schema: DatabaseSchema) -> Expr:
+    """Apply the rewrite rules to a fixpoint."""
+    current = expr
+    while True:
+        simplified = _simplify_once(current, db_schema)
+        if simplified == current:
+            return current
+        current = simplified

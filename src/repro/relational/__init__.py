@@ -1,0 +1,77 @@
+"""Relational substrate (Section 5.1).
+
+Typed relations, the (standard and positive) relational algebra used by
+the paper — union, difference, Cartesian product, equality and
+non-equality selection, projection, renaming, with joins as the usual
+abbreviations — an evaluation engine, and functional / full-inclusion /
+disjointness dependencies.
+
+The algebra is *typed*: every attribute carries a domain name (a class
+name, for object-base relations), and the schema checker rejects
+comparisons or unions across different domains.  This realizes the typed
+framework of Appendix A, where disjointness of class universes is
+enforced by typing rather than by explicit dependencies.
+"""
+
+from repro.relational.relation import Attribute, Relation, RelationSchema
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+    eq_join,
+    product_all,
+    project_empty,
+    rename_all,
+    union_all,
+)
+from repro.relational.evaluate import evaluate, infer_schema
+from repro.relational.positivity import is_positive, positivity_violations
+from repro.relational.dependencies import (
+    Dependency,
+    DisjointnessDependency,
+    FunctionalDependency,
+    InclusionDependency,
+    satisfies,
+    satisfies_all,
+)
+from repro.relational.sqlrender import to_sql
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "Relation",
+    "Database",
+    "DatabaseSchema",
+    "Expr",
+    "Rel",
+    "Empty",
+    "Union",
+    "Difference",
+    "Product",
+    "Select",
+    "Project",
+    "Rename",
+    "union_all",
+    "product_all",
+    "project_empty",
+    "rename_all",
+    "eq_join",
+    "evaluate",
+    "infer_schema",
+    "is_positive",
+    "positivity_violations",
+    "Dependency",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "DisjointnessDependency",
+    "satisfies",
+    "satisfies_all",
+    "to_sql",
+]

@@ -1,0 +1,265 @@
+"""The relational algebra AST.
+
+The standard algebra of the paper (Section 5.1): union, difference,
+Cartesian product, equality selection, projection, renaming — plus the
+non-equality selection of the positive algebra (Definition 5.2) and an
+explicit empty relation.  Natural and theta joins are provided as
+constructor functions that expand into the core operators, "following
+standard practice" (the paper treats them as abbreviations).
+
+Expressions are immutable dataclasses; evaluation, schema inference,
+positivity checking, substitution, SQL rendering and the translation to
+conjunctive queries are separate visitors, keeping the AST pure data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.relational.relation import (
+    Attribute,
+    RelationError,
+    RelationSchema,
+)
+
+
+class Expr:
+    """Base class for algebra expressions."""
+
+    __slots__ = ()
+
+    # Convenience combinators --------------------------------------------
+    def union(self, other: "Expr") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expr") -> "Difference":
+        return Difference(self, other)
+
+    def product(self, other: "Expr") -> "Product":
+        return Product(self, other)
+
+    def select_eq(self, left: str, right: str) -> "Select":
+        return Select(self, left, right, True)
+
+    def select_neq(self, left: str, right: str) -> "Select":
+        return Select(self, left, right, False)
+
+    def project(self, *names: str) -> "Project":
+        return Project(self, tuple(names))
+
+    def rename(self, old: str, new: str) -> "Rename":
+        return Rename(self, old, new)
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """Reference to a named database relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Empty(Expr):
+    """The empty relation of a given schema.
+
+    Update methods like Theorem 5.6's construction use the empty result
+    explicitly ("... then self else emptyset").
+    """
+
+    schema: RelationSchema
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``sigma_{left = right}`` (``equal=True``) or ``sigma_{left != right}``."""
+
+    child: Expr
+    left: str
+    right: str
+    equal: bool
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """``pi_{attrs}``; an empty tuple gives the 0-ary boolean projection."""
+
+    child: Expr
+    attrs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """``rho_{old -> new}``."""
+
+    child: Expr
+    old: str
+    new: str
+
+
+# ----------------------------------------------------------------------
+# Constructor helpers
+# ----------------------------------------------------------------------
+def union_all(exprs: Sequence[Expr]) -> Expr:
+    """Fold a non-empty sequence into a left-deep union."""
+    if not exprs:
+        raise RelationError("union_all of no expressions")
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = Union(result, expr)
+    return result
+
+
+def product_all(exprs: Sequence[Expr]) -> Expr:
+    """Fold a non-empty sequence into a left-deep product."""
+    if not exprs:
+        raise RelationError("product_all of no expressions")
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = Product(result, expr)
+    return result
+
+
+def project_empty(expr: Expr) -> Project:
+    """``pi_{}(expr)``: the 0-ary (boolean) projection."""
+    return Project(expr, ())
+
+
+def rename_all(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Apply several renamings; targets must be fresh."""
+    for old, new in mapping.items():
+        if old != new:
+            expr = Rename(expr, old, new)
+    return expr
+
+
+_FRESH = itertools.count()
+
+
+def fresh_attr(base: str) -> str:
+    """An attribute name guaranteed not to clash with user attributes."""
+    return f"{base}__{next(_FRESH)}"
+
+
+def eq_join(
+    left: Expr,
+    right: Expr,
+    pairs: Sequence[Tuple[str, str]],
+    equal: bool = True,
+    db_schema=None,
+) -> Expr:
+    """Theta join on attribute pairs, as product + selection + renaming.
+
+    ``pairs`` lists ``(left_attr, right_attr)`` comparisons.  Colliding
+    right-side attribute names are renamed apart first: all of them when
+    ``db_schema`` (a :class:`~repro.relational.database.DatabaseSchema`)
+    is supplied, otherwise only those mentioned in ``pairs`` — callers
+    joining relations with other shared attribute names should pass the
+    schema.  (The paper treats joins as abbreviations of product,
+    selection and renaming; we expand them the same way.)
+    """
+    from repro.relational.evaluate import infer_schema
+
+    renames: Dict[str, str] = {}
+    if db_schema is not None:
+        left_names = set(infer_schema(left, db_schema).names)
+        right_names = infer_schema(right, db_schema).names
+        for name in right_names:
+            if name in left_names:
+                renames[name] = fresh_attr(name)
+    else:
+        for left_attr, right_attr in pairs:
+            if right_attr == left_attr:
+                renames[right_attr] = fresh_attr(right_attr)
+    renamed_right = rename_all(right, renames)
+    expr: Expr = Product(left, renamed_right)
+    for left_attr, right_attr in pairs:
+        actual_right = renames.get(right_attr, right_attr)
+        expr = Select(expr, left_attr, actual_right, equal)
+    return expr
+
+
+def walk(expr: Expr) -> Iterable[Expr]:
+    """Yield ``expr`` and all sub-expressions (pre-order)."""
+    yield expr
+    for child in children(expr):
+        yield from walk(child)
+
+
+def children(expr: Expr) -> Tuple[Expr, ...]:
+    if isinstance(expr, (Union, Difference, Product)):
+        return (expr.left, expr.right)
+    if isinstance(expr, (Select, Project, Rename)):
+        return (expr.child,)
+    return ()
+
+
+def substitute(
+    expr: Expr, replacement: Callable[[Rel], Expr]
+) -> Expr:
+    """Rebuild ``expr`` with each relation reference mapped through
+    ``replacement`` (identity when it returns the node unchanged).
+
+    The workhorse of Theorem 5.6's reduction, which substitutes updated
+    property relations ``Cb`` by their post-update expressions
+    ``E_b[t]``.
+    """
+    if isinstance(expr, Rel):
+        return replacement(expr)
+    if isinstance(expr, Empty):
+        return expr
+    if isinstance(expr, Union):
+        return Union(
+            substitute(expr.left, replacement),
+            substitute(expr.right, replacement),
+        )
+    if isinstance(expr, Difference):
+        return Difference(
+            substitute(expr.left, replacement),
+            substitute(expr.right, replacement),
+        )
+    if isinstance(expr, Product):
+        return Product(
+            substitute(expr.left, replacement),
+            substitute(expr.right, replacement),
+        )
+    if isinstance(expr, Select):
+        return Select(
+            substitute(expr.child, replacement),
+            expr.left,
+            expr.right,
+            expr.equal,
+        )
+    if isinstance(expr, Project):
+        return Project(substitute(expr.child, replacement), expr.attrs)
+    if isinstance(expr, Rename):
+        return Rename(
+            substitute(expr.child, replacement), expr.old, expr.new
+        )
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def referenced_relations(expr: Expr) -> Tuple[str, ...]:
+    """Names of all relations referenced in ``expr`` (sorted, unique)."""
+    return tuple(
+        sorted({node.name for node in walk(expr) if isinstance(node, Rel)})
+    )

@@ -1,0 +1,113 @@
+"""Relational database schemas and instances.
+
+A database schema maps relation names to :class:`RelationSchema`s; a
+database maps them to :class:`Relation`s.  Databases are immutable like
+everything else in the evaluation pipeline; ``with_relation`` produces
+extended databases (used to bind the special ``self``/``arg``/``rec``
+relations of Sections 5-6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.relational.relation import Relation, RelationError, RelationSchema
+
+
+class DatabaseSchema:
+    """A mapping from relation names to relation schemas."""
+
+    __slots__ = ("_schemas",)
+
+    def __init__(self, schemas: Mapping[str, RelationSchema]) -> None:
+        self._schemas: Dict[str, RelationSchema] = dict(schemas)
+
+    def relation_schema(self, name: str) -> RelationSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise RelationError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._schemas
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._schemas))
+
+    def with_relation(
+        self, name: str, schema: RelationSchema
+    ) -> "DatabaseSchema":
+        updated = dict(self._schemas)
+        updated[name] = schema
+        return DatabaseSchema(updated)
+
+    def merged(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        updated = dict(self._schemas)
+        for name, schema in other._schemas.items():
+            if name in updated and updated[name] != schema:
+                raise RelationError(
+                    f"conflicting schemas for relation {name!r}"
+                )
+            updated[name] = schema
+        return DatabaseSchema(updated)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._schemas == other._schemas
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relation_names)
+
+    def __repr__(self) -> str:
+        parts = [f"{n}{s}" for n, s in sorted(self._schemas.items())]
+        return f"DatabaseSchema({', '.join(parts)})"
+
+
+class Database:
+    """A mapping from relation names to relations."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, Relation]) -> None:
+        self._relations: Dict[str, Relation] = dict(relations)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema(
+            {name: rel.schema for name, rel in self._relations.items()}
+        )
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        updated = dict(self._relations)
+        updated[name] = relation
+        return Database(updated)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relation_names)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{name}={rel!r}"
+            for name, rel in sorted(self._relations.items())
+        ]
+        return f"Database({', '.join(parts)})"

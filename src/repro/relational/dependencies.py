@@ -1,0 +1,140 @@
+"""Dependencies: functional, full inclusion, and disjointness.
+
+Appendix A fixes a set of functional dependencies ``R : X -> A`` and
+*full* inclusion dependencies ``R[A1...Aj] <= S[B1...Bk]`` where
+``B1...Bk`` is exactly the scheme of ``S``.  Object-base schemas induce
+inclusion dependencies ``Ca[C] <= C[C]`` and ``Ca[a] <= B[B]`` for each
+property, and disjointness dependencies between class extents (the
+latter are enforced by typing in this implementation, but an explicit
+checker is provided for completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+from repro.relational.database import Database
+from repro.relational.relation import RelationError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``relation : lhs -> rhs`` — ``lhs`` may be empty (singleton rels)."""
+
+    relation: str
+    lhs: Tuple[str, ...]
+    rhs: str
+
+    def __str__(self) -> str:
+        left = ",".join(self.lhs) if self.lhs else "()"
+        return f"{self.relation}: {left} -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``child[child_attrs] <= parent[parent_attrs]``.
+
+    *Full* when ``parent_attrs`` is exactly the parent's scheme; the
+    chase of Appendix A requires fullness, and
+    :func:`is_full` checks it against a database schema.
+    """
+
+    child: str
+    child_attrs: Tuple[str, ...]
+    parent: str
+    parent_attrs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise RelationError(
+                "inclusion dependency with mismatched attribute lists"
+            )
+
+    def is_full(self, db_schema) -> bool:
+        parent_schema = db_schema.relation_schema(self.parent)
+        return tuple(parent_schema.names) == tuple(self.parent_attrs)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child}[{','.join(self.child_attrs)}] <= "
+            f"{self.parent}[{','.join(self.parent_attrs)}]"
+        )
+
+
+@dataclass(frozen=True)
+class DisjointnessDependency:
+    """``first[first_attr] and second[second_attr]`` are disjoint."""
+
+    first: str
+    first_attr: str
+    second: str
+    second_attr: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.first}[{self.first_attr}] disjoint from "
+            f"{self.second}[{self.second_attr}]"
+        )
+
+
+Dependency = Union[
+    FunctionalDependency, InclusionDependency, DisjointnessDependency
+]
+
+
+def satisfies(database: Database, dependency: Dependency) -> bool:
+    """Whether ``database`` satisfies one dependency."""
+    if isinstance(dependency, FunctionalDependency):
+        relation = database.relation(dependency.relation)
+        schema = relation.schema
+        lhs_positions = [schema.position(a) for a in dependency.lhs]
+        rhs_position = schema.position(dependency.rhs)
+        seen = {}
+        for row in relation:
+            key = tuple(row[p] for p in lhs_positions)
+            value = row[rhs_position]
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+        return True
+    if isinstance(dependency, InclusionDependency):
+        child = database.relation(dependency.child)
+        parent = database.relation(dependency.parent)
+        child_positions = [
+            child.schema.position(a) for a in dependency.child_attrs
+        ]
+        parent_positions = [
+            parent.schema.position(a) for a in dependency.parent_attrs
+        ]
+        parent_keys = {
+            tuple(row[p] for p in parent_positions) for row in parent
+        }
+        return all(
+            tuple(row[p] for p in child_positions) in parent_keys
+            for row in child
+        )
+    if isinstance(dependency, DisjointnessDependency):
+        first = database.relation(dependency.first).column(
+            dependency.first_attr
+        )
+        second = database.relation(dependency.second).column(
+            dependency.second_attr
+        )
+        return not (first & second)
+    raise TypeError(f"unknown dependency {dependency!r}")
+
+
+def satisfies_all(
+    database: Database, dependencies: Iterable[Dependency]
+) -> bool:
+    return all(satisfies(database, dep) for dep in dependencies)
+
+
+def violated(
+    database: Database, dependencies: Iterable[Dependency]
+) -> List[Dependency]:
+    """The dependencies ``database`` violates."""
+    return [
+        dep for dep in dependencies if not satisfies(database, dep)
+    ]

@@ -1,0 +1,352 @@
+"""A concise text syntax for relational algebra expressions.
+
+The paper writes methods like::
+
+    f := pi_f(self |x|_{self=D} Df) u arg1
+
+This module parses a close ASCII rendition into the algebra AST, so
+examples and tests can state expressions the way the paper does::
+
+    parse_expression("pi[frequents](self * Drinker.frequents : self=Drinker) u arg1")
+
+Grammar (whitespace-insensitive)::
+
+    expr     := term (("u" | "-") term)*            union / difference
+    term     := factor ("*" factor)*                Cartesian product
+    factor   := "pi"  "[" names? "]" "(" expr ")"   projection
+              | "rho" "[" name "->" name "]" "(" expr ")"
+              | "sigma" "[" cond "]" "(" expr ")"
+              | "empty" "[" name ":" name ("," name ":" name)* "]"
+              | "(" expr ")"
+              | relname
+    cond     := name ("=" | "!=") name
+    relname  := identifier, optionally dotted (Drinker.frequents) or
+                primed (self')
+
+Products may carry inline join conditions: ``(a * b : x=y, u!=v)``
+attaches the selections to the product, matching how the paper
+abbreviates theta-joins.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.relation import Attribute, RelationSchema
+
+
+class ParseError(ValueError):
+    """Raised on malformed expression text, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<name>[A-Za-z_][A-Za-z0-9_.]*'?)   # identifiers, dotted, primed
+  | (?P<symbol>->|!=|[()\[\],:*=-])
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"pi", "rho", "sigma", "empty", "u"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at {position}"
+            )
+        if match.lastgroup == "name":
+            tokens.append(("name", match.group(), position))
+        elif match.lastgroup == "symbol":
+            tokens.append(("symbol", match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> Optional[Tuple[str, str, int]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text, position = self._next()
+        if text != value:
+            raise ParseError(
+                f"expected {value!r} but found {text!r} at {position}"
+            )
+
+    def _at(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token[1] == value
+
+    def _name(self) -> str:
+        kind, text, position = self._next()
+        if kind != "name":
+            raise ParseError(f"expected a name, found {text!r} at {position}")
+        return text
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"trailing input {leftover[1]!r} at {leftover[2]}"
+            )
+        return expr
+
+    def expr(self) -> Expr:
+        left = self.term()
+        while True:
+            if self._at("u"):
+                self._next()
+                left = Union(left, self.term())
+            elif self._at("-"):
+                self._next()
+                left = Difference(left, self.term())
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.factor()
+        while self._at("*"):
+            self._next()
+            left = Product(left, self.factor())
+        return left
+
+    def factor(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        kind, text, position = token
+        if text == "(":
+            return self._parenthesized()
+        if text == "pi":
+            return self._projection()
+        if text == "rho":
+            return self._rename()
+        if text == "sigma":
+            return self._selection()
+        if text == "empty":
+            return self._empty()
+        if kind == "name":
+            self._next()
+            return Rel(text)
+        raise ParseError(f"unexpected token {text!r} at {position}")
+
+    def _parenthesized(self) -> Expr:
+        self._expect("(")
+        expr = self.expr()
+        expr = self._inline_conditions(expr)
+        self._expect(")")
+        return expr
+
+    def _inline_conditions(self, expr: Expr) -> Expr:
+        """``(a * b : x=y, u!=v)`` — theta-join conditions."""
+        if not self._at(":"):
+            return expr
+        self._next()
+        while True:
+            left, equal, right = self._condition()
+            expr = Select(expr, left, right, equal)
+            if self._at(","):
+                self._next()
+                continue
+            return expr
+
+    def _condition(self) -> Tuple[str, bool, str]:
+        left = self._name()
+        kind, op, position = self._next()
+        if op == "=":
+            equal = True
+        elif op == "!=":
+            equal = False
+        else:
+            raise ParseError(
+                f"expected '=' or '!=' but found {op!r} at {position}"
+            )
+        right = self._name()
+        return left, equal, right
+
+    def _projection(self) -> Expr:
+        self._expect("pi")
+        self._expect("[")
+        names: List[str] = []
+        if not self._at("]"):
+            names.append(self._name())
+            while self._at(","):
+                self._next()
+                names.append(self._name())
+        self._expect("]")
+        child = self._parenthesized()
+        return Project(child, tuple(names))
+
+    def _rename(self) -> Expr:
+        self._expect("rho")
+        self._expect("[")
+        old = self._name()
+        self._expect("->")
+        new = self._name()
+        self._expect("]")
+        child = self._parenthesized()
+        return Rename(child, old, new)
+
+    def _selection(self) -> Expr:
+        self._expect("sigma")
+        self._expect("[")
+        left, equal, right = self._condition()
+        self._expect("]")
+        child = self._parenthesized()
+        return Select(child, left, right, equal)
+
+    def _empty(self) -> Expr:
+        self._expect("empty")
+        self._expect("[")
+        attributes: List[Attribute] = []
+        if not self._at("]"):
+            attributes.append(self._attribute())
+            while self._at(","):
+                self._next()
+                attributes.append(self._attribute())
+        self._expect("]")
+        return Empty(RelationSchema(attributes))
+
+    def _attribute(self) -> Attribute:
+        name = self._name()
+        self._expect(":")
+        domain = self._name()
+        return Attribute(name, domain)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse the ASCII algebra syntax into an :class:`Expr`."""
+    return _Parser(text).parse()
+
+
+def render_expression(expr: Expr) -> str:
+    """Render an expression in the syntax :func:`parse_expression` reads.
+
+    ``parse_expression(render_expression(e)) == e`` for every ``e``
+    (checked by a property test).
+    """
+    return _render(expr, parent_level=0)
+
+
+_LEVEL_UNION = 1
+_LEVEL_PRODUCT = 2
+_LEVEL_ATOM = 3
+
+
+def _render(expr: Expr, parent_level: int) -> str:
+    if isinstance(expr, Rel):
+        return expr.name
+    if isinstance(expr, Empty):
+        inner = ", ".join(
+            f"{a.name}: {a.domain}" for a in expr.schema.attributes
+        )
+        return f"empty[{inner}]"
+    if isinstance(expr, Union):
+        text = (
+            f"{_render(expr.left, _LEVEL_UNION)} u "
+            f"{_render(expr.right, _LEVEL_PRODUCT)}"
+        )
+        return _wrap(text, _LEVEL_UNION, parent_level)
+    if isinstance(expr, Difference):
+        text = (
+            f"{_render(expr.left, _LEVEL_UNION)} - "
+            f"{_render(expr.right, _LEVEL_PRODUCT)}"
+        )
+        return _wrap(text, _LEVEL_UNION, parent_level)
+    if isinstance(expr, Product):
+        text = (
+            f"{_render(expr.left, _LEVEL_PRODUCT)} * "
+            f"{_render(expr.right, _LEVEL_ATOM)}"
+        )
+        return _wrap(text, _LEVEL_PRODUCT, parent_level)
+    if isinstance(expr, Select):
+        op = "=" if expr.equal else "!="
+        child = _render(expr.child, _LEVEL_UNION)
+        return f"sigma[{expr.left} {op} {expr.right}]({child})"
+    if isinstance(expr, Project):
+        child = _render(expr.child, _LEVEL_UNION)
+        return f"pi[{', '.join(expr.attrs)}]({child})"
+    if isinstance(expr, Rename):
+        child = _render(expr.child, _LEVEL_UNION)
+        return f"rho[{expr.old} -> {expr.new}]({child})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _wrap(text: str, level: int, parent_level: int) -> str:
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+_STATEMENT_START = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_.]*'?\s*:=")
+
+
+def parse_statements(text: str):
+    """Parse a ``label := expr`` program into a statement mapping.
+
+    A statement starts at a line of the form ``label := ...`` (or after
+    a semicolon) and may continue over following lines until the next
+    statement starts.  Blank lines and ``#`` comments are skipped.
+    Returns ``{label: Expr}`` ready for
+    :class:`~repro.algebraic.method.AlgebraicUpdateMethod`.
+    """
+    chunks: List[str] = []
+    for raw_line in text.split("\n"):
+        for piece in raw_line.split(";"):
+            line = piece.split("#", 1)[0].rstrip()
+            if not line.strip():
+                continue
+            if _STATEMENT_START.match(line) or not chunks:
+                chunks.append(line)
+            else:
+                chunks[-1] += " " + line.strip()
+
+    statements = {}
+    for chunk in chunks:
+        if ":=" not in chunk:
+            raise ParseError(f"statement without ':=': {chunk!r}")
+        label, body = chunk.split(":=", 1)
+        label = label.strip()
+        if not label:
+            raise ParseError(f"statement without a label: {chunk!r}")
+        if label in statements:
+            raise ParseError(f"duplicate statement for {label!r}")
+        statements[label] = parse_expression(body)
+    if not statements:
+        raise ParseError("no statements found")
+    return statements

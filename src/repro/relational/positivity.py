@@ -1,0 +1,24 @@
+"""Positivity of algebra expressions (Definition 5.2).
+
+The positive algebra consists of union, Cartesian product, equality
+selection, projection and renaming, plus the *non-equality* selection —
+and excludes the difference operator.  Positive expressions express
+monotone queries, which is what makes containment (and hence
+Theorem 5.12's order-independence test) decidable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.relational.algebra import Difference, Expr, walk
+
+
+def positivity_violations(expr: Expr) -> List[Expr]:
+    """All difference nodes occurring in ``expr`` (empty = positive)."""
+    return [node for node in walk(expr) if isinstance(node, Difference)]
+
+
+def is_positive(expr: Expr) -> bool:
+    """Whether ``expr`` is in the positive algebra (Definition 5.2)."""
+    return not positivity_violations(expr)

@@ -1,0 +1,261 @@
+"""Typed relations.
+
+A relation schema is an ordered tuple of attributes, each with a name and
+a *domain* name; a relation is a schema plus a finite set of tuples whose
+values are opaque hashables.  Domains realize the typed setting of the
+paper's Appendix A: attributes over different domains can never be
+compared, united, or joined.
+
+For object-base relations the domain names are class names and the values
+are :class:`~repro.graph.instance.Obj` objects, but the machinery is
+generic (the Section 7 SQL layer uses plain Python values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class RelationError(ValueError):
+    """Raised on schema violations in relational operations."""
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """An attribute: a name paired with a domain name."""
+
+    name: str
+    domain: str
+
+    def renamed(self, new_name: str) -> "Attribute":
+        return Attribute(new_name, self.domain)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.domain}"
+
+
+class RelationSchema:
+    """An ordered tuple of attributes with distinct names."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attrs = tuple(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise RelationError(f"duplicate attribute names in {names}")
+        self._attributes: Tuple[Attribute, ...] = attrs
+        self._index = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def position(self, name: str) -> int:
+        """The index of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise RelationError(f"no attribute {name!r} in {self}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.position(name)]
+
+    def domain_of(self, name: str) -> str:
+        return self.attribute(name).domain
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._index
+
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Schema of a projection onto ``names`` (kept in that order)."""
+        return RelationSchema([self.attribute(n) for n in names])
+
+    def rename(self, old: str, new: str) -> "RelationSchema":
+        position = self.position(old)
+        attrs = list(self._attributes)
+        attrs[position] = attrs[position].renamed(new)
+        return RelationSchema(attrs)
+
+    def concat(self, other: "RelationSchema") -> "RelationSchema":
+        """Schema of a Cartesian product (names must be disjoint)."""
+        clash = set(self.names) & set(other.names)
+        if clash:
+            raise RelationError(
+                f"product with overlapping attribute names {sorted(clash)}"
+            )
+        return RelationSchema(self._attributes + other._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"({inner})"
+
+
+def schema_of(*pairs: Tuple[str, str]) -> RelationSchema:
+    """Shorthand: ``schema_of(("C", "Drinker"), ("f", "Bar"))``."""
+    return RelationSchema([Attribute(n, d) for n, d in pairs])
+
+
+class Relation:
+    """A finite, typed relation: a schema plus a set of tuples."""
+
+    __slots__ = ("_schema", "_tuples")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        tuples: Iterable[Tuple] = (),
+    ) -> None:
+        rows: FrozenSet[Tuple] = frozenset(tuple(row) for row in tuples)
+        arity = schema.arity
+        for row in rows:
+            if len(row) != arity:
+                raise RelationError(
+                    f"tuple {row} has arity {len(row)}, expected {arity}"
+                )
+        self._schema = schema
+        self._tuples = rows
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def tuples(self) -> FrozenSet[Tuple]:
+        return self._tuples
+
+    def column(self, name: str) -> FrozenSet:
+        """All values in the named column."""
+        position = self._schema.position(name)
+        return frozenset(row[position] for row in self._tuples)
+
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    # ------------------------------------------------------------------
+    # Operations (used directly by the evaluator)
+    # ------------------------------------------------------------------
+    def _require_same_schema(self, other: "Relation") -> None:
+        if self._schema != other._schema:
+            raise RelationError(
+                f"schema mismatch: {self._schema} vs {other._schema}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_same_schema(other)
+        return Relation(self._schema, self._tuples | other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_same_schema(other)
+        return Relation(self._schema, self._tuples - other._tuples)
+
+    def product(self, other: "Relation") -> "Relation":
+        schema = self._schema.concat(other._schema)
+        rows = {
+            left + right
+            for left in self._tuples
+            for right in other._tuples
+        }
+        return Relation(schema, rows)
+
+    def select(self, left: str, right: str, equal: bool) -> "Relation":
+        i = self._schema.position(left)
+        j = self._schema.position(right)
+        left_domain = self._schema.attributes[i].domain
+        right_domain = self._schema.attributes[j].domain
+        if left_domain != right_domain:
+            raise RelationError(
+                f"selection compares {left}:{left_domain} with "
+                f"{right}:{right_domain} (different domains)"
+            )
+        if equal:
+            rows = {row for row in self._tuples if row[i] == row[j]}
+        else:
+            rows = {row for row in self._tuples if row[i] != row[j]}
+        return Relation(self._schema, rows)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        schema = self._schema.project(names)
+        positions = [self._schema.position(n) for n in names]
+        rows = {
+            tuple(row[p] for p in positions) for row in self._tuples
+        }
+        return Relation(schema, rows)
+
+    def rename(self, old: str, new: str) -> "Relation":
+        return Relation(self._schema.rename(old, new), self._tuples)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._tuples))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: Tuple) -> bool:
+        return tuple(row) in self._tuples
+
+    def __repr__(self) -> str:
+        rows = sorted(map(str, self._tuples))
+        return f"Relation{self._schema}{{{', '.join(rows)}}}"
+
+
+def empty_relation(schema: RelationSchema) -> Relation:
+    return Relation(schema, ())
+
+
+def unary_singleton(name: str, domain: str, value) -> Relation:
+    """A one-attribute, one-tuple relation (``self``/``arg`` relations)."""
+    return Relation(schema_of((name, domain)), [(value,)])
+
+
+TRUE_RELATION_SCHEMA = RelationSchema([])
+
+
+def boolean_relation(value: bool) -> Relation:
+    """A zero-ary relation: ``{()}`` for true, ``{}`` for false.
+
+    Zero-ary relations appear as ``pi_{}(...)`` guards in the reduction
+    of Theorem 5.6.
+    """
+    return Relation(TRUE_RELATION_SCHEMA, [()] if value else [])

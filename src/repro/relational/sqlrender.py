@@ -1,0 +1,130 @@
+"""Render algebra expressions as SQL text.
+
+Used by the Section 7 material: the "code improvement" tool of
+Theorem 6.5 derives a set-oriented statement from a cursor-based update,
+and this module prints that statement the way the paper does (e.g.
+``select EmpId, New from Employee, NewSal where Salary = Old``).
+
+The rendering is pedagogical — each algebra node becomes a subquery —
+with a light flattening pass so the common shapes (projections of
+selections of products of base relations) come out as a single
+SELECT-FROM-WHERE block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+
+
+@dataclass
+class _Block:
+    """A SELECT-FROM-WHERE block under construction."""
+
+    columns: List[Tuple[str, str]]  # (source expression, output name)
+    tables: List[Tuple[str, str]]  # (relation name, alias)
+    conditions: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.columns:
+            cols = ", ".join(
+                source if source.endswith(f".{name}") or source == name
+                else f"{source} as {name}"
+                for source, name in self.columns
+            )
+        else:
+            cols = "1"  # 0-ary projection: existence test
+        tables = ", ".join(
+            name if name == alias else f"{name} {alias}"
+            for name, alias in self.tables
+        )
+        sql = f"select distinct {cols} from {tables}"
+        if self.conditions:
+            sql += " where " + " and ".join(self.conditions)
+        return sql
+
+
+class _Renderer:
+    def __init__(self, db_schema: DatabaseSchema) -> None:
+        self._db_schema = db_schema
+        self._alias_counter = itertools.count(1)
+
+    def _alias(self, name: str) -> str:
+        return f"{name.replace('.', '_')}_{next(self._alias_counter)}"
+
+    def block(self, expr: Expr) -> _Block:
+        """Flatten projections/selections/renames/products into one block."""
+        if isinstance(expr, Rel):
+            alias = self._alias(expr.name)
+            schema = self._db_schema.relation_schema(expr.name)
+            return _Block(
+                columns=[(f"{alias}.{a.name}", a.name) for a in schema],
+                tables=[(expr.name, alias)],
+            )
+        if isinstance(expr, Product):
+            left = self.block(expr.left)
+            right = self.block(expr.right)
+            return _Block(
+                columns=left.columns + right.columns,
+                tables=left.tables + right.tables,
+                conditions=left.conditions + right.conditions,
+            )
+        if isinstance(expr, Select):
+            child = self.block(expr.child)
+            lookup = dict((name, src) for src, name in child.columns)
+            op = "=" if expr.equal else "<>"
+            child.conditions.append(
+                f"{lookup[expr.left]} {op} {lookup[expr.right]}"
+            )
+            return child
+        if isinstance(expr, Project):
+            child = self.block(expr.child)
+            lookup = dict((name, src) for src, name in child.columns)
+            child.columns = [(lookup[a], a) for a in expr.attrs]
+            return child
+        if isinstance(expr, Rename):
+            child = self.block(expr.child)
+            child.columns = [
+                (src, expr.new if name == expr.old else name)
+                for src, name in child.columns
+            ]
+            return child
+        # Union / Difference / Empty become derived tables.
+        alias = self._alias("q")
+        inner = self.render(expr)
+        schema = infer_schema(expr, self._db_schema)
+        block = _Block(
+            columns=[(f"{alias}.{a.name}", a.name) for a in schema],
+            tables=[(f"({inner})", alias)],
+        )
+        return block
+
+    def render(self, expr: Expr) -> str:
+        if isinstance(expr, Union):
+            return f"{self.render(expr.left)} union {self.render(expr.right)}"
+        if isinstance(expr, Difference):
+            return f"{self.render(expr.left)} except {self.render(expr.right)}"
+        if isinstance(expr, Empty):
+            cols = ", ".join(f"null as {a.name}" for a in expr.schema) or "1"
+            return f"select {cols} where 1 = 0"
+        return self.block(expr).render()
+
+
+def to_sql(expr: Expr, db_schema: DatabaseSchema) -> str:
+    """Render ``expr`` as a SQL query string."""
+    return _Renderer(db_schema).render(expr)

@@ -1,0 +1,59 @@
+"""SQL-context simulation (Section 7).
+
+The paper closes by showing its theory "can be applied in a practical SQL
+context": standalone set-oriented DELETE/UPDATE statements follow a
+two-phase semantics (identify, then modify), while cursor-based for-each
+programs modify as they scan — and whether the two agree is exactly
+(key-)order independence of the underlying update.
+
+This package provides an in-memory table engine with both execution
+models, the paper's concrete Employee / Fire / NewSal scenarios — the
+order-independent salary-based firing, the order-dependent manager-based
+firing, updates (A), (B), (C) — and the bridge to the algebraic model on
+which Theorem 5.12's procedure "correctly discriminates between update
+(B) being order independent and update (C) being order dependent".
+"""
+
+from repro.sqlsim.table import Table, TableError
+from repro.sqlsim.cursor import cursor_delete, cursor_for_each, cursor_update
+from repro.sqlsim.setops import set_delete, set_update
+from repro.sqlsim.scenarios import (
+    employee_object_schema,
+    fire_by_manager_cursor,
+    fire_by_manager_set,
+    fire_by_salary_cursor,
+    fire_by_salary_set,
+    make_company,
+    manager_salary_cursor,
+    manager_salary_set,
+    salary_update_cursor,
+    salary_update_set,
+    scenario_b_method,
+    scenario_b_receiver_query,
+    scenario_c_method,
+    tables_to_instance,
+)
+
+__all__ = [
+    "Table",
+    "TableError",
+    "cursor_for_each",
+    "cursor_delete",
+    "cursor_update",
+    "set_delete",
+    "set_update",
+    "make_company",
+    "fire_by_salary_cursor",
+    "fire_by_salary_set",
+    "fire_by_manager_cursor",
+    "fire_by_manager_set",
+    "salary_update_cursor",
+    "salary_update_set",
+    "manager_salary_cursor",
+    "manager_salary_set",
+    "employee_object_schema",
+    "tables_to_instance",
+    "scenario_b_method",
+    "scenario_b_receiver_query",
+    "scenario_c_method",
+]

@@ -1,0 +1,126 @@
+"""Cursor-based updates: ``for each t in R do ...`` (Section 7).
+
+The cursor semantics the paper analyzes: rows are visited one at a time
+in some order, and the body sees — and mutates — the *current* table
+state.  Whether the end result depends on the visit order is exactly
+order dependence of the underlying per-row update.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Union
+
+from repro.sqlsim.table import Row, Table, TableError
+
+Order = Union[None, Sequence[int], random.Random, str]
+
+
+def _visit_order(table: Table, order: Order) -> List[int]:
+    row_ids = table.row_ids()
+    if order is None:
+        return row_ids
+    if isinstance(order, random.Random):
+        shuffled = list(row_ids)
+        order.shuffle(shuffled)
+        return shuffled
+    if order == "reversed":
+        return list(reversed(row_ids))
+    ids = list(order)
+    if sorted(ids) != sorted(row_ids):
+        raise TableError(
+            "explicit visit order must be a permutation of the row ids"
+        )
+    return ids
+
+
+def cursor_for_each(
+    table: Table,
+    body: Callable[[int, Row], None],
+    order: Order = None,
+    include_inserted: bool = False,
+    max_visits: int = 1_000_000,
+) -> None:
+    """Visit each row of ``table`` once, in the given order.
+
+    ``body(row_id, row)`` receives the row's *current* contents; rows
+    deleted by earlier iterations are skipped (their receivers are gone).
+    ``order`` is ``None`` (insertion order), ``"reversed"``, an explicit
+    permutation of row ids, or a :class:`random.Random` to shuffle with.
+
+    By default the cursor scans a *snapshot* of the row identities taken
+    at the start — rows the body inserts are not visited.  With
+    ``include_inserted=True`` the scan also visits rows inserted during
+    the loop (the behavior behind the classic *Halloween problem*); a
+    body that inserts on every visit then never terminates, which the
+    ``max_visits`` guard turns into a :class:`RuntimeError`.
+    """
+    pending = _visit_order(table, order)
+    seen = set(pending)
+    visits = 0
+    index = 0
+    while index < len(pending):
+        row_id = pending[index]
+        index += 1
+        row = table.get(row_id)
+        if row is None:
+            continue  # deleted by an earlier visit
+        visits += 1
+        if visits > max_visits:
+            raise RuntimeError(
+                "cursor visited more rows than max_visits — a "
+                "Halloween-style feedback loop (the body keeps "
+                "inserting rows the live cursor then revisits)"
+            )
+        body(row_id, row)
+        if include_inserted:
+            for new_id in table.row_ids():
+                if new_id not in seen:
+                    seen.add(new_id)
+                    pending.append(new_id)
+
+
+def cursor_delete(
+    table: Table,
+    predicate: Callable[[Row], bool],
+    order: Order = None,
+) -> int:
+    """``for each t in R do if P(t) then delete t`` — returns #deleted.
+
+    The predicate is evaluated against the table state *at visit time*,
+    which is what makes deletes whose predicate reads the same table
+    order dependent (the manager-based firing example).
+    """
+    deleted = 0
+
+    def body(row_id: int, row: Row) -> None:
+        nonlocal deleted
+        if predicate(row):
+            table.delete_row(row_id)
+            deleted += 1
+
+    cursor_for_each(table, body, order)
+    return deleted
+
+
+def cursor_update(
+    table: Table,
+    compute: Callable[[Row], Optional[Mapping[str, Hashable]]],
+    order: Order = None,
+) -> int:
+    """``for each t in R do update t set ...`` — returns #updated.
+
+    ``compute(row)`` returns the column changes (or ``None`` to leave the
+    row alone), evaluated against the state at visit time.
+    """
+    updated = 0
+
+    def body(row_id: int, row: Row) -> None:
+        nonlocal updated
+        changes = compute(row)
+        if changes:
+            table.update_row(row_id, changes)
+            updated += 1
+
+    cursor_for_each(table, body, order)
+    return updated

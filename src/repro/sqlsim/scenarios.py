@@ -1,0 +1,437 @@
+"""The Section 7 scenarios, in both table and object-base form.
+
+Tables: ``Employee(EmpId, Salary, Manager)``, ``Fire(Amount)``,
+``NewSal(Old, New)``.
+
+Deletions:
+
+* firing by own salary — cursor-based and set-oriented agree (the
+  underlying update has a simple deflationary coloring: Employee is
+  ``{d}``, nothing else is deleted or created — Theorem 4.23);
+* firing by the *manager's* salary — the cursor-based program is order
+  dependent (an employee survives if his manager was deleted first);
+  the set-oriented statement stays correct.
+
+Modifications:
+
+* update (A) / (B) — assign each employee the new salary recorded for
+  his current salary; the cursor program (B) is key-order independent
+  (Proposition 5.8: its right-hand side never reads Employee) and agrees
+  with the set-oriented (A);
+* update (C) — assign each employee the new salary his *manager* would
+  have gotten; the cursor program is order dependent and therefore
+  wrong; the set-oriented variant remains correct.
+
+The algebraic twins (B') and (C') let Theorem 5.12's decision procedure
+discriminate the two mechanically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.algebraic.expression import SELF, arg_name
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+from repro.relational.algebra import (
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+)
+from repro.sqlsim.cursor import Order, cursor_delete, cursor_update
+from repro.sqlsim.setops import set_delete, set_update
+from repro.sqlsim.table import Row, Table
+
+ARG1 = arg_name(1)
+
+
+# ----------------------------------------------------------------------
+# Data
+# ----------------------------------------------------------------------
+def make_company(
+    n_employees: int = 8,
+    seed: int = 7,
+    salary_levels: int = 4,
+) -> Tuple[Table, Table, Table]:
+    """A deterministic company: ``(Employee, Fire, NewSal)``.
+
+    Managers form a forest (each employee's manager has a smaller id);
+    ``NewSal`` maps every salary level to a raised one; ``Fire`` lists a
+    subset of the levels.
+    """
+    rng = random.Random(seed)
+    levels = [1000 * (i + 1) for i in range(salary_levels)]
+    employees = Table("Employee", ("EmpId", "Salary", "Manager"), key="EmpId")
+    for emp_id in range(1, n_employees + 1):
+        manager = rng.randrange(1, emp_id) if emp_id > 1 else None
+        employees.insert(
+            {
+                "EmpId": emp_id,
+                "Salary": rng.choice(levels),
+                "Manager": manager,
+            }
+        )
+    fire = Table("Fire", ("Amount",))
+    for level in levels[: max(1, salary_levels // 2)]:
+        fire.insert({"Amount": level})
+    newsal = Table("NewSal", ("Old", "New"), key="Old")
+    for level in levels:
+        newsal.insert({"Old": level, "New": level + 500})
+    return employees, fire, newsal
+
+
+# ----------------------------------------------------------------------
+# Deletions
+# ----------------------------------------------------------------------
+def fire_by_salary_cursor(
+    employees: Table, fire: Table, order: Order = None
+) -> int:
+    """Cursor-based: delete employees whose salary occurs in Fire.
+
+    Order independent — Fire is not the table being deleted from, so the
+    underlying update's deflationary coloring is simple.
+    """
+    amounts = set(fire.column("Amount"))
+    return cursor_delete(
+        employees, lambda row: row["Salary"] in amounts, order
+    )
+
+
+def fire_by_salary_set(employees: Table, fire: Table) -> int:
+    """Set-oriented: ``delete from Employee where Salary in table Fire``."""
+    amounts = set(fire.column("Amount"))
+    return set_delete(employees, lambda row: row["Salary"] in amounts)
+
+
+def _manager_salary_fired(
+    employees: Table, fire_amounts, row: Row
+) -> bool:
+    manager = row["Manager"]
+    if manager is None:
+        return False
+    manager_row = employees.lookup(manager)
+    if manager_row is None:
+        return False  # the manager was already deleted
+    return manager_row["Salary"] in fire_amounts
+
+
+def fire_by_manager_cursor(
+    employees: Table, fire: Table, order: Order = None
+) -> int:
+    """Cursor-based: delete employees whose *manager's* salary is in Fire.
+
+    Order dependent (and thus wrong): "an employee will not be deleted
+    if his manager was visited and deleted before him".  The Employee
+    relation is colored both ``d`` and ``u`` — not simple.
+    """
+    amounts = set(fire.column("Amount"))
+    return cursor_delete(
+        employees,
+        lambda row: _manager_salary_fired(employees, amounts, row),
+        order,
+    )
+
+
+def fire_by_manager_set(employees: Table, fire: Table) -> int:
+    """Set-oriented manager-based firing — the correct two-phase version."""
+    amounts = set(fire.column("Amount"))
+    snapshot = employees.snapshot()
+    return set_delete(
+        employees,
+        lambda row: _manager_salary_fired(snapshot, amounts, row),
+    )
+
+
+# ----------------------------------------------------------------------
+# Modifications
+# ----------------------------------------------------------------------
+def _new_salary(newsal: Table, salary: Hashable) -> Optional[Hashable]:
+    match = newsal.lookup(salary)
+    return match["New"] if match is not None else None
+
+
+def salary_update_cursor(
+    employees: Table, newsal: Table, order: Order = None
+) -> int:
+    """Update (B): cursor-based ``Salary = NewSal[Salary].New``.
+
+    Key-order independent: the right-hand side reads only NewSal
+    (Proposition 5.8), and each employee is its own receiver.
+    """
+    return cursor_update(
+        employees,
+        lambda row: {"Salary": _new_salary(newsal, row["Salary"])},
+        order,
+    )
+
+
+def salary_update_set(employees: Table, newsal: Table) -> int:
+    """Update (A): the standalone set-oriented statement."""
+    return set_update(
+        employees,
+        lambda row: {"Salary": _new_salary(newsal, row["Salary"])},
+    )
+
+
+def _manager_new_salary(
+    employees: Table, newsal: Table, row: Row
+) -> Optional[Hashable]:
+    manager = row["Manager"]
+    if manager is None:
+        return None
+    manager_row = employees.lookup(manager)
+    if manager_row is None:
+        return None
+    return _new_salary(newsal, manager_row["Salary"])
+
+
+def manager_salary_cursor(
+    employees: Table, newsal: Table, order: Order = None
+) -> int:
+    """Update (C): cursor-based — order dependent and therefore wrong.
+
+    "We get different end results for the new salary of some employee
+    depending on whether or not we have already visited his manager."
+    Employees whose manager has no NewSal entry (e.g. because the
+    manager's salary was already overwritten) keep their salary.
+    """
+    return cursor_update(
+        employees,
+        lambda row: (
+            {"Salary": value}
+            if (value := _manager_new_salary(employees, newsal, row))
+            is not None
+            else None
+        ),
+        order,
+    )
+
+
+def manager_salary_set(employees: Table, newsal: Table) -> int:
+    """The correct set-oriented version of update (C)."""
+    snapshot = employees.snapshot()
+    return set_update(
+        employees,
+        lambda row: (
+            {"Salary": value}
+            if (value := _manager_new_salary(snapshot, newsal, row))
+            is not None
+            else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Insertions ("Analogous examples can be given with insertions instead
+# of deletions").
+# ----------------------------------------------------------------------
+def award_bonus_cursor(
+    employees: Table,
+    fire: Table,
+    bonus: Table,
+    order: Order = None,
+) -> int:
+    """Cursor-based: insert a bonus row for low-salaried employees.
+
+    Inserting into a *different* table than the one scanned: the
+    underlying update's coloring colors Bonus ``{c}`` and nothing else
+    ``c``/``d`` — simple, hence order independent (Theorem 4.14).
+    """
+    amounts = set(fire.column("Amount"))
+    inserted = 0
+
+    def body(row_id: int, row: Row) -> None:
+        nonlocal inserted
+        if row["Salary"] in amounts:
+            bonus.insert({"EmpId": row["EmpId"], "Amount": 100})
+            inserted += 1
+
+    from repro.sqlsim.cursor import cursor_for_each
+
+    cursor_for_each(employees, body, order)
+    return inserted
+
+
+def award_bonus_set(
+    employees: Table, fire: Table, bonus: Table
+) -> int:
+    """Set-oriented: ``insert into Bonus select EmpId, 100 from ...``."""
+    amounts = set(fire.column("Amount"))
+    selected = [
+        row for row in employees.rows() if row["Salary"] in amounts
+    ]
+    for row in selected:
+        bonus.insert({"EmpId": row["EmpId"], "Amount": 100})
+    return len(selected)
+
+
+def duplicate_rows_cursor(
+    table: Table,
+    include_inserted: bool = False,
+    max_visits: int = 10_000,
+) -> int:
+    """Insert a copy of every visited row into the *scanned* table.
+
+    With the default snapshot cursor this doubles the table; with a
+    live cursor (``include_inserted=True``) every copy is revisited and
+    copied again — the Halloween-problem feedback loop, cut off by the
+    ``max_visits`` guard.
+    """
+    from repro.sqlsim.cursor import cursor_for_each
+
+    inserted = 0
+
+    def body(row_id: int, row: Row) -> None:
+        nonlocal inserted
+        fresh = dict(row)
+        if table.key is not None:
+            fresh[table.key] = f"{row[table.key]}-copy-{inserted}"
+        table.insert(fresh)
+        inserted += 1
+
+    cursor_for_each(
+        table,
+        body,
+        include_inserted=include_inserted,
+        max_visits=max_visits,
+    )
+    return inserted
+
+
+# ----------------------------------------------------------------------
+# The algebraic model (updates B' and C')
+# ----------------------------------------------------------------------
+def employee_object_schema() -> Schema:
+    """Section 7's relations as an object-base schema.
+
+    A tuple becomes an object; an attribute becomes a property to a
+    value class (``Money``); a foreign key becomes a property between
+    tuple classes.
+    """
+    return Schema(
+        ["Employee", "Money", "NewSal", "Fire"],
+        [
+            ("Employee", "salary", "Money"),
+            ("Employee", "manager", "Employee"),
+            ("NewSal", "old", "Money"),
+            ("NewSal", "new", "Money"),
+            ("Fire", "amount", "Money"),
+        ],
+    )
+
+
+def tables_to_instance(
+    employees: Table,
+    newsal: Optional[Table] = None,
+    fire: Optional[Table] = None,
+) -> Instance:
+    """Encode the company tables as an object-base instance."""
+    schema = employee_object_schema()
+    nodes = set()
+    edges = set()
+
+    def money(amount: Hashable) -> Obj:
+        obj = Obj("Money", amount)
+        nodes.add(obj)
+        return obj
+
+    for row in employees:
+        emp = Obj("Employee", row["EmpId"])
+        nodes.add(emp)
+    for row in employees:
+        emp = Obj("Employee", row["EmpId"])
+        if row["Salary"] is not None:
+            edges.add(Edge(emp, "salary", money(row["Salary"])))
+        manager = row["Manager"]
+        if manager is not None and employees.lookup(manager) is not None:
+            edges.add(Edge(emp, "manager", Obj("Employee", manager)))
+    if newsal is not None:
+        for index, row in enumerate(newsal):
+            ns = Obj("NewSal", index)
+            nodes.add(ns)
+            edges.add(Edge(ns, "old", money(row["Old"])))
+            edges.add(Edge(ns, "new", money(row["New"])))
+    if fire is not None:
+        for index, row in enumerate(fire):
+            fr = Obj("Fire", index)
+            nodes.add(fr)
+            edges.add(Edge(fr, "amount", money(row["Amount"])))
+    return Instance(schema, nodes, edges)
+
+
+def scenario_b_method(schema: Schema = None) -> AlgebraicUpdateMethod:
+    """Update (B'): ``Salary := pi_New(arg1 join_{arg1=Old} NewSal)``.
+
+    Signature ``[Employee, Money]``; applied to the key set
+    ``{[t(EmpId), t(Salary)] | t in Employee}``.
+    """
+    schema = schema or employee_object_schema()
+    ns_old = Rel("NewSal.old")  # (NewSal, old)
+    ns_new = Rename(Rel("NewSal.new"), "NewSal", "NS2")  # (NS2, new)
+    joined = Select(
+        Select(
+            Product(Product(Rel(ARG1), ns_old), ns_new),
+            ARG1,
+            "old",
+            True,
+        ),
+        "NewSal",
+        "NS2",
+        True,
+    )
+    expr = Rename(Project(joined, ("new",)), "new", "salary")
+    return AlgebraicUpdateMethod(
+        schema,
+        MethodSignature(["Employee", "Money"]),
+        {"salary": expr},
+        "scenario_b",
+    )
+
+
+def scenario_b_receiver_query(schema: Schema = None) -> Expr:
+    """The key set of receivers for (B'): ``(EmpId, Salary)`` pairs."""
+    return Rename(
+        Rename(Rel("Employee.salary"), "Employee", SELF),
+        "salary",
+        ARG1,
+    )
+
+
+def scenario_c_method(schema: Schema = None) -> AlgebraicUpdateMethod:
+    """Update (C'): the manager's prospective new salary.
+
+    ``Salary := pi_New(self join Employee.manager join Employee.salary
+    join_{=Old} NewSal)`` — reads the relation it updates, so
+    Proposition 5.8 does not apply, and Theorem 5.12's procedure finds it
+    order dependent.
+    """
+    schema = schema or employee_object_schema()
+    manager = Rel("Employee.manager")  # (Employee, manager)
+    manager_salary = Rename(
+        Rename(Rel("Employee.salary"), "Employee", "E2"),
+        "salary",
+        "msal",
+    )  # (E2, msal)
+    ns_old = Rel("NewSal.old")
+    ns_new = Rename(Rel("NewSal.new"), "NewSal", "NS2")
+    joined = Product(
+        Product(Product(Product(Rel(SELF), manager), manager_salary), ns_old),
+        ns_new,
+    )
+    joined = Select(joined, SELF, "Employee", True)
+    joined = Select(joined, "manager", "E2", True)
+    joined = Select(joined, "msal", "old", True)
+    joined = Select(joined, "NewSal", "NS2", True)
+    expr = Rename(Project(joined, ("new",)), "new", "salary")
+    return AlgebraicUpdateMethod(
+        schema,
+        MethodSignature(["Employee"]),
+        {"salary": expr},
+        "scenario_c",
+    )

@@ -1,0 +1,48 @@
+"""Set-oriented (two-phase) updates (Section 7).
+
+The standalone SQL statements: "in a first phase, identif[y] all tuples
+to be deleted; only in a second phase they are effectively removed".
+In the paper's reading, a set-oriented statement applies a *trivial*,
+order-independent update (remove this row / set these columns) to a
+precomputed (key) set of receivers — which is why it is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Optional
+
+from repro.sqlsim.table import Row, Table
+
+
+def set_delete(
+    table: Table, predicate: Callable[[Row], bool]
+) -> int:
+    """``delete from T where P`` with two-phase semantics; returns count."""
+    doomed = [
+        row_id
+        for row_id in table.row_ids()
+        if predicate(table.get(row_id))
+    ]
+    for row_id in doomed:
+        table.delete_row(row_id)
+    return len(doomed)
+
+
+def set_update(
+    table: Table,
+    compute: Callable[[Row], Optional[Mapping[str, Hashable]]],
+) -> int:
+    """``update T set ...`` with two-phase semantics; returns count.
+
+    All new values are computed against the original state, then applied
+    together — the "changes are made only after all the new salaries are
+    computed" behavior of updates (A) and the corrected (C).
+    """
+    planned = []
+    for row_id in table.row_ids():
+        changes = compute(table.get(row_id))
+        if changes:
+            planned.append((row_id, dict(changes)))
+    for row_id, changes in planned:
+        table.update_row(row_id, changes)
+    return len(planned)

@@ -1,0 +1,166 @@
+"""A minimal in-memory table engine.
+
+Just enough SQL semantics for Section 7: named columns, an optional
+primary key, row insertion, point updates and deletes, snapshots, and
+deterministic iteration.  Tables are mutable — the whole point of the
+section is observing how cursor-based mutation during a scan interacts
+with update order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class TableError(ValueError):
+    """Raised on schema or key violations."""
+
+
+Row = Dict[str, Hashable]
+
+
+class Table:
+    """A mutable table with named columns and row identities.
+
+    Every row gets a stable internal row id; when ``key`` names a column,
+    its values must be unique and can address rows too.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        key: Optional[str] = None,
+        rows: Iterable[Mapping[str, Hashable]] = (),
+    ) -> None:
+        if len(set(columns)) != len(columns):
+            raise TableError(f"duplicate columns in {columns}")
+        if key is not None and key not in columns:
+            raise TableError(f"key column {key!r} not among {columns}")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.key = key
+        self._rows: Dict[int, Row] = {}
+        self._row_ids = itertools.count(1)
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, Hashable]) -> int:
+        """Insert a row; returns its internal row id."""
+        if set(row) != set(self.columns):
+            raise TableError(
+                f"row columns {sorted(row)} do not match "
+                f"{sorted(self.columns)}"
+            )
+        if self.key is not None:
+            value = row[self.key]
+            if any(
+                existing[self.key] == value
+                for existing in self._rows.values()
+            ):
+                raise TableError(
+                    f"duplicate key {value!r} in table {self.name}"
+                )
+        row_id = next(self._row_ids)
+        self._rows[row_id] = dict(row)
+        return row_id
+
+    def delete_row(self, row_id: int) -> None:
+        self._rows.pop(row_id, None)
+
+    def update_row(
+        self, row_id: int, changes: Mapping[str, Hashable]
+    ) -> None:
+        if row_id not in self._rows:
+            return
+        row = self._rows[row_id]
+        for column, value in changes.items():
+            if column not in self.columns:
+                raise TableError(f"unknown column {column!r}")
+            row[column] = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def row_ids(self) -> List[int]:
+        """Current row ids in insertion order."""
+        return sorted(self._rows)
+
+    def get(self, row_id: int) -> Optional[Row]:
+        row = self._rows.get(row_id)
+        return dict(row) if row is not None else None
+
+    def rows(self) -> List[Row]:
+        """Copies of all rows, in insertion order."""
+        return [dict(self._rows[i]) for i in sorted(self._rows)]
+
+    def where(self, predicate: Callable[[Row], bool]) -> List[Row]:
+        return [row for row in self.rows() if predicate(row)]
+
+    def column(self, name: str) -> List[Hashable]:
+        if name not in self.columns:
+            raise TableError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows()]
+
+    def lookup(self, key_value: Hashable) -> Optional[Row]:
+        """Find the row with the given primary-key value."""
+        if self.key is None:
+            raise TableError(f"table {self.name} has no key")
+        for row in self._rows.values():
+            if row[self.key] == key_value:
+                return dict(row)
+        return None
+
+    def snapshot(self) -> "Table":
+        """A deep copy (used to compare execution strategies)."""
+        copy = Table(self.name, self.columns, self.key)
+        for row_id in sorted(self._rows):
+            copy._rows[row_id] = dict(self._rows[row_id])
+        copy._row_ids = itertools.count(max(self._rows, default=0) + 1)
+        return copy
+
+    def contents(self) -> frozenset:
+        """Order-insensitive value: the set of row value-tuples."""
+        return frozenset(
+            tuple(row[c] for c in self.columns)
+            for row in self._rows.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.columns == other.columns
+            and self.contents() == other.contents()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns, self.contents()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name}, {len(self)} rows over "
+            f"{', '.join(self.columns)})"
+        )

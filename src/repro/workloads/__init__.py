@@ -1,0 +1,34 @@
+"""Workload generators for tests and benchmarks.
+
+Seeded random schemas, instances, receiver sets (plain and key), samples
+for coloring inference, and small random positive methods for
+differential testing of the decision procedure against brute force.
+"""
+
+from repro.workloads.schemas import random_schema
+from repro.workloads.instances import (
+    random_instance,
+    random_receiver,
+    random_receiver_set,
+    random_key_set,
+    random_samples,
+)
+from repro.workloads.methods import random_positive_method
+from repro.workloads.drinkers import (
+    figure_1_instance,
+    figure_2_instance,
+    random_drinkers_instance,
+)
+
+__all__ = [
+    "random_schema",
+    "random_instance",
+    "random_receiver",
+    "random_receiver_set",
+    "random_key_set",
+    "random_samples",
+    "random_positive_method",
+    "figure_1_instance",
+    "figure_2_instance",
+    "random_drinkers_instance",
+]

@@ -1,0 +1,108 @@
+"""Deterministic probe instances for canonical methods.
+
+The canonical methods of :mod:`repro.coloring.canonical` act on *fixed*
+objects and guard their deletions behind emptiness tests; purely random
+instances witness those behaviors only with low probability.  This
+battery enumerates the instances that matter:
+
+* a *rich* instance containing every fixed object and both fixed edge
+  pairs of every label (plus an ordinary object per class),
+* per class, a *sparse* instance containing only that class's fixed
+  objects (so partner-class emptiness tests fire),
+* per edge label, instances with exactly one of the two fixed edge pairs
+  present,
+* a *bare* instance with just a receiver.
+
+Combined with random samples it makes the empirical minimal-coloring
+inference reliably converge to the true coloring on small schemas.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.coloring.canonical import edge_fixed, fixed_edge_pair, node_fixed
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+
+Sample = Tuple[Instance, Receiver]
+
+
+def _receiver_for(
+    instance_nodes: Set[Obj], signature: MethodSignature
+) -> Tuple[Set[Obj], Receiver]:
+    """Pick (adding if needed) receiver components from u-fixed objects."""
+    nodes = set(instance_nodes)
+    components = []
+    for position, cls in enumerate(signature):
+        candidates = sorted(o for o in nodes if o.cls == cls)
+        if candidates:
+            components.append(candidates[0])
+        else:
+            fallback = Obj(cls, f"battery-recv-{position}")
+            nodes.add(fallback)
+            components.append(fallback)
+    return nodes, Receiver(components)
+
+
+def canonical_battery(
+    schema: Schema, signature: MethodSignature
+) -> List[Sample]:
+    """The deterministic probe samples described in the module docstring."""
+    samples: List[Sample] = []
+
+    def add(nodes: Set[Obj], edges: Set[Edge] = frozenset()) -> None:
+        nodes, receiver = _receiver_for(nodes, signature)
+        kept_edges = {
+            e for e in edges if e.source in nodes and e.target in nodes
+        }
+        samples.append(
+            (Instance(schema, nodes, kept_edges), receiver)
+        )
+
+    all_fixed_nodes: Set[Obj] = set()
+    for cls in schema.class_names:
+        for color in ("c", "u", "d"):
+            all_fixed_nodes.add(node_fixed(cls, color))
+    for edge in schema.edges:
+        for position in (1, 2, 3, 4):
+            all_fixed_nodes.add(edge_fixed(schema, edge.label, position))
+    all_fixed_edges = {
+        fixed_edge_pair(schema, edge.label, pair)
+        for edge in schema.edges
+        for pair in (1, 2)
+    }
+    ordinary = {Obj(cls, "battery-extra") for cls in schema.class_names}
+
+    # Rich: everything present.
+    add(all_fixed_nodes | ordinary, all_fixed_edges)
+    add(all_fixed_nodes, all_fixed_edges)
+    # Per class: only that class's fixed objects.
+    for cls in sorted(schema.class_names):
+        only = {node_fixed(cls, color) for color in ("c", "u", "d")}
+        add(only)
+    # Per edge label: exactly one fixed pair present (plus the u-fixed
+    # nodes, so pure-u divergence tests pass).
+    u_nodes = {node_fixed(cls, "u") for cls in schema.class_names}
+    for edge in schema.edges:
+        for pair in (1, 2):
+            present = fixed_edge_pair(schema, edge.label, pair)
+            add(
+                u_nodes | {present.source, present.target},
+                {present},
+            )
+        both = {
+            fixed_edge_pair(schema, edge.label, 1),
+            fixed_edge_pair(schema, edge.label, 2),
+        }
+        endpoints = {o for e in both for o in e.incident_nodes()}
+        add(u_nodes | endpoints, both)
+        # Pair-1 edge present, pair-2 endpoints present but its edge
+        # absent: witnesses the conditional creation of the {c,u} case.
+        add(u_nodes | endpoints, {fixed_edge_pair(schema, edge.label, 1)})
+    # Bare: nothing but a receiver (and the u-fixed nodes variant).
+    add(set())
+    add(u_nodes)
+    return samples

@@ -1,0 +1,66 @@
+"""The paper's concrete example instances (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.graph.builder import InstanceBuilder
+from repro.graph.instance import Instance
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+
+
+def figure_1_instance(schema: Optional[Schema] = None) -> Instance:
+    """Figure 1: drinkers Mary and John, bars Cheers and Old Tavern,
+    beers Petre, Jug and Duvel, with the links drawn in the figure."""
+    schema = schema or drinker_bar_beer_schema()
+    builder = InstanceBuilder(schema)
+    builder.nodes("Drinker", ["Mary", "John"])
+    builder.nodes("Bar", ["Cheers", "OldTavern"])
+    builder.nodes("Beer", ["Petre", "Jug", "Duvel"])
+    builder.edge(("Drinker", "Mary"), "likes", ("Beer", "Petre"))
+    builder.edge(("Drinker", "Mary"), "frequents", ("Bar", "Cheers"))
+    builder.edge(("Drinker", "John"), "likes", ("Beer", "Duvel"))
+    builder.edge(("Drinker", "John"), "frequents", ("Bar", "OldTavern"))
+    builder.edge(("Bar", "Cheers"), "serves", ("Beer", "Petre"))
+    builder.edge(("Bar", "Cheers"), "serves", ("Beer", "Jug"))
+    builder.edge(("Bar", "OldTavern"), "serves", ("Beer", "Jug"))
+    builder.edge(("Bar", "OldTavern"), "serves", ("Beer", "Duvel"))
+    return builder.build()
+
+
+def figure_2_instance(schema: Optional[Schema] = None) -> Instance:
+    """Figure 2: one drinker frequenting two of three bars (no beers)."""
+    schema = schema or drinker_bar_beer_schema()
+    builder = InstanceBuilder(schema)
+    builder.node("Drinker", 1).nodes("Bar", [1, 2, 3])
+    builder.edge(("Drinker", 1), "frequents", ("Bar", 1))
+    builder.edge(("Drinker", 1), "frequents", ("Bar", 2))
+    return builder.build()
+
+
+def random_drinkers_instance(
+    rng: random.Random,
+    n_drinkers: int = 3,
+    n_bars: int = 3,
+    n_beers: int = 3,
+    edge_probability: float = 0.4,
+) -> Instance:
+    """A random instance over the Drinker/Bar/Beer schema."""
+    schema = drinker_bar_beer_schema()
+    builder = InstanceBuilder(schema)
+    builder.nodes("Drinker", range(n_drinkers))
+    builder.nodes("Bar", range(n_bars))
+    builder.nodes("Beer", range(n_beers))
+    for d in range(n_drinkers):
+        for b in range(n_bars):
+            if rng.random() < edge_probability:
+                builder.edge(("Drinker", d), "frequents", ("Bar", b))
+        for beer in range(n_beers):
+            if rng.random() < edge_probability:
+                builder.edge(("Drinker", d), "likes", ("Beer", beer))
+    for b in range(n_bars):
+        for beer in range(n_beers):
+            if rng.random() < edge_probability:
+                builder.edge(("Bar", b), "serves", ("Beer", beer))
+    return builder.build()

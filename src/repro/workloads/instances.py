@@ -1,0 +1,187 @@
+"""Random instances, receivers and samples."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.receiver import Receiver, is_key_set
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+
+
+def random_instance(
+    rng: random.Random,
+    schema: Schema,
+    objects_per_class: int = 3,
+    edge_probability: float = 0.4,
+    include_canonical_objects: bool = False,
+) -> Instance:
+    """A random instance: ``objects_per_class`` objects per class, each
+    schema-compatible edge present with ``edge_probability``.
+
+    ``include_canonical_objects`` additionally seeds the fixed objects
+    the canonical methods of :mod:`repro.coloring.canonical` refer to
+    (``o^X_c`` etc.), each with probability 1/2 — needed so coloring
+    inference observes those methods' creations and deletions.
+    """
+    nodes = set()
+    for cls in sorted(schema.class_names):
+        for index in range(objects_per_class):
+            nodes.add(Obj(cls, index))
+    if include_canonical_objects:
+        from repro.coloring.canonical import edge_fixed, node_fixed
+
+        for cls in sorted(schema.class_names):
+            for color in ("c", "u", "d"):
+                if rng.random() < 0.5:
+                    nodes.add(node_fixed(cls, color))
+        for edge in schema.edges:
+            for position in (1, 2, 3, 4):
+                if rng.random() < 0.5:
+                    nodes.add(edge_fixed(schema, edge.label, position))
+    edges = set()
+    by_class: dict = {}
+    for node in sorted(nodes):
+        by_class.setdefault(node.cls, []).append(node)
+    for schema_edge in schema.edges:
+        for source in by_class.get(schema_edge.source, ()):
+            for target in by_class.get(schema_edge.target, ()):
+                if rng.random() < edge_probability:
+                    edges.add(Edge(source, schema_edge.label, target))
+    return Instance(schema, nodes, edges)
+
+
+def random_receiver(
+    rng: random.Random, instance: Instance, signature: MethodSignature
+) -> Optional[Receiver]:
+    """A random receiver of the given type, or ``None`` if some class is
+    empty."""
+    objects = []
+    for cls in signature:
+        pool = sorted(instance.objects_of_class(cls))
+        if not pool:
+            return None
+        objects.append(rng.choice(pool))
+    return Receiver(objects)
+
+
+def random_receiver_set(
+    rng: random.Random,
+    instance: Instance,
+    signature: MethodSignature,
+    size: int = 2,
+) -> List[Receiver]:
+    """Up to ``size`` distinct random receivers."""
+    receivers = set()
+    for _ in range(size * 4):
+        receiver = random_receiver(rng, instance, signature)
+        if receiver is not None:
+            receivers.add(receiver)
+        if len(receivers) >= size:
+            break
+    return sorted(receivers)
+
+
+def random_key_set(
+    rng: random.Random,
+    instance: Instance,
+    signature: MethodSignature,
+    size: int = 2,
+) -> List[Receiver]:
+    """A random *key* set: distinct receiving objects."""
+    receivers: dict = {}
+    for _ in range(size * 6):
+        receiver = random_receiver(rng, instance, signature)
+        if receiver is None:
+            break
+        receivers.setdefault(receiver.receiving_object, receiver)
+        if len(receivers) >= size:
+            break
+    result = sorted(receivers.values())
+    assert is_key_set(result)
+    return result
+
+
+def random_samples(
+    rng: random.Random,
+    schema: Schema,
+    signature: MethodSignature,
+    count: int = 10,
+    objects_per_class: int = 3,
+    edge_probability: float = 0.4,
+    include_canonical_objects: bool = False,
+    vary_class_sizes: bool = False,
+) -> List[Tuple[Instance, Receiver]]:
+    """Random ``(instance, receiver)`` samples for coloring inference.
+
+    ``vary_class_sizes`` lets non-signature classes be *empty* in some
+    samples — necessary to observe the provisional deletions of the
+    canonical methods, which are blocked while potential edge partners
+    exist.
+    """
+    samples: List[Tuple[Instance, Receiver]] = []
+    while len(samples) < count:
+        if vary_class_sizes:
+            signature_classes = set(signature)
+            sizes = {
+                cls: rng.randint(
+                    1 if cls in signature_classes else 0,
+                    objects_per_class,
+                )
+                for cls in sorted(schema.class_names)
+            }
+            instance = _random_instance_sized(
+                rng,
+                schema,
+                sizes,
+                edge_probability,
+                include_canonical_objects,
+            )
+        else:
+            instance = random_instance(
+                rng,
+                schema,
+                objects_per_class,
+                edge_probability,
+                include_canonical_objects,
+            )
+        receiver = random_receiver(rng, instance, signature)
+        if receiver is not None:
+            samples.append((instance, receiver))
+    return samples
+
+
+def _random_instance_sized(
+    rng: random.Random,
+    schema: Schema,
+    sizes: dict,
+    edge_probability: float,
+    include_canonical_objects: bool,
+) -> Instance:
+    nodes = set()
+    for cls in sorted(schema.class_names):
+        for index in range(sizes.get(cls, 0)):
+            nodes.add(Obj(cls, index))
+    if include_canonical_objects:
+        from repro.coloring.canonical import edge_fixed, node_fixed
+
+        for cls in sorted(schema.class_names):
+            for color in ("c", "u", "d"):
+                if rng.random() < 0.5:
+                    nodes.add(node_fixed(cls, color))
+        for edge in schema.edges:
+            for position in (1, 2, 3, 4):
+                if rng.random() < 0.5:
+                    nodes.add(edge_fixed(schema, edge.label, position))
+    edges = set()
+    by_class: dict = {}
+    for node in sorted(nodes):
+        by_class.setdefault(node.cls, []).append(node)
+    for schema_edge in schema.edges:
+        for source in by_class.get(schema_edge.source, ()):
+            for target in by_class.get(schema_edge.target, ()):
+                if rng.random() < edge_probability:
+                    edges.add(Edge(source, schema_edge.label, target))
+    return Instance(schema, nodes, edges)

@@ -1,0 +1,155 @@
+"""Random positive algebraic methods.
+
+Used for differential testing: Theorem 5.12's decision procedure versus
+brute-force order-independence checking on random instances.  The
+generator samples small positive expressions from a grammar over the
+schema relations and the special relations, type-correct by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.algebraic.expression import SELF, arg_name
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.schema import Schema
+from repro.objrel.mapping import property_relation_name
+from repro.relational.algebra import (
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+from repro.relational.relation import Attribute, RelationSchema
+
+
+def _unary_leaves(
+    schema: Schema,
+    signature: MethodSignature,
+    target_class: str,
+) -> List[Expr]:
+    """Unary expressions of the target domain usable as building blocks."""
+    leaves: List[Expr] = []
+    out = "out"
+    if signature.receiving_class == target_class:
+        leaves.append(Rename(Rel(SELF), SELF, out))
+    for index, cls in enumerate(signature.argument_classes, start=1):
+        if cls == target_class:
+            leaves.append(Rename(Rel(arg_name(index)), arg_name(index), out))
+    leaves.append(Rename(Rel(target_class), target_class, out))
+    for edge in schema.edges:
+        name = property_relation_name(schema, edge.label)
+        if edge.target == target_class:
+            leaves.append(
+                Rename(Project(Rel(name), (edge.label,)), edge.label, out)
+            )
+        if edge.source == target_class and edge.source != edge.label:
+            leaves.append(
+                Rename(Project(Rel(name), (edge.source,)), edge.source, out)
+            )
+    return leaves
+
+
+def _restrict_by_self(
+    schema: Schema,
+    signature: MethodSignature,
+    rng: random.Random,
+    target_class: str,
+) -> Optional[Expr]:
+    """``pi_out(self join_{self=C} Cp)`` for a property of the receiver."""
+    receiving = signature.receiving_class
+    candidates = [
+        e for e in schema.properties_of(receiving) if e.target == target_class
+    ]
+    if not candidates:
+        return None
+    edge = rng.choice(candidates)
+    name = property_relation_name(schema, edge.label)
+    joined = Select(
+        Product(Rel(SELF), Rel(name)), SELF, receiving, True
+    )
+    return Rename(
+        Project(joined, (edge.label,)), edge.label, "out"
+    )
+
+
+def random_positive_expression(
+    rng: random.Random,
+    schema: Schema,
+    signature: MethodSignature,
+    target_class: str,
+    depth: int = 2,
+) -> Expr:
+    """A random positive unary expression with output domain
+    ``target_class`` and output attribute ``out``."""
+    choices = ["leaf"]
+    if depth > 0:
+        choices += ["union", "union", "restrict", "neq"]
+    kind = rng.choice(choices)
+    if kind == "restrict":
+        expr = _restrict_by_self(schema, signature, rng, target_class)
+        if expr is not None:
+            return expr
+        kind = "leaf"
+    if kind == "union":
+        return Union(
+            random_positive_expression(
+                rng, schema, signature, target_class, depth - 1
+            ),
+            random_positive_expression(
+                rng, schema, signature, target_class, depth - 1
+            ),
+        )
+    if kind == "neq":
+        # sigma_{out != x}(E x X) for a unary X of the same domain.
+        base = random_positive_expression(
+            rng, schema, signature, target_class, depth - 1
+        )
+        other = rng.choice(_unary_leaves(schema, signature, target_class))
+        other = Rename(other, "out", "other")
+        return Project(
+            Select(Product(base, other), "out", "other", False),
+            ("out",),
+        )
+    return rng.choice(_unary_leaves(schema, signature, target_class))
+
+
+def random_positive_method(
+    rng: random.Random,
+    schema: Schema,
+    signature: Optional[MethodSignature] = None,
+    n_statements: int = 1,
+    depth: int = 2,
+    name: str = "random",
+) -> Optional[AlgebraicUpdateMethod]:
+    """A random positive method over ``schema``, or ``None`` when the
+    receiving class has no properties."""
+    if signature is None:
+        classes = sorted(schema.class_names)
+        receiving = rng.choice(classes)
+        arity = rng.randrange(0, 2)
+        signature = MethodSignature(
+            [receiving] + [rng.choice(classes) for _ in range(arity)]
+        )
+    properties = list(schema.properties_of(signature.receiving_class))
+    if not properties:
+        return None
+    rng.shuffle(properties)
+    statements = {}
+    for edge in properties[:n_statements]:
+        expr = random_positive_expression(
+            rng, schema, signature, edge.target, depth
+        )
+        statements[edge.label] = Rename(expr, "out", edge.label)
+    return AlgebraicUpdateMethod(
+        schema, signature, statements, name
+    )

@@ -1,0 +1,31 @@
+"""Random object-base schemas."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.schema import Schema
+
+
+def random_schema(
+    rng: random.Random,
+    n_classes: int = 3,
+    n_edges: int = 4,
+    allow_self_loops: bool = True,
+) -> Schema:
+    """A random schema with ``n_classes`` classes and ``n_edges`` edges.
+
+    Class names are ``K0, K1, ...``; property names ``p0, p1, ...``
+    (labels are globally unique, per Definition 2.1).
+    """
+    classes = [f"K{i}" for i in range(n_classes)]
+    edges: List[Tuple[str, str, str]] = []
+    for index in range(n_edges):
+        source = rng.choice(classes)
+        target = rng.choice(classes)
+        if not allow_self_loops:
+            while target == source and n_classes > 1:
+                target = rng.choice(classes)
+        edges.append((source, f"p{index}", target))
+    return Schema(classes, edges)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property tests: the suite's runtime must not depend on
+# lucky draws (a pathological random method can turn a milliseconds
+# decision call into minutes).  Individual tests may still override.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+from repro.workloads.drinkers import figure_1_instance, figure_2_instance
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return drinker_bar_beer_schema()
+
+
+@pytest.fixture
+def figure_1(schema):
+    return figure_1_instance(schema)
+
+
+@pytest.fixture
+def figure_2(schema):
+    return figure_2_instance(schema)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20260706)

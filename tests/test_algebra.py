@@ -1,0 +1,177 @@
+"""The relational algebra: evaluation, schema inference, positivity,
+cardinality guards."""
+
+import pytest
+
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+    eq_join,
+    product_all,
+    project_empty,
+    referenced_relations,
+    substitute,
+    union_all,
+)
+from repro.relational.cardinality import at_least, guarded
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.evaluate import evaluate, infer_schema
+from repro.relational.positivity import is_positive, positivity_violations
+from repro.relational.relation import (
+    Relation,
+    RelationError,
+    schema_of,
+)
+
+
+@pytest.fixture
+def database():
+    r = Relation(schema_of(("a", "D"), ("b", "D")), [(1, 2), (2, 2), (3, 1)])
+    s = Relation(schema_of(("c", "D")), [(2,), (3,)])
+    return Database({"R": r, "S": s})
+
+
+@pytest.fixture
+def db_schema(database):
+    return database.schema
+
+
+class TestEvaluation:
+    def test_rel(self, database):
+        assert evaluate(Rel("R"), database) == database.relation("R")
+
+    def test_unknown_relation(self, database):
+        with pytest.raises(RelationError):
+            evaluate(Rel("T"), database)
+
+    def test_union(self, database):
+        expr = Union(Rel("S"), Rel("S"))
+        assert evaluate(expr, database) == database.relation("S")
+
+    def test_difference(self, database):
+        expr = Difference(
+            Project(Rel("R"), ("a",)), Rename(Rel("S"), "c", "a")
+        )
+        assert evaluate(expr, database).tuples == {(1,)}
+
+    def test_product_and_select(self, database):
+        expr = Select(Product(Rel("R"), Rel("S")), "b", "c", True)
+        assert evaluate(expr, database).tuples == {(1, 2, 2), (2, 2, 2)}
+
+    def test_neq_select(self, database):
+        expr = Select(Rel("R"), "a", "b", False)
+        assert evaluate(expr, database).tuples == {(1, 2), (3, 1)}
+
+    def test_empty(self, database):
+        expr = Empty(schema_of(("x", "D")))
+        assert evaluate(expr, database).is_empty()
+
+    def test_zero_ary_guard(self, database):
+        true_guard = project_empty(Rel("S"))
+        assert evaluate(true_guard, database).tuples == {()}
+        false_guard = project_empty(
+            Select(Rel("R"), "a", "b", True).project("a").select_neq("a", "a")
+        )
+        assert evaluate(false_guard, database).tuples == set()
+
+    def test_guarded_product(self, database):
+        expr = guarded(Rel("S"), project_empty(Rel("R")))
+        assert evaluate(expr, database) == database.relation("S")
+
+
+class TestSchemaInference:
+    def test_union_schema_mismatch(self, db_schema):
+        with pytest.raises(RelationError):
+            infer_schema(Union(Rel("R"), Rel("S")), db_schema)
+
+    def test_product_name_clash(self, db_schema):
+        with pytest.raises(RelationError):
+            infer_schema(Product(Rel("R"), Rel("R")), db_schema)
+
+    def test_select_domain_mismatch(self):
+        schema = DatabaseSchema(
+            {"R": schema_of(("a", "D1"), ("b", "D2"))}
+        )
+        with pytest.raises(RelationError, match="different domains"):
+            infer_schema(Select(Rel("R"), "a", "b", True), schema)
+
+    def test_project_and_rename(self, db_schema):
+        expr = Rename(Project(Rel("R"), ("b",)), "b", "z")
+        schema = infer_schema(expr, db_schema)
+        assert schema.names == ("z",)
+        assert schema.domain_of("z") == "D"
+
+
+class TestCombinators:
+    def test_union_all_and_product_all(self, database):
+        expr = union_all([Rel("S"), Rel("S"), Rel("S")])
+        assert evaluate(expr, database) == database.relation("S")
+        expr = product_all([Rel("S"), Rename(Rel("S"), "c", "d")])
+        assert len(evaluate(expr, database)) == 4
+
+    def test_eq_join_renames_collisions(self, database):
+        # Join R with itself on a=a: the right copy's attributes clash,
+        # so eq_join renames them apart (schema supplied).
+        joined = eq_join(
+            Rel("R"), Rel("R"), [("a", "a")], db_schema=database.schema
+        )
+        result = evaluate(joined, database)
+        assert len(result.schema) == 4
+        assert len(result) == 3
+
+    def test_substitute(self):
+        expr = Union(Rel("R"), Project(Rel("S"), ("c",)))
+        replaced = substitute(
+            expr, lambda node: Rel("T") if node.name == "R" else node
+        )
+        assert referenced_relations(replaced) == ("S", "T")
+
+    def test_referenced_relations(self):
+        expr = Product(Rel("R"), Union(Rel("S"), Rel("R")))
+        assert referenced_relations(expr) == ("R", "S")
+
+
+class TestPositivity:
+    def test_positive_fragment(self):
+        expr = Select(Product(Rel("R"), Rel("S")), "b", "c", False)
+        assert is_positive(expr)
+
+    def test_difference_not_positive(self):
+        expr = Difference(Rel("R"), Rel("R"))
+        assert not is_positive(expr)
+        assert len(positivity_violations(expr)) == 1
+
+    def test_nested_difference_found(self):
+        expr = Project(Union(Rel("S"), Difference(Rel("S"), Rel("S"))), ("c",))
+        assert not is_positive(expr)
+
+
+class TestCardinalityGuards:
+    def test_at_least_one(self, database, db_schema):
+        guard = at_least(Rel("S"), 1, db_schema)
+        assert evaluate(guard, database).tuples == {()}
+
+    def test_at_least_two_and_three(self, database, db_schema):
+        assert evaluate(at_least(Rel("S"), 2, db_schema), database).tuples == {()}
+        assert (
+            evaluate(at_least(Rel("S"), 3, db_schema), database).tuples
+            == set()
+        )
+        assert evaluate(at_least(Rel("R"), 3, db_schema), database).tuples == {()}
+        assert (
+            evaluate(at_least(Rel("R"), 4, db_schema), database).tuples
+            == set()
+        )
+
+    def test_at_least_is_positive(self, db_schema):
+        assert is_positive(at_least(Rel("R"), 3, db_schema))
+
+    def test_count_zero_rejected(self, db_schema):
+        with pytest.raises(RelationError):
+            at_least(Rel("R"), 0, db_schema)

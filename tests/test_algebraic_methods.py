@@ -1,0 +1,85 @@
+"""The Example 5.5 methods: algebraic vs graph-level agreement."""
+
+import random
+
+import pytest
+
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    add_serving_bars_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.core.examples import (
+    add_bar,
+    add_serving_bars,
+    delete_bar,
+    favorite_bar,
+)
+from repro.core.receiver import Receiver, receivers_over
+from repro.workloads.drinkers import figure_1_instance, random_drinkers_instance
+
+PAIRS = [
+    (add_bar, add_bar_algebraic),
+    (favorite_bar, favorite_bar_algebraic),
+    (delete_bar, delete_bar_algebraic),
+    (add_serving_bars, add_serving_bars_algebraic),
+]
+
+
+@pytest.mark.parametrize(
+    "graph_factory,algebraic_factory",
+    PAIRS,
+    ids=[p[0].__name__ for p in PAIRS],
+)
+def test_graph_and_algebraic_agree_on_random_instances(
+    graph_factory, algebraic_factory
+):
+    rng = random.Random(42)
+    graph_method = graph_factory()
+    algebraic_method = algebraic_factory()
+    assert list(graph_method.signature) == list(algebraic_method.signature)
+    checked = 0
+    for _ in range(12):
+        instance = random_drinkers_instance(rng)
+        for receiver in receivers_over(instance, graph_method.signature)[:4]:
+            assert graph_method.apply(instance, receiver) == (
+                algebraic_method.apply(instance, receiver)
+            )
+            checked += 1
+    assert checked > 20
+
+
+class TestPositivity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            add_bar_algebraic,
+            favorite_bar_algebraic,
+            delete_bar_algebraic,
+            add_serving_bars_algebraic,
+        ],
+    )
+    def test_all_examples_positive(self, factory):
+        assert factory().is_positive()
+
+
+class TestDeleteBarDeletesInformation:
+    """Example 5.11: positive methods can still delete information."""
+
+    def test_deletion(self):
+        from repro.graph.instance import Obj
+
+        instance = figure_1_instance()
+        mary, cheers = Obj("Drinker", "Mary"), Obj("Bar", "Cheers")
+        result = delete_bar_algebraic().apply(
+            instance, Receiver([mary, cheers])
+        )
+        assert not result <= instance or result != instance
+        assert result.property_values(mary, "frequents") == frozenset()
+
+    def test_monotone_as_query_not_as_update(self):
+        # The method is positive (monotone queries) but the update is
+        # not inflationary.
+        method = delete_bar_algebraic()
+        assert method.is_positive()

@@ -1,0 +1,180 @@
+"""The typed chase (Lemmas A.2 / A.3)."""
+
+import random
+
+import pytest
+
+from repro.cq.chase import chase, chase_steps
+from repro.cq.homomorphism import evaluate_cq
+from repro.cq.model import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.dependencies import (
+    DisjointnessDependency,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.relation import Relation, RelationError, schema_of
+
+
+def var(name, domain="D"):
+    return Variable(name, domain)
+
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "R": schema_of(("a", "D"), ("b", "D")),
+        "S": schema_of(("c", "D")),
+    }
+)
+
+
+class TestFdRule:
+    def test_merge(self):
+        # R: a -> b with R(x,y), R(x,z) forces y = z.
+        query = ConjunctiveQuery(
+            (X,), [Atom("R", (X, Y)), Atom("R", (X, Z))]
+        )
+        fd = FunctionalDependency("R", ("a",), "b")
+        chased = chase(query, [fd], DB_SCHEMA)
+        assert len(chased.atoms) == 1
+
+    def test_distinguished_variable_survives(self):
+        # When a distinguished and an undistinguished variable merge,
+        # the distinguished one is kept (the appendix's ordering).
+        query = ConjunctiveQuery(
+            (X, Z), [Atom("R", (X, Y)), Atom("R", (X, Z))]
+        )
+        fd = FunctionalDependency("R", ("a",), "b")
+        chased = chase(query, [fd], DB_SCHEMA)
+        assert chased.summary == (X, Z)
+        assert chased.atoms == {Atom("R", (X, Z))}
+
+    def test_bottom_on_nonequality(self):
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("R", (X, Y)), Atom("R", (X, Z))],
+            [frozenset((Y, Z))],
+        )
+        fd = FunctionalDependency("R", ("a",), "b")
+        assert chase(query, [fd], DB_SCHEMA) is None
+
+    def test_cascading_merges(self):
+        # Merging y and z triggers a second merge through the fd.
+        query = ConjunctiveQuery(
+            (X,),
+            [
+                Atom("R", (X, Y)),
+                Atom("R", (X, Z)),
+                Atom("R", (Y, W)),
+                Atom("R", (Z, X)),
+            ],
+        )
+        fd = FunctionalDependency("R", ("a",), "b")
+        chased = chase(query, [fd], DB_SCHEMA)
+        # y=z, then R(y,w), R(y,x) force w=x.
+        assert chased.variables() == {X, Y}
+
+
+class TestIndRule:
+    def test_atom_added(self):
+        query = ConjunctiveQuery((X,), [Atom("R", (X, Y))])
+        ind = InclusionDependency("R", ("b",), "S", ("c",))
+        chased = chase(query, [ind], DB_SCHEMA)
+        assert Atom("S", (Y,)) in chased.atoms
+
+    def test_no_new_variables(self):
+        query = ConjunctiveQuery((X,), [Atom("R", (X, Y))])
+        ind = InclusionDependency("R", ("b",), "S", ("c",))
+        chased = chase(query, [ind], DB_SCHEMA)
+        assert chased.variables() == query.variables()
+
+    def test_non_full_ind_rejected(self):
+        query = ConjunctiveQuery((X,), [Atom("S", (X,))])
+        bad = InclusionDependency("S", ("c",), "R", ("a",))
+        with pytest.raises(RelationError, match="full"):
+            chase(query, [bad], DB_SCHEMA)
+
+    def test_disjointness_ignored(self):
+        query = ConjunctiveQuery((X,), [Atom("S", (X,))])
+        dep = DisjointnessDependency("S", "c", "R", "a")
+        assert chase(query, [dep], DB_SCHEMA) == query
+
+
+class TestTerminationAndConfluence:
+    def _deps(self):
+        return [
+            FunctionalDependency("R", ("a",), "b"),
+            InclusionDependency("R", ("a",), "S", ("c",)),
+            InclusionDependency("R", ("b",), "S", ("c",)),
+        ]
+
+    def test_terminates(self):
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("R", (X, Y)), Atom("R", (X, Z)), Atom("R", (Y, W))],
+        )
+        chased = chase(query, self._deps(), DB_SCHEMA)
+        assert chased is not None
+
+    def test_church_rosser(self):
+        # All permutations of the dependency list produce the same
+        # terminal query (Lemma A.2's Church-Rosser property).
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("R", (X, Y)), Atom("R", (X, Z)), Atom("R", (Z, W))],
+        )
+        deps = self._deps()
+        rng = random.Random(1)
+        results = set()
+        for _ in range(12):
+            order = list(range(len(deps)))
+            rng.shuffle(order)
+            steps = chase_steps(query, deps, DB_SCHEMA, rule_order=order)
+            results.add(steps[-1])
+        assert len(results) == 1
+
+    def test_chase_steps_monotone_progress(self):
+        query = ConjunctiveQuery((X,), [Atom("R", (X, Y))])
+        steps = chase_steps(query, self._deps(), DB_SCHEMA)
+        assert steps[0] == query
+        assert len(steps) >= 2
+
+
+class TestLemmaA2:
+    """``q =_Sigma chase_Sigma(q)``: same answers on every instance
+    satisfying the dependencies."""
+
+    def _random_satisfying_db(self, rng):
+        # Build R respecting a->b, then close S under the inds.
+        pairs = {}
+        for _ in range(rng.randrange(1, 5)):
+            pairs[rng.randrange(4)] = rng.randrange(4)
+        r_rows = {(a, b) for a, b in pairs.items()}
+        s_rows = {(a,) for a, b in r_rows} | {(b,) for a, b in r_rows}
+        s_rows |= {(rng.randrange(6),)}
+        return Database(
+            {
+                "R": Relation(schema_of(("a", "D"), ("b", "D")), r_rows),
+                "S": Relation(schema_of(("c", "D")), s_rows),
+            }
+        )
+
+    def test_equivalence_on_satisfying_instances(self):
+        deps = [
+            FunctionalDependency("R", ("a",), "b"),
+            InclusionDependency("R", ("a",), "S", ("c",)),
+            InclusionDependency("R", ("b",), "S", ("c",)),
+        ]
+        query = ConjunctiveQuery(
+            (X, Z),
+            [Atom("R", (X, Y)), Atom("R", (X, Z)), Atom("S", (X,))],
+        )
+        chased = chase(query, deps, DB_SCHEMA)
+        rng = random.Random(7)
+        for _ in range(25):
+            database = self._random_satisfying_db(rng)
+            assert evaluate_cq(query, database) == evaluate_cq(
+                chased, database
+            )

@@ -1,0 +1,184 @@
+"""Theorems 4.14 / 4.23 as verdicts, plus Propositions 4.10 / 4.19."""
+
+import random
+
+import pytest
+
+from repro.coloring.analysis import (
+    guarantees_order_independence,
+    is_deflationary_on,
+    is_inflationary_on,
+)
+from repro.coloring.canonical import (
+    DEFLATIONARY,
+    INFLATIONARY,
+    canonical_method,
+)
+from repro.coloring.coloring import Coloring
+from repro.coloring.inference import infer_coloring
+from repro.core.examples import add_bar, add_serving_bars, delete_bar, favorite_bar
+from repro.core.independence import is_order_independent_on
+from repro.core.receiver import receivers_over
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+from repro.workloads.canonical_battery import canonical_battery
+from repro.workloads.instances import random_samples
+
+AB_SCHEMA = Schema(["A", "B"], [("A", "e", "B")])
+
+
+class TestVerdicts:
+    def test_simple_sound_coloring_guarantees(self):
+        kappa = Coloring(AB_SCHEMA, {"A": {"u"}, "e": {"c"}, "B": {"c"}})
+        assert guarantees_order_independence(kappa, INFLATIONARY)
+
+    def test_non_simple_does_not(self):
+        kappa = Coloring(AB_SCHEMA, {"A": {"u", "d"}, "B": {"u"}})
+        assert not guarantees_order_independence(kappa, INFLATIONARY)
+        assert not guarantees_order_independence(kappa, DEFLATIONARY)
+
+    def test_unsound_coloring_rejected(self):
+        kappa = Coloring(AB_SCHEMA, {"A": {"d"}})
+        with pytest.raises(ValueError):
+            guarantees_order_independence(kappa, INFLATIONARY)
+
+    def test_example_4_15_verdict(self):
+        schema = drinker_bar_beer_schema()
+        kappa = Coloring(
+            schema,
+            {
+                "Drinker": {"u"},
+                "Bar": {"u"},
+                "Beer": {"u"},
+                "likes": {"u"},
+                "serves": {"u"},
+                "frequents": {"c"},
+            },
+        )
+        assert guarantees_order_independence(kappa, INFLATIONARY)
+
+
+class TestInflationaryDeflationaryBehavior:
+    def _samples(self, method, schema, seed=5):
+        rng = random.Random(seed)
+        return canonical_battery(schema, method.signature) + random_samples(
+            rng,
+            schema,
+            method.signature,
+            count=25,
+            objects_per_class=2,
+            include_canonical_objects=True,
+            vary_class_sizes=True,
+        )
+
+    @pytest.mark.parametrize(
+        "assignment",
+        [
+            {"A": {"u"}},
+            {"A": {"u"}, "B": {"c"}},
+            {"A": {"u"}, "B": {"u"}, "e": {"c"}},
+            {"A": {"u"}, "B": {"u"}, "e": {"u"}},
+        ],
+    )
+    def test_simple_inflationary_colorings_give_inflationary_methods(
+        self, assignment
+    ):
+        # Proposition 4.10.
+        kappa = Coloring(AB_SCHEMA, assignment)
+        assert kappa.is_simple()
+        method = canonical_method(kappa, INFLATIONARY)
+        samples = self._samples(method, AB_SCHEMA)
+        assert is_inflationary_on(method, samples)
+
+    @pytest.mark.parametrize(
+        "assignment",
+        [
+            {"A": {"u"}},
+            {"A": {"u"}, "B": {"d"}, "e": {"d"}},
+            {"A": {"u"}, "B": {"u"}, "e": {"d"}},
+        ],
+    )
+    def test_simple_deflationary_colorings_give_deflationary_methods(
+        self, assignment
+    ):
+        # Proposition 4.19.
+        kappa = Coloring(AB_SCHEMA, assignment)
+        assert kappa.is_simple()
+        method = canonical_method(kappa, DEFLATIONARY)
+        samples = self._samples(method, AB_SCHEMA)
+        assert is_deflationary_on(method, samples)
+
+    def test_simple_colorings_give_order_independent_methods(self):
+        # Theorem 4.14, if direction, checked empirically.
+        kappa = Coloring(
+            AB_SCHEMA, {"A": {"u"}, "B": {"u"}, "e": {"c"}}
+        )
+        method = canonical_method(kappa, INFLATIONARY)
+        rng = random.Random(3)
+        for _ in range(10):
+            instance = random_samples(
+                rng,
+                AB_SCHEMA,
+                method.signature,
+                count=1,
+                include_canonical_objects=True,
+            )[0][0]
+            receivers = receivers_over(instance, method.signature)[:3]
+            if len(receivers) >= 2:
+                assert is_order_independent_on(method, instance, receivers)
+
+
+class TestPaperExampleColorings:
+    """Inferred minimal colorings of the Example 2.7 / 4.15 methods."""
+
+    def _samples(self, method, seed=9):
+        rng = random.Random(seed)
+        schema = drinker_bar_beer_schema()
+        return random_samples(
+            rng,
+            schema,
+            method.signature,
+            count=30,
+            objects_per_class=2,
+            edge_probability=0.5,
+            vary_class_sizes=True,
+        )
+
+    def test_add_serving_bars_minimal_coloring(self):
+        # Example 4.15: {u} everywhere except frequents:{c}.
+        method = add_serving_bars()
+        inferred = infer_coloring(method, self._samples(method), INFLATIONARY)
+        schema = drinker_bar_beer_schema()
+        expected = Coloring(
+            schema,
+            {
+                "Drinker": {"u"},
+                "Bar": {"u"},
+                "Beer": {"u"},
+                "likes": {"u"},
+                "serves": {"u"},
+                "frequents": {"c"},
+            },
+        )
+        assert inferred == expected
+        assert guarantees_order_independence(inferred, INFLATIONARY)
+
+    def test_favorite_bar_minimal_coloring_not_simple(self):
+        method = favorite_bar()
+        inferred = infer_coloring(method, self._samples(method), INFLATIONARY)
+        # favorite_bar creates and deletes frequents edges.
+        assert inferred.colors_of("frequents") >= {"c", "d"}
+        assert not inferred.is_simple()
+
+    def test_add_bar_creates_only_frequents(self):
+        method = add_bar()
+        inferred = infer_coloring(method, self._samples(method), INFLATIONARY)
+        assert inferred.colors_of("frequents") == {"c"}
+        assert "d" not in inferred.colors_of("frequents")
+
+    def test_delete_bar_deflationary_coloring(self):
+        method = delete_bar()
+        inferred = infer_coloring(
+            method, self._samples(method), DEFLATIONARY
+        )
+        assert "d" in inferred.colors_of("frequents")
+        assert "c" not in inferred.colors_of("frequents")

@@ -1,0 +1,73 @@
+"""Syntactic colorings of algebraic methods (the Section 4/5 bridge)."""
+
+import random
+
+import pytest
+
+from repro.algebraic.coloring_bridge import (
+    syntactic_coloring,
+    syntactically_order_independent,
+)
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    add_serving_bars_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.coloring.coloring import join
+from repro.coloring.inference import infer_coloring
+from repro.graph.schema import drinker_bar_beer_schema
+from repro.workloads.instances import random_samples
+
+
+class TestSyntacticColoring:
+    def test_favorite_bar(self):
+        coloring = syntactic_coloring(favorite_bar_algebraic())
+        # {c, d} from the assignment; u via Lemma 4.11 (a deleted edge
+        # with undeleted endpoints is used).
+        assert coloring.colors_of("frequents") == {"c", "d", "u"}
+        assert "u" in coloring.colors_of("Drinker")
+        assert "u" in coloring.colors_of("Bar")
+        # likes/serves untouched and unread.
+        assert coloring.colors_of("likes") == frozenset()
+        assert coloring.colors_of("serves") == frozenset()
+
+    def test_add_serving_bars_reads_everything(self):
+        coloring = syntactic_coloring(add_serving_bars_algebraic())
+        assert "u" in coloring.colors_of("likes")
+        assert "u" in coloring.colors_of("serves")
+        assert "u" in coloring.colors_of("Beer")
+
+    def test_add_bar_uses_its_own_property(self):
+        coloring = syntactic_coloring(add_bar_algebraic())
+        assert coloring.colors_of("frequents") >= {"c", "d", "u"}
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            favorite_bar_algebraic,
+            add_bar_algebraic,
+            delete_bar_algebraic,
+            add_serving_bars_algebraic,
+        ],
+    )
+    def test_upper_bounds_empirical_coloring(self, factory):
+        # Every color the method actually exhibits appears in the
+        # syntactic over-approximation.
+        method = factory()
+        rng = random.Random(77)
+        samples = random_samples(
+            rng,
+            drinker_bar_beer_schema(),
+            method.signature,
+            count=25,
+            vary_class_sizes=True,
+        )
+        empirical = infer_coloring(method, samples, "inflationary")
+        syntactic = syntactic_coloring(method)
+        assert join(empirical, syntactic) == syntactic  # empirical <= syntactic
+
+    def test_rewriting_methods_never_syntactically_simple(self):
+        # a := E always gets {c, d} on the updated property.
+        for factory in (favorite_bar_algebraic, add_bar_algebraic):
+            assert not syntactically_order_independent(factory())

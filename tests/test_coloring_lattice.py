@@ -1,0 +1,100 @@
+"""The coloring lattice (Definitions 4.6, 4.9; Theorem 4.8's lattice)."""
+
+import pytest
+
+from repro.coloring.coloring import (
+    COLORS,
+    Coloring,
+    empty_coloring,
+    full_coloring,
+    join,
+    meet,
+)
+from repro.graph.schema import SchemaError, drinker_bar_beer_schema
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+class TestColoring:
+    def test_unmentioned_items_uncolored(self, schema):
+        coloring = Coloring(schema, {"Drinker": {"u"}})
+        assert coloring.colors_of("Drinker") == {"u"}
+        assert coloring.colors_of("Bar") == frozenset()
+
+    def test_unknown_item_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Coloring(schema, {"Wine": {"u"}})
+
+    def test_unknown_color_rejected(self, schema):
+        with pytest.raises(ValueError):
+            Coloring(schema, {"Drinker": {"x"}})
+
+    def test_items_colored(self, schema):
+        coloring = Coloring(
+            schema, {"Drinker": {"u", "c"}, "frequents": {"c"}}
+        )
+        assert coloring.items_colored("c") == {"Drinker", "frequents"}
+        assert coloring.use_set() == {"Drinker"}
+
+    def test_is_colored(self, schema):
+        coloring = Coloring(schema, {"Drinker": {"u"}})
+        assert coloring.is_colored("Drinker", "u")
+        assert not coloring.is_colored("Drinker", "d")
+        with pytest.raises(ValueError):
+            coloring.is_colored("Drinker", "z")
+
+    def test_with_colors(self, schema):
+        base = Coloring(schema, {"Drinker": {"u"}})
+        extended = base.with_colors("Drinker", {"c"})
+        assert extended.colors_of("Drinker") == {"u", "c"}
+        assert base.colors_of("Drinker") == {"u"}
+
+
+class TestSimplicity:
+    def test_simple(self, schema):
+        assert Coloring(schema, {"Drinker": {"u"}, "frequents": {"c"}}).is_simple()
+
+    def test_not_simple(self, schema):
+        assert not Coloring(schema, {"Drinker": {"u", "d"}}).is_simple()
+
+    def test_empty_is_simple(self, schema):
+        assert empty_coloring(schema).is_simple()
+
+
+class TestLattice:
+    def test_full_coloring_assigns_everything(self, schema):
+        full = full_coloring(schema)
+        assert all(colors == COLORS for _, colors in full)
+
+    def test_meet_and_join(self, schema):
+        first = Coloring(schema, {"Drinker": {"u", "c"}, "Bar": {"u"}})
+        second = Coloring(schema, {"Drinker": {"u", "d"}})
+        assert meet(first, second).colors_of("Drinker") == {"u"}
+        assert meet(first, second).colors_of("Bar") == frozenset()
+        assert join(first, second).colors_of("Drinker") == {"u", "c", "d"}
+        assert join(first, second).colors_of("Bar") == {"u"}
+
+    def test_ordering(self, schema):
+        small = Coloring(schema, {"Drinker": {"u"}})
+        large = Coloring(schema, {"Drinker": {"u", "c"}, "Bar": {"u"}})
+        assert small <= large
+        assert not large <= small
+        assert meet(small, large) == small
+        assert join(small, large) == large
+
+    def test_meet_is_lower_bound(self, schema):
+        first = full_coloring(schema)
+        second = Coloring(schema, {"Drinker": {"d"}})
+        bound = meet(first, second)
+        assert bound <= first
+        assert bound <= second
+
+    def test_cross_schema_rejected(self, schema):
+        from repro.graph.schema import Schema
+
+        other = Schema(["X"])
+        with pytest.raises(ValueError):
+            meet(empty_coloring(schema), empty_coloring(other))

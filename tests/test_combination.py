@@ -1,0 +1,110 @@
+"""Coarser-grained parallel semantics (the introduction's combination
+operators)."""
+
+import random
+
+import pytest
+
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.parallel.apply import apply_parallel
+from repro.parallel.combination import (
+    apply_intersection_union_diff,
+    apply_union_combination,
+    separate_effects,
+)
+from repro.workloads.drinkers import figure_1_instance, random_drinkers_instance
+from repro.workloads.instances import random_key_set
+
+MARY = Obj("Drinker", "Mary")
+JOHN = Obj("Drinker", "John")
+CHEERS = Obj("Bar", "Cheers")
+TAVERN = Obj("Bar", "OldTavern")
+
+
+class TestSeparateEffects:
+    def test_each_effect_from_original(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        receivers = [Receiver([MARY, TAVERN]), Receiver([JOHN, CHEERS])]
+        effects = separate_effects(method, instance, receivers)
+        assert effects[0].property_values(MARY, "frequents") == {TAVERN}
+        # John's update did not see Mary's: his original edges intact.
+        assert effects[1].property_values(MARY, "frequents") == {CHEERS}
+
+
+class TestUnionCombination:
+    def test_matches_sequential_for_inflationary_methods(self):
+        method = add_bar_algebraic()
+        instance = figure_1_instance()
+        receivers = [Receiver([MARY, TAVERN]), Receiver([JOHN, CHEERS])]
+        assert apply_union_combination(
+            method, instance, receivers
+        ) == apply_sequence(method, instance, receivers)
+
+    def test_cannot_realize_deletions(self):
+        # The union keeps edges a single application deleted.
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        receivers = [Receiver([MARY, TAVERN]), Receiver([JOHN, CHEERS])]
+        union = apply_union_combination(method, instance, receivers)
+        sequential = apply_sequence(method, instance, receivers)
+        assert union != sequential
+        assert union.property_values(MARY, "frequents") == {CHEERS, TAVERN}
+
+    def test_empty_receiver_set(self):
+        method = add_bar_algebraic()
+        instance = figure_1_instance()
+        assert apply_union_combination(method, instance, []) == instance
+
+
+class TestIntersectionUnionDiff:
+    """The operator the paper calls "well-behaved"."""
+
+    @pytest.mark.parametrize(
+        "factory", [favorite_bar_algebraic, add_bar_algebraic, delete_bar_algebraic]
+    )
+    def test_coincides_with_sequential_and_parallel_on_key_sets(
+        self, factory
+    ):
+        method = factory()
+        rng = random.Random(31)
+        checked = 0
+        for _ in range(12):
+            instance = random_drinkers_instance(rng)
+            receivers = random_key_set(
+                rng, instance, method.signature, size=3
+            )
+            if len(receivers) < 2:
+                continue
+            combined = apply_intersection_union_diff(
+                method, instance, receivers
+            )
+            assert combined == apply_sequence(method, instance, receivers)
+            assert combined == apply_parallel(method, instance, receivers)
+            checked += 1
+        assert checked >= 5
+
+    def test_handles_deletions_unlike_union(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        receivers = [Receiver([MARY, TAVERN]), Receiver([JOHN, CHEERS])]
+        combined = apply_intersection_union_diff(
+            method, instance, receivers
+        )
+        assert combined == apply_sequence(method, instance, receivers)
+        assert combined.property_values(MARY, "frequents") == {TAVERN}
+
+    def test_empty_receiver_set(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        assert (
+            apply_intersection_union_diff(method, instance, [])
+            == instance
+        )

@@ -1,0 +1,199 @@
+"""Containment of positive queries under dependencies (Lemma 5.13,
+Theorem A.1)."""
+
+import pytest
+
+from repro.cq.containment import (
+    ContainmentBudgetExceeded,
+    cq_containment_counterexample,
+    cq_contained_in,
+    positive_contained,
+    positive_equivalent,
+)
+from repro.cq.homomorphism import evaluate_positive, tuple_in_cq
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.relation import schema_of
+
+
+def var(name, domain="D"):
+    return Variable(name, domain)
+
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "U": schema_of(("u", "D")),
+    }
+)
+
+
+def pq(*queries):
+    return PositiveQuery(queries)
+
+
+class TestClassicalContainment:
+    def test_path_contained_in_edge(self):
+        path = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        assert cq_contained_in(path, pq(edge), [], DB_SCHEMA)
+        assert not cq_contained_in(edge, pq(path), [], DB_SCHEMA)
+
+    def test_containment_in_union(self):
+        # Sagiv-Yannakakis territory: E(x,x) is contained in
+        # E(x,y) u E(y,x) via its first disjunct.
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        out_edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        in_edge = ConjunctiveQuery((X,), [Atom("E", (Y, X))])
+        assert cq_contained_in(loop, pq(out_edge, in_edge), [], DB_SCHEMA)
+        assert not cq_contained_in(
+            out_edge, pq(loop, in_edge), [], DB_SCHEMA
+        )
+
+    def test_counterexample_is_genuine(self):
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        counterexample = cq_containment_counterexample(
+            edge, pq(loop), [], DB_SCHEMA
+        )
+        assert counterexample is not None
+        assert tuple_in_cq(edge, counterexample.database, counterexample.row)
+        assert counterexample.row not in evaluate_positive(
+            pq(loop), counterexample.database
+        )
+
+
+class TestNonEqualityContainment:
+    """Klug territory: a single canonical instance is not enough."""
+
+    def test_representatives_needed(self):
+        # q: E(x,y) — no constraints.
+        # Q: E(x,y) & x != y  union  E(x,x).
+        # q IS contained in Q (every edge is either a loop or not), but
+        # the generic canonical instance alone also satisfies the first
+        # disjunct; the merged representative (x=y) needs the second.
+        q = ConjunctiveQuery((X, Y), [Atom("E", (X, Y))])
+        neq = ConjunctiveQuery(
+            (X, Y), [Atom("E", (X, Y))], [frozenset((X, Y))]
+        )
+        loop = ConjunctiveQuery((X, X), [Atom("E", (X, X))])
+        assert cq_contained_in(q, pq(neq, loop), [], DB_SCHEMA)
+        assert not cq_contained_in(q, pq(neq), [], DB_SCHEMA)
+        assert not cq_contained_in(q, pq(loop), [], DB_SCHEMA)
+
+    def test_nonequality_strengthens_containee(self):
+        neq = ConjunctiveQuery(
+            (X, Y), [Atom("E", (X, Y))], [frozenset((X, Y))]
+        )
+        q = ConjunctiveQuery((X, Y), [Atom("E", (X, Y))])
+        assert cq_contained_in(neq, pq(q), [], DB_SCHEMA)
+
+    def test_budget_guard(self):
+        atoms = [Atom("E", (var(f"a{i}"), var(f"a{i+1}"))) for i in range(6)]
+        q = ConjunctiveQuery((var("a0"),), atoms)
+        target = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y))], [frozenset((X, Y))]
+        )
+        with pytest.raises(ContainmentBudgetExceeded):
+            cq_contained_in(q, pq(target), [], DB_SCHEMA, max_partitions=10)
+
+
+class TestContainmentUnderDependencies:
+    def test_fd_makes_containment_hold(self):
+        # Under E: s -> t, a 2-star E(x,y) & E(x,z) collapses, so it is
+        # contained in the loopless... rather: E(x,y) & E(x,z) & y != z
+        # becomes unsatisfiable, hence contained in anything.
+        fd = FunctionalDependency("E", ("s",), "t")
+        star = ConjunctiveQuery(
+            (X,),
+            [Atom("E", (X, Y)), Atom("E", (X, Z))],
+            [frozenset((Y, Z))],
+        )
+        anything = ConjunctiveQuery((X,), [Atom("U", (X,))])
+        assert cq_contained_in(star, pq(anything), [fd], DB_SCHEMA)
+        assert not cq_contained_in(star, pq(anything), [], DB_SCHEMA)
+
+    def test_ind_makes_containment_hold(self):
+        # Under E[s] <= U[u], every edge source is in U.
+        ind = InclusionDependency("E", ("s",), "U", ("u",))
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        in_u = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("U", (X,))]
+        )
+        assert cq_contained_in(edge, pq(in_u), [ind], DB_SCHEMA)
+        assert not cq_contained_in(edge, pq(in_u), [], DB_SCHEMA)
+
+    def test_fd_with_nonequalities_interplay(self):
+        # Under the fd, E(x,y) & E(x,z) is contained in E(x,y) with the
+        # summary repeated (y and z merge).
+        fd = FunctionalDependency("E", ("s",), "t")
+        two = ConjunctiveQuery(
+            (Y, Z), [Atom("E", (X, Y)), Atom("E", (X, Z))]
+        )
+        diagonal = ConjunctiveQuery((Y, Y), [Atom("E", (X, Y))])
+        assert cq_contained_in(two, pq(diagonal), [fd], DB_SCHEMA)
+        assert not cq_contained_in(two, pq(diagonal), [], DB_SCHEMA)
+
+    def test_merge_triggers_fd_after_representative(self):
+        # A representative merge can enable an fd merge that was not
+        # applicable before; the re-chase handles it.  q has two E-atoms
+        # with distinct sources; the container requires y = z whenever
+        # sources coincide, which holds under the fd only.
+        fd = FunctionalDependency("E", ("s",), "t")
+        q = ConjunctiveQuery(
+            (X, W, Y, Z), [Atom("E", (X, Y)), Atom("E", (W, Z))]
+        )
+        # Same sources force same targets (only under the fd) ...
+        diagonal = ConjunctiveQuery(
+            (X, X, Y, Y), [Atom("E", (X, Y))]
+        )
+        # ... or the sources differ.
+        lax = ConjunctiveQuery(
+            (X, W, Y, Z),
+            [Atom("E", (X, Y)), Atom("E", (W, Z))],
+            [frozenset((X, W))],
+        )
+        assert cq_contained_in(q, pq(diagonal, lax), [fd], DB_SCHEMA)
+        assert not cq_contained_in(q, pq(diagonal, lax), [], DB_SCHEMA)
+
+
+class TestPositiveContainmentAndEquivalence:
+    def test_union_containment(self):
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        assert positive_contained(pq(loop), pq(edge), [], DB_SCHEMA)
+        assert not positive_contained(pq(edge), pq(loop), [], DB_SCHEMA)
+
+    def test_equivalence_commutative_union(self):
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        assert positive_equivalent(
+            pq(loop, edge), pq(edge, loop), [], DB_SCHEMA
+        )
+
+    def test_redundant_disjunct(self):
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        assert positive_equivalent(
+            pq(loop, edge), pq(edge), [], DB_SCHEMA
+        )
+
+    def test_empty_union_contained_in_everything(self):
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        empty = PositiveQuery([], summary_domains=("D",))
+        assert positive_contained(empty, pq(edge), [], DB_SCHEMA)
+        assert not positive_contained(pq(edge), empty, [], DB_SCHEMA)
+
+    def test_summary_type_mismatch_rejected(self):
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        other = PositiveQuery([], summary_domains=("Z",))
+        with pytest.raises(ValueError):
+            positive_contained(pq(edge), other, [], DB_SCHEMA)

@@ -1,0 +1,100 @@
+"""Signatures, receivers, and key sets (Definitions 2.4-2.5, Section 3)."""
+
+import pytest
+
+from repro.core.receiver import (
+    Receiver,
+    is_key_set,
+    make_receiver,
+    receivers_over,
+)
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Instance, Obj
+from repro.graph.schema import SchemaError, drinker_bar_beer_schema
+
+
+class TestSignature:
+    def test_receiving_and_argument_classes(self):
+        sig = MethodSignature(["Drinker", "Bar", "Beer"])
+        assert sig.receiving_class == "Drinker"
+        assert sig.argument_classes == ("Bar", "Beer")
+        assert sig.arity == 2
+        assert len(sig) == 3
+
+    def test_non_empty_required(self):
+        with pytest.raises(ValueError):
+            MethodSignature([])
+
+    def test_validate_against_schema(self):
+        schema = drinker_bar_beer_schema()
+        MethodSignature(["Drinker"]).validate(schema)
+        with pytest.raises(SchemaError):
+            MethodSignature(["Wine"]).validate(schema)
+
+    def test_equality(self):
+        assert MethodSignature(["A"]) == MethodSignature(["A"])
+        assert MethodSignature(["A"]) != MethodSignature(["A", "A"])
+
+
+class TestReceiver:
+    def test_components(self):
+        d, b = Obj("Drinker", 1), Obj("Bar", 1)
+        receiver = make_receiver(d, b)
+        assert receiver.receiving_object == d
+        assert receiver.arguments == (b,)
+
+    def test_matches_signature(self):
+        sig = MethodSignature(["Drinker", "Bar"])
+        good = make_receiver(Obj("Drinker", 1), Obj("Bar", 1))
+        bad_type = make_receiver(Obj("Drinker", 1), Obj("Beer", 1))
+        bad_arity = make_receiver(Obj("Drinker", 1))
+        assert good.matches(sig)
+        assert not bad_type.matches(sig)
+        assert not bad_arity.matches(sig)
+
+    def test_is_over_instance(self):
+        schema = drinker_bar_beer_schema()
+        d, b = Obj("Drinker", 1), Obj("Bar", 1)
+        instance = Instance(schema, [d])
+        assert make_receiver(d).is_over(instance)
+        assert not make_receiver(d, b).is_over(instance)
+
+    def test_non_empty_required(self):
+        with pytest.raises(ValueError):
+            Receiver([])
+
+
+class TestKeySets:
+    def test_distinct_receivers_same_head_not_key(self):
+        d, b1, b2 = Obj("Drinker", 1), Obj("Bar", 1), Obj("Bar", 2)
+        assert not is_key_set([make_receiver(d, b1), make_receiver(d, b2)])
+
+    def test_distinct_heads_is_key(self):
+        d1, d2, b = Obj("Drinker", 1), Obj("Drinker", 2), Obj("Bar", 1)
+        assert is_key_set([make_receiver(d1, b), make_receiver(d2, b)])
+
+    def test_duplicate_receiver_is_key(self):
+        d, b = Obj("Drinker", 1), Obj("Bar", 1)
+        assert is_key_set([make_receiver(d, b), make_receiver(d, b)])
+
+    def test_empty_set_is_key(self):
+        assert is_key_set([])
+
+
+class TestReceiversOver:
+    def test_cartesian_product(self):
+        schema = drinker_bar_beer_schema()
+        instance = Instance(
+            schema,
+            [Obj("Drinker", 1), Obj("Drinker", 2), Obj("Bar", 1)],
+        )
+        receivers = receivers_over(
+            instance, MethodSignature(["Drinker", "Bar"])
+        )
+        assert len(receivers) == 2
+        assert all(r.matches(MethodSignature(["Drinker", "Bar"])) for r in receivers)
+
+    def test_empty_class_yields_no_receivers(self):
+        schema = drinker_bar_beer_schema()
+        instance = Instance(schema, [Obj("Drinker", 1)])
+        assert receivers_over(instance, MethodSignature(["Drinker", "Bar"])) == ()

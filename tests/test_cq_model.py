@@ -1,0 +1,99 @@
+"""Typed conjunctive queries (Appendix A model)."""
+
+import pytest
+
+from repro.cq.model import (
+    Atom,
+    ConjunctiveQuery,
+    PositiveQuery,
+    Variable,
+    nonequality,
+)
+
+X = Variable("x", "D")
+Y = Variable("y", "D")
+Z = Variable("z", "E")
+
+
+def q(summary, atoms, neq=()):
+    return ConjunctiveQuery(summary, atoms, neq)
+
+
+class TestConstruction:
+    def test_basic(self):
+        query = q((X,), [Atom("R", (X, Y))], [frozenset((X, Y))])
+        assert query.summary == (X,)
+        assert query.variables() == {X, Y}
+        assert query.distinguished() == {X}
+
+    def test_summary_must_occur_in_atoms(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            q((Z,), [Atom("R", (X, Y))])
+
+    def test_nonequality_variables_must_occur(self):
+        with pytest.raises(ValueError):
+            q((X,), [Atom("R", (X, X))], [frozenset((X, Y))])
+
+    def test_cross_domain_nonequality_rejected(self):
+        with pytest.raises(ValueError, match="domains"):
+            nonequality(X, Z)
+
+    def test_reflexive_nonequality_rejected(self):
+        with pytest.raises(ValueError):
+            nonequality(X, X)
+
+    def test_equality_query_flag(self):
+        assert q((X,), [Atom("R", (X, Y))]).is_equality_query()
+        assert not q(
+            (X,), [Atom("R", (X, Y))], [frozenset((X, Y))]
+        ).is_equality_query()
+
+
+class TestSubstitution:
+    def test_merge_variables(self):
+        query = q((X,), [Atom("R", (X, Y))])
+        merged = query.substitute({Y: X})
+        assert merged.atoms == {Atom("R", (X, X))}
+
+    def test_substitution_collapsing_nonequality_returns_none(self):
+        query = q((X,), [Atom("R", (X, Y))], [frozenset((X, Y))])
+        assert query.substitute({Y: X}) is None
+
+    def test_cross_domain_substitution_rejected(self):
+        query = q((X,), [Atom("R", (X, Y))])
+        with pytest.raises(ValueError):
+            query.substitute({Y: Z})
+
+    def test_summary_substituted(self):
+        query = q((X, Y), [Atom("R", (X, Y))])
+        merged = query.substitute({Y: X})
+        assert merged.summary == (X, X)
+
+
+class TestPositiveQuery:
+    def test_union_of_compatible_summaries(self):
+        first = q((X,), [Atom("R", (X, Y))])
+        second = q((Y,), [Atom("S", (Y,))])
+        union = PositiveQuery([first, second])
+        assert union.summary_domains == ("D",)
+        assert len(union) == 2
+
+    def test_incompatible_summaries_rejected(self):
+        first = q((X,), [Atom("R", (X, Y))])
+        second = q((Z,), [Atom("T", (Z,))])
+        with pytest.raises(ValueError):
+            PositiveQuery([first, second])
+
+    def test_empty_union_needs_domains(self):
+        with pytest.raises(ValueError):
+            PositiveQuery([])
+        empty = PositiveQuery([], summary_domains=("D",))
+        assert empty.is_empty_union()
+
+    def test_has_nonequalities(self):
+        plain = PositiveQuery([q((X,), [Atom("R", (X, Y))])])
+        assert not plain.has_nonequalities()
+        spicy = PositiveQuery(
+            [q((X,), [Atom("R", (X, Y))], [frozenset((X, Y))])]
+        )
+        assert spicy.has_nonequalities()

@@ -1,0 +1,144 @@
+"""Theorem 5.12: the decision procedure for positive methods."""
+
+import pytest
+
+from repro.algebraic.decision import (
+    NotPositiveError,
+    counterexample_to_scenario,
+    decide_key_order_independence,
+    decide_order_independence,
+)
+from repro.algebraic.examples import (
+    SIG_DRINKER_BAR,
+    add_bar_algebraic,
+    add_serving_bars_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.sequential import apply_sequence
+from repro.graph.schema import drinker_bar_beer_schema
+from repro.relational.algebra import Difference, Rel, Rename
+from repro.sqlsim.scenarios import scenario_b_method, scenario_c_method
+
+
+class TestPaperVerdicts:
+    """The paper's running examples get exactly the claimed verdicts."""
+
+    def test_favorite_bar_not_order_independent(self):
+        result = decide_order_independence(favorite_bar_algebraic())
+        assert not result.order_independent
+        assert result.witness_property == "frequents"
+        assert result.counterexample is not None
+
+    def test_favorite_bar_key_order_independent(self):
+        result = decide_key_order_independence(favorite_bar_algebraic())
+        assert result.order_independent
+
+    def test_add_bar_order_independent(self):
+        # Example 5.9: add_bar fails Proposition 5.8's condition yet is
+        # order independent — the decision procedure proves it.
+        assert decide_order_independence(add_bar_algebraic()).order_independent
+
+    def test_delete_bar_order_independent(self):
+        assert decide_order_independence(
+            delete_bar_algebraic()
+        ).order_independent
+
+    def test_add_serving_bars_order_independent(self):
+        assert decide_order_independence(
+            add_serving_bars_algebraic()
+        ).order_independent
+
+    def test_scenario_b_key_order_independent(self):
+        assert decide_key_order_independence(
+            scenario_b_method()
+        ).order_independent
+
+    def test_scenario_c_not_key_order_independent(self):
+        result = decide_key_order_independence(scenario_c_method())
+        assert not result.order_independent
+
+    def test_scenario_b_not_absolutely_order_independent(self):
+        # Like favorite_bar: same employee with two different salary
+        # arguments ends at different salaries.
+        result = decide_order_independence(scenario_b_method())
+        assert not result.order_independent
+
+    def test_multi_statement_method_order_dependent(self):
+        # Proposition 5.14's only-if method updates TWO properties; its
+        # reduction substitutes E_b[t] inside E_a — the multi-statement
+        # path.  It is order dependent (the pair counterexample of the
+        # proposition), and the procedure finds that.
+        from repro.algebraic.specimens import prop_5_14_only_if_direction
+
+        method, _ = prop_5_14_only_if_direction()
+        result = decide_order_independence(method)
+        assert not result.order_independent
+        scenario = counterexample_to_scenario(result, method)
+        assert scenario is not None
+        instance, first, second = scenario
+        assert apply_sequence(
+            method, instance, [first, second]
+        ) != apply_sequence(method, instance, [second, first])
+
+    def test_transitive_closure_method_order_independent(self):
+        # Example 6.4: "This method is order independent."  A
+        # single-class schema puts all variables in one domain, so this
+        # exercises the largest representative sets in the suite.
+        from repro.algebraic.specimens import transitive_closure_method
+
+        result = decide_order_independence(
+            transitive_closure_method(), max_partitions=500_000
+        )
+        assert result.order_independent
+
+
+class TestCounterexampleReplay:
+    """Decoded counterexamples genuinely demonstrate order dependence."""
+
+    @pytest.mark.parametrize(
+        "factory,decide",
+        [
+            (favorite_bar_algebraic, decide_order_independence),
+            (scenario_b_method, decide_order_independence),
+            (scenario_c_method, decide_key_order_independence),
+        ],
+    )
+    def test_replay(self, factory, decide):
+        method = factory()
+        result = decide(method)
+        assert not result.order_independent
+        scenario = counterexample_to_scenario(result, method)
+        assert scenario is not None
+        instance, first, second = scenario
+        forward = apply_sequence(method, instance, [first, second])
+        backward = apply_sequence(method, instance, [second, first])
+        assert forward != backward
+
+    def test_key_counterexample_is_key_pair(self):
+        result = decide_key_order_independence(scenario_c_method())
+        scenario = counterexample_to_scenario(result, scenario_c_method())
+        _, first, second = scenario
+        assert first.receiving_object != second.receiving_object
+
+    def test_independent_result_has_no_scenario(self):
+        method = add_bar_algebraic()
+        result = decide_order_independence(method)
+        assert counterexample_to_scenario(result, method) is None
+
+
+class TestNonPositiveRejection:
+    def test_difference_method_rejected(self):
+        schema = drinker_bar_beer_schema()
+        expr = Difference(
+            Rename(Rel("Bar"), "Bar", "frequents"),
+            Rename(Rel("arg1"), "arg1", "frequents"),
+        )
+        method = AlgebraicUpdateMethod(
+            schema, SIG_DRINKER_BAR, {"frequents": expr}, "negative"
+        )
+        with pytest.raises(NotPositiveError):
+            decide_order_independence(method)
+        with pytest.raises(NotPositiveError):
+            decide_key_order_independence(method)

@@ -1,0 +1,85 @@
+"""Functional, inclusion, and disjointness dependencies."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.dependencies import (
+    DisjointnessDependency,
+    FunctionalDependency,
+    InclusionDependency,
+    satisfies,
+    satisfies_all,
+    violated,
+)
+from repro.relational.relation import Relation, RelationError, schema_of
+
+
+@pytest.fixture
+def database():
+    emp = Relation(
+        schema_of(("id", "E"), ("dept", "D")),
+        [(1, "a"), (2, "a"), (3, "b")],
+    )
+    dept = Relation(schema_of(("d", "D")), [("a",), ("b",), ("c",)])
+    other = Relation(schema_of(("d", "D")), [("z",)])
+    return Database({"Emp": emp, "Dept": dept, "Other": other})
+
+
+class TestFunctional:
+    def test_satisfied(self, database):
+        assert satisfies(database, FunctionalDependency("Emp", ("id",), "dept"))
+
+    def test_violated(self, database):
+        # dept -> id fails: dept 'a' maps to ids 1 and 2.
+        assert not satisfies(
+            database, FunctionalDependency("Emp", ("dept",), "id")
+        )
+
+    def test_empty_lhs_means_singleton(self, database):
+        assert not satisfies(database, FunctionalDependency("Emp", (), "id"))
+        single = Database(
+            {"S": Relation(schema_of(("x", "D")), [(1,)])}
+        )
+        assert satisfies(single, FunctionalDependency("S", (), "x"))
+
+
+class TestInclusion:
+    def test_satisfied(self, database):
+        ind = InclusionDependency("Emp", ("dept",), "Dept", ("d",))
+        assert satisfies(database, ind)
+        assert ind.is_full(database.schema)
+
+    def test_violated(self, database):
+        ind = InclusionDependency("Dept", ("d",), "Emp", ("dept",))
+        assert not satisfies(database, ind)
+
+    def test_not_full(self, database):
+        ind = InclusionDependency("Dept", ("d",), "Emp", ("dept",))
+        assert not ind.is_full(database.schema)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            InclusionDependency("A", ("x", "y"), "B", ("z",))
+
+
+class TestDisjointness:
+    def test_disjoint(self, database):
+        assert satisfies(
+            database, DisjointnessDependency("Dept", "d", "Other", "d")
+        )
+
+    def test_overlapping(self, database):
+        assert not satisfies(
+            database, DisjointnessDependency("Emp", "dept", "Dept", "d")
+        )
+
+
+class TestBatch:
+    def test_satisfies_all_and_violated(self, database):
+        deps = [
+            FunctionalDependency("Emp", ("id",), "dept"),
+            FunctionalDependency("Emp", ("dept",), "id"),
+            InclusionDependency("Emp", ("dept",), "Dept", ("d",)),
+        ]
+        assert not satisfies_all(database, deps)
+        assert violated(database, deps) == [deps[1]]

@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.method
+import repro.graph.builder
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.graph.builder, repro.core.method],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,200 @@
+"""The footnote-1 extended model: inheritance and single-valued
+properties, interoperating with the Section 3 machinery."""
+
+import pytest
+
+from repro.core.independence import is_order_independent_on
+from repro.core.method import MethodUndefined
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.core.signature import MethodSignature
+from repro.graph.extended import (
+    MULTI,
+    SINGLE,
+    ExtendedFunctionalMethod,
+    ExtendedInstance,
+    ExtendedSchema,
+)
+from repro.graph.instance import Edge, Obj
+from repro.graph.schema import SchemaError
+
+
+@pytest.fixture
+def schema():
+    # Person <- Employee <- Manager; employees have a single-valued
+    # 'works_at' and persons a multi-valued 'knows'.
+    return ExtendedSchema(
+        ["Person", "Employee", "Manager", "Company"],
+        isa={"Employee": ["Person"], "Manager": ["Employee"]},
+        edges=[
+            ("Employee", "works_at", "Company", SINGLE),
+            ("Person", "knows", "Person", MULTI),
+        ],
+    )
+
+
+ALICE = Obj("Manager", "alice")
+BOB = Obj("Employee", "bob")
+CARLA = Obj("Person", "carla")
+ACME = Obj("Company", "acme")
+GLOBEX = Obj("Company", "globex")
+
+
+@pytest.fixture
+def instance(schema):
+    return ExtendedInstance(
+        schema,
+        [ALICE, BOB, CARLA, ACME, GLOBEX],
+        [
+            Edge(ALICE, "works_at", ACME),
+            Edge(BOB, "works_at", ACME),
+            Edge(ALICE, "knows", CARLA),
+        ],
+    )
+
+
+class TestHierarchy:
+    def test_superclasses_reflexive_transitive(self, schema):
+        assert schema.superclasses_of("Manager") == {
+            "Manager",
+            "Employee",
+            "Person",
+        }
+        assert schema.superclasses_of("Person") == {"Person"}
+
+    def test_subclasses(self, schema):
+        assert schema.subclasses_of("Employee") == {"Employee", "Manager"}
+
+    def test_cyclic_isa_rejected(self):
+        with pytest.raises(SchemaError, match="cyclic"):
+            ExtendedSchema(
+                ["A", "B"], isa={"A": ["B"], "B": ["A"]}
+            )
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(SchemaError):
+            ExtendedSchema(["A"], isa={"A": ["Ghost"]})
+
+    def test_properties_inherited(self, schema):
+        labels = {
+            e.label for e in schema.properties_applicable_to("Manager")
+        }
+        assert labels == {"works_at", "knows"}
+        person_labels = {
+            e.label for e in schema.properties_applicable_to("Person")
+        }
+        assert person_labels == {"knows"}
+
+
+class TestInstanceValidation:
+    def test_subtyped_edges_allowed(self, instance):
+        # A Manager works_at via the Employee-declared property.
+        assert instance.has_edge(Edge(ALICE, "works_at", ACME))
+
+    def test_untyped_edge_rejected(self, schema):
+        with pytest.raises(SchemaError, match="not a subclass"):
+            ExtendedInstance(
+                schema,
+                [CARLA, ACME],
+                [Edge(CARLA, "works_at", ACME)],  # a mere Person
+            )
+
+    def test_single_valued_enforced(self, schema):
+        with pytest.raises(SchemaError, match="single-valued"):
+            ExtendedInstance(
+                schema,
+                [BOB, ACME, GLOBEX],
+                [
+                    Edge(BOB, "works_at", ACME),
+                    Edge(BOB, "works_at", GLOBEX),
+                ],
+            )
+
+    def test_multi_valued_unrestricted(self, schema):
+        ExtendedInstance(
+            schema,
+            [ALICE, BOB, CARLA],
+            [
+                Edge(ALICE, "knows", CARLA),
+                Edge(ALICE, "knows", BOB),
+            ],
+        )
+
+    def test_members_of_includes_subclasses(self, instance):
+        assert instance.members_of("Person") == {ALICE, BOB, CARLA}
+        assert instance.members_of("Employee") == {ALICE, BOB}
+        assert instance.direct_extent("Employee") == {BOB}
+
+    def test_single_value_accessor(self, instance):
+        assert instance.single_value(BOB, "works_at") == ACME
+        with pytest.raises(SchemaError, match="multi-valued"):
+            instance.single_value(ALICE, "knows")
+
+
+class TestMethodsOnExtendedInstances:
+    def _transfer(self, schema):
+        # move_to: set the receiver's (single-valued) employer.
+        def run(instance, receiver):
+            employee, company = receiver
+            return instance.replace_property(
+                employee, "works_at", [company]
+            )
+
+        return ExtendedFunctionalMethod(
+            schema,
+            MethodSignature(["Employee", "Company"]),
+            run,
+            "move_to",
+        )
+
+    def test_subtype_receiver_accepted(self, schema, instance):
+        # A Manager is an acceptable Employee receiver.
+        method = self._transfer(schema)
+        result = method.apply(instance, Receiver([ALICE, GLOBEX]))
+        assert result.single_value(ALICE, "works_at") == GLOBEX
+
+    def test_non_member_receiver_rejected(self, schema, instance):
+        method = self._transfer(schema)
+        with pytest.raises(MethodUndefined, match="not a member"):
+            method.apply(instance, Receiver([CARLA, GLOBEX]))
+
+    def test_sequential_machinery_works(self, schema, instance):
+        # The generic Section 3 machinery runs unchanged on the
+        # extended model: move_to is key-order independent (it is the
+        # favorite_bar pattern on a single-valued property).
+        method = self._transfer(schema)
+        key_pair = [
+            Receiver([ALICE, GLOBEX]),
+            Receiver([BOB, GLOBEX]),
+        ]
+        result = apply_sequence(method, instance, key_pair)
+        assert result.single_value(ALICE, "works_at") == GLOBEX
+        assert result.single_value(BOB, "works_at") == GLOBEX
+        assert is_order_independent_on(method, instance, key_pair)
+
+    def test_order_dependence_detectable(self, schema, instance):
+        # Same receiving object with two different companies: order
+        # dependent, exactly like favorite_bar.
+        method = self._transfer(schema)
+        clashing = [
+            Receiver([ALICE, ACME]),
+            Receiver([ALICE, GLOBEX]),
+        ]
+        assert not is_order_independent_on(method, instance, clashing)
+
+    def test_single_valuedness_preserved_by_updates(self, schema, instance):
+        # replace_property cannot smuggle in a second employer.
+        def bad(instance_, receiver):
+            employee, company = receiver
+            return instance_.with_edges(
+                [Edge(employee, "works_at", company)]
+            )
+
+        method = ExtendedFunctionalMethod(
+            schema,
+            MethodSignature(["Employee", "Company"]),
+            bad,
+            "double_hire",
+        )
+        with pytest.raises(SchemaError, match="single-valued"):
+            method.apply(instance, Receiver([BOB, GLOBEX]))

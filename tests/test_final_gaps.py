@@ -1,0 +1,118 @@
+"""Remaining edge paths: derived tables in SQL rendering, parallel
+transform of empty expressions, capped enumeration helpers."""
+
+import pytest
+
+from repro.algebraic.examples import SIG_DRINKER_BAR, favorite_bar_algebraic
+from repro.core import Receiver
+from repro.core.examples import favorite_bar
+from repro.core.sequential import sequential_results
+from repro.graph.instance import Obj
+from repro.graph.schema import drinker_bar_beer_schema
+from repro.parallel.transform import par_db_schema, par_transform
+from repro.relational.algebra import (
+    Empty,
+    Product,
+    Project,
+    Rel,
+    Union,
+)
+from repro.relational.database import DatabaseSchema
+from repro.relational.evaluate import infer_schema
+from repro.relational.relation import schema_of
+from repro.relational.sqlrender import to_sql
+from repro.workloads.drinkers import figure_2_instance
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "U": schema_of(("u", "D")),
+    }
+)
+
+
+class TestSqlDerivedTables:
+    def test_projection_over_union_renders_subquery(self):
+        expr = Project(
+            Union(
+                Project(Rel("E"), ("s",)),
+                Project(Rel("E"), ("s",)),
+            ),
+            ("s",),
+        )
+        sql = to_sql(expr, DB_SCHEMA)
+        assert "union" in sql
+        assert sql.count("select") >= 3  # two branches + the outer block
+
+    def test_product_with_union_operand(self):
+        expr = Product(
+            Rel("U"),
+            Union(
+                Project(Rel("E"), ("s",)),
+                Project(Rel("E"), ("t",)).rename("t", "s"),
+            ),
+        )
+        sql = to_sql(expr, DB_SCHEMA)
+        assert "(" in sql and "union" in sql
+
+
+class TestParTransformEmpty:
+    def test_par_of_empty_gains_self(self):
+        schema = drinker_bar_beer_schema()
+        method = favorite_bar_algebraic(schema)
+        expr = Empty(schema_of(("frequents", "Bar")))
+        transformed = par_transform(expr, schema, method.signature)
+        out = infer_schema(
+            transformed, par_db_schema(schema, method.signature)
+        )
+        assert out.names == ("self", "frequents")
+        assert out.domain_of("self") == "Drinker"
+
+    def test_par_empty_union_branch(self):
+        # A statement of the form E u empty parallelizes cleanly.
+        schema = drinker_bar_beer_schema()
+        method = favorite_bar_algebraic(schema)
+        body = Union(
+            method.expression("frequents"),
+            Empty(schema_of(("frequents", "Bar"))),
+        )
+        transformed = par_transform(body, schema, method.signature)
+        out = infer_schema(
+            transformed, par_db_schema(schema, method.signature)
+        )
+        assert "self" in out.names
+
+
+class TestCappedEnumeration:
+    def test_sequential_results_max_orders(self):
+        instance = figure_2_instance()
+        d1 = Obj("Drinker", 1)
+        receivers = [
+            Receiver([d1, Obj("Bar", i)]) for i in (1, 2, 3)
+        ]
+        results = sequential_results(
+            favorite_bar(), instance, receivers, max_orders=2
+        )
+        assert len(results) == 2
+
+
+class TestSampleSchemaMismatch:
+    def test_method_schema_requires_agreement(self):
+        from repro.coloring.inference import method_schema
+        from repro.core.method import FunctionalUpdateMethod
+        from repro.core.signature import MethodSignature
+        from repro.graph.instance import Instance
+        from repro.graph.schema import Schema
+
+        schema_a = Schema(["A"])
+        schema_b = Schema(["A", "B"])
+        a = Obj("A", 1)
+        method = FunctionalUpdateMethod(
+            MethodSignature(["A"]), lambda i, r: i, "id"
+        )
+        samples = [
+            (Instance(schema_a, [a]), Receiver([a])),
+            (Instance(schema_b, [a]), Receiver([a])),
+        ]
+        with pytest.raises(ValueError, match="single schema"):
+            method_schema(method, samples)

@@ -1,0 +1,159 @@
+"""Object-base instances (Definition 2.2)."""
+
+import pytest
+
+from repro.graph.builder import InstanceBuilder
+from repro.graph.instance import Edge, Instance, Obj, item_label
+from repro.graph.schema import Schema, SchemaError, drinker_bar_beer_schema
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+def d(key):
+    return Obj("Drinker", key)
+
+
+def bar(key):
+    return Obj("Bar", key)
+
+
+class TestInstanceConstruction:
+    def test_empty_instance(self, schema):
+        instance = Instance(schema)
+        assert len(instance) == 0
+
+    def test_nodes_and_edges(self, schema):
+        instance = Instance(
+            schema, [d(1), bar(1)], [Edge(d(1), "frequents", bar(1))]
+        )
+        assert instance.has_node(d(1))
+        assert instance.has_edge(Edge(d(1), "frequents", bar(1)))
+
+    def test_unknown_class_rejected(self, schema):
+        with pytest.raises(SchemaError, match="unknown class"):
+            Instance(schema, [Obj("Wine", 1)])
+
+    def test_dangling_edge_rejected(self, schema):
+        with pytest.raises(SchemaError, match="dangling"):
+            Instance(schema, [d(1)], [Edge(d(1), "frequents", bar(1))])
+
+    def test_type_incompatible_edge_rejected(self, schema):
+        beer = Obj("Beer", 1)
+        with pytest.raises(SchemaError, match="incompatible"):
+            Instance(
+                schema, [d(1), beer], [Edge(d(1), "frequents", beer)]
+            )
+
+    def test_unknown_label_rejected(self, schema):
+        with pytest.raises(SchemaError, match="unknown property"):
+            Instance(schema, [d(1), bar(1)], [Edge(d(1), "visits", bar(1))])
+
+
+class TestDisjointUniverses:
+    def test_same_key_different_class_are_distinct(self):
+        assert Obj("Drinker", 1) != Obj("Bar", 1)
+
+    def test_item_label(self, schema):
+        assert item_label(d(7)) == "Drinker"
+        assert item_label(Edge(d(1), "frequents", bar(1))) == "frequents"
+        with pytest.raises(TypeError):
+            item_label("frequents")
+
+
+class TestAccessors:
+    @pytest.fixture
+    def instance(self, schema):
+        builder = InstanceBuilder(schema)
+        builder.nodes("Drinker", [1, 2]).nodes("Bar", [1, 2])
+        builder.edge(("Drinker", 1), "frequents", ("Bar", 1))
+        builder.edge(("Drinker", 1), "frequents", ("Bar", 2))
+        builder.edge(("Drinker", 2), "frequents", ("Bar", 1))
+        return builder.build()
+
+    def test_objects_of_class(self, instance):
+        assert instance.objects_of_class("Drinker") == {d(1), d(2)}
+        assert instance.objects_of_class("Beer") == frozenset()
+
+    def test_edges_labeled(self, instance):
+        assert len(instance.edges_labeled("frequents")) == 3
+        assert instance.edges_labeled("likes") == frozenset()
+
+    def test_edges_from(self, instance):
+        assert len(instance.edges_from(d(1))) == 2
+        assert len(instance.edges_from(d(1), "frequents")) == 2
+        assert instance.edges_from(d(1), "likes") == frozenset()
+
+    def test_property_values(self, instance):
+        assert instance.property_values(d(1), "frequents") == {
+            bar(1),
+            bar(2),
+        }
+
+    def test_edges_incident_to(self, instance):
+        assert len(instance.edges_incident_to(bar(1))) == 2
+
+    def test_items_partition(self, instance):
+        assert instance.items() == instance.nodes | instance.edges
+        assert len(instance) == len(instance.nodes) + len(instance.edges)
+
+
+class TestFunctionalUpdates:
+    @pytest.fixture
+    def instance(self, schema):
+        return Instance(
+            schema,
+            [d(1), bar(1), bar(2)],
+            [Edge(d(1), "frequents", bar(1))],
+        )
+
+    def test_with_edges_is_pure(self, instance):
+        updated = instance.with_edges([Edge(d(1), "frequents", bar(2))])
+        assert len(instance.edges) == 1
+        assert len(updated.edges) == 2
+
+    def test_without_nodes_drops_incident_edges(self, instance):
+        updated = instance.without_nodes([bar(1)])
+        assert not updated.has_node(bar(1))
+        assert updated.edges == frozenset()
+
+    def test_replace_property(self, instance):
+        updated = instance.replace_property(d(1), "frequents", [bar(2)])
+        assert updated.property_values(d(1), "frequents") == {bar(2)}
+
+    def test_replace_property_with_empty(self, instance):
+        updated = instance.replace_property(d(1), "frequents", [])
+        assert updated.property_values(d(1), "frequents") == frozenset()
+
+    def test_inclusion_order(self, instance):
+        bigger = instance.with_edges([Edge(d(1), "frequents", bar(2))])
+        assert instance <= bigger
+        assert not bigger <= instance
+
+    def test_value_equality_and_hash(self, schema, instance):
+        same = Instance(
+            schema,
+            [d(1), bar(1), bar(2)],
+            [Edge(d(1), "frequents", bar(1))],
+        )
+        assert instance == same
+        assert hash(instance) == hash(same)
+
+
+class TestBuilder:
+    def test_edge_adds_endpoints(self, schema):
+        builder = InstanceBuilder(schema)
+        builder.edge(("Drinker", 1), "likes", ("Beer", 1))
+        instance = builder.build()
+        assert instance.has_node(Obj("Beer", 1))
+
+    def test_builder_type_checks(self, schema):
+        builder = InstanceBuilder(schema)
+        with pytest.raises(SchemaError):
+            builder.edge(("Drinker", 1), "serves", ("Beer", 1))
+
+    def test_builder_unknown_class(self, schema):
+        with pytest.raises(SchemaError):
+            InstanceBuilder(schema).node("Wine", 1)

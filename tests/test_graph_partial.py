@@ -1,0 +1,110 @@
+"""Partial instances, the G operator, and restriction (Section 4.1)."""
+
+import pytest
+
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.partial import (
+    PartialInstance,
+    g_operator,
+    restrict,
+    restriction_is_instance,
+)
+from repro.graph.schema import drinker_bar_beer_schema
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+@pytest.fixture
+def instance(schema):
+    d1, b1, b2 = Obj("Drinker", 1), Obj("Bar", 1), Obj("Bar", 2)
+    return Instance(
+        schema,
+        [d1, b1, b2],
+        [Edge(d1, "frequents", b1), Edge(d1, "frequents", b2)],
+    )
+
+
+class TestPartialInstances:
+    def test_from_instance_roundtrip(self, instance):
+        partial = PartialInstance.from_instance(instance)
+        assert partial.is_instance()
+        assert partial.to_instance() == instance
+
+    def test_dangling_edges_allowed(self, schema, instance):
+        d1, b1 = Obj("Drinker", 1), Obj("Bar", 1)
+        partial = PartialInstance(
+            schema, [b1, Edge(d1, "frequents", b1)]
+        )
+        assert not partial.is_instance()
+        assert partial.dangling_edges() == {Edge(d1, "frequents", b1)}
+
+    def test_to_instance_rejects_dangling(self, schema):
+        d1, b1 = Obj("Drinker", 1), Obj("Bar", 1)
+        partial = PartialInstance(schema, [Edge(d1, "frequents", b1)])
+        with pytest.raises(Exception):
+            partial.to_instance()
+
+    def test_set_operations(self, schema, instance):
+        full = PartialInstance.from_instance(instance)
+        nodes_only = PartialInstance(schema, instance.nodes)
+        assert (full - nodes_only).nodes == frozenset()
+        assert (full - nodes_only).edges == instance.edges
+        assert (full & nodes_only) == nodes_only
+        assert (nodes_only | full) == full
+
+    def test_difference_with_instance_argument(self, instance):
+        full = PartialInstance.from_instance(instance)
+        assert len(full - instance) == 0
+
+
+class TestGOperator:
+    def test_g_drops_only_dangling_edges(self, schema):
+        d1, b1, b2 = Obj("Drinker", 1), Obj("Bar", 1), Obj("Bar", 2)
+        partial = PartialInstance(
+            schema,
+            [d1, b1, Edge(d1, "frequents", b1), Edge(d1, "frequents", b2)],
+        )
+        result = g_operator(partial)
+        assert result.edges == {Edge(d1, "frequents", b1)}
+        assert result.nodes == {d1, b1}
+
+    def test_g_is_largest_contained_instance(self, schema, instance):
+        # G(J) <= J, and G on a full instance is the identity.
+        partial = PartialInstance.from_instance(instance)
+        assert g_operator(partial) == instance
+        assert g_operator(instance) == instance
+
+    def test_g_idempotent(self, schema):
+        d1, b1 = Obj("Drinker", 1), Obj("Bar", 1)
+        partial = PartialInstance(schema, [b1, Edge(d1, "frequents", b1)])
+        once = g_operator(partial)
+        assert g_operator(once) == once
+
+
+class TestRestriction:
+    def test_restrict_keeps_only_labeled_items(self, instance):
+        restricted = restrict(instance, {"Drinker", "Bar"})
+        assert restricted.nodes == instance.nodes
+        assert restricted.edges == frozenset()
+
+    def test_restrict_can_dangle(self, instance):
+        # Keeping the edge label but not the Bar class leaves dangling
+        # edges — restriction yields a partial instance.
+        restricted = restrict(instance, {"Drinker", "frequents"})
+        assert restricted.dangling_edges() == instance.edges
+
+    def test_restrict_to_all_items(self, schema, instance):
+        restricted = restrict(instance, schema.items())
+        assert restricted == PartialInstance.from_instance(instance)
+
+    def test_restriction_is_instance_condition(self, schema):
+        # Closed under incident nodes <=> restriction always an instance.
+        assert restriction_is_instance(
+            schema, {"Drinker", "Bar", "frequents"}
+        )
+        assert not restriction_is_instance(schema, {"Drinker", "frequents"})
+        assert restriction_is_instance(schema, {"Drinker"})
+        assert restriction_is_instance(schema, set())

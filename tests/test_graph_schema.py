@@ -1,0 +1,106 @@
+"""Object-base schemas (Definition 2.1)."""
+
+import pytest
+
+from repro.graph.schema import (
+    Schema,
+    SchemaEdge,
+    SchemaError,
+    drinker_bar_beer_schema,
+)
+
+
+class TestSchemaConstruction:
+    def test_example_2_3_schema(self):
+        schema = drinker_bar_beer_schema()
+        assert schema.class_names == {"Drinker", "Bar", "Beer"}
+        assert schema.property_names == {"frequents", "likes", "serves"}
+
+    def test_edge_lookup(self):
+        schema = drinker_bar_beer_schema()
+        edge = schema.edge("frequents")
+        assert edge == SchemaEdge("Drinker", "frequents", "Bar")
+
+    def test_edges_sorted_by_label(self):
+        schema = drinker_bar_beer_schema()
+        labels = [e.label for e in schema.edges]
+        assert labels == sorted(labels)
+
+    def test_self_loop_allowed(self):
+        schema = Schema(["C"], [("C", "e", "C")])
+        assert schema.edge("e").incident_nodes() == ("C", "C")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["A", "B"], [("A", "e", "B"), ("B", "e", "A")])
+
+    def test_unknown_source_class_rejected(self):
+        with pytest.raises(SchemaError, match="unknown source"):
+            Schema(["A"], [("X", "e", "A")])
+
+    def test_unknown_target_class_rejected(self):
+        with pytest.raises(SchemaError, match="unknown target"):
+            Schema(["A"], [("A", "e", "X")])
+
+    def test_label_colliding_with_class_rejected(self):
+        # Class names and property names come from disjoint sets.
+        with pytest.raises(SchemaError, match="collides"):
+            Schema(["A", "B"], [("A", "B", "B")])
+
+    def test_empty_class_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+
+class TestSchemaItems:
+    def test_items_are_nodes_then_edges(self):
+        schema = drinker_bar_beer_schema()
+        assert schema.items() == (
+            "Bar",
+            "Beer",
+            "Drinker",
+            "frequents",
+            "likes",
+            "serves",
+        )
+
+    def test_is_node_item(self):
+        schema = drinker_bar_beer_schema()
+        assert schema.is_node_item("Drinker")
+        assert not schema.is_node_item("likes")
+        with pytest.raises(SchemaError):
+            schema.is_node_item("nonsense")
+
+    def test_contains(self):
+        schema = drinker_bar_beer_schema()
+        assert "Drinker" in schema
+        assert "serves" in schema
+        assert "nope" not in schema
+
+    def test_properties_of(self):
+        schema = drinker_bar_beer_schema()
+        labels = [e.label for e in schema.properties_of("Drinker")]
+        assert labels == ["frequents", "likes"]
+        assert schema.properties_of("Beer") == ()
+
+    def test_edges_incident_to(self):
+        schema = drinker_bar_beer_schema()
+        labels = {e.label for e in schema.edges_incident_to("Beer")}
+        assert labels == {"likes", "serves"}
+
+    def test_edges_incident_to_self_loop_counted_once(self):
+        schema = Schema(["C"], [("C", "e", "C")])
+        assert len(schema.edges_incident_to("C")) == 1
+
+
+class TestSchemaEquality:
+    def test_equal_schemas(self):
+        assert drinker_bar_beer_schema() == drinker_bar_beer_schema()
+
+    def test_hashable(self):
+        assert len({drinker_bar_beer_schema(), drinker_bar_beer_schema()}) == 1
+
+    def test_different_edges_unequal(self):
+        first = Schema(["A", "B"], [("A", "e", "B")])
+        second = Schema(["A", "B"], [("B", "e", "A")])
+        assert first != second

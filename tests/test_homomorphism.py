@@ -1,0 +1,129 @@
+"""CQ evaluation and homomorphisms (Chandra-Merlin)."""
+
+import pytest
+
+from repro.cq.containment import canonical_database
+from repro.cq.homomorphism import (
+    evaluate_cq,
+    evaluate_positive,
+    find_homomorphism,
+    tuple_in_cq,
+    tuple_in_query,
+)
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.database import Database
+from repro.relational.relation import Relation, schema_of
+
+
+def var(name):
+    return Variable(name, "D")
+
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+
+@pytest.fixture
+def edge_db():
+    # A directed triangle 1 -> 2 -> 3 -> 1 plus a dangling edge 3 -> 4.
+    schema = schema_of(("s", "D"), ("t", "D"))
+    return Database(
+        {"E": Relation(schema, [(1, 2), (2, 3), (3, 1), (3, 4)])}
+    )
+
+
+class TestEvaluation:
+    def test_single_atom(self, edge_db):
+        query = ConjunctiveQuery((X, Y), [Atom("E", (X, Y))])
+        assert evaluate_cq(query, edge_db) == {(1, 2), (2, 3), (3, 1), (3, 4)}
+
+    def test_path_of_length_two(self, edge_db):
+        query = ConjunctiveQuery(
+            (X, Z), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        assert evaluate_cq(query, edge_db) == {
+            (1, 3),
+            (2, 1),
+            (2, 4),
+            (3, 2),
+        }
+
+    def test_nonequality_filters(self, edge_db):
+        # Paths x -> y -> z with x != z exclude going back.
+        query = ConjunctiveQuery(
+            (X, Z),
+            [Atom("E", (X, Y)), Atom("E", (Y, Z))],
+            [frozenset((X, Z))],
+        )
+        assert evaluate_cq(query, edge_db) == {(1, 3), (2, 1), (2, 4), (3, 2)}
+
+    def test_cycle_detection(self, edge_db):
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("E", (X, Y)), Atom("E", (Y, Z)), Atom("E", (Z, X))],
+        )
+        assert evaluate_cq(query, edge_db) == {(1,), (2,), (3,)}
+
+    def test_missing_relation_yields_empty(self, edge_db):
+        query = ConjunctiveQuery((X,), [Atom("Nope", (X,))])
+        assert evaluate_cq(query, edge_db) == frozenset()
+
+    def test_membership_early_exit(self, edge_db):
+        query = ConjunctiveQuery((X, Y), [Atom("E", (X, Y))])
+        assert tuple_in_cq(query, edge_db, (3, 4))
+        assert not tuple_in_cq(query, edge_db, (4, 3))
+        assert not tuple_in_cq(query, edge_db, (4,))
+
+    def test_positive_union_evaluation(self, edge_db):
+        loop = ConjunctiveQuery(
+            (X,), [Atom("E", (X, X))]
+        )
+        sources = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        union = PositiveQuery([loop, sources])
+        assert evaluate_positive(union, edge_db) == {(1,), (2,), (3,)}
+        assert tuple_in_query(union, edge_db, (2,))
+        assert not tuple_in_query(union, edge_db, (4,))
+
+
+class TestHomomorphism:
+    def test_longer_path_maps_to_shorter_target_with_loop(self):
+        # Classic: a path of length 2 maps into a single loop.
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        path = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        assert find_homomorphism(path, loop) is not None
+        assert find_homomorphism(loop, path) is None
+
+    def test_summary_must_map_to_summary(self):
+        # first: answers with an outgoing edge; second: middle nodes of
+        # 2-paths.  second's answers all have outgoing edges, so
+        # first contains second — hom first -> second maps x to y.
+        first = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        second = ConjunctiveQuery(
+            (Y,), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        hom = find_homomorphism(first, second)
+        assert hom is not None
+        assert hom[X] == Y
+        # The reverse direction has no homomorphism: first's canonical
+        # instance has no 2-path through its summary node.
+        assert find_homomorphism(second, first) is None
+
+    def test_containment_via_homomorphism(self):
+        # q1: E(x,y) & E(y,z) is contained in q2: E(x,y) (project the
+        # first step) — hom q2 -> q1 exists.
+        q1 = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        q2 = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        assert find_homomorphism(q2, q1) is not None
+
+    def test_canonical_database_roundtrip(self):
+        query = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("F", (Y,))]
+        )
+        database = canonical_database(query)
+        assert database.relation("E").tuples == {(X, Y)}
+        assert database.relation("F").tuples == {(Y,)}
+        # The summary is always in the query's own canonical answer.
+        assert tuple_in_cq(query, database, (X,))

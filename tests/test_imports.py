@@ -1,0 +1,44 @@
+"""Every module imports cleanly and the public APIs resolve."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize(
+    "package",
+    [
+        "repro.graph",
+        "repro.core",
+        "repro.coloring",
+        "repro.relational",
+        "repro.objrel",
+        "repro.cq",
+        "repro.algebraic",
+        "repro.parallel",
+        "repro.sqlsim",
+        "repro.workloads",
+    ],
+)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"

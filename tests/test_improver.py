@@ -1,0 +1,80 @@
+"""The code-improvement tool (Section 7 / Theorem 6.5)."""
+
+import pytest
+
+from repro.algebraic.examples import add_bar_algebraic, favorite_bar_algebraic
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.parallel.improver import improve
+from repro.relational.algebra import Rel, Rename
+from repro.relational.relation import RelationError
+from repro.sqlsim.scenarios import (
+    make_company,
+    scenario_b_method,
+    scenario_b_receiver_query,
+    tables_to_instance,
+)
+
+
+@pytest.fixture
+def company():
+    employees, fire, newsal = make_company(7, seed=3)
+    return employees, newsal
+
+
+@pytest.fixture
+def improved():
+    return improve(scenario_b_method(), scenario_b_receiver_query())
+
+
+class TestImprove:
+    def test_uncertified_method_rejected(self):
+        method = add_bar_algebraic()  # fails Proposition 5.8
+        query = Rename(
+            Rename(Rel("Drinker.frequents"), "Drinker", "self"),
+            "frequents",
+            "arg1",
+        )
+        with pytest.raises(RelationError, match="5.8"):
+            improve(method, query)
+
+    def test_certificate_can_be_waived(self):
+        method = add_bar_algebraic()
+        query = Rename(
+            Rename(Rel("Drinker.frequents"), "Drinker", "self"),
+            "frequents",
+            "arg1",
+        )
+        improved = improve(method, query, require_certificate=False)
+        assert "frequents" in improved.expressions
+
+    def test_wrong_receiver_scheme_rejected(self):
+        method = favorite_bar_algebraic()
+        with pytest.raises(RelationError, match="scheme"):
+            improve(method, Rel("Drinker.frequents"))
+
+    def test_improved_matches_sequential(self, company, improved):
+        employees, newsal = company
+        instance = tables_to_instance(employees, newsal=newsal)
+        receivers = [
+            Receiver(
+                [Obj("Employee", row["EmpId"]), Obj("Money", row["Salary"])]
+            )
+            for row in employees
+        ]
+        sequential = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert improved.apply(instance) == sequential
+
+    def test_sql_rendering_mentions_the_join(self, improved):
+        sql = improved.sql("salary")
+        assert "select" in sql
+        assert "NewSal.old" in sql and "NewSal.new" in sql
+        assert "Employee.salary" in sql
+
+    def test_receiver_sql(self, improved):
+        sql = improved.receiver_sql()
+        assert "as self" in sql and "as arg1" in sql
+        assert "Employee.salary" in sql

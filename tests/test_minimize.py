@@ -1,0 +1,173 @@
+"""CQ minimization (cores) and algebra regeneration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cq.minimize import minimize_cq, minimize_positive
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.cq.to_algebra import cq_to_expression, positive_to_expression
+from repro.cq.translate import translate_expression
+from repro.parallel.minimizer import minimize_positive_expression
+from repro.relational.algebra import Difference, Rel
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.evaluate import evaluate, infer_schema
+from repro.relational.relation import Relation, RelationSchema, schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "U": schema_of(("u", "D")),
+    }
+)
+
+
+def var(name):
+    return Variable(name, "D")
+
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+
+class TestMinimizeCq:
+    def test_redundant_parallel_edge_folds(self):
+        # E(x,y) & E(x,z), summary x: the second atom folds onto the first.
+        query = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("E", (X, Z))]
+        )
+        core = minimize_cq(query, DB_SCHEMA)
+        assert len(core.atoms) == 1
+
+    def test_path_does_not_fold(self):
+        # E(x,y) & E(y,z) is already a core (no loop to fold onto).
+        query = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        core = minimize_cq(query, DB_SCHEMA)
+        assert core == query
+
+    def test_nonequality_blocks_folding(self):
+        # E(x,y) & E(x,z) with y != z cannot drop either atom.
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("E", (X, Y)), Atom("E", (X, Z))],
+            [frozenset((Y, Z))],
+        )
+        core = minimize_cq(query, DB_SCHEMA)
+        assert len(core.atoms) == 2
+
+    def test_summary_atom_protected(self):
+        query = ConjunctiveQuery(
+            (Y,), [Atom("E", (X, Y)), Atom("U", (X,))]
+        )
+        core = minimize_cq(query, DB_SCHEMA)
+        assert Atom("E", (X, Y)) in core.atoms
+
+    def test_dependency_aware_folding(self):
+        # U(x) is implied by E(x,y) under E[s] <= U[u].
+        ind = InclusionDependency("E", ("s",), "U", ("u",))
+        query = ConjunctiveQuery(
+            (X,), [Atom("E", (X, Y)), Atom("U", (X,))]
+        )
+        without = minimize_cq(query, DB_SCHEMA)
+        assert len(without.atoms) == 2
+        with_dep = minimize_cq(query, DB_SCHEMA, [ind])
+        assert with_dep.atoms == {Atom("E", (X, Y))}
+
+
+class TestMinimizePositive:
+    def test_redundant_disjunct_removed(self):
+        loop = ConjunctiveQuery((X,), [Atom("E", (X, X))])
+        edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        union = PositiveQuery([loop, edge])
+        minimized = minimize_positive(union, DB_SCHEMA)
+        assert len(minimized) == 1
+        assert minimized.disjuncts[0].atoms == {Atom("E", (X, Y))}
+
+    def test_incomparable_disjuncts_kept(self):
+        out_edge = ConjunctiveQuery((X,), [Atom("E", (X, Y))])
+        in_u = ConjunctiveQuery((X,), [Atom("U", (X,))])
+        union = PositiveQuery([out_edge, in_u])
+        assert len(minimize_positive(union, DB_SCHEMA)) == 2
+
+
+class TestToAlgebra:
+    def _roundtrip(self, query, output, seed=3):
+        expr = cq_to_expression(query, DB_SCHEMA, output)
+        rng = random.Random(seed)
+        from repro.cq.homomorphism import evaluate_cq
+
+        for _ in range(15):
+            e_rows = {
+                (rng.randrange(4), rng.randrange(4))
+                for _ in range(rng.randrange(6))
+            }
+            u_rows = {(rng.randrange(4),) for _ in range(rng.randrange(4))}
+            database = Database(
+                {
+                    "E": Relation(DB_SCHEMA.relation_schema("E"), e_rows),
+                    "U": Relation(DB_SCHEMA.relation_schema("U"), u_rows),
+                }
+            )
+            assert evaluate(expr, database).tuples == evaluate_cq(
+                query, database
+            )
+        return expr
+
+    def test_simple_roundtrip(self):
+        query = ConjunctiveQuery(
+            (X, Z), [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        )
+        self._roundtrip(query, schema_of(("a", "D"), ("b", "D")))
+
+    def test_nonequality_roundtrip(self):
+        query = ConjunctiveQuery(
+            (X,),
+            [Atom("E", (X, Y))],
+            [frozenset((X, Y))],
+        )
+        self._roundtrip(query, schema_of(("a", "D")))
+
+    def test_repeated_summary_variable(self):
+        query = ConjunctiveQuery((X, X), [Atom("U", (X,))])
+        self._roundtrip(query, schema_of(("a", "D"), ("b", "D")))
+
+    def test_empty_union(self):
+        output = schema_of(("a", "D"))
+        expr = positive_to_expression(
+            PositiveQuery([], summary_domains=("D",)), DB_SCHEMA, output
+        )
+        assert infer_schema(expr, DB_SCHEMA) == output
+
+    def test_arity_mismatch_rejected(self):
+        query = ConjunctiveQuery((X,), [Atom("U", (X,))])
+        with pytest.raises(Exception):
+            cq_to_expression(
+                query, DB_SCHEMA, schema_of(("a", "D"), ("b", "D"))
+            )
+
+
+class TestMinimizeExpression:
+    def test_non_positive_returned_unchanged(self):
+        expr = Difference(Rel("U"), Rel("U"))
+        assert (
+            minimize_positive_expression(expr, DB_SCHEMA) is expr
+        )
+
+    def test_semantics_preserved(self):
+        from tests.test_property_translate import (
+            databases,
+            positive_expressions,
+        )
+
+        @given(positive_expressions(), databases())
+        @settings(max_examples=60, deadline=None)
+        def check(expr, database):
+            minimized = minimize_positive_expression(expr, DB_SCHEMA)
+            assert evaluate(expr, database).tuples == evaluate(
+                minimized, database
+            ).tuples
+
+        check()

@@ -1,0 +1,98 @@
+"""Edge cases across smaller APIs."""
+
+import pytest
+
+from repro.coloring.inference import minimal_use_set
+from repro.core.method import FunctionalUpdateMethod, update_method
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema
+from repro.sqlsim.table import Table, TableError
+
+
+class TestTableEdges:
+    def test_lookup_without_key_rejected(self):
+        table = Table("T", ("a",))
+        table.insert({"a": 1})
+        with pytest.raises(TableError, match="no key"):
+            table.lookup(1)
+
+    def test_update_unknown_column_rejected(self):
+        table = Table("T", ("a",))
+        row_id = table.insert({"a": 1})
+        with pytest.raises(TableError, match="unknown column"):
+            table.update_row(row_id, {"b": 2})
+
+    def test_update_vanished_row_is_noop(self):
+        table = Table("T", ("a",))
+        row_id = table.insert({"a": 1})
+        table.delete_row(row_id)
+        table.update_row(row_id, {"a": 9})  # silently nothing
+        assert len(table) == 0
+
+    def test_where_and_column(self):
+        table = Table("T", ("a", "b"))
+        table.insert({"a": 1, "b": "x"})
+        table.insert({"a": 2, "b": "y"})
+        assert table.where(lambda r: r["a"] > 1) == [{"a": 2, "b": "y"}]
+        assert table.column("b") == ["x", "y"]
+
+
+class TestInferenceEdges:
+    def test_no_consistent_use_set_raises(self):
+        # A method whose behavior depends on an item that can never be
+        # in an admissible use set: the signature class is A, and the
+        # method reads an edge whose closure requirement is violated by
+        # every candidate... simplest: behavior depending on the
+        # *receiver identity* plus randomness cannot happen (methods are
+        # functions), so instead craft samples that contradict each
+        # other is impossible too.  What CAN fail: the full use set
+        # itself fails on some sample — impossible by definition (the
+        # full restriction is the identity).  So the error path needs a
+        # method violating the divergence convention: left side defined,
+        # restricted side diverging differently per sample.
+        schema = Schema(["A", "X"])
+        sig = MethodSignature(["A"])
+
+        from repro.core.method import MethodDiverges
+
+        def weird(instance, receiver):
+            # Diverges iff an X-object exists; with U = everything the
+            # axiom holds, so inference must succeed and include X.
+            if instance.objects_of_class("X"):
+                raise MethodDiverges("boom")
+            return instance
+
+        method = FunctionalUpdateMethod(sig, weird, "weird")
+        a = Obj("A", 1)
+        with_x = Instance(schema, [a, Obj("X", 1)])
+        without_x = Instance(schema, [a])
+        samples = [(with_x, Receiver([a])), (without_x, Receiver([a]))]
+        use = minimal_use_set(method, samples, "inflationary")
+        assert "X" in use
+
+
+class TestDecoratorSugar:
+    def test_update_method_decorator(self):
+        schema = Schema(["A"])
+        sig = MethodSignature(["A"])
+
+        @update_method(sig, name="noop")
+        def noop(instance, receiver):
+            return instance
+
+        assert noop.name == "noop"
+        a = Obj("A", 1)
+        instance = Instance(schema, [a])
+        assert noop.apply(instance, Receiver([a])) == instance
+
+
+class TestInstanceRepr:
+    def test_reprs_do_not_crash(self):
+        schema = Schema(["A"], [("A", "e", "A")])
+        a, b = Obj("A", 1), Obj("A", "two")
+        instance = Instance(schema, [a, b], [Edge(a, "e", b)])
+        assert "A#1" in repr(instance)
+        assert "Schema" in repr(schema)
+        assert str(Edge(a, "e", b)).count("--") == 2

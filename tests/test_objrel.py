@@ -1,0 +1,129 @@
+"""The object-relational bridge (Proposition 5.1, Lemma 5.3)."""
+
+import pytest
+
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import SchemaError, drinker_bar_beer_schema
+from repro.objrel.encoding import (
+    decode_relation,
+    encode_binary_relation,
+    encoding_schema,
+    rewrite_binary_references,
+)
+from repro.objrel.mapping import (
+    database_to_instance,
+    instance_to_database,
+    property_relation_name,
+    schema_dependencies,
+    schema_to_database_schema,
+)
+from repro.relational.algebra import Project, Rel, Select
+from repro.relational.dependencies import satisfies_all
+from repro.relational.evaluate import evaluate
+from repro.relational.relation import Relation
+from repro.workloads.drinkers import figure_1_instance
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+class TestSchemaMapping:
+    def test_relation_names(self, schema):
+        db_schema = schema_to_database_schema(schema)
+        assert set(db_schema.relation_names) == {
+            "Drinker",
+            "Bar",
+            "Beer",
+            "Drinker.frequents",
+            "Drinker.likes",
+            "Bar.serves",
+        }
+
+    def test_property_relation_schema(self, schema):
+        db_schema = schema_to_database_schema(schema)
+        frequents = db_schema.relation_schema("Drinker.frequents")
+        assert frequents.names == ("Drinker", "frequents")
+        assert frequents.domain_of("Drinker") == "Drinker"
+        assert frequents.domain_of("frequents") == "Bar"
+
+    def test_property_relation_name(self, schema):
+        assert property_relation_name(schema, "serves") == "Bar.serves"
+
+    def test_dependencies_are_full(self, schema):
+        db_schema = schema_to_database_schema(schema)
+        for dep in schema_dependencies(schema):
+            assert dep.is_full(db_schema)
+
+    def test_disjointness_optional(self, schema):
+        with_disjoint = schema_dependencies(schema, include_disjointness=True)
+        without = schema_dependencies(schema)
+        assert len(with_disjoint) > len(without)
+
+
+class TestProposition5_1:
+    def test_roundtrip(self, schema):
+        instance = figure_1_instance(schema)
+        database = instance_to_database(instance)
+        assert database_to_instance(database, schema) == instance
+
+    def test_database_satisfies_dependencies(self, schema):
+        database = instance_to_database(figure_1_instance(schema))
+        deps = schema_dependencies(schema, include_disjointness=True)
+        assert satisfies_all(database, deps)
+
+    def test_violating_database_rejected(self, schema):
+        database = instance_to_database(figure_1_instance(schema))
+        # Drop the Drinker relation's rows: frequents dangles.
+        broken = database.with_relation(
+            "Drinker",
+            Relation(database.relation("Drinker").schema, ()),
+        )
+        with pytest.raises(SchemaError, match="inclusion"):
+            database_to_instance(broken, schema)
+
+    def test_non_object_values_rejected(self, schema):
+        database = instance_to_database(figure_1_instance(schema))
+        polluted = database.with_relation(
+            "Beer",
+            Relation(
+                database.relation("Beer").schema,
+                [(Obj("Bar", "imposter"),)],
+            ),
+        )
+        with pytest.raises(SchemaError, match="not an object"):
+            database_to_instance(polluted, schema)
+
+
+class TestLemma5_3:
+    def test_encode_decode_roundtrip(self):
+        schema = encoding_schema()
+        pairs = {(1, 2), (2, 2), (3, 1)}
+        instance = encode_binary_relation(pairs, schema)
+        assert decode_relation(instance) == pairs
+
+    def test_abstract_tuple_nodes(self):
+        schema = encoding_schema()
+        instance = encode_binary_relation({(1, 2), (3, 4)}, schema)
+        assert len(instance.objects_of_class("C")) == 2
+        assert len(instance.objects_of_class("D")) == 4
+
+    def test_rewriting_preserves_value(self):
+        # E over R=AB vs E' over the object base: same answers.
+        schema = encoding_schema()
+        pairs = {(1, 2), (2, 1), (2, 2)}
+        instance = encode_binary_relation(pairs, schema)
+        database = instance_to_database(instance)
+        # E := sigma_{A=B}(R), rewritten over the encoding.
+        expr = Select(Rel("R"), "A", "B", True)
+        rewritten = rewrite_binary_references(expr, "R", schema)
+        result = evaluate(rewritten, database)
+        values = {(a.key, b.key) for a, b in result}
+        assert values == {(2, 2)}
+
+    def test_shared_values_encoded_once(self):
+        schema = encoding_schema()
+        instance = encode_binary_relation({(1, 1)}, schema)
+        assert len(instance.objects_of_class("D")) == 1
+        assert decode_relation(instance) == {(1, 1)}

@@ -1,0 +1,122 @@
+"""The optimizing evaluator agrees with the reference evaluator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.relational.algebra import (
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.evaluate import evaluate
+from repro.relational.optimizer import evaluate_optimized
+
+from tests.test_property_translate import (
+    DB_SCHEMA,
+    databases,
+    positive_expressions,
+)
+
+
+@given(positive_expressions(), databases())
+@settings(max_examples=150, deadline=None)
+def test_optimizer_matches_reference(expr, database):
+    assert evaluate_optimized(expr, database) == evaluate(expr, database)
+
+
+class TestJoinShapes:
+    @pytest.fixture
+    def database(self):
+        rng = random.Random(0)
+        from repro.relational.database import Database
+        from repro.relational.relation import Relation
+
+        e_rows = {
+            (rng.randrange(10), rng.randrange(10)) for _ in range(30)
+        }
+        u_rows = {(rng.randrange(10),) for _ in range(8)}
+        return Database(
+            {
+                "E": Relation(DB_SCHEMA.relation_schema("E"), e_rows),
+                "U": Relation(DB_SCHEMA.relation_schema("U"), u_rows),
+            }
+        )
+
+    def test_hash_join_chain(self, database):
+        # E join E join E on t=s chains.
+        second = Rename(Rename(Rel("E"), "s", "s2"), "t", "t2")
+        third = Rename(Rename(Rel("E"), "s", "s3"), "t", "t3")
+        expr = Select(
+            Select(
+                Product(Product(Rel("E"), second), third),
+                "t",
+                "s2",
+                True,
+            ),
+            "t2",
+            "s3",
+            True,
+        )
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )
+
+    def test_disconnected_product(self, database):
+        expr = Product(Rel("U"), Rename(Rel("U"), "u", "v"))
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )
+
+    def test_neq_only_conditions(self, database):
+        expr = Select(
+            Product(Rel("U"), Rename(Rel("U"), "u", "v")),
+            "u",
+            "v",
+            False,
+        )
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )
+
+    def test_mixed_eq_neq(self, database):
+        second = Rename(Rename(Rel("E"), "s", "s2"), "t", "t2")
+        expr = Select(
+            Select(
+                Product(Rel("E"), second),
+                "t",
+                "s2",
+                True,
+            ),
+            "s",
+            "t2",
+            False,
+        )
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )
+
+    def test_projection_above_join(self, database):
+        second = Rename(Rename(Rel("E"), "s", "s2"), "t", "t2")
+        expr = Project(
+            Select(Product(Rel("E"), second), "t", "s2", True),
+            ("s", "t2"),
+        )
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )
+
+    def test_union_of_joins(self, database):
+        second = Rename(Rename(Rel("E"), "s", "s2"), "t", "t2")
+        join = Project(
+            Select(Product(Rel("E"), second), "t", "s2", True),
+            ("s", "t2"),
+        )
+        expr = Union(join, join)
+        assert evaluate_optimized(expr, database) == evaluate(
+            expr, database
+        )

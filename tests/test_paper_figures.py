@@ -1,0 +1,90 @@
+"""Exact reproduction of the paper's Figures 1-5.
+
+The paper's only figures are example instances; this module rebuilds each
+one programmatically and asserts the updates relating them (Examples 2.7
+and 3.2) produce exactly the drawn results.
+"""
+
+import pytest
+
+from repro.core import Receiver
+from repro.core.examples import add_bar, favorite_bar
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Edge, Obj
+from repro.graph.render import render_instance
+from repro.workloads.drinkers import figure_1_instance, figure_2_instance
+
+D1 = Obj("Drinker", 1)
+BAR = {i: Obj("Bar", i) for i in (1, 2, 3)}
+
+
+def freq(bar_key):
+    return Edge(D1, "frequents", BAR[bar_key])
+
+
+class TestFigure1:
+    def test_figure_1_shape(self):
+        instance = figure_1_instance()
+        assert len(instance.objects_of_class("Drinker")) == 2
+        assert len(instance.objects_of_class("Bar")) == 2
+        assert len(instance.objects_of_class("Beer")) == 3
+        assert len(instance.edges_labeled("serves")) == 4
+        assert len(instance.edges_labeled("likes")) == 2
+        assert len(instance.edges_labeled("frequents")) == 2
+
+    def test_figure_1_links(self):
+        instance = figure_1_instance()
+        cheers = Obj("Bar", "Cheers")
+        assert instance.property_values(cheers, "serves") == {
+            Obj("Beer", "Petre"),
+            Obj("Beer", "Jug"),
+        }
+
+    def test_render_is_deterministic(self):
+        first = render_instance(figure_1_instance())
+        second = render_instance(figure_1_instance())
+        assert first == second
+
+
+class TestFigures2To4:
+    def test_figure_2(self):
+        instance = figure_2_instance()
+        assert instance.edges == {freq(1), freq(2)}
+        assert instance.nodes == {D1, BAR[1], BAR[2], BAR[3]}
+
+    def test_figure_3_add_bar(self):
+        # add_bar(I, [Drinker1, Bar3]) adds the third frequents edge.
+        result = add_bar().apply(
+            figure_2_instance(), Receiver([D1, BAR[3]])
+        )
+        assert result.edges == {freq(1), freq(2), freq(3)}
+        assert result.nodes == figure_2_instance().nodes
+
+    def test_figure_4_favorite_bar(self):
+        # favorite_bar(I, [Drinker1, Bar1]) leaves only the Bar1 edge.
+        result = favorite_bar().apply(
+            figure_2_instance(), Receiver([D1, BAR[1]])
+        )
+        assert result.edges == {freq(1)}
+        assert result.nodes == figure_2_instance().nodes
+
+
+class TestFigure5:
+    def test_figure_5_sequence(self):
+        # favorite_bar(I, [D1,Bar1], [D1,Bar3]) ends at Bar3 (Figure 5) ...
+        result = apply_sequence(
+            favorite_bar(),
+            figure_2_instance(),
+            [Receiver([D1, BAR[1]]), Receiver([D1, BAR[3]])],
+        )
+        assert result.edges == {freq(3)}
+
+    def test_reversed_sequence_is_figure_4(self):
+        # ... while the reverse order ends at Bar1 (Figure 4 again) —
+        # the order dependence of Example 3.2.
+        result = apply_sequence(
+            favorite_bar(),
+            figure_2_instance(),
+            [Receiver([D1, BAR[3]]), Receiver([D1, BAR[1]])],
+        )
+        assert result.edges == {freq(1)}

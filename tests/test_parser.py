@@ -1,0 +1,184 @@
+"""The algebra text syntax."""
+
+import pytest
+
+from repro.algebraic.examples import add_bar_algebraic, delete_bar_algebraic
+from repro.algebraic.method import AlgebraicUpdateMethod
+from repro.core.signature import MethodSignature
+from repro.graph.schema import drinker_bar_beer_schema
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.parser import ParseError, parse_expression, parse_statements
+
+
+class TestBasicForms:
+    def test_relation_reference(self):
+        assert parse_expression("Drinker") == Rel("Drinker")
+
+    def test_dotted_and_primed_names(self):
+        assert parse_expression("Drinker.frequents") == Rel(
+            "Drinker.frequents"
+        )
+        assert parse_expression("self'") == Rel("self'")
+
+    def test_union_difference_left_assoc(self):
+        expr = parse_expression("A u B - C")
+        assert expr == Difference(Union(Rel("A"), Rel("B")), Rel("C"))
+
+    def test_product(self):
+        assert parse_expression("A * B * C") == Product(
+            Product(Rel("A"), Rel("B")), Rel("C")
+        )
+
+    def test_projection(self):
+        assert parse_expression("pi[a, b](R)") == Project(
+            Rel("R"), ("a", "b")
+        )
+        assert parse_expression("pi[](R)") == Project(Rel("R"), ())
+
+    def test_rename(self):
+        assert parse_expression("rho[a -> b](R)") == Rename(
+            Rel("R"), "a", "b"
+        )
+
+    def test_selection(self):
+        assert parse_expression("sigma[a=b](R)") == Select(
+            Rel("R"), "a", "b", True
+        )
+        assert parse_expression("sigma[a != b](R)") == Select(
+            Rel("R"), "a", "b", False
+        )
+
+    def test_empty(self):
+        expr = parse_expression("empty[x: D, y: E]")
+        assert isinstance(expr, Empty)
+        assert expr.schema.names == ("x", "y")
+        assert expr.schema.domain_of("y") == "E"
+
+    def test_inline_join_conditions(self):
+        expr = parse_expression("(self * Drinker.frequents : self=Drinker)")
+        assert expr == Select(
+            Product(Rel("self"), Rel("Drinker.frequents")),
+            "self",
+            "Drinker",
+            True,
+        )
+
+    def test_multiple_inline_conditions(self):
+        expr = parse_expression("(A * B : x=y, u != v)")
+        assert expr == Select(
+            Select(Product(Rel("A"), Rel("B")), "x", "y", True),
+            "u",
+            "v",
+            False,
+        )
+
+    def test_parentheses_grouping(self):
+        expr = parse_expression("A u (B - C)")
+        assert expr == Union(Rel("A"), Difference(Rel("B"), Rel("C")))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "pi[a](R",
+            "A u",
+            "sigma[a<b](R)",
+            "rho[a, b](R)",
+            "A @ B",
+            "A B",
+        ],
+    )
+    def test_malformed_input(self, text):
+        with pytest.raises(ParseError):
+            parse_expression(text)
+
+
+class TestPaperMethodsViaParser:
+    def test_add_bar_round_trip(self):
+        # The parsed method behaves exactly like the hand-built one.
+        schema = drinker_bar_beer_schema()
+        statements = parse_statements(
+            "frequents := rho[frequents -> frequents]("
+            "  pi[frequents]((self * Drinker.frequents : self=Drinker))"
+            ") u rho[arg1 -> frequents](arg1)"
+        )
+        parsed = AlgebraicUpdateMethod(
+            schema,
+            MethodSignature(["Drinker", "Bar"]),
+            statements,
+            "add_bar_parsed",
+        )
+        reference = add_bar_algebraic(schema)
+        from repro.core.receiver import receivers_over
+        from repro.workloads.drinkers import figure_1_instance
+
+        instance = figure_1_instance(schema)
+        for receiver in receivers_over(instance, parsed.signature):
+            assert parsed.apply(instance, receiver) == reference.apply(
+                instance, receiver
+            )
+
+    def test_delete_bar_round_trip(self):
+        schema = drinker_bar_beer_schema()
+        statements = parse_statements(
+            "frequents := pi[frequents]("
+            "(self * Drinker.frequents * arg1 : "
+            "self=Drinker, frequents != arg1))"
+        )
+        parsed = AlgebraicUpdateMethod(
+            schema,
+            MethodSignature(["Drinker", "Bar"]),
+            statements,
+            "delete_bar_parsed",
+        )
+        reference = delete_bar_algebraic(schema)
+        from repro.core.receiver import receivers_over
+        from repro.workloads.drinkers import figure_1_instance
+
+        instance = figure_1_instance(schema)
+        for receiver in receivers_over(instance, parsed.signature):
+            assert parsed.apply(instance, receiver) == reference.apply(
+                instance, receiver
+            )
+
+    def test_multi_statement_parsing(self):
+        statements = parse_statements(
+            """
+            a := pi[x](R)   # comment
+            b := S u T
+            """
+        )
+        assert set(statements) == {"a", "b"}
+
+    def test_multiline_statement(self):
+        statements = parse_statements(
+            """
+            frequents := pi[frequents](
+                (self * Drinker.frequents : self=Drinker)
+            ) u rho[arg1 -> frequents](arg1)
+            """
+        )
+        assert set(statements) == {"frequents"}
+
+    def test_semicolon_separation(self):
+        statements = parse_statements("a := R; b := S")
+        assert set(statements) == {"a", "b"}
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_statements("a := R; a := S")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError, match="no statements"):
+            parse_statements("  # nothing here")

@@ -1,0 +1,52 @@
+"""Property-based: render/parse round-trip for algebra expressions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import Difference, Empty, Product, Union
+from repro.relational.parser import parse_expression, render_expression
+from repro.relational.relation import schema_of
+
+from tests.test_property_translate import positive_expressions
+
+
+@given(positive_expressions())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_positive(expr):
+    assert parse_expression(render_expression(expr)) == expr
+
+
+@given(positive_expressions(), positive_expressions())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_with_difference_and_nesting(left, right):
+    # Differences and right-nested operators exercise the
+    # parenthesization rules.
+    for expr in (
+        Difference(left, right) if _same_schema(left, right) else left,
+        Product(Empty(schema_of(("zz", "D"))), left)
+        if _no_clash(left)
+        else left,
+        Union(left, Union(left, left)),
+    ):
+        assert parse_expression(render_expression(expr)) == expr
+
+
+def _same_schema(left, right):
+    from repro.relational.evaluate import infer_schema
+
+    from tests.test_property_translate import DB_SCHEMA
+
+    return infer_schema(left, DB_SCHEMA) == infer_schema(right, DB_SCHEMA)
+
+
+def _no_clash(expr):
+    from repro.relational.evaluate import infer_schema
+
+    from tests.test_property_translate import DB_SCHEMA
+
+    return "zz" not in infer_schema(expr, DB_SCHEMA).names
+
+
+def test_roundtrip_union_of_same_operand():
+    expr = Union(Empty(schema_of(("a", "D"))), Empty(schema_of(("a", "D"))))
+    assert parse_expression(render_expression(expr)) == expr

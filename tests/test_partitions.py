@@ -1,0 +1,84 @@
+"""Typed set partitions (Klug representative valuations)."""
+
+from repro.cq.model import Variable
+from repro.cq.partitions import (
+    bell_number,
+    count_typed_partitions,
+    partition_substitution,
+    set_partitions,
+    typed_partitions,
+)
+
+
+class TestSetPartitions:
+    def test_counts_match_bell_numbers(self):
+        for n in range(6):
+            assert len(list(set_partitions(range(n)))) == bell_number(n)
+
+    def test_bell_numbers(self):
+        assert [bell_number(n) for n in range(8)] == [
+            1,
+            1,
+            2,
+            5,
+            15,
+            52,
+            203,
+            877,
+        ]
+
+    def test_partitions_cover_all_items(self):
+        for partition in set_partitions("abc"):
+            items = sorted(x for block in partition for x in block)
+            assert items == ["a", "b", "c"]
+
+    def test_finest_partition_first(self):
+        first = next(iter(set_partitions("abcd")))
+        assert len(first) == 4  # all singletons
+
+    def test_no_duplicates(self):
+        partitions = [
+            frozenset(p) for p in set_partitions(range(4))
+        ]
+        assert len(partitions) == len(set(partitions))
+
+
+class TestTypedPartitions:
+    def test_cross_domain_never_merged(self):
+        variables = [
+            Variable("x", "D"),
+            Variable("y", "D"),
+            Variable("z", "E"),
+        ]
+        for partition in typed_partitions(variables):
+            for block in partition:
+                domains = {v.domain for v in block}
+                assert len(domains) == 1
+
+    def test_count_is_product_of_bells(self):
+        variables = [
+            Variable("a", "D"),
+            Variable("b", "D"),
+            Variable("c", "D"),
+            Variable("d", "E"),
+            Variable("e", "E"),
+        ]
+        expected = bell_number(3) * bell_number(2)
+        assert count_typed_partitions(variables) == expected
+        assert len(list(typed_partitions(variables))) == expected
+
+    def test_empty_variable_set(self):
+        assert list(typed_partitions([])) == [()]
+
+
+class TestPartitionSubstitution:
+    def test_representative_is_minimum(self):
+        x, y = Variable("x", "D"), Variable("y", "D")
+        partition = (frozenset((x, y)),)
+        mapping = partition_substitution(partition)
+        assert mapping == {y: x}
+
+    def test_identity_partition_empty_substitution(self):
+        x, y = Variable("x", "D"), Variable("y", "D")
+        partition = (frozenset((x,)), frozenset((y,)))
+        assert partition_substitution(partition) == {}

@@ -1,0 +1,158 @@
+"""Proposition 5.14: pairwise checking fails for query-order independence.
+
+Both directions of the (false) statement
+
+    "M is Q-order independent iff M is order independent on any pair
+     (I, T) where T is a two-element subset of Q(I)"
+
+are disproved with the paper's counterexamples, executed concretely.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebraic.specimens import (
+    prop_5_14_if_direction,
+    prop_5_14_only_if_direction,
+    two_property_schema,
+)
+from repro.core.independence import is_order_independent_on
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Edge, Instance, Obj
+from repro.objrel.mapping import instance_to_database
+from repro.relational.evaluate import evaluate
+
+
+def query_receivers(query_expr, instance):
+    database = instance_to_database(instance)
+    relation = evaluate(query_expr, database)
+    positions = [relation.schema.position(n) for n in relation.schema.names]
+    return {
+        Receiver([row[relation.schema.position(name)] for name in relation.schema.names])
+        for row in relation
+    }
+
+
+def c(key):
+    return Obj("C", key)
+
+
+class TestIfDirectionCounterexample:
+    """Pairwise order independent on Q(I), yet not Q-order independent."""
+
+    @pytest.fixture
+    def setup(self):
+        method, query = prop_5_14_if_direction()
+        # The paper's instance: Ca = {(c1,alpha1),(c2,alpha2),(c3,alpha)}
+        # and Cb = {(c1,alpha1),(c2,alpha2),(c3,beta)} with alpha != beta.
+        schema = two_property_schema()
+        c1, c2, c3 = c(1), c(2), c(3)
+        a1, a2, alpha, beta = c("a1"), c("a2"), c("alpha"), c("beta")
+        instance = Instance(
+            schema,
+            [c1, c2, c3, a1, a2, alpha, beta],
+            [
+                Edge(c1, "a", a1),
+                Edge(c2, "a", a2),
+                Edge(c3, "a", alpha),
+                Edge(c1, "b", a1),
+                Edge(c2, "b", a2),
+                Edge(c3, "b", beta),
+            ],
+        )
+        return method, query, instance
+
+    def test_query_produces_three_receivers(self, setup):
+        method, query, instance = setup
+        receivers = query_receivers(query, instance)
+        assert receivers == {
+            Receiver([c(1), c("a1")]),
+            Receiver([c(2), c("a2")]),
+            Receiver([c(3), c("beta")]),
+        }
+
+    def test_pairwise_order_independent_on_query_result(self, setup):
+        method, query, instance = setup
+        receivers = sorted(query_receivers(query, instance))
+        for first, second in itertools.combinations(receivers, 2):
+            assert apply_sequence(
+                method, instance, [first, second]
+            ) == apply_sequence(method, instance, [second, first])
+
+    def test_not_query_order_independent(self, setup):
+        method, query, instance = setup
+        receivers = query_receivers(query, instance)
+        assert not is_order_independent_on(method, instance, receivers)
+
+    def test_paper_narrative(self, setup):
+        # In M(I, (c1,a1)(c2,a2)(c3,beta)) object c3 has no a-properties,
+        # while the order (c3,beta)(c1,a1)(c2,a2) keeps alpha.
+        method, query, instance = setup
+        t1 = Receiver([c(1), c("a1")])
+        t2 = Receiver([c(2), c("a2")])
+        t3 = Receiver([c(3), c("beta")])
+        first = apply_sequence(method, instance, [t1, t2, t3])
+        assert first.property_values(c(3), "a") == frozenset()
+        second = apply_sequence(method, instance, [t3, t1, t2])
+        assert second.property_values(c(3), "a") == {c("alpha")}
+
+
+class TestOnlyIfDirectionCounterexample:
+    """Q-order independent, yet order dependent on a two-element subset."""
+
+    @pytest.fixture
+    def setup(self):
+        method, query = prop_5_14_only_if_direction()
+        schema = two_property_schema()
+        o1, o2 = c(1), c(2)
+        instance = Instance(schema, [o1, o2])
+        return method, query, instance
+
+    def test_order_dependent_on_pair(self, setup):
+        method, query, instance = setup
+        o1, o2 = c(1), c(2)
+        t1 = Receiver([o1, o1, o1])
+        t2 = Receiver([o1, o2, o1])
+        first = apply_sequence(method, instance, [t1, t2])
+        second = apply_sequence(method, instance, [t2, t1])
+        assert first != second
+        # "In M(I, t1 t2), relation Ca equals {(o1,o1)}, while in
+        # M(I, t2 t1) it equals {(o1,o2)}."
+        assert first.property_values(o1, "a") == {o1}
+        assert second.property_values(o1, "a") == {o2}
+
+    def test_pair_is_subset_of_query_result(self, setup):
+        method, query, instance = setup
+        receivers = query_receivers(query, instance)
+        o1, o2 = c(1), c(2)
+        assert Receiver([o1, o1, o1]) in receivers
+        assert Receiver([o1, o2, o1]) in receivers
+
+    def test_query_order_independent_on_full_result(self, setup):
+        # Applying M over ALL of Q(I) = C^3 gives every object all
+        # objects as a- and b-properties, in any order.  8 receivers
+        # have 40320 orders; check a deterministic sample plus the
+        # expected fixpoint.
+        method, query, instance = setup
+        receivers = sorted(query_receivers(query, instance))
+        assert len(receivers) == 8
+        o1, o2 = c(1), c(2)
+        expected_edges = {
+            Edge(x, label, y)
+            for x in (o1, o2)
+            for y in (o1, o2)
+            for label in ("a", "b")
+        }
+        import random
+
+        rng = random.Random(4)
+        results = set()
+        for _ in range(6):
+            order = list(receivers)
+            rng.shuffle(order)
+            results.add(apply_sequence(method, instance, order))
+        assert len(results) == 1
+        final = results.pop()
+        assert final.edges == expected_edges

@@ -1,0 +1,112 @@
+"""Property-based chase invariants (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cq.chase import chase, chase_steps
+from repro.cq.containment import canonical_database
+from repro.cq.homomorphism import evaluate_cq
+from repro.cq.model import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import DatabaseSchema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    satisfies_all,
+)
+from repro.relational.relation import schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "R": schema_of(("a", "D"), ("b", "D")),
+        "S": schema_of(("c", "D")),
+    }
+)
+
+DEPS = [
+    FunctionalDependency("R", ("a",), "b"),
+    InclusionDependency("R", ("a",), "S", ("c",)),
+    InclusionDependency("R", ("b",), "S", ("c",)),
+]
+
+VARS = [Variable(f"v{i}", "D") for i in range(5)]
+
+
+@st.composite
+def queries(draw):
+    n_atoms = draw(st.integers(1, 4))
+    atoms = set()
+    for _ in range(n_atoms):
+        if draw(st.booleans()):
+            atoms.add(
+                Atom(
+                    "R",
+                    (
+                        draw(st.sampled_from(VARS)),
+                        draw(st.sampled_from(VARS)),
+                    ),
+                )
+            )
+        else:
+            atoms.add(Atom("S", (draw(st.sampled_from(VARS)),)))
+    used = sorted({v for atom in atoms for v in atom.args})
+    summary = tuple(
+        draw(st.lists(st.sampled_from(used), max_size=2, unique=True))
+    )
+    pairs = set()
+    if len(used) >= 2 and draw(st.booleans()):
+        first = draw(st.sampled_from(used))
+        second = draw(st.sampled_from(used))
+        if first != second:
+            pairs.add(frozenset((first, second)))
+    return ConjunctiveQuery(summary, atoms, pairs)
+
+
+@given(queries())
+@settings(max_examples=80, deadline=None)
+def test_chase_terminates_without_new_variables(query):
+    chased = chase(query, DEPS, DB_SCHEMA)
+    if chased is None:
+        return
+    assert chased.variables() <= query.variables()
+    assert len(chased.atoms) <= len(query.atoms) + 2 * len(query.atoms)
+
+
+@given(queries(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_church_rosser(query, rng):
+    reference = chase(query, DEPS, DB_SCHEMA)
+    order = list(range(len(DEPS)))
+    rng.shuffle(order)
+    steps = chase_steps(query, DEPS, DB_SCHEMA, rule_order=order)
+    permuted = steps[-1]
+    if reference is None:
+        # Bottom: the permuted run's last satisfiable step need not
+        # match, but the chase function itself must agree.
+        assert (
+            chase(query, [DEPS[i] for i in order], DB_SCHEMA) is None
+        )
+        return
+    assert permuted == reference
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_chased_canonical_instance_satisfies_dependencies(query):
+    chased = chase(query, DEPS, DB_SCHEMA)
+    if chased is None:
+        return
+    database = canonical_database(chased, DB_SCHEMA)
+    assert satisfies_all(database, DEPS)
+
+
+@given(queries())
+@settings(max_examples=40, deadline=None)
+def test_chase_preserves_answers_on_own_canonical_instance(query):
+    # chase(q) <= q always (chase only adds constraints satisfied under
+    # Sigma); on the chased canonical instance both agree on the
+    # chased summary.
+    chased = chase(query, DEPS, DB_SCHEMA)
+    if chased is None:
+        return
+    database = canonical_database(chased)
+    assert tuple(chased.summary) in evaluate_cq(query, database)

@@ -1,0 +1,149 @@
+"""Property-based soundness of the containment procedure (hypothesis).
+
+The decision's verdicts are validated against direct evaluation:
+
+* *contained* verdicts are spot-checked on random dependency-satisfying
+  databases (the answers must nest);
+* *not contained* verdicts come with a counterexample database, which is
+  verified to satisfy the dependencies and separate the queries.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import (
+    ContainmentBudgetExceeded,
+    canonical_database,
+    cq_containment_counterexample,
+)
+from repro.cq.homomorphism import evaluate_cq, evaluate_positive, tuple_in_cq
+from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    satisfies_all,
+)
+from repro.relational.relation import Relation, schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "R": schema_of(("a", "D"), ("b", "D")),
+        "S": schema_of(("c", "D")),
+    }
+)
+
+DEPS = [
+    FunctionalDependency("R", ("a",), "b"),
+    InclusionDependency("R", ("a",), "S", ("c",)),
+    InclusionDependency("R", ("b",), "S", ("c",)),
+]
+
+VARS = [Variable(f"v{i}", "D") for i in range(4)]
+
+
+@st.composite
+def small_queries(draw, max_atoms=3, allow_neq=True):
+    n_atoms = draw(st.integers(1, max_atoms))
+    atoms = set()
+    for _ in range(n_atoms):
+        if draw(st.booleans()):
+            atoms.add(
+                Atom(
+                    "R",
+                    (
+                        draw(st.sampled_from(VARS)),
+                        draw(st.sampled_from(VARS)),
+                    ),
+                )
+            )
+        else:
+            atoms.add(Atom("S", (draw(st.sampled_from(VARS)),)))
+    used = sorted({v for a in atoms for v in a.args})
+    summary = (draw(st.sampled_from(used)),)
+    pairs = set()
+    if allow_neq and len(used) >= 2 and draw(st.booleans()):
+        first, second = draw(
+            st.lists(
+                st.sampled_from(used), min_size=2, max_size=2, unique=True
+            )
+        )
+        pairs.add(frozenset((first, second)))
+    return ConjunctiveQuery(summary, atoms, pairs)
+
+
+def random_satisfying_database(rng):
+    mapping = {}
+    for _ in range(rng.randrange(5)):
+        mapping[rng.randrange(4)] = rng.randrange(4)
+    r_rows = set(mapping.items())
+    s_rows = {(a,) for a, b in r_rows} | {(b,) for a, b in r_rows}
+    if rng.random() < 0.5:
+        s_rows.add((rng.randrange(6),))
+    return Database(
+        {
+            "R": Relation(DB_SCHEMA.relation_schema("R"), r_rows),
+            "S": Relation(DB_SCHEMA.relation_schema("S"), s_rows),
+        }
+    )
+
+
+@given(small_queries(), small_queries(), st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None, derandomize=True)
+def test_verdicts_validated_by_evaluation(first, second, seed):
+    container = PositiveQuery([second])
+    try:
+        counterexample = cq_containment_counterexample(
+            first, container, DEPS, DB_SCHEMA, max_partitions=20_000
+        )
+    except ContainmentBudgetExceeded:
+        return  # budget-bounded by design
+    if counterexample is None:
+        # Contained: spot-check on random satisfying databases.
+        rng = random.Random(seed)
+        for _ in range(15):
+            database = random_satisfying_database(rng)
+            assert evaluate_cq(first, database) <= evaluate_positive(
+                container, database
+            )
+    else:
+        # Not contained: the counterexample must be genuine and must
+        # satisfy the dependencies (disjointness is typing).
+        database = counterexample.database
+        assert tuple_in_cq(first, database, counterexample.row)
+        assert counterexample.row not in evaluate_positive(
+            container, database
+        )
+        full = _with_missing_relations(database)
+        assert satisfies_all(full, DEPS)
+
+
+def _with_missing_relations(database):
+    relations = {
+        name: database.relation(name) for name in database.relation_names
+    }
+    for name in ("R", "S"):
+        if name not in relations:
+            relations[name] = Relation(DB_SCHEMA.relation_schema(name), ())
+        else:
+            # Re-key the schema so dependency checks can address the
+            # attributes by their real names.
+            relations[name] = Relation(
+                DB_SCHEMA.relation_schema(name),
+                relations[name].tuples,
+            )
+    return Database(relations)
+
+
+@given(small_queries(allow_neq=False))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_self_containment(query):
+    container = PositiveQuery([query])
+    assert (
+        cq_containment_counterexample(
+            query, container, DEPS, DB_SCHEMA, max_partitions=50_000
+        )
+        is None
+    )

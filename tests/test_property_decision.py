@@ -1,0 +1,125 @@
+"""Differential testing of the Theorem 5.12 decision procedure.
+
+For random small positive methods, the decision procedure's verdict is
+compared against brute-force order-independence checking on random
+instances:
+
+* if the procedure says *order dependent*, the decoded counterexample
+  must replay as a genuine disagreement;
+* if it says *order independent*, no sampled instance/receiver pair may
+  disagree (brute force can only refute, so this direction is a
+  consistency check, not a proof).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic.decision import (
+    counterexample_to_scenario,
+    decide_key_order_independence,
+    decide_order_independence,
+)
+from repro.cq.containment import ContainmentBudgetExceeded
+from repro.core.independence import (
+    key_order_independent_on_samples,
+    order_independent_on_samples,
+)
+from repro.core.receiver import receivers_over
+from repro.core.sequential import apply_sequence
+from repro.graph.schema import Schema
+from repro.workloads.instances import random_instance
+from repro.workloads.methods import random_positive_method
+
+SCHEMA = Schema(
+    ["K0", "K1"],
+    [("K0", "p0", "K1"), ("K0", "p1", "K0")],
+)
+
+
+def brute_force_samples(method, seed, rounds=8):
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(rounds):
+        instance = random_instance(
+            rng, SCHEMA, objects_per_class=2, edge_probability=0.5
+        )
+        receivers = receivers_over(instance, method.signature)
+        if len(receivers) >= 2:
+            samples.append((instance, receivers[:6]))
+    return samples
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_decision_consistent_with_brute_force(seed):
+    rng = random.Random(seed)
+    method = random_positive_method(rng, SCHEMA, depth=1)
+    if method is None:
+        return
+    try:
+        result = decide_order_independence(method, max_partitions=25_000)
+    except ContainmentBudgetExceeded:
+        return  # a rare pathological method; budget-bounded by design
+    samples = brute_force_samples(method, seed)
+    refutation = order_independent_on_samples(method, samples)
+    if result.order_independent:
+        assert refutation is None, (
+            f"procedure says independent but brute force refutes: "
+            f"{method.statements}"
+        )
+    else:
+        scenario = counterexample_to_scenario(result, method)
+        assert scenario is not None
+        instance, first, second = scenario
+        assert apply_sequence(
+            method, instance, [first, second]
+        ) != apply_sequence(method, instance, [second, first])
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_key_decision_consistent_with_brute_force(seed):
+    rng = random.Random(seed)
+    method = random_positive_method(rng, SCHEMA, depth=1)
+    if method is None:
+        return
+    try:
+        result = decide_key_order_independence(
+            method, max_partitions=25_000
+        )
+    except ContainmentBudgetExceeded:
+        return
+    samples = brute_force_samples(method, seed + 1)
+    refutation = key_order_independent_on_samples(method, samples)
+    if result.order_independent:
+        assert refutation is None
+    else:
+        scenario = counterexample_to_scenario(result, method)
+        assert scenario is not None
+        instance, first, second = scenario
+        assert first.receiving_object != second.receiving_object
+        assert apply_sequence(
+            method, instance, [first, second]
+        ) != apply_sequence(method, instance, [second, first])
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_order_independence_implies_key_order_independence(seed):
+    # Absolute order independence is the stronger notion.
+    rng = random.Random(seed)
+    method = random_positive_method(rng, SCHEMA, depth=1)
+    if method is None:
+        return
+    try:
+        absolute = decide_order_independence(method, max_partitions=25_000)
+        if absolute.order_independent:
+            keyed = decide_key_order_independence(
+                method, max_partitions=25_000
+            )
+            assert keyed.order_independent
+    except ContainmentBudgetExceeded:
+        return

@@ -1,0 +1,115 @@
+"""Property-based invariants of the extended (footnote-1) model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.extended import (
+    MULTI,
+    SINGLE,
+    ExtendedInstance,
+    ExtendedSchema,
+)
+from repro.graph.instance import Edge, Obj
+from repro.graph.schema import SchemaError
+
+
+def random_hierarchy(rng, n_classes=5):
+    """A random ISA forest: each class's superclasses have smaller index
+    (acyclic by construction)."""
+    classes = [f"C{i}" for i in range(n_classes)]
+    isa = {}
+    for index in range(1, n_classes):
+        if rng.random() < 0.7:
+            isa[classes[index]] = [classes[rng.randrange(index)]]
+    edges = []
+    for index in range(rng.randrange(3)):
+        source = rng.choice(classes)
+        target = rng.choice(classes)
+        multiplicity = rng.choice([SINGLE, MULTI])
+        edges.append((source, f"p{index}", target, multiplicity))
+    return ExtendedSchema(classes, isa=isa, edges=edges)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=80, deadline=None)
+def test_subclassing_is_a_partial_order(seed):
+    rng = random.Random(seed)
+    schema = random_hierarchy(rng)
+    classes = sorted(schema.class_names)
+    for cls in classes:
+        assert schema.is_subclass(cls, cls)  # reflexive
+    for a in classes:
+        for b in classes:
+            for c in classes:
+                if schema.is_subclass(a, b) and schema.is_subclass(b, c):
+                    assert schema.is_subclass(a, c)  # transitive
+            if a != b:
+                # Antisymmetry (the forest construction guarantees it).
+                assert not (
+                    schema.is_subclass(a, b) and schema.is_subclass(b, a)
+                )
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=80, deadline=None)
+def test_membership_monotone_along_isa(seed):
+    rng = random.Random(seed)
+    schema = random_hierarchy(rng)
+    nodes = {
+        Obj(cls, i)
+        for cls in schema.class_names
+        for i in range(rng.randrange(3))
+    }
+    instance = ExtendedInstance(schema, nodes)
+    for cls in schema.class_names:
+        members = instance.members_of(cls)
+        for ancestor in schema.superclasses_of(cls):
+            assert members <= instance.members_of(ancestor)
+        assert instance.direct_extent(cls) <= members
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=80, deadline=None)
+def test_applicable_properties_monotone(seed):
+    rng = random.Random(seed)
+    schema = random_hierarchy(rng)
+    for cls in schema.class_names:
+        own = {e.label for e in schema.properties_applicable_to(cls)}
+        for ancestor in schema.superclasses_of(cls):
+            inherited = {
+                e.label
+                for e in schema.properties_applicable_to(ancestor)
+            }
+            assert inherited <= own
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=60, deadline=None)
+def test_single_valued_replace_property_safe(seed):
+    # replace_property with a single target never violates
+    # single-valuedness, whatever the prior state.
+    rng = random.Random(seed)
+    schema = ExtendedSchema(
+        ["A", "B"],
+        edges=[("A", "s", "B", SINGLE)],
+    )
+    a = Obj("A", 0)
+    targets = [Obj("B", i) for i in range(3)]
+    instance = ExtendedInstance(
+        schema,
+        [a] + targets,
+        [Edge(a, "s", targets[rng.randrange(3)])]
+        if rng.random() < 0.7
+        else [],
+    )
+    chosen = targets[rng.randrange(3)]
+    updated = instance.replace_property(a, "s", [chosen])
+    assert updated.single_value(a, "s") == chosen
+    # ... while two targets always violate it.
+    try:
+        instance.replace_property(a, "s", targets[:2])
+        raise AssertionError("expected a single-valuedness violation")
+    except SchemaError:
+        pass

@@ -1,0 +1,131 @@
+"""Property-based invariants of the graph substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.partial import (
+    PartialInstance,
+    g_operator,
+    restrict,
+    restriction_is_instance,
+)
+from repro.graph.schema import drinker_bar_beer_schema
+
+SCHEMA = drinker_bar_beer_schema()
+EDGE_TYPES = [
+    ("Drinker", "frequents", "Bar"),
+    ("Drinker", "likes", "Beer"),
+    ("Bar", "serves", "Beer"),
+]
+
+
+@st.composite
+def instances(draw):
+    nodes = set()
+    for cls in SCHEMA.class_names:
+        count = draw(st.integers(min_value=0, max_value=3))
+        nodes |= {Obj(cls, i) for i in range(count)}
+    edges = set()
+    for source_cls, label, target_cls in EDGE_TYPES:
+        sources = [n for n in nodes if n.cls == source_cls]
+        targets = [n for n in nodes if n.cls == target_cls]
+        for source in sources:
+            for target in targets:
+                if draw(st.booleans()):
+                    edges.add(Edge(source, label, target))
+    return Instance(SCHEMA, nodes, edges)
+
+
+@st.composite
+def partials(draw):
+    instance = draw(instances())
+    items = sorted(instance.items(), key=str)
+    kept = [item for item in items if draw(st.booleans())]
+    return PartialInstance(SCHEMA, kept)
+
+
+@st.composite
+def item_subsets(draw):
+    items = list(SCHEMA.items())
+    return frozenset(item for item in items if draw(st.booleans()))
+
+
+@given(partials())
+@settings(max_examples=60)
+def test_g_is_contained_and_idempotent(partial):
+    result = g_operator(partial)
+    assert PartialInstance.from_instance(result) <= partial
+    assert g_operator(PartialInstance.from_instance(result)) == result
+
+
+@given(partials())
+@settings(max_examples=60)
+def test_g_is_largest_contained_instance(partial):
+    # Any instance contained in the partial is contained in G(partial).
+    result = g_operator(partial)
+    assert result.nodes == partial.nodes
+    for edge in partial.edges - result.edges:
+        assert (
+            edge.source not in partial.nodes
+            or edge.target not in partial.nodes
+        )
+
+
+@given(instances())
+@settings(max_examples=60)
+def test_g_identity_on_instances(instance):
+    assert g_operator(PartialInstance.from_instance(instance)) == instance
+
+
+@given(instances(), item_subsets())
+@settings(max_examples=60)
+def test_restriction_is_subset_with_allowed_labels(instance, items):
+    restricted = restrict(instance, items)
+    assert restricted <= PartialInstance.from_instance(instance)
+    from repro.graph.instance import item_label
+
+    for item in restricted.items():
+        assert item_label(item) in items
+
+
+@given(instances(), item_subsets())
+@settings(max_examples=60)
+def test_closed_restrictions_are_instances(instance, items):
+    if restriction_is_instance(SCHEMA, items):
+        assert restrict(instance, items).is_instance()
+
+
+@given(instances(), item_subsets())
+@settings(max_examples=60)
+def test_restriction_partition(instance, items):
+    # I|X and I - I|X partition I's items.
+    full = PartialInstance.from_instance(instance)
+    restricted = restrict(instance, items)
+    rest = full - restricted
+    assert (restricted | rest) == full
+    assert len(restricted & rest) == 0
+
+
+@given(partials(), partials())
+@settings(max_examples=60)
+def test_set_operation_laws(first, second):
+    union = first | second
+    assert first <= union and second <= union
+    assert (first - second) <= first
+    assert (first & second) <= first
+    # De Morgan-ish sanity: (A u B) - B <= A
+    assert ((first | second) - second) <= first
+
+
+@given(instances())
+@settings(max_examples=60)
+def test_without_nodes_preserves_instancehood(instance):
+    nodes = sorted(instance.nodes)
+    if not nodes:
+        return
+    doomed = nodes[: len(nodes) // 2]
+    result = instance.without_nodes(doomed)
+    for edge in result.edges:
+        assert edge.source in result.nodes
+        assert edge.target in result.nodes

@@ -1,0 +1,62 @@
+"""Property-based: the object-relational bridge on random schemas."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objrel.mapping import (
+    database_to_instance,
+    instance_to_database,
+    schema_dependencies,
+    schema_to_database_schema,
+)
+from repro.relational.dependencies import satisfies_all
+from repro.workloads.instances import random_instance
+from repro.workloads.schemas import random_schema
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_on_random_schemas(seed):
+    rng = random.Random(seed)
+    schema = random_schema(
+        rng,
+        n_classes=rng.randint(1, 4),
+        n_edges=rng.randint(0, 5),
+    )
+    instance = random_instance(
+        rng,
+        schema,
+        objects_per_class=rng.randint(0, 3),
+        edge_probability=0.5,
+    )
+    database = instance_to_database(instance)
+    assert database_to_instance(database, schema) == instance
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=80, deadline=None)
+def test_representation_satisfies_dependencies(seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_classes=3, n_edges=4)
+    instance = random_instance(rng, schema, objects_per_class=2)
+    database = instance_to_database(instance)
+    deps = schema_dependencies(schema, include_disjointness=True)
+    assert satisfies_all(database, deps)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=60, deadline=None)
+def test_database_schema_covers_all_relations(seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_classes=2, n_edges=3)
+    instance = random_instance(rng, schema, objects_per_class=1)
+    database = instance_to_database(instance)
+    db_schema = schema_to_database_schema(schema)
+    assert set(database.relation_names) == set(db_schema.relation_names)
+    for name in database.relation_names:
+        assert (
+            database.relation(name).schema
+            == db_schema.relation_schema(name)
+        )

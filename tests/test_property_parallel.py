@@ -1,0 +1,72 @@
+"""Property-based Theorem 6.5 / Lemma 6.7 checks (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic.sufficient import satisfies_prop_5_8
+from repro.core.sequential import apply_sequence
+from repro.graph.schema import Schema
+from repro.parallel.apply import apply_parallel, lemma_6_7_holds
+from repro.workloads.instances import random_instance, random_key_set
+from repro.workloads.methods import random_positive_method
+
+SCHEMA = Schema(
+    ["K0", "K1"],
+    [("K0", "p0", "K1"), ("K0", "p1", "K0")],
+)
+
+
+def make_case(seed):
+    rng = random.Random(seed)
+    method = random_positive_method(rng, SCHEMA, depth=1)
+    if method is None:
+        return None
+    instance = random_instance(
+        rng, SCHEMA, objects_per_class=3, edge_probability=0.5
+    )
+    receivers = random_key_set(rng, instance, method.signature, size=3)
+    if len(receivers) < 2:
+        return None
+    return method, instance, receivers
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_theorem_6_5_for_certified_methods(seed):
+    # Methods passing Proposition 5.8 are key-order independent, so
+    # sequential and parallel application agree on key sets.
+    case = make_case(seed)
+    if case is None:
+        return
+    method, instance, receivers = case
+    if not satisfies_prop_5_8(method):
+        return
+    seq = apply_sequence(method, instance, receivers)
+    par = apply_parallel(method, instance, receivers)
+    assert seq == par
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_lemma_6_7_for_positive_methods_on_key_sets(seed):
+    case = make_case(seed)
+    if case is None:
+        return
+    method, instance, receivers = case
+    for label in method.updated_properties:
+        assert lemma_6_7_holds(method, label, instance, receivers)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_proposition_6_3_singletons(seed):
+    case = make_case(seed)
+    if case is None:
+        return
+    method, instance, receivers = case
+    receiver = receivers[0]
+    assert apply_parallel(method, instance, [receiver]) == method.apply(
+        instance, receiver
+    )

@@ -1,0 +1,129 @@
+"""Property-based: algebra evaluation agrees with CQ translation, and
+the simplifier preserves semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.homomorphism import evaluate_positive
+from repro.cq.translate import translate_expression
+from repro.parallel.simplify import simplify
+from repro.relational.algebra import (
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.evaluate import evaluate, infer_schema
+from repro.relational.positivity import is_positive
+from repro.relational.relation import Relation, schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "U": schema_of(("u", "D")),
+    }
+)
+
+
+@st.composite
+def databases(draw):
+    e_rows = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 3)
+            ),
+            max_size=6,
+        )
+    )
+    u_rows = draw(
+        st.sets(st.tuples(st.integers(0, 4)), max_size=4)
+    )
+    return Database(
+        {
+            "E": Relation(DB_SCHEMA.relation_schema("E"), e_rows),
+            "U": Relation(DB_SCHEMA.relation_schema("U"), u_rows),
+        }
+    )
+
+
+@st.composite
+def positive_expressions(draw, depth=3):
+    """Random positive, type-correct expressions over E and U."""
+    if depth == 0:
+        return draw(st.sampled_from([Rel("E"), Rel("U")]))
+    kind = draw(
+        st.sampled_from(
+            ["leaf", "union", "product", "select", "project", "rename"]
+        )
+    )
+    if kind == "leaf":
+        return draw(positive_expressions(depth=0))
+    child = draw(positive_expressions(depth=depth - 1))
+    schema = infer_schema(child, DB_SCHEMA)
+    names = list(schema.names)
+    if kind == "union":
+        # Union with a renamed copy of itself-shaped sibling: use the
+        # same child to guarantee schema compatibility.
+        sibling = draw(positive_expressions(depth=depth - 1))
+        sibling_schema = infer_schema(sibling, DB_SCHEMA)
+        if sibling_schema == schema:
+            return Union(child, sibling)
+        return child
+    if kind == "product":
+        sibling = draw(positive_expressions(depth=depth - 1))
+        sibling_schema = infer_schema(sibling, DB_SCHEMA)
+        renamed = sibling
+        for name in sibling_schema.names:
+            if name in names or name in [
+                f"{n}_r" for n in sibling_schema.names
+            ]:
+                renamed = Rename(renamed, name, f"{name}_r{depth}")
+        renamed_schema = infer_schema(renamed, DB_SCHEMA)
+        if set(renamed_schema.names) & set(names):
+            return child
+        return Product(child, renamed)
+    if kind == "select":
+        if len(names) < 2:
+            return child
+        left, right = names[0], names[1]
+        equal = draw(st.booleans())
+        return Select(child, left, right, equal)
+    if kind == "project":
+        if not names:
+            return child
+        keep = draw(
+            st.lists(
+                st.sampled_from(names),
+                min_size=0,
+                max_size=len(names),
+                unique=True,
+            )
+        )
+        return Project(child, tuple(keep))
+    new_name = f"x{depth}"
+    if not names or new_name in names:
+        return child
+    return Rename(child, names[0], new_name)
+
+
+@given(positive_expressions(), databases())
+@settings(max_examples=120, deadline=None)
+def test_translation_preserves_semantics(expr, database):
+    assert is_positive(expr)
+    query = translate_expression(expr, DB_SCHEMA)
+    assert evaluate(expr, database).tuples == evaluate_positive(
+        query, database
+    )
+
+
+@given(positive_expressions(), databases())
+@settings(max_examples=120, deadline=None)
+def test_simplify_preserves_semantics(expr, database):
+    simplified = simplify(expr, DB_SCHEMA)
+    assert evaluate(expr, database) == evaluate(simplified, database)
+    assert infer_schema(expr, DB_SCHEMA) == infer_schema(
+        simplified, DB_SCHEMA
+    )

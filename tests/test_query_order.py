@@ -1,0 +1,150 @@
+"""Query-order independence tooling and the parity specimen."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.algebraic.query_order import (
+    check_receiver_query,
+    find_query_order_dependence,
+    query_returns_key_sets_on,
+    receivers_from_query,
+)
+from repro.algebraic.specimens import (
+    PARITY_PIVOT_KEY,
+    parity_method,
+    parity_schema,
+    prop_5_14_if_direction,
+    prop_5_14_only_if_direction,
+    two_property_schema,
+)
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Edge, Instance, Obj
+from repro.relational.algebra import Rel
+from repro.relational.relation import RelationError
+from repro.sqlsim.scenarios import (
+    scenario_b_method,
+    scenario_b_receiver_query,
+    make_company,
+    tables_to_instance,
+)
+
+
+class TestReceiverQueries:
+    def test_scenario_b_query_type_checks(self):
+        check_receiver_query(
+            scenario_b_receiver_query(), scenario_b_method()
+        )
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(RelationError, match="scheme"):
+            check_receiver_query(
+                Rel("Employee.salary"), scenario_b_method()
+            )
+
+    def test_receivers_from_query(self):
+        employees, _, newsal = make_company(5, seed=4)
+        instance = tables_to_instance(employees, newsal=newsal)
+        receivers = receivers_from_query(
+            scenario_b_receiver_query(), instance
+        )
+        assert len(receivers) == 5
+        assert all(r.receiving_object.cls == "Employee" for r in receivers)
+
+    def test_scenario_b_query_returns_key_sets(self):
+        instances = []
+        for seed in (1, 2, 3):
+            employees, _, newsal = make_company(6, seed=seed)
+            instances.append(tables_to_instance(employees, newsal=newsal))
+        assert query_returns_key_sets_on(
+            scenario_b_receiver_query(), instances
+        )
+
+
+class TestQueryOrderSearch:
+    def test_prop_5_14_if_counterexample_found(self):
+        # The sampling search finds the paper's counterexample when fed
+        # the right instance.
+        method, query = prop_5_14_if_direction()
+        schema = two_property_schema()
+        c = lambda k: Obj("C", k)
+        instance = Instance(
+            schema,
+            [c(1), c(2), c(3), c("a1"), c("a2"), c("alpha"), c("beta")],
+            [
+                Edge(c(1), "a", c("a1")),
+                Edge(c(2), "a", c("a2")),
+                Edge(c(3), "a", c("alpha")),
+                Edge(c(1), "b", c("a1")),
+                Edge(c(2), "b", c("a2")),
+                Edge(c(3), "b", c("beta")),
+            ],
+        )
+        witness = find_query_order_dependence(method, query, [instance])
+        assert witness is not None
+        found_instance, receivers = witness
+        assert len(receivers) == 3
+
+    def test_query_order_independent_method_not_refuted(self):
+        method, query = prop_5_14_only_if_direction()
+        schema = two_property_schema()
+        instances = [
+            Instance(schema, [Obj("C", 1), Obj("C", 2)]),
+            Instance(schema, [Obj("C", 1)]),
+        ]
+        assert (
+            find_query_order_dependence(
+                method, query, instances, max_receivers=8, max_orders=24
+            )
+            is None
+        )
+
+
+class TestParity:
+    """Footnote 8: sequential application expresses the parity test."""
+
+    def _instance(self, n, flag_set=False):
+        schema = parity_schema()
+        pivot = Obj("C", PARITY_PIVOT_KEY)
+        nodes = [pivot] + [Obj("C", i) for i in range(n)]
+        edges = [Edge(pivot, "flag", pivot)] if flag_set else []
+        return Instance(schema, nodes, edges), nodes
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_flag_encodes_parity(self, n):
+        method = parity_method()
+        instance, nodes = self._instance(n)
+        receivers = [Receiver([node]) for node in nodes[1 : n + 1]]
+        result = apply_sequence(method, instance, receivers)
+        pivot = Obj("C", PARITY_PIVOT_KEY)
+        assert bool(result.edges_incident_to(pivot)) == (n % 2 == 1)
+
+    def test_order_independent(self):
+        method = parity_method()
+        instance, nodes = self._instance(3)
+        receivers = [Receiver([node]) for node in nodes[1:4]]
+        results = {
+            apply_sequence(method, instance, list(order))
+            for order in itertools.permutations(receivers)
+        }
+        assert len(results) == 1
+
+    def test_starting_flag_inverts(self):
+        method = parity_method()
+        instance, nodes = self._instance(2, flag_set=True)
+        receivers = [Receiver([node]) for node in nodes[1:3]]
+        result = apply_sequence(method, instance, receivers)
+        pivot = Obj("C", PARITY_PIVOT_KEY)
+        assert result.edges_incident_to(pivot)  # 2 toggles: back to set
+
+    def test_undefined_without_pivot(self):
+        from repro.core.method import MethodUndefined
+
+        method = parity_method()
+        schema = parity_schema()
+        lone = Obj("C", 0)
+        instance = Instance(schema, [lone])
+        with pytest.raises(MethodUndefined):
+            method.apply(instance, Receiver([lone]))

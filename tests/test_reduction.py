@@ -1,0 +1,147 @@
+"""The Theorem 5.6 reduction: the generated expressions really express
+the post-update property relations."""
+
+import pytest
+
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.algebraic.expression import bind_receiver
+from repro.algebraic.reduction import (
+    order_independence_reduction,
+    post_update_expression,
+    receiver_guard,
+    reduction_dependencies,
+    sequence_expression,
+)
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.objrel.mapping import instance_to_database
+from repro.relational.evaluate import evaluate
+from repro.relational.positivity import is_positive
+from repro.workloads.drinkers import figure_1_instance
+
+MARY = Obj("Drinker", "Mary")
+JOHN = Obj("Drinker", "John")
+CHEERS = Obj("Bar", "Cheers")
+TAVERN = Obj("Bar", "OldTavern")
+
+
+def db_with_receivers(method, instance, first, second=None):
+    database = bind_receiver(
+        instance_to_database(instance), method.signature, first
+    )
+    if second is not None:
+        database = bind_receiver(
+            database, method.signature, second, use_primed=True
+        )
+    return database
+
+
+@pytest.mark.parametrize(
+    "factory", [favorite_bar_algebraic, add_bar_algebraic, delete_bar_algebraic]
+)
+class TestPostUpdateExpression:
+    def test_e_a_t_matches_single_application(self, factory):
+        # E_a[t](I) equals the relation Ca in M(I, t).
+        method = factory()
+        instance = figure_1_instance()
+        receiver = Receiver([MARY, CHEERS])
+        expr = post_update_expression(method, "frequents")
+        database = db_with_receivers(method, instance, receiver)
+        predicted = evaluate(expr, database).tuples
+        actual = instance_to_database(
+            method.apply(instance, receiver)
+        ).relation("Drinker.frequents").tuples
+        assert predicted == actual
+
+    def test_e_a_tt_matches_two_applications(self, factory):
+        # E_a[tt'](I) equals the relation Ca in M(I, t, t').
+        method = factory()
+        instance = figure_1_instance()
+        first = Receiver([MARY, CHEERS])
+        second = Receiver([JOHN, CHEERS])
+        expr = sequence_expression(method, "frequents", first_primed=False)
+        database = db_with_receivers(method, instance, first, second)
+        predicted = evaluate(expr, database).tuples
+        actual = instance_to_database(
+            apply_sequence(method, instance, [first, second])
+        ).relation("Drinker.frequents").tuples
+        assert predicted == actual
+
+    def test_e_a_t_prime_t_matches_reversed(self, factory):
+        method = factory()
+        instance = figure_1_instance()
+        first = Receiver([MARY, CHEERS])
+        second = Receiver([JOHN, TAVERN])
+        expr = sequence_expression(method, "frequents", first_primed=True)
+        database = db_with_receivers(method, instance, first, second)
+        predicted = evaluate(expr, database).tuples
+        actual = instance_to_database(
+            apply_sequence(method, instance, [second, first])
+        ).relation("Drinker.frequents").tuples
+        assert predicted == actual
+
+    def test_reduction_preserves_positivity(self, factory):
+        method = factory()
+        reduction = order_independence_reduction(method)
+        for forward, backward in reduction.pairs.values():
+            assert is_positive(forward)
+            assert is_positive(backward)
+
+
+class TestGuard:
+    def test_guard_true_for_distinct_receivers(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        first = Receiver([MARY, CHEERS])
+        second = Receiver([MARY, TAVERN])
+        database = db_with_receivers(method, instance, first, second)
+        guard = receiver_guard(method.signature)
+        assert evaluate(guard, database).tuples == {()}
+
+    def test_guard_false_for_equal_receivers(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        receiver = Receiver([MARY, CHEERS])
+        database = db_with_receivers(method, instance, receiver, receiver)
+        guard = receiver_guard(method.signature)
+        assert evaluate(guard, database).tuples == set()
+
+    def test_key_guard_ignores_argument_differences(self):
+        method = favorite_bar_algebraic()
+        instance = figure_1_instance()
+        first = Receiver([MARY, CHEERS])
+        second = Receiver([MARY, TAVERN])
+        database = db_with_receivers(method, instance, first, second)
+        guard = receiver_guard(method.signature, key_order=True)
+        # Same receiving object: the key-order guard is false even
+        # though the arguments differ.
+        assert evaluate(guard, database).tuples == set()
+        third = Receiver([JOHN, CHEERS])
+        database = db_with_receivers(method, instance, first, third)
+        assert evaluate(guard, database).tuples == {()}
+
+
+class TestDependencies:
+    def test_special_relation_dependencies_present(self):
+        method = favorite_bar_algebraic()
+        deps = reduction_dependencies(
+            method.object_schema, method.signature
+        )
+        rendered = {str(d) for d in deps}
+        assert "self: () -> self" in rendered
+        assert "self'[self'] <= Drinker[Drinker]" in rendered
+        assert "arg1[arg1] <= Bar[Bar]" in rendered
+
+    def test_all_inds_full(self):
+        method = favorite_bar_algebraic()
+        reduction = order_independence_reduction(method)
+        from repro.relational.dependencies import InclusionDependency
+
+        for dep in reduction.dependencies:
+            if isinstance(dep, InclusionDependency):
+                assert dep.is_full(reduction.db_schema)

@@ -1,0 +1,168 @@
+"""Exhaustive Section 4 verification over the ``A -e-> B`` schema.
+
+All ``8^3 = 512`` colorings of the two-node, one-edge schema are
+enumerated.  For each sound one (under either axiomatization):
+
+* the canonical method is constructible, and its observed creations and
+  deletions stay within the coloring's ``c``/``d`` items (conditions 1-2
+  of Theorem 4.8), exercised over the deterministic probe battery;
+* if the coloring is *simple*, the canonical method passes pairwise
+  order-independence checks on the battery instances (the if-direction
+  of Theorems 4.14 / 4.23), and is inflationary / deflationary as
+  Propositions 4.10 / 4.19 predict;
+* if it is *not* simple, an order-dependence witness exists and replays
+  (the only-if direction).
+
+This is the systematic counterpart of the hand-picked catalogs in
+``test_canonical_method.py``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.coloring.canonical import (
+    DEFLATIONARY,
+    INFLATIONARY,
+    canonical_method,
+)
+from repro.coloring.coloring import Coloring
+from repro.coloring.inference import (
+    observed_created_items,
+    observed_deleted_items,
+)
+from repro.coloring.soundness import (
+    is_sound_deflationary,
+    is_sound_inflationary,
+)
+from repro.coloring.witnesses import order_dependence_witness
+from repro.core.independence import is_order_independent_on_pairs
+from repro.core.method import MethodDiverges, MethodUndefined
+from repro.core.sequential import apply_sequence
+from repro.graph.schema import Schema
+from repro.workloads.canonical_battery import canonical_battery
+
+AB_SCHEMA = Schema(["A", "B"], [("A", "e", "B")])
+COLOR_SUBSETS = [
+    frozenset(combo)
+    for size in range(4)
+    for combo in itertools.combinations("ucd", size)
+]
+
+
+def all_colorings():
+    for a_colors, b_colors, e_colors in itertools.product(
+        COLOR_SUBSETS, repeat=3
+    ):
+        yield Coloring(
+            AB_SCHEMA, {"A": a_colors, "B": b_colors, "e": e_colors}
+        )
+
+
+def sound_colorings(axiom):
+    check = (
+        is_sound_inflationary
+        if axiom == INFLATIONARY
+        else is_sound_deflationary
+    )
+    return [kappa for kappa in all_colorings() if check(kappa)]
+
+
+@pytest.fixture(scope="module")
+def battery():
+    from repro.core.signature import MethodSignature
+
+    # All sound colorings have some u-colored node; batteries per
+    # possible signature class.
+    return {
+        cls: canonical_battery(AB_SCHEMA, MethodSignature([cls]))
+        for cls in ("A", "B")
+    }
+
+
+def _signature_class(kappa):
+    for cls in ("A", "B"):
+        if "u" in kappa.colors_of(cls):
+            return cls
+    raise AssertionError("sound colorings have a u-colored node")
+
+
+@pytest.mark.parametrize("axiom", [INFLATIONARY, DEFLATIONARY])
+def test_soundness_counts_are_plausible(axiom):
+    sound = sound_colorings(axiom)
+    # Sanity bounds: far from none, far from all.
+    assert 20 < len(sound) < 400
+
+
+@pytest.mark.parametrize("axiom", [INFLATIONARY, DEFLATIONARY])
+def test_canonical_methods_respect_their_colorings(axiom, battery):
+    for kappa in sound_colorings(axiom):
+        method = canonical_method(kappa, axiom)
+        samples = battery[_signature_class(kappa)]
+        created = observed_created_items(method, samples)
+        deleted = observed_deleted_items(method, samples)
+        for item in created:
+            assert "c" in kappa.colors_of(item), (kappa, axiom, item)
+        for item in deleted:
+            assert "d" in kappa.colors_of(item), (kappa, axiom, item)
+
+
+@pytest.mark.parametrize("axiom", [INFLATIONARY, DEFLATIONARY])
+def test_simple_sound_colorings_give_order_independent_methods(
+    axiom, battery
+):
+    for kappa in sound_colorings(axiom):
+        if not kappa.is_simple():
+            continue
+        method = canonical_method(kappa, axiom)
+        for instance, receiver in battery[_signature_class(kappa)]:
+            others = sorted(
+                instance.objects_of_class(receiver.receiving_object.cls)
+            )[:2]
+            receivers = [receiver] + [
+                type(receiver)([o])
+                for o in others
+                if o != receiver.receiving_object
+            ]
+            if len(receivers) < 2:
+                continue
+            assert is_order_independent_on_pairs(
+                method, instance, receivers
+            ), (kappa, axiom)
+
+
+@pytest.mark.parametrize("axiom", [INFLATIONARY, DEFLATIONARY])
+def test_simple_colorings_are_uniform(axiom, battery):
+    # Propositions 4.10 / 4.19: inflationary (deflationary) behavior.
+    for kappa in sound_colorings(axiom):
+        if not kappa.is_simple():
+            continue
+        method = canonical_method(kappa, axiom)
+        for instance, receiver in battery[_signature_class(kappa)]:
+            try:
+                result = method.apply(instance, receiver)
+            except (MethodDiverges, MethodUndefined):
+                continue
+            if axiom == INFLATIONARY:
+                assert instance <= result, (kappa,)
+            else:
+                assert result <= instance, (kappa,)
+
+
+@pytest.mark.parametrize("axiom", [INFLATIONARY, DEFLATIONARY])
+def test_non_simple_sound_colorings_have_witnesses(axiom):
+    for kappa in sound_colorings(axiom):
+        if kappa.is_simple():
+            continue
+        witness = order_dependence_witness(kappa)
+        forward = apply_sequence(
+            witness.method,
+            witness.instance,
+            [witness.first, witness.second],
+        )
+        backward = apply_sequence(
+            witness.method,
+            witness.instance,
+            [witness.second, witness.first],
+        )
+        assert forward != backward, (kappa, axiom, witness.case)

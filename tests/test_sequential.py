@@ -1,0 +1,173 @@
+"""Sequential application and order independence (Section 3)."""
+
+import pytest
+
+from repro.core import Receiver
+from repro.core.examples import add_bar, delete_bar, favorite_bar
+from repro.core.independence import (
+    is_order_independent_on,
+    is_order_independent_on_pairs,
+    key_order_independent_on_samples,
+    order_independent_on_samples,
+)
+from repro.core.method import (
+    FunctionalUpdateMethod,
+    MethodUndefined,
+)
+from repro.core.sequential import (
+    OrderDependenceError,
+    apply_sequence,
+    sequential_application,
+    sequential_results,
+)
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Obj
+from repro.workloads.drinkers import figure_2_instance
+
+D1 = Obj("Drinker", 1)
+BAR = {i: Obj("Bar", i) for i in (1, 2, 3)}
+
+
+def receivers(*bar_keys):
+    return [Receiver([D1, BAR[k]]) for k in bar_keys]
+
+
+class TestApplySequence:
+    def test_empty_sequence_is_identity(self):
+        instance = figure_2_instance()
+        assert apply_sequence(add_bar(), instance, []) == instance
+
+    def test_folding(self):
+        instance = figure_2_instance()
+        result = apply_sequence(add_bar(), instance, receivers(3, 1))
+        assert len(result.edges_labeled("frequents")) == 3
+
+    def test_distinct_receivers_required(self):
+        with pytest.raises(ValueError, match="distinct"):
+            apply_sequence(
+                add_bar(), figure_2_instance(), receivers(3, 3)
+            )
+
+    def test_ill_typed_receiver_undefined(self):
+        with pytest.raises(MethodUndefined):
+            apply_sequence(
+                add_bar(),
+                figure_2_instance(),
+                [Receiver([D1, Obj("Beer", 1)])],
+            )
+
+    def test_receiver_not_over_instance_undefined(self):
+        with pytest.raises(MethodUndefined):
+            apply_sequence(
+                add_bar(),
+                figure_2_instance(),
+                [Receiver([D1, Obj("Bar", 99)])],
+            )
+
+
+class TestExample3_2:
+    """add_bar is order independent; favorite_bar is not (but is on key sets)."""
+
+    def test_add_bar_order_independent(self):
+        assert is_order_independent_on(
+            add_bar(), figure_2_instance(), receivers(1, 3)
+        )
+
+    def test_favorite_bar_order_dependent(self):
+        assert not is_order_independent_on(
+            favorite_bar(), figure_2_instance(), receivers(1, 3)
+        )
+
+    def test_delete_bar_order_independent(self):
+        assert is_order_independent_on(
+            delete_bar(), figure_2_instance(), receivers(1, 2)
+        )
+
+    def test_favorite_bar_key_order_independent_pairs(self):
+        # With distinct receiving objects, favorite_bar commutes.
+        instance = figure_2_instance().with_nodes([Obj("Drinker", 2)])
+        key_receivers = [
+            Receiver([D1, BAR[1]]),
+            Receiver([Obj("Drinker", 2), BAR[3]]),
+        ]
+        assert is_order_independent_on(favorite_bar(), instance, key_receivers)
+
+    def test_pairwise_filter_skips_same_head(self):
+        assert is_order_independent_on_pairs(
+            favorite_bar(),
+            figure_2_instance(),
+            receivers(1, 3),
+            require_distinct_receiving=True,
+        )
+        assert not is_order_independent_on_pairs(
+            favorite_bar(), figure_2_instance(), receivers(1, 3)
+        )
+
+
+class TestSequentialApplication:
+    def test_m_seq_defined_for_order_independent(self):
+        result = sequential_application(
+            add_bar(), figure_2_instance(), receivers(1, 3)
+        )
+        assert len(result.edges_labeled("frequents")) == 3
+
+    def test_m_seq_raises_for_order_dependent(self):
+        with pytest.raises(OrderDependenceError):
+            sequential_application(
+                favorite_bar(), figure_2_instance(), receivers(1, 3)
+            )
+
+    def test_m_seq_unchecked_uses_sorted_order(self):
+        result = sequential_application(
+            favorite_bar(),
+            figure_2_instance(),
+            receivers(1, 3),
+            check_order_independence=False,
+        )
+        # Sorted order ends with Bar3.
+        assert result.property_values(D1, "frequents") == {BAR[3]}
+
+    def test_sequential_results_enumerates_permutations(self):
+        results = sequential_results(
+            favorite_bar(), figure_2_instance(), receivers(1, 3)
+        )
+        assert len(results) == 2
+        assert len(set(results.values())) == 2
+
+    def test_empty_set(self):
+        instance = figure_2_instance()
+        assert sequential_application(add_bar(), instance, []) == instance
+
+
+class TestSamplingSearch:
+    def test_counterexample_found_for_favorite_bar(self):
+        samples = [(figure_2_instance(), receivers(1, 3))]
+        found = order_independent_on_samples(favorite_bar(), samples)
+        assert found is not None
+        instance, t1, t2 = found
+        assert t1.receiving_object == t2.receiving_object
+
+    def test_no_key_counterexample_for_favorite_bar(self):
+        samples = [(figure_2_instance(), receivers(1, 3))]
+        assert key_order_independent_on_samples(favorite_bar(), samples) is None
+
+    def test_no_counterexample_for_add_bar(self):
+        samples = [(figure_2_instance(), receivers(1, 2, 3))]
+        assert order_independent_on_samples(add_bar(), samples) is None
+
+
+class TestDivergenceSemantics:
+    def test_undefined_for_every_order_counts_as_independent(self):
+        # Footnote 2: if M(I, s) is undefined for some s it must be
+        # undefined for every other s'.
+        sig = MethodSignature(["Drinker"])
+
+        def explode(instance, receiver):
+            raise MethodUndefined("always")
+
+        method = FunctionalUpdateMethod(sig, explode, "explode")
+        instance = figure_2_instance()
+        rs = [Receiver([D1])]
+        assert is_order_independent_on(method, instance, rs)
+        with pytest.raises(MethodUndefined):
+            sequential_application(method, instance, rs)

@@ -1,0 +1,158 @@
+"""Soundness criteria (Propositions 4.13 and 4.22)."""
+
+import pytest
+
+from repro.coloring.coloring import Coloring
+from repro.coloring.soundness import (
+    is_sound_deflationary,
+    is_sound_inflationary,
+    soundness_violations_deflationary,
+    soundness_violations_inflationary,
+)
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+def coloring(schema, **assignment):
+    return Coloring(schema, assignment)
+
+
+class TestInflationarySoundness:
+    def test_example_4_15_coloring_is_sound(self, schema):
+        # {u} on all nodes, likes, serves; {c} on frequents.
+        kappa = coloring(
+            schema,
+            Drinker={"u"},
+            Bar={"u"},
+            Beer={"u"},
+            likes={"u"},
+            serves={"u"},
+            frequents={"c"},
+        )
+        assert is_sound_inflationary(kappa)
+        assert kappa.is_simple()
+
+    def test_p1_node_d_needs_u(self, schema):
+        kappa = coloring(schema, Drinker={"d"}, Bar={"u"})
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P1" in codes
+
+    def test_p1_edge_d_without_u_needs_d_endpoint(self, schema):
+        kappa = coloring(schema, frequents={"d"}, Drinker={"u"})
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P1" in codes
+
+    def test_p1_edge_d_with_d_endpoint_ok(self, schema):
+        # Beer must be u too: Drinker (colored d) also has the 'likes'
+        # edge, which is neither d nor u, so property 3 kicks in.
+        kappa = coloring(
+            schema,
+            frequents={"d"},
+            Drinker={"d", "u"},
+            Bar={"u"},
+            Beer={"u"},
+        )
+        assert is_sound_inflationary(kappa)
+
+    def test_p2_created_edge_needs_u_or_c_endpoints(self, schema):
+        kappa = coloring(schema, frequents={"c"}, Drinker={"u"}, Bar=set())
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P2" in codes
+
+    def test_p2_c_endpoint_ok(self, schema):
+        kappa = coloring(
+            schema, frequents={"c"}, Drinker={"u"}, Bar={"c"}
+        )
+        assert is_sound_inflationary(kappa)
+
+    def test_p3_deleted_node_constrains_untouched_edges(self, schema):
+        # Drinker colored d; frequents neither d nor u => Bar must be u.
+        kappa = coloring(
+            schema, Drinker={"d", "u"}, Bar=set()
+        )
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P3" in codes
+        fixed = coloring(schema, Drinker={"d", "u"}, Bar={"u"}, Beer={"u"})
+        assert is_sound_inflationary(fixed)
+
+    def test_p4_some_node_u(self, schema):
+        codes = [
+            c
+            for c, _ in soundness_violations_inflationary(
+                coloring(schema)
+            )
+        ]
+        assert "P4" in codes
+
+    def test_p5_used_edge_needs_u_endpoints(self, schema):
+        kappa = coloring(schema, serves={"u"}, Bar={"u"})
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P5" in codes
+
+
+class TestDeflationarySoundness:
+    def test_delete_only_coloring_sound(self, schema):
+        # The Section 7 firing update: Employee colored {d}, the rest u.
+        # On the drinkers schema: delete Beers ... but Beer has incident
+        # edges; color them d as well (node deletion drops them).
+        kappa = coloring(
+            schema,
+            Beer={"d"},
+            likes={"d"},
+            serves={"d"},
+            Drinker={"u"},
+        )
+        assert is_sound_deflationary(kappa)
+
+    def test_q1_node_c_needs_u(self, schema):
+        kappa = coloring(schema, Drinker={"c"}, Bar={"u"})
+        codes = [c for c, _ in soundness_violations_deflationary(kappa)]
+        assert "Q1" in codes
+
+    def test_q1_edge_c_needs_u_or_c_endpoint(self, schema):
+        kappa = coloring(schema, frequents={"c"}, Drinker={"u"})
+        codes = [c for c, _ in soundness_violations_deflationary(kappa)]
+        assert "Q1" in codes
+
+    def test_example_4_21_coloring_sound_deflationary_only(self):
+        # A:{u,c}, e:{c}, B:{} — sound under 4.16 but not under 4.7.
+        schema = Schema(["A", "B"], [("A", "e", "B")])
+        kappa = Coloring(schema, {"A": {"u", "c"}, "e": {"c"}})
+        assert is_sound_deflationary(kappa)
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P2" in codes
+
+    def test_q2_mirrors_p3(self, schema):
+        # The paper: the remaining property "is identical in both
+        # propositions".
+        kappa = coloring(schema, Drinker={"d", "u"}, Bar=set())
+        inf = {c for c, _ in soundness_violations_inflationary(kappa)}
+        defl = {c for c, _ in soundness_violations_deflationary(kappa)}
+        assert "P3" in inf and "Q2" in defl
+
+    def test_q3_some_node_u(self, schema):
+        codes = [
+            c
+            for c, _ in soundness_violations_deflationary(coloring(schema))
+        ]
+        assert "Q3" in codes
+
+    def test_q4_used_edge_needs_u_endpoints(self, schema):
+        kappa = coloring(schema, likes={"u"}, Drinker={"u"})
+        codes = [c for c, _ in soundness_violations_deflationary(kappa)]
+        assert "Q4" in codes
+
+    def test_pure_deletion_node_without_u_is_sound(self, schema):
+        # Example 4.17's duality: deleting all objects of a class does
+        # not use the class under Definition 4.16.
+        kappa = coloring(
+            schema, Beer={"d"}, likes={"d"}, serves={"d"}, Bar={"u"}
+        )
+        assert is_sound_deflationary(kappa)
+        # ... but under Definition 4.7 deletion implies use (Lemma 4.11).
+        codes = [c for c, _ in soundness_violations_inflationary(kappa)]
+        assert "P1" in codes

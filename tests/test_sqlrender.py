@@ -1,0 +1,124 @@
+"""SQL rendering and the simplifier."""
+
+import random
+
+import pytest
+
+from repro.parallel.simplify import simplify
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+)
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.evaluate import evaluate
+from repro.relational.relation import Relation, schema_of
+
+DB_SCHEMA = DatabaseSchema(
+    {
+        "E": schema_of(("s", "D"), ("t", "D")),
+        "U": schema_of(("u", "D")),
+    }
+)
+
+
+def random_database(rng):
+    e_rows = {
+        (rng.randrange(4), rng.randrange(4))
+        for _ in range(rng.randrange(6))
+    }
+    u_rows = {(rng.randrange(5),) for _ in range(rng.randrange(4))}
+    return Database(
+        {
+            "E": Relation(DB_SCHEMA.relation_schema("E"), e_rows),
+            "U": Relation(DB_SCHEMA.relation_schema("U"), u_rows),
+        }
+    )
+
+
+class TestSqlRender:
+    def _sql(self, expr):
+        from repro.relational.sqlrender import to_sql
+
+        return to_sql(expr, DB_SCHEMA)
+
+    def test_base_relation(self):
+        sql = self._sql(Rel("E"))
+        assert sql.startswith("select distinct")
+        assert "from E" in sql
+
+    def test_select_project(self):
+        expr = Project(Select(Rel("E"), "s", "t", True), ("s",))
+        sql = self._sql(expr)
+        assert "where" in sql and "=" in sql
+
+    def test_neq_renders_as_diamond(self):
+        expr = Select(Rel("E"), "s", "t", False)
+        assert "<>" in self._sql(expr)
+
+    def test_union_and_difference(self):
+        expr = Union(Rel("U"), Rel("U"))
+        assert " union " in self._sql(expr)
+        expr = Difference(Rel("U"), Rel("U"))
+        assert " except " in self._sql(expr)
+
+    def test_product_flattens_to_from_list(self):
+        expr = Product(Rel("E"), Rename(Rel("U"), "u", "v"))
+        sql = self._sql(expr)
+        assert sql.count("from") == 1
+        assert "E" in sql and "U" in sql
+
+    def test_empty(self):
+        sql = self._sql(Empty(schema_of(("x", "D"))))
+        assert "1 = 0" in sql
+
+    def test_rename_aliases_output(self):
+        sql = self._sql(Rename(Rel("U"), "u", "z"))
+        assert "as z" in sql
+
+
+class TestSimplify:
+    def _assert_preserves(self, expr, seed=3):
+        simplified = simplify(expr, DB_SCHEMA)
+        rng = random.Random(seed)
+        for _ in range(15):
+            database = random_database(rng)
+            assert evaluate(expr, database) == evaluate(
+                simplified, database
+            )
+        return simplified
+
+    def test_projection_of_projection(self):
+        expr = Project(Project(Rel("E"), ("s", "t")), ("s",))
+        simplified = self._assert_preserves(expr)
+        assert simplified == Project(Rel("E"), ("s",))
+
+    def test_identity_projection_removed(self):
+        expr = Project(Rel("E"), ("s", "t"))
+        assert self._assert_preserves(expr) == Rel("E")
+
+    def test_reordering_projection_kept(self):
+        expr = Project(Rel("E"), ("t", "s"))
+        assert self._assert_preserves(expr) == expr
+
+    def test_rename_chain_composed(self):
+        expr = Rename(Rename(Rel("U"), "u", "v"), "v", "w")
+        simplified = self._assert_preserves(expr)
+        assert simplified == Rename(Rel("U"), "u", "w")
+
+    def test_rename_roundtrip_removed(self):
+        expr = Rename(Rename(Rel("U"), "u", "v"), "v", "u")
+        assert self._assert_preserves(expr) == Rel("U")
+
+    def test_recursive_application(self):
+        inner = Project(Project(Rel("E"), ("s", "t")), ("s",))
+        expr = Union(inner, Rename(Rel("U"), "u", "s"))
+        simplified = self._assert_preserves(expr)
+        assert simplified == Union(
+            Project(Rel("E"), ("s",)), Rename(Rel("U"), "u", "s")
+        )

@@ -1,0 +1,227 @@
+"""The Section 7 SQL scenarios: table engine, cursor vs set-oriented."""
+
+import random
+
+import pytest
+
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.sqlsim.cursor import cursor_delete, cursor_for_each, cursor_update
+from repro.sqlsim.scenarios import (
+    fire_by_manager_cursor,
+    fire_by_manager_set,
+    fire_by_salary_cursor,
+    fire_by_salary_set,
+    make_company,
+    manager_salary_cursor,
+    manager_salary_set,
+    salary_update_cursor,
+    salary_update_set,
+    scenario_b_method,
+    tables_to_instance,
+)
+from repro.sqlsim.setops import set_delete, set_update
+from repro.sqlsim.table import Table, TableError
+
+
+class TestTableEngine:
+    def test_insert_and_rows(self):
+        table = Table("T", ("a", "b"))
+        table.insert({"a": 1, "b": 2})
+        assert table.rows() == [{"a": 1, "b": 2}]
+
+    def test_key_uniqueness(self):
+        table = Table("T", ("a",), key="a")
+        table.insert({"a": 1})
+        with pytest.raises(TableError, match="duplicate key"):
+            table.insert({"a": 1})
+
+    def test_column_validation(self):
+        table = Table("T", ("a",))
+        with pytest.raises(TableError):
+            table.insert({"b": 1})
+        with pytest.raises(TableError):
+            Table("T", ("a", "a"))
+
+    def test_lookup_and_update(self):
+        table = Table("T", ("a", "b"), key="a")
+        row_id = table.insert({"a": 1, "b": 2})
+        table.update_row(row_id, {"b": 9})
+        assert table.lookup(1) == {"a": 1, "b": 9}
+        assert table.lookup(7) is None
+
+    def test_snapshot_is_independent(self):
+        table = Table("T", ("a",))
+        table.insert({"a": 1})
+        snapshot = table.snapshot()
+        table.delete_row(table.row_ids()[0])
+        assert len(snapshot) == 1
+        assert len(table) == 0
+
+    def test_contents_equality(self):
+        first = Table("T", ("a",))
+        second = Table("T", ("a",))
+        first.insert({"a": 1})
+        second.insert({"a": 1})
+        assert first == second
+
+
+class TestCursorSemantics:
+    def test_deleted_rows_skipped(self):
+        table = Table("T", ("a",))
+        for value in range(4):
+            table.insert({"a": value})
+        visited = []
+
+        def body(row_id, row):
+            visited.append(row["a"])
+            # Delete the next row.
+            for other in table.row_ids():
+                current = table.get(other)
+                if current and current["a"] == row["a"] + 1:
+                    table.delete_row(other)
+
+        cursor_for_each(table, body)
+        assert visited == [0, 2]
+
+    def test_explicit_order_must_be_permutation(self):
+        table = Table("T", ("a",))
+        table.insert({"a": 1})
+        with pytest.raises(TableError):
+            cursor_for_each(table, lambda i, r: None, order=[5])
+
+    def test_random_order(self):
+        table = Table("T", ("a",))
+        for value in range(5):
+            table.insert({"a": value})
+        seen = []
+        cursor_for_each(
+            table,
+            lambda i, r: seen.append(r["a"]),
+            order=random.Random(1),
+        )
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_cursor_update_counts(self):
+        table = Table("T", ("a",))
+        table.insert({"a": 1})
+        table.insert({"a": 2})
+        updated = cursor_update(
+            table,
+            lambda row: {"a": row["a"] + 10} if row["a"] > 1 else None,
+        )
+        assert updated == 1
+        assert table.contents() == {(1,), (12,)}
+
+
+class TestFiringScenarios:
+    def test_salary_firing_order_independent(self):
+        employees, fire, _ = make_company(10, seed=1)
+        results = set()
+        for order in (None, "reversed", random.Random(2)):
+            copy = employees.snapshot()
+            fire_by_salary_cursor(copy, fire, order)
+            results.add(copy)
+        set_copy = employees.snapshot()
+        fire_by_salary_set(set_copy, fire)
+        results.add(set_copy)
+        assert len(results) == 1
+
+    def test_manager_firing_order_dependent(self):
+        # seed 2 yields a management chain whose firing outcome differs
+        # between ascending and descending visit orders.
+        employees, fire, _ = make_company(10, seed=2)
+        forward = employees.snapshot()
+        backward = employees.snapshot()
+        fire_by_manager_cursor(forward, fire, None)
+        fire_by_manager_cursor(backward, fire, "reversed")
+        assert forward != backward
+
+    def test_manager_firing_set_oriented_is_two_phase(self):
+        # The set-oriented version deletes exactly the employees whose
+        # manager was *originally* doomed-salaried, managers included.
+        employees, fire, _ = make_company(10, seed=1)
+        amounts = set(fire.column("Amount"))
+        original = employees.snapshot()
+        doomed = {
+            row["EmpId"]
+            for row in original
+            if row["Manager"] is not None
+            and original.lookup(row["Manager"])["Salary"] in amounts
+        }
+        fire_by_manager_set(employees, fire)
+        survivors = {row["EmpId"] for row in employees}
+        assert survivors == {
+            row["EmpId"] for row in original
+        } - doomed
+
+    def test_cursor_forward_spares_orphaned_employees(self):
+        # With managers visited first, an employee whose manager was
+        # already fired survives the cursor version — the order
+        # dependence the paper describes.
+        employees = Table(
+            "Employee", ("EmpId", "Salary", "Manager"), key="EmpId"
+        )
+        employees.insert({"EmpId": 1, "Salary": 1000, "Manager": None})
+        employees.insert({"EmpId": 2, "Salary": 2000, "Manager": 1})
+        employees.insert({"EmpId": 3, "Salary": 3000, "Manager": 2})
+        fire = Table("Fire", ("Amount",))
+        fire.insert({"Amount": 1000})
+        fire.insert({"Amount": 2000})
+        forward = employees.snapshot()
+        fire_by_manager_cursor(forward, fire, None)  # 2 dies, 3 spared
+        assert {r["EmpId"] for r in forward} == {1, 3}
+        correct = employees.snapshot()
+        fire_by_manager_set(correct, fire)
+        assert {r["EmpId"] for r in correct} == {1}
+
+
+class TestSalaryScenarios:
+    def test_a_equals_b_any_order(self):
+        employees, _, newsal = make_company(9, seed=5)
+        set_version = employees.snapshot()
+        salary_update_set(set_version, newsal)
+        for order in (None, "reversed", random.Random(8)):
+            cursor_version = employees.snapshot()
+            salary_update_cursor(cursor_version, newsal, order)
+            assert cursor_version == set_version
+
+    def test_c_order_dependent(self):
+        employees, _, newsal = make_company(9, seed=5)
+        forward = employees.snapshot()
+        backward = employees.snapshot()
+        manager_salary_cursor(forward, newsal, None)
+        manager_salary_cursor(backward, newsal, "reversed")
+        assert forward != backward
+
+    def test_c_set_oriented_differs_from_cursor(self):
+        employees, _, newsal = make_company(9, seed=5)
+        correct = employees.snapshot()
+        manager_salary_set(correct, newsal)
+        cursor = employees.snapshot()
+        manager_salary_cursor(cursor, newsal, None)
+        assert correct != cursor
+
+
+class TestAlgebraicBridge:
+    def test_cursor_b_matches_algebraic_b_prime(self):
+        # Running cursor update (B) on tables and the algebraic (B') on
+        # the object encoding give the same salaries.
+        employees, _, newsal = make_company(8, seed=9)
+        instance = tables_to_instance(employees, newsal=newsal)
+        receivers = [
+            Receiver(
+                [Obj("Employee", r["EmpId"]), Obj("Money", r["Salary"])]
+            )
+            for r in employees
+        ]
+        updated_instance = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        tables_version = employees.snapshot()
+        salary_update_cursor(tables_version, newsal)
+        for row in tables_version:
+            emp = Obj("Employee", row["EmpId"])
+            salaries = updated_instance.property_values(emp, "salary")
+            assert salaries == {Obj("Money", row["Salary"])}

@@ -1,0 +1,85 @@
+"""Insertion scenarios (Section 7's "analogous examples") and the
+Halloween-problem cursor behavior."""
+
+import random
+
+import pytest
+
+from repro.sqlsim.scenarios import (
+    award_bonus_cursor,
+    award_bonus_set,
+    duplicate_rows_cursor,
+    make_company,
+)
+from repro.sqlsim.table import Table
+
+
+def bonus_table():
+    return Table("Bonus", ("EmpId", "Amount"))
+
+
+class TestBonusInsertion:
+    def test_cursor_and_set_agree_for_all_orders(self):
+        employees, fire, _ = make_company(8, seed=6)
+        reference = bonus_table()
+        award_bonus_set(employees, fire, reference)
+        for order in (None, "reversed", random.Random(3)):
+            bonus = bonus_table()
+            award_bonus_cursor(employees, fire, bonus, order)
+            assert bonus == reference
+
+    def test_insert_counts_match(self):
+        employees, fire, _ = make_company(8, seed=6)
+        cursor_bonus, set_bonus = bonus_table(), bonus_table()
+        n_cursor = award_bonus_cursor(employees, fire, cursor_bonus)
+        n_set = award_bonus_set(employees, fire, set_bonus)
+        assert n_cursor == n_set == len(cursor_bonus)
+
+    def test_scanned_table_untouched(self):
+        employees, fire, _ = make_company(8, seed=6)
+        before = employees.snapshot()
+        award_bonus_cursor(employees, fire, bonus_table())
+        assert employees == before
+
+
+class TestHalloweenProblem:
+    def _table(self, n=4):
+        table = Table("T", ("Id",), key="Id")
+        for i in range(n):
+            table.insert({"Id": i})
+        return table
+
+    def test_snapshot_cursor_doubles_and_terminates(self):
+        table = self._table(4)
+        inserted = duplicate_rows_cursor(table, include_inserted=False)
+        assert inserted == 4
+        assert len(table) == 8
+
+    def test_live_cursor_feeds_back(self):
+        table = self._table(2)
+        with pytest.raises(RuntimeError, match="Halloween"):
+            duplicate_rows_cursor(
+                table, include_inserted=True, max_visits=50
+            )
+        # The guard fired after ~50 visits: far more rows than the
+        # snapshot semantics would ever create.
+        assert len(table) > 8
+
+    def test_live_cursor_is_safe_when_body_stops_inserting(self):
+        # A live cursor over a body that inserts only for original rows
+        # terminates: the inserted rows are visited but not copied.
+        table = self._table(3)
+        originals = {row["Id"] for row in table}
+        inserted = 0
+
+        from repro.sqlsim.cursor import cursor_for_each
+
+        def body(row_id, row):
+            nonlocal inserted
+            if row["Id"] in originals:
+                table.insert({"Id": f"{row['Id']}-copy"})
+                inserted += 1
+
+        cursor_for_each(table, body, include_inserted=True)
+        assert inserted == 3
+        assert len(table) == 6

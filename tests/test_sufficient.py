@@ -1,0 +1,41 @@
+"""Proposition 5.8 and Example 5.9."""
+
+from repro.algebraic.examples import (
+    add_bar_algebraic,
+    add_serving_bars_algebraic,
+    delete_bar_algebraic,
+    favorite_bar_algebraic,
+)
+from repro.algebraic.sufficient import (
+    accessed_updated_relations,
+    satisfies_prop_5_8,
+)
+from repro.sqlsim.scenarios import scenario_b_method, scenario_c_method
+
+
+class TestProposition5_8:
+    def test_favorite_bar_satisfies(self):
+        # f := arg1 reads no property relations at all.
+        assert satisfies_prop_5_8(favorite_bar_algebraic())
+
+    def test_add_bar_fails_but_is_order_independent(self):
+        # Example 5.9: the condition is sufficient, not necessary.
+        method = add_bar_algebraic()
+        assert not satisfies_prop_5_8(method)
+        assert accessed_updated_relations(method) == {"Drinker.frequents"}
+
+    def test_delete_bar_fails(self):
+        assert not satisfies_prop_5_8(delete_bar_algebraic())
+
+    def test_add_serving_bars_fails(self):
+        assert not satisfies_prop_5_8(add_serving_bars_algebraic())
+
+    def test_scenario_b_certified(self):
+        # Update (B'): Salary := pi_New(arg1 join NewSal) reads only
+        # NewSal relations.
+        assert satisfies_prop_5_8(scenario_b_method())
+
+    def test_scenario_c_not_certified(self):
+        method = scenario_c_method()
+        assert not satisfies_prop_5_8(method)
+        assert accessed_updated_relations(method) == {"Employee.salary"}

@@ -1,0 +1,187 @@
+"""The two axiomatizations of "use" (Definitions 4.7 / 4.16).
+
+Includes the duality of Example 4.17 and the locality of Example 4.21.
+"""
+
+import pytest
+
+from repro.coloring.use_axioms import (
+    uses_only_deflationary,
+    uses_only_inflationary,
+    valid_use_set,
+)
+from repro.core.examples import add_bar, add_serving_bars, favorite_bar
+from repro.core.method import FunctionalUpdateMethod
+from repro.core.receiver import Receiver
+from repro.core.signature import MethodSignature
+from repro.graph.instance import Edge, Instance, Obj
+from repro.graph.schema import Schema, drinker_bar_beer_schema
+from repro.workloads.drinkers import figure_1_instance
+
+
+@pytest.fixture
+def schema():
+    return drinker_bar_beer_schema()
+
+
+class TestValidUseSet:
+    def test_must_contain_signature_classes(self, schema):
+        assert not valid_use_set(schema, {"Bar"}, ["Drinker"])
+        assert valid_use_set(schema, {"Drinker", "Bar"}, ["Drinker"])
+
+    def test_must_be_closed_under_incident_nodes(self, schema):
+        assert not valid_use_set(schema, {"Drinker", "frequents"}, ["Drinker"])
+        assert valid_use_set(
+            schema, {"Drinker", "Bar", "frequents"}, ["Drinker"]
+        )
+
+
+class TestInflationaryUse:
+    def test_add_serving_bars_uses_whole_schema(self, schema):
+        # Example 4.15: the u-set is everything except 'frequents'.
+        method = add_serving_bars()
+        instance = figure_1_instance(schema)
+        receiver = Receiver([Obj("Drinker", "Mary")])
+        use = {"Drinker", "Bar", "Beer", "likes", "serves"}
+        assert uses_only_inflationary(method, instance, receiver, use)
+
+    def test_smaller_use_set_fails(self, schema):
+        # Dropping 'serves' changes which bars get added — observable on
+        # an instance where the serving bar is not yet frequented (in
+        # Figure 1 every drinker already frequents the relevant bar, so
+        # the equation would hold there by accident).
+        method = add_serving_bars()
+        d, b, beer = Obj("Drinker", 1), Obj("Bar", 1), Obj("Beer", 1)
+        instance = Instance(
+            schema,
+            [d, b, beer],
+            [Edge(d, "likes", beer), Edge(b, "serves", beer)],
+        )
+        receiver = Receiver([d])
+        use = {"Drinker", "Bar", "Beer", "likes"}
+        assert not uses_only_inflationary(method, instance, receiver, use)
+        assert uses_only_inflationary(
+            method, instance, receiver, use | {"serves"}
+        )
+
+    def test_invalid_use_set_rejected(self, schema):
+        method = add_bar()
+        instance = figure_1_instance(schema)
+        receiver = Receiver([Obj("Drinker", "Mary"), Obj("Bar", "Cheers")])
+        with pytest.raises(ValueError):
+            uses_only_inflationary(
+                method, instance, receiver, {"Drinker", "frequents"}
+            )
+
+    def test_deleting_method_must_use_deleted_class(self):
+        # Example 4.17 first half: under Definition 4.7, the method
+        # deleting all X-objects must have X in its use set.
+        schema = Schema(["A", "X"])
+        sig = MethodSignature(["A"])
+
+        def wipe(instance, receiver):
+            return instance.without_nodes(instance.objects_of_class("X"))
+
+        method = FunctionalUpdateMethod(sig, wipe, "wipe")
+        a = Obj("A", 1)
+        instance = Instance(schema, [a, Obj("X", 1)])
+        receiver = Receiver([a])
+        assert not uses_only_inflationary(method, instance, receiver, {"A"})
+        assert uses_only_inflationary(
+            method, instance, receiver, {"A", "X"}
+        )
+
+    def test_adding_method_need_not_use_added_class(self):
+        # Example 4.17 second half: adding a fixed X-object does not use
+        # X under Definition 4.7 ...
+        schema = Schema(["A", "X"])
+        sig = MethodSignature(["A"])
+        fixed = Obj("X", "fixed")
+
+        def spawn(instance, receiver):
+            return instance.with_nodes([fixed])
+
+        method = FunctionalUpdateMethod(sig, spawn, "spawn")
+        a = Obj("A", 1)
+        instance = Instance(schema, [a])
+        receiver = Receiver([a])
+        assert uses_only_inflationary(method, instance, receiver, {"A"})
+
+
+class TestDeflationaryUse:
+    def test_deleting_method_does_not_use_deleted_class(self):
+        # Example 4.17 under Definition 4.16: deletion needs no use ...
+        schema = Schema(["A", "X"])
+        sig = MethodSignature(["A"])
+
+        def wipe(instance, receiver):
+            return instance.without_nodes(instance.objects_of_class("X"))
+
+        method = FunctionalUpdateMethod(sig, wipe, "wipe")
+        a = Obj("A", 1)
+        instance = Instance(schema, [a, Obj("X", 1), Obj("X", 2)])
+        receiver = Receiver([a])
+        assert uses_only_deflationary(method, instance, receiver, {"A"})
+
+    def test_adding_method_uses_added_class(self):
+        # ... while adding a fixed object does (the dual).
+        schema = Schema(["A", "X"])
+        sig = MethodSignature(["A"])
+        fixed = Obj("X", "fixed")
+
+        def spawn(instance, receiver):
+            return instance.with_nodes([fixed])
+
+        method = FunctionalUpdateMethod(sig, spawn, "spawn")
+        a = Obj("A", 1)
+        # The locality violation shows on an instance *containing* the
+        # fixed object (Lemma 4.20's proof probes I u {n} at x = n).
+        instance = Instance(schema, [a, fixed])
+        receiver = Receiver([a])
+        assert not uses_only_deflationary(method, instance, receiver, {"A"})
+        assert uses_only_deflationary(
+            method, instance, receiver, {"A", "X"}
+        )
+
+    def test_example_4_21_method_does_not_use_b(self):
+        # The method adding n_A with edges to all present B-nodes uses
+        # only {A} under Definition 4.16 (the G operator compensates).
+        schema = Schema(["A", "B"], [("A", "e", "B")])
+        sig = MethodSignature(["A"])
+        anchor = Obj("A", "anchor")
+
+        def conditional_spawn(instance, receiver):
+            if instance.has_node(anchor):
+                return instance
+            return instance.with_nodes([anchor]).with_edges(
+                Edge(anchor, "e", b)
+                for b in instance.objects_of_class("B")
+            )
+
+        method = FunctionalUpdateMethod(sig, conditional_spawn, "ex_4_21")
+        a = Obj("A", 1)
+        instance = Instance(schema, [a, Obj("B", 1), Obj("B", 2)])
+        receiver = Receiver([a])
+        assert uses_only_deflationary(method, instance, receiver, {"A"})
+        # Under Definition 4.7 the same method needs B and e in the set.
+        assert not uses_only_inflationary(
+            method, instance, receiver, {"A"}
+        )
+        assert uses_only_inflationary(
+            method, instance, receiver, {"A", "B", "e"}
+        )
+
+    def test_favorite_bar_uses_frequents_deflationary(self, schema):
+        # favorite_bar deletes frequents edges it did not create;
+        # removing an unrelated frequents edge changes the result ...
+        method = favorite_bar()
+        instance = figure_1_instance(schema)
+        receiver = Receiver([Obj("Drinker", "Mary"), Obj("Bar", "Cheers")])
+        # ... so a use set without 'frequents' fails,
+        assert not uses_only_deflationary(
+            method, instance, receiver, {"Drinker", "Bar"}
+        )
+        # while including it passes on this sample.
+        assert uses_only_deflationary(
+            method, instance, receiver, {"Drinker", "Bar", "frequents"}
+        )

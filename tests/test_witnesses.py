@@ -1,0 +1,80 @@
+"""Order-dependence witnesses (proof of Theorems 4.14 / 4.23)."""
+
+import pytest
+
+from repro.coloring.coloring import Coloring
+from repro.coloring.witnesses import order_dependence_witness
+from repro.core.sequential import apply_sequence
+from repro.graph.schema import Schema
+
+AB_SCHEMA = Schema(["A", "B"], [("A", "e", "B")])
+
+
+def assert_order_dependent(witness):
+    first = apply_sequence(
+        witness.method, witness.instance, [witness.first, witness.second]
+    )
+    second = apply_sequence(
+        witness.method, witness.instance, [witness.second, witness.first]
+    )
+    assert first != second, f"case {witness.case} should be order dependent"
+
+
+NODE_CASES = [
+    ({"A": {"u", "d"}, "B": {"u"}}, 1),
+    ({"A": {"u", "c", "d"}, "B": {"u"}}, 2),
+    ({"A": {"u", "c"}}, 3),
+]
+
+EDGE_CASES = [
+    ({"A": {"u"}, "B": {"u"}, "e": {"u", "d"}}, 4),
+    ({"A": {"u"}, "B": {"u"}, "e": {"u", "c", "d"}}, 5),
+    ({"A": {"u"}, "B": {"u"}, "e": {"u", "c"}}, 6),
+]
+
+
+@pytest.mark.parametrize("assignment,case", NODE_CASES + EDGE_CASES)
+def test_witness_demonstrates_order_dependence(assignment, case):
+    kappa = Coloring(AB_SCHEMA, assignment)
+    witness = order_dependence_witness(kappa)
+    assert witness.case == case
+    assert_order_dependent(witness)
+
+
+def test_simple_coloring_has_no_witness():
+    kappa = Coloring(AB_SCHEMA, {"A": {"u"}, "B": {"c"}})
+    with pytest.raises(ValueError, match="simple"):
+        order_dependence_witness(kappa)
+
+
+def test_cd_edge_redirects_to_d_endpoint():
+    # An edge colored {c,d} without u: soundness forces a {u,d} endpoint,
+    # which is witnessed instead (node case 1 or 2).
+    kappa = Coloring(
+        AB_SCHEMA,
+        {"A": {"u", "d"}, "B": {"u"}, "e": {"c", "d"}},
+    )
+    witness = order_dependence_witness(kappa, item="e")
+    assert witness.case in (1, 2)
+    assert_order_dependent(witness)
+
+
+def test_witness_on_selected_item():
+    kappa = Coloring(
+        AB_SCHEMA,
+        {"A": {"u", "d"}, "B": {"u"}, "e": {"u", "c"}},
+    )
+    node_witness = order_dependence_witness(kappa, item="A")
+    edge_witness = order_dependence_witness(kappa, item="e")
+    assert node_witness.case == 1
+    assert edge_witness.case == 6
+    assert_order_dependent(node_witness)
+    assert_order_dependent(edge_witness)
+
+
+def test_self_loop_edge_witness():
+    loop = Schema(["C"], [("C", "e", "C")])
+    kappa = Coloring(loop, {"C": {"u"}, "e": {"u", "d"}})
+    witness = order_dependence_witness(kappa)
+    assert witness.case == 4
+    assert_order_dependent(witness)

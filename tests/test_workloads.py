@@ -1,0 +1,165 @@
+"""The workload generators themselves (they feed everything else)."""
+
+import random
+
+import pytest
+
+from repro.core.receiver import is_key_set
+from repro.core.signature import MethodSignature
+from repro.graph.render import render_instance, render_schema
+from repro.workloads.canonical_battery import canonical_battery
+from repro.workloads.instances import (
+    random_instance,
+    random_key_set,
+    random_receiver,
+    random_receiver_set,
+    random_samples,
+)
+from repro.workloads.methods import random_positive_method
+from repro.workloads.schemas import random_schema
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestRandomSchema:
+    def test_shape(self, rng):
+        schema = random_schema(rng, n_classes=4, n_edges=6)
+        assert len(schema.class_names) == 4
+        assert len(schema.edges) == 6
+
+    def test_no_self_loops_option(self, rng):
+        schema = random_schema(
+            rng, n_classes=3, n_edges=10, allow_self_loops=False
+        )
+        assert all(e.source != e.target for e in schema.edges)
+
+    def test_deterministic_given_seed(self):
+        first = random_schema(random.Random(7), 3, 5)
+        second = random_schema(random.Random(7), 3, 5)
+        assert first == second
+
+
+class TestRandomInstances:
+    def test_instance_is_schema_valid(self, rng):
+        schema = random_schema(rng, 3, 5)
+        instance = random_instance(rng, schema, objects_per_class=3)
+        # Construction would raise on violations; sanity-check counts.
+        for cls in schema.class_names:
+            assert len(instance.objects_of_class(cls)) == 3
+
+    def test_receiver_types(self, rng):
+        schema = random_schema(rng, 2, 2)
+        instance = random_instance(rng, schema)
+        signature = MethodSignature([sorted(schema.class_names)[0]])
+        receiver = random_receiver(rng, instance, signature)
+        assert receiver is not None
+        assert receiver.matches(signature)
+
+    def test_receiver_none_when_class_empty(self, rng):
+        schema = random_schema(rng, 2, 0)
+        instance = random_instance(rng, schema, objects_per_class=0)
+        signature = MethodSignature([sorted(schema.class_names)[0]])
+        assert random_receiver(rng, instance, signature) is None
+
+    def test_key_sets_are_key(self, rng):
+        schema = random_schema(rng, 2, 2)
+        instance = random_instance(rng, schema, objects_per_class=4)
+        signature = MethodSignature(sorted(schema.class_names)[:2])
+        for _ in range(10):
+            assert is_key_set(
+                random_key_set(rng, instance, signature, size=3)
+            )
+
+    def test_receiver_sets_distinct(self, rng):
+        schema = random_schema(rng, 2, 2)
+        instance = random_instance(rng, schema, objects_per_class=4)
+        signature = MethodSignature(sorted(schema.class_names))
+        receivers = random_receiver_set(rng, instance, signature, size=3)
+        assert len(set(receivers)) == len(receivers)
+
+    def test_samples_have_valid_receivers(self, rng):
+        schema = random_schema(rng, 2, 3)
+        signature = MethodSignature(sorted(schema.class_names)[:1])
+        for instance, receiver in random_samples(
+            rng, schema, signature, count=5, vary_class_sizes=True
+        ):
+            assert receiver.is_over(instance)
+
+
+class TestRandomMethods:
+    def test_generated_methods_are_positive_and_typed(self, rng):
+        schema = random_schema(rng, 2, 3)
+        produced = 0
+        for _ in range(20):
+            method = random_positive_method(rng, schema)
+            if method is None:
+                continue
+            produced += 1
+            assert method.is_positive()
+            # The constructor type-checked every statement already.
+            assert method.updated_properties
+        assert produced > 10
+
+    def test_none_when_receiving_class_has_no_properties(self, rng):
+        from repro.graph.schema import Schema
+
+        schema = Schema(["A", "B"], [("B", "e", "A")])
+        method = random_positive_method(
+            rng, schema, signature=MethodSignature(["A"])
+        )
+        assert method is None
+
+
+class TestCanonicalBattery:
+    def test_battery_instances_are_valid(self):
+        from repro.graph.schema import Schema
+
+        schema = Schema(["A", "B"], [("A", "e", "B")])
+        signature = MethodSignature(["A"])
+        samples = canonical_battery(schema, signature)
+        assert len(samples) >= 8
+        for instance, receiver in samples:
+            assert receiver.is_over(instance)
+            assert receiver.matches(signature)
+
+    def test_battery_covers_empty_partner_classes(self):
+        from repro.graph.schema import Schema
+
+        schema = Schema(["A", "B"], [("A", "e", "B")])
+        samples = canonical_battery(schema, MethodSignature(["A"]))
+        assert any(
+            not instance.objects_of_class("B")
+            for instance, _ in samples
+        )
+
+
+class TestRendering:
+    def test_schema_render_contains_edges(self):
+        from repro.graph.schema import drinker_bar_beer_schema
+
+        text = render_schema(drinker_bar_beer_schema())
+        assert "Drinker --frequents--> Bar" in text
+        assert text.count("class") == 3
+
+    def test_instance_render_groups_by_class(self):
+        from repro.workloads.drinkers import figure_2_instance
+
+        text = render_instance(figure_2_instance(), "I")
+        assert text.startswith("I:")
+        assert "Bar: Bar#1, Bar#2, Bar#3" in text
+        assert "Drinker#1 --frequents--> Bar#1" in text
+
+    def test_partial_render_notes_dangling(self):
+        from repro.graph.instance import Edge, Obj
+        from repro.graph.partial import PartialInstance
+        from repro.graph.schema import drinker_bar_beer_schema
+
+        schema = drinker_bar_beer_schema()
+        partial = PartialInstance(
+            schema,
+            [Edge(Obj("Drinker", 1), "frequents", Obj("Bar", 1))],
+        )
+        assert "dangling" in render_instance(partial)
