@@ -33,6 +33,9 @@ from repro.cq.containment import (
 from repro.cq.translate import translate_expression
 from repro.graph.instance import Edge, Instance, Obj
 from repro.graph.schema import Schema
+from repro.relational.database import Database
+from repro.relational.engine import QueryEngine
+from repro.relational.relation import Relation
 
 
 class NotPositiveError(ValueError):
@@ -106,6 +109,38 @@ def decide_key_order_independence(
     object (receiver pairs a key set never contains).
     """
     return _decide(method, key_order=True, max_partitions=max_partitions)
+
+
+def replay_counterexample(
+    result: DecisionResult,
+) -> Optional[Tuple[Relation, Relation]]:
+    """Re-evaluate the witness pair on the counterexample database.
+
+    Evaluates the two guarded expressions ``E_a[tt']`` and ``E_a[t't]``
+    of the witness property directly (one shared
+    :class:`~repro.relational.engine.QueryEngine`, so the guard factor
+    and the memoized ``E_b[t]`` subtrees are computed once) and returns
+    the two relations — which differ, validating the counterexample at
+    the algebra level rather than only at the conjunctive-query level.
+    Returns ``None`` for order-independent results.
+    """
+    if result.counterexample is None or result.witness_property is None:
+        return None
+    source = result.counterexample.database
+    db_schema = result.reduction.db_schema
+    # The canonical database only populates relations its conjuncts
+    # mention; complete it with empty relations (and normalize attribute
+    # names to the reduction schema's).
+    relations = {}
+    for name in db_schema.relation_names:
+        schema = db_schema.relation_schema(name)
+        if source.has_relation(name):
+            relations[name] = Relation(schema, source.relation(name).tuples)
+        else:
+            relations[name] = Relation(schema, ())
+    engine = QueryEngine(Database(relations))
+    forward, backward = result.reduction.pairs[result.witness_property]
+    return engine.evaluate(forward), engine.evaluate(backward)
 
 
 def counterexample_to_scenario(

@@ -33,7 +33,7 @@ Disjointness dependencies are carried by typing throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.algebraic.expression import (
     SELF,
@@ -67,6 +67,13 @@ from repro.relational.dependencies import (
     FunctionalDependency,
     InclusionDependency,
 )
+from repro.relational.engine import intern_expr
+
+#: Memo for the per-(label, primed) post-update expressions: the
+#: substitution of Theorem 5.6 re-reads ``E_b[t]`` at *every* occurrence
+#: of an updated property relation ``Cb``, so building it once per key
+#: keeps the reduction linear in the number of occurrences.
+PostUpdateMemo = Dict[Tuple[str, bool], Expr]
 
 
 def _special_names(
@@ -84,12 +91,19 @@ def post_update_expression(
     method: AlgebraicUpdateMethod,
     label: str,
     use_primed: bool = False,
+    memo: Optional[PostUpdateMemo] = None,
 ) -> Expr:
     """``E_a[t]``: the relation ``Ca`` in ``M(I, t)`` as an expression.
 
     With ``use_primed``, the receiver is read from the primed special
-    relations instead (``E_a[t']``).
+    relations instead (``E_a[t']``).  ``memo`` (keyed by
+    ``(label, use_primed)``) shares the built expression across the
+    occurrences the Theorem 5.6 substitution creates.
     """
+    if memo is not None:
+        cached = memo.get((label, use_primed))
+        if cached is not None:
+            return cached
     schema = method.object_schema
     receiving = method.signature.receiving_class
     self_name = primed(SELF) if use_primed else SELF
@@ -109,7 +123,11 @@ def post_update_expression(
     fresh_edges = Product(
         Rename(Rel(self_name), self_name, receiving), body
     )
-    return Union(survivors, fresh_edges)
+    result: Expr = Union(survivors, fresh_edges)
+    if memo is not None:
+        result = intern_expr(result)
+        memo[(label, use_primed)] = result
+    return result
 
 
 def _prime_specials(expr: Expr, signature: MethodSignature) -> Expr:
@@ -130,6 +148,7 @@ def _second_application_body(
     method: AlgebraicUpdateMethod,
     label: str,
     first_primed: bool,
+    memo: Optional[PostUpdateMemo] = None,
 ) -> Expr:
     """``E'_a``: ``E_a`` reading the *other* receiver, over the updated
     property relations.
@@ -150,7 +169,10 @@ def _second_application_body(
     def replace(node: Rel) -> Expr:
         if node.name in updated:
             return post_update_expression(
-                method, updated[node.name], use_primed=first_primed
+                method,
+                updated[node.name],
+                use_primed=first_primed,
+                memo=memo,
             )
         if node.name in specials:
             if first_primed:
@@ -167,6 +189,7 @@ def sequence_expression(
     method: AlgebraicUpdateMethod,
     label: str,
     first_primed: bool = False,
+    memo: Optional[PostUpdateMemo] = None,
 ) -> Expr:
     """``E_a[tt']`` (or ``E_a[t't]`` with ``first_primed=True``).
 
@@ -176,7 +199,7 @@ def sequence_expression(
     receiving = method.signature.receiving_class
     second_self = SELF if first_primed else primed(SELF)
     first_stage = post_update_expression(
-        method, label, use_primed=first_primed
+        method, label, use_primed=first_primed, memo=memo
     )
     survivors = Project(
         Select(
@@ -187,7 +210,7 @@ def sequence_expression(
         ),
         (receiving, label),
     )
-    body = _second_application_body(method, label, first_primed)
+    body = _second_application_body(method, label, first_primed, memo=memo)
     out_attr = method.output_attribute(label)
     if out_attr != label:
         body = Rename(body, out_attr, label)
@@ -278,14 +301,29 @@ def order_independence_reduction(
     dependencies (over the returned schema) — Theorem 5.6 combined with
     Lemma 3.3.
     """
-    guard = receiver_guard(method.signature, key_order)
+    # The guard is shared across all labels and both directions, and the
+    # per-(label, primed) post-update expressions recur at every updated
+    # property occurrence; interning makes the sharing structural, so a
+    # query engine evaluating the pairs computes each subtree once.
+    guard = intern_expr(receiver_guard(method.signature, key_order))
+    memo: PostUpdateMemo = {}
     pairs: Dict[str, Tuple[Expr, Expr]] = {}
     for label in method.updated_properties:
-        forward = Product(
-            sequence_expression(method, label, first_primed=False), guard
+        forward = intern_expr(
+            Product(
+                sequence_expression(
+                    method, label, first_primed=False, memo=memo
+                ),
+                guard,
+            )
         )
-        backward = Product(
-            sequence_expression(method, label, first_primed=True), guard
+        backward = intern_expr(
+            Product(
+                sequence_expression(
+                    method, label, first_primed=True, memo=memo
+                ),
+                guard,
+            )
         )
         pairs[label] = (forward, backward)
     db_schema = update_db_schema(

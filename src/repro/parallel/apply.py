@@ -8,7 +8,7 @@ the result.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.algebraic.expression import UpdateTypeError, evaluate_update_expression
 from repro.algebraic.method import AlgebraicUpdateMethod
@@ -19,7 +19,7 @@ from repro.objrel.mapping import instance_to_database
 from repro.parallel.transform import REC, par_transform, rec_schema
 from repro.relational.algebra import Expr, Rename
 from repro.relational.database import Database
-from repro.relational.optimizer import evaluate_optimized as evaluate
+from repro.relational.engine import QueryEngine
 from repro.relational.relation import Relation, RelationError
 
 
@@ -38,24 +38,59 @@ def rec_relation(
     return Relation(rec_schema(signature), rows)
 
 
+def parallel_database(
+    method: AlgebraicUpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+) -> Database:
+    """The database ``M_par`` evaluates against: object relations + ``rec``."""
+    return instance_to_database(instance).with_relation(
+        REC, rec_relation(method.signature, receivers)
+    )
+
+
+def parallel_statement_expression(
+    method: AlgebraicUpdateMethod, label: str
+) -> Expr:
+    """``par(E_a)``: the transformed statement body for ``label``."""
+    body = method.expression(label)
+    out_attr = method.output_attribute(label)
+    if out_attr != label:
+        body = Rename(body, out_attr, label)
+    return par_transform(body, method.object_schema, method.signature)
+
+
 def parallel_update_relation(
     method: AlgebraicUpdateMethod,
     label: str,
     instance: Instance,
     receivers: Iterable[Receiver],
+    engine: Optional[QueryEngine] = None,
 ) -> Relation:
-    """``par(E_a)(I, T)``: a relation over ``(self, a)``."""
-    body = method.expression(label)
-    out_attr = method.output_attribute(label)
-    if out_attr != label:
-        body = Rename(body, out_attr, label)
-    transformed = par_transform(
-        body, method.object_schema, method.signature
-    )
-    database = instance_to_database(instance).with_relation(
-        REC, rec_relation(method.signature, receivers)
-    )
-    return evaluate(transformed, database)
+    """``par(E_a)(I, T)``: a relation over ``(self, a)``.
+
+    Pass ``engine`` (bound to :func:`parallel_database`) to share the
+    memo cache across the statements of one ``M_par`` application.
+    """
+    if engine is None:
+        engine = QueryEngine(parallel_database(method, instance, receivers))
+    return engine.evaluate(parallel_statement_expression(method, label))
+
+
+def receiver_value_positions(relation: Relation) -> Tuple[int, int]:
+    """The ``(self, value)`` column positions of a ``par(E)`` result.
+
+    Raises :class:`RelationError` for non-binary relations *before*
+    deriving any position from the schema — a malformed ``par(E)`` must
+    not yield a bogus value position.
+    """
+    if relation.schema.arity != 2:
+        raise RelationError(
+            f"par(E) must be binary (self plus value); got "
+            f"{relation.schema}"
+        )
+    self_position = relation.schema.position("self")
+    return self_position, 1 - self_position
 
 
 def apply_parallel(
@@ -65,23 +100,18 @@ def apply_parallel(
 ) -> Instance:
     """``M_par(I, T)`` (Definition 6.2)."""
     receivers = list(receivers)
+    # One engine for the whole application: the statements of M_par are
+    # evaluated against the same state, so subtrees they share (the
+    # rec projections, duplicated statement bodies) are computed once.
+    engine = QueryEngine(parallel_database(method, instance, receivers))
     # Evaluate all statements first (simultaneous semantics).
     updates: Dict[str, Dict[Obj, Set[Obj]]] = {}
     for label in method.updated_properties:
         relation = parallel_update_relation(
-            method, label, instance, receivers
+            method, label, instance, receivers, engine=engine
         )
         by_receiver: Dict[Obj, Set[Obj]] = {}
-        for row in relation:
-            self_position = relation.schema.position("self")
-            break
-        self_position = relation.schema.position("self")
-        value_position = 1 - self_position if relation.schema.arity == 2 else None
-        if relation.schema.arity != 2:
-            raise RelationError(
-                f"par(E) must be binary (self plus value); got "
-                f"{relation.schema}"
-            )
+        self_position, value_position = receiver_value_positions(relation)
         target_class = method.object_schema.edge(label).target
         targets = instance.objects_of_class(target_class)
         for row in relation:

@@ -31,6 +31,12 @@ from repro.relational.algebra import (
     rename_all,
     union_all,
 )
+from repro.relational.engine import (
+    EngineStats,
+    Interner,
+    QueryEngine,
+    intern_expr,
+)
 from repro.relational.evaluate import evaluate, infer_schema
 from repro.relational.positivity import is_positive, positivity_violations
 from repro.relational.dependencies import (
@@ -65,6 +71,10 @@ __all__ = [
     "eq_join",
     "evaluate",
     "infer_schema",
+    "QueryEngine",
+    "EngineStats",
+    "Interner",
+    "intern_expr",
     "is_positive",
     "positivity_violations",
     "Dependency",

@@ -1,4 +1,4 @@
-"""Positive cardinality guards.
+"""Positive cardinality guards — and cardinality *estimates*.
 
 The proof of Proposition 5.14 uses conditions of the form
 ``if #Ca >= n then E else emptyset`` and notes they are expressible in
@@ -9,12 +9,15 @@ selections over the ``n``-fold product of ``R`` with itself.
 
 :func:`at_least` builds that 0-ary guard; multiplying an expression by it
 implements the conditional (``guarded``).
+
+:func:`estimated_join_size` is the System-R style output-size estimate
+the query engine's greedy join planner ranks candidate factors by.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.relational.algebra import (
     Expr,
@@ -26,7 +29,28 @@ from repro.relational.algebra import (
 )
 from repro.relational.database import DatabaseSchema
 from repro.relational.evaluate import infer_schema
-from repro.relational.relation import RelationError
+from repro.relational.relation import Relation, RelationError
+
+
+def estimated_join_size(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence[Tuple[str, str]],
+) -> float:
+    """Estimated output size of an equi-join on ``pairs``.
+
+    The classical System-R uniform-distribution estimate: start from the
+    product size and divide, per join column pair, by the larger of the
+    two distinct-value counts.  With no pairs this is the exact product
+    size; values are exact distinct counts (relations are materialized),
+    so only the independence/uniformity assumptions are approximate.
+    """
+    size = float(len(left) * len(right))
+    for left_attr, right_attr in pairs:
+        left_distinct = len(left.column(left_attr)) or 1
+        right_distinct = len(right.column(right_attr)) or 1
+        size /= max(left_distinct, right_distinct)
+    return size
 
 
 def at_least(

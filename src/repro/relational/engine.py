@@ -1,0 +1,689 @@
+"""A memoizing, instrumented query engine over the relational algebra.
+
+Section 6's efficiency argument — "one single relational algebra
+expression per property to be updated; this expression can be optimized
+and is then executed only once" — presumes an engine that actually
+reuses work.  The recursive evaluators in
+:mod:`repro.relational.evaluate` and :mod:`repro.relational.optimizer`
+re-evaluate a shared subtree once *per occurrence*: ``par(E)``
+(Definition 6.1) duplicates the statement body inside its natural-join
+expansion, and the Theorem 5.6 reduction substitutes ``E_b[t]`` at every
+occurrence of an updated property relation.
+
+:class:`QueryEngine` fixes that in three layers:
+
+* **Structural hashing / CSE.**  :class:`Interner` hash-conses ``Expr``
+  trees bottom-up, so structurally equal subtrees become the *same*
+  object and equality is identity.  The engine caches every evaluated
+  node by identity; a subtree shared between the statements of
+  ``M_par``, the guard factors of the reduction, or repeated
+  decision-procedure calls is evaluated once per database state.
+
+* **Deep pushdown and cardinality-guided joins.**  Where the optimizer's
+  ``_flatten`` stops at ``Rename``/``Project`` barriers, the engine's
+  planner flattens through them (renaming projected-away columns apart),
+  prunes unused columns before joining, and orders joins greedily by the
+  :func:`~repro.relational.cardinality.estimated_join_size` estimate
+  (ties broken by actual size, then original position — the plan is
+  deterministic).
+
+* **Observability.**  Per-operator counters (calls, rows in/out,
+  hash-build sizes, wall time) in :class:`EngineStats`, and
+  :meth:`QueryEngine.explain`, which renders the actual plan — join
+  order, condition placement, per-step row counts — as text.
+
+The engine is bound to one database state; results are always identical
+to :func:`repro.relational.evaluate.evaluate` (the differential-testing
+oracle, together with ``evaluate_optimized``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.algebra import (
+    Difference,
+    Empty,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    Select,
+    Union,
+    walk,
+)
+from repro.relational.cardinality import estimated_join_size
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.evaluate import infer_schema
+from repro.relational.relation import (
+    Relation,
+    RelationError,
+    RelationSchema,
+)
+
+Condition = Tuple[str, str, bool]  # (left attr, right attr, equal?)
+
+
+# ----------------------------------------------------------------------
+# Structural hashing / common-subexpression elimination
+# ----------------------------------------------------------------------
+class Interner:
+    """Hash-consing of algebra expressions.
+
+    ``intern`` rebuilds a tree bottom-up, returning a canonical node per
+    structure: after interning, structural equality is object identity,
+    so memo tables can key on ``id()`` and shared subtrees are stored
+    once.  Keys are built from interned child identities, which makes
+    interning linear in the tree size (no deep comparisons).
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[tuple, Expr] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, expr: Expr) -> Expr:
+        if isinstance(expr, Rel):
+            key: tuple = ("rel", expr.name)
+            node = expr
+        elif isinstance(expr, Empty):
+            key = ("empty", expr.schema.attributes)
+            node = expr
+        elif isinstance(expr, (Union, Difference, Product)):
+            left = self.intern(expr.left)
+            right = self.intern(expr.right)
+            key = (type(expr).__name__, id(left), id(right))
+            node = (
+                expr
+                if left is expr.left and right is expr.right
+                else type(expr)(left, right)
+            )
+        elif isinstance(expr, Select):
+            child = self.intern(expr.child)
+            key = ("select", id(child), expr.left, expr.right, expr.equal)
+            node = (
+                expr
+                if child is expr.child
+                else Select(child, expr.left, expr.right, expr.equal)
+            )
+        elif isinstance(expr, Project):
+            child = self.intern(expr.child)
+            key = ("project", id(child), expr.attrs)
+            node = expr if child is expr.child else Project(child, expr.attrs)
+        elif isinstance(expr, Rename):
+            child = self.intern(expr.child)
+            key = ("rename", id(child), expr.old, expr.new)
+            node = (
+                expr
+                if child is expr.child
+                else Rename(child, expr.old, expr.new)
+            )
+        else:
+            raise TypeError(f"unknown expression node {expr!r}")
+        canonical = self._table.get(key)
+        if canonical is None:
+            self._table[key] = node
+            canonical = node
+        return canonical
+
+
+#: Process-wide interner: expressions interned through it share structure
+#: across engines, so a new engine (new database state) still benefits
+#: from one-time interning work done by builders like the reduction.
+DEFAULT_INTERNER = Interner()
+
+
+def intern_expr(expr: Expr) -> Expr:
+    """Intern ``expr`` in the process-wide :data:`DEFAULT_INTERNER`."""
+    return DEFAULT_INTERNER.intern(expr)
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+@dataclass
+class OperatorStats:
+    """Counters for one physical operator kind."""
+
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    wall_seconds: float = 0.0
+
+    def record(
+        self, rows_in: int, rows_out: int, wall_seconds: float = 0.0
+    ) -> None:
+        self.calls += 1
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        self.wall_seconds += wall_seconds
+
+
+@dataclass
+class EngineStats:
+    """Cache and per-operator counters of one :class:`QueryEngine`."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    hash_build_rows: int = 0
+    operators: Dict[str, OperatorStats] = field(default_factory=dict)
+
+    def op(self, name: str) -> OperatorStats:
+        stats = self.operators.get(name)
+        if stats is None:
+            stats = self.operators[name] = OperatorStats()
+        return stats
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def render(self) -> str:
+        """A small fixed-width table of the counters."""
+        lines = [
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%} hit rate), "
+            f"hash build rows: {self.hash_build_rows}",
+            f"{'operator':<12}{'calls':>8}{'rows in':>10}"
+            f"{'rows out':>10}{'wall ms':>10}",
+        ]
+        for name in sorted(self.operators):
+            stats = self.operators[name]
+            lines.append(
+                f"{name:<12}{stats.calls:>8}{stats.rows_in:>10}"
+                f"{stats.rows_out:>10}{stats.wall_seconds * 1e3:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _PlanEntry:
+    """What the engine did at one (interned) node, for ``explain``."""
+
+    kind: str
+    rows: int
+    detail: str = ""
+    steps: Tuple[str, ...] = ()
+    children: Tuple[Expr, ...] = ()
+    wall_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class _Factor:
+    """A join-region factor: an interned node plus pending renames."""
+
+    node: Expr
+    names: Tuple[str, ...]
+    renames: List[Tuple[str, str]]
+
+
+class QueryEngine:
+    """Memoizing, instrumented evaluator bound to one database state.
+
+    Create one engine per database; evaluate as many expressions as you
+    like through it — structurally shared subtrees (after interning) are
+    computed once.  ``evaluate`` always returns the same relation as the
+    naive evaluator.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        interner: Optional[Interner] = None,
+    ) -> None:
+        self._database = database
+        self._db_schema: DatabaseSchema = database.schema
+        self._interner = interner if interner is not None else Interner()
+        self._cache: Dict[int, Relation] = {}
+        self._schemas: Dict[int, RelationSchema] = {}
+        self._plans: Dict[int, _PlanEntry] = {}
+        self.stats = EngineStats()
+
+    # -- public API ----------------------------------------------------
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def intern(self, expr: Expr) -> Expr:
+        """Intern ``expr`` in this engine's interner (CSE)."""
+        return self._interner.intern(expr)
+
+    def evaluate(self, expr: Expr) -> Relation:
+        """Evaluate ``expr``, reusing every previously computed subtree."""
+        return self._evaluate(self.intern(expr))
+
+    def schema(self, expr: Expr) -> RelationSchema:
+        """Memoized :func:`infer_schema` of ``expr``."""
+        return self._schema(self.intern(expr))
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    def explain(self, expr: Expr, timings: bool = False) -> str:
+        """Render the plan actually used for ``expr``.
+
+        Evaluates the expression first (through the cache), then walks
+        the recorded per-node plan entries.  Without ``timings`` the
+        output is deterministic for a given database state.
+        """
+        node = self.intern(expr)
+        self._evaluate(node)
+        lines: List[str] = []
+        self._render(node, 0, lines, timings, set())
+        return "\n".join(lines)
+
+    # -- internals -----------------------------------------------------
+    def _schema(self, node: Expr) -> RelationSchema:
+        key = id(node)
+        schema = self._schemas.get(key)
+        if schema is None:
+            schema = infer_schema(node, self._db_schema)
+            self._schemas[key] = schema
+        return schema
+
+    def _evaluate(self, node: Expr) -> Relation:
+        key = id(node)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        start = time.perf_counter()
+        if isinstance(node, (Select, Product, Project, Rename)):
+            relation, entry = _RegionPlanner(self, node).run()
+        elif isinstance(node, Rel):
+            relation = self._database.relation(node.name)
+            entry = _PlanEntry("scan", len(relation), detail=node.name)
+            self.stats.op("scan").record(0, len(relation))
+        elif isinstance(node, Empty):
+            relation = Relation(node.schema, ())
+            entry = _PlanEntry("empty", 0)
+        elif isinstance(node, (Union, Difference)):
+            left = self._evaluate(node.left)
+            right = self._evaluate(node.right)
+            op_name = type(node).__name__.lower()
+            op_start = time.perf_counter()
+            if isinstance(node, Union):
+                relation = left.union(right)
+            else:
+                relation = left.difference(right)
+            self.stats.op(op_name).record(
+                len(left) + len(right),
+                len(relation),
+                time.perf_counter() - op_start,
+            )
+            entry = _PlanEntry(
+                op_name, len(relation), children=(node.left, node.right)
+            )
+        else:
+            raise TypeError(f"unknown expression node {node!r}")
+        entry.wall_seconds = time.perf_counter() - start
+        self._cache[key] = relation
+        self._plans[key] = entry
+        return relation
+
+    def _render(
+        self,
+        node: Expr,
+        indent: int,
+        lines: List[str],
+        timings: bool,
+        seen: Set[int],
+    ) -> None:
+        entry = self._plans[id(node)]
+        pad = "  " * indent
+        suffix = f"  [{entry.wall_seconds * 1e3:.2f} ms]" if timings else ""
+        detail = f" {entry.detail}" if entry.detail else ""
+        if id(node) in seen:
+            # Common subexpression: evaluated once, cached thereafter.
+            lines.append(
+                f"{pad}{entry.kind}{detail}  rows={entry.rows}"
+                f"  (shared subtree, cached)"
+            )
+            return
+        seen.add(id(node))
+        lines.append(
+            f"{pad}{entry.kind}{detail}  rows={entry.rows}{suffix}"
+        )
+        for step in entry.steps:
+            lines.append(f"{pad}  | {step}")
+        for child in entry.children:
+            self._render(child, indent + 1, lines, timings, seen)
+
+
+class _RegionPlanner:
+    """Plans and executes one ``Select``/``Product``/``Project``/``Rename``
+    region: deep flatten, column pruning, cardinality-guided greedy join.
+    """
+
+    def __init__(self, engine: QueryEngine, root: Expr) -> None:
+        self._engine = engine
+        self._root = root
+        self._stats = engine.stats
+        self._factors: List[_Factor] = []
+        self._conditions: List[Condition] = []
+        self._steps: List[str] = []
+        # Names reserved against hidden-column renaming: every attribute
+        # name appearing anywhere in the region (schemas of all
+        # subtrees, selection operands, rename endpoints).
+        self._used_names: Set[str] = set()
+        for sub in walk(root):
+            if isinstance(sub, Select):
+                self._used_names.update((sub.left, sub.right))
+            elif isinstance(sub, Rename):
+                self._used_names.update((sub.old, sub.new))
+            elif isinstance(sub, Project):
+                self._used_names.update(sub.attrs)
+            else:
+                self._used_names.update(engine._schema(sub).names)
+        self._hidden_count = 0
+
+    # -- flattening ----------------------------------------------------
+    def _hidden_name(self, base: str) -> str:
+        while True:
+            candidate = f"{base}__h{self._hidden_count}"
+            self._hidden_count += 1
+            if candidate not in self._used_names:
+                self._used_names.add(candidate)
+                return candidate
+
+    def _rename_region(
+        self, factor_start: int, cond_start: int, old: str, new: str
+    ) -> None:
+        """Rename ``old`` to ``new`` in the slice flattened so far."""
+        for factor in self._factors[factor_start:]:
+            if old in factor.names:
+                factor.names = tuple(
+                    new if n == old else n for n in factor.names
+                )
+                factor.renames.append((old, new))
+        for index in range(cond_start, len(self._conditions)):
+            left, right, equal = self._conditions[index]
+            if old in (left, right):
+                self._conditions[index] = (
+                    new if left == old else left,
+                    new if right == old else right,
+                    equal,
+                )
+
+    def _flatten(self, node: Expr) -> Tuple[str, ...]:
+        """Append ``node``'s factors and conditions; return its visible
+        attribute names (in output order)."""
+        if isinstance(node, Select):
+            names = self._flatten(node.child)
+            self._conditions.append((node.left, node.right, node.equal))
+            return names
+        if isinstance(node, Product):
+            left = self._flatten(node.left)
+            right = self._flatten(node.right)
+            return left + right
+        if isinstance(node, Rename):
+            factor_start = len(self._factors)
+            cond_start = len(self._conditions)
+            names = self._flatten(node.child)
+            self._rename_region(
+                factor_start, cond_start, node.old, node.new
+            )
+            return tuple(node.new if n == node.old else n for n in names)
+        if isinstance(node, Project):
+            factor_start = len(self._factors)
+            cond_start = len(self._conditions)
+            names = self._flatten(node.child)
+            kept = set(node.attrs)
+            for name in names:
+                if name not in kept:
+                    # A projected-away column: rename it apart so it can
+                    # coexist with sibling factors, and hide it at the
+                    # final projection.
+                    self._rename_region(
+                        factor_start,
+                        cond_start,
+                        name,
+                        self._hidden_name(name),
+                    )
+            return tuple(node.attrs)
+        # Base factor: evaluated (and cached) as a unit by the engine.
+        names = self._engine._schema(node).names
+        self._factors.append(_Factor(node, names, []))
+        return names
+
+    # -- execution -----------------------------------------------------
+    def _factor_relation(self, factor: _Factor, needed: Set[str]) -> Relation:
+        relation = self._engine._evaluate(factor.node)
+        for old, new in factor.renames:
+            relation = relation.rename(old, new)
+            self._stats.op("rename").record(len(relation), len(relation))
+        keep = [n for n in relation.schema.names if n in needed]
+        if len(keep) != relation.schema.arity:
+            start = time.perf_counter()
+            pruned = relation.project(keep)
+            self._stats.op("project").record(
+                len(relation), len(pruned), time.perf_counter() - start
+            )
+            self._steps.append(
+                f"prune {factor_label(factor.node)} to "
+                f"[{', '.join(keep)}]  rows={len(pruned)}"
+            )
+            relation = pruned
+        return relation
+
+    def _apply_local(self, relation: Relation) -> Relation:
+        names = set(relation.schema.names)
+        remaining: List[Condition] = []
+        for left, right, equal in self._conditions:
+            if left in names and right in names:
+                start = time.perf_counter()
+                filtered = relation.select(left, right, equal)
+                self._stats.op("select").record(
+                    len(relation),
+                    len(filtered),
+                    time.perf_counter() - start,
+                )
+                op = "=" if equal else "!="
+                self._steps.append(
+                    f"filter {left}{op}{right}  rows={len(filtered)}"
+                )
+                relation = filtered
+            else:
+                remaining.append((left, right, equal))
+        self._conditions = remaining
+        return relation
+
+    def _hash_join(
+        self,
+        left: Relation,
+        right: Relation,
+        pairs: Sequence[Tuple[str, str]],
+    ) -> Relation:
+        start = time.perf_counter()
+        # Build the hash index on the smaller side.
+        if len(right) <= len(left):
+            build, probe = right, left
+            build_attrs = [b for _, b in pairs]
+            probe_attrs = [a for a, _ in pairs]
+            swap = False
+        else:
+            build, probe = left, right
+            build_attrs = [a for a, _ in pairs]
+            probe_attrs = [b for _, b in pairs]
+            swap = True
+        build_positions = [build.schema.position(a) for a in build_attrs]
+        probe_positions = [probe.schema.position(a) for a in probe_attrs]
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in build:
+            index.setdefault(
+                tuple(row[p] for p in build_positions), []
+            ).append(row)
+        self._stats.hash_build_rows += len(build)
+        schema = left.schema.concat(right.schema)
+        rows = set()
+        for row in probe:
+            for match in index.get(
+                tuple(row[p] for p in probe_positions), ()
+            ):
+                rows.add(match + row if swap else row + match)
+        result = Relation(schema, rows)
+        self._stats.op("hash_join").record(
+            len(left) + len(right),
+            len(result),
+            time.perf_counter() - start,
+        )
+        return result
+
+    def _connecting_pairs(
+        self, current_names: Set[str], factor_names: Set[str]
+    ) -> List[Tuple[str, str]]:
+        pairs = []
+        for left, right, equal in self._conditions:
+            if not equal:
+                continue
+            if left in current_names and right in factor_names:
+                pairs.append((left, right))
+            elif right in current_names and left in factor_names:
+                pairs.append((right, left))
+        return pairs
+
+    def run(self) -> Tuple[Relation, _PlanEntry]:
+        output = self._flatten(self._root)
+        expected = self._engine._schema(self._root).names
+        needed = set(expected)
+        for left, right, _ in self._conditions:
+            needed.add(left)
+            needed.add(right)
+        factor_nodes = tuple(f.node for f in self._factors)
+        relations = [
+            self._factor_relation(f, needed) for f in self._factors
+        ]
+
+        if any(r.is_empty() for r in relations):
+            # Every factor participates in the join, so one empty factor
+            # empties the region.
+            self._steps.append("empty factor short-circuits the region")
+            relation = Relation(
+                self._engine._schema(self._root), ()
+            )
+            entry = _PlanEntry(
+                "join-region",
+                0,
+                detail=self._region_detail(output),
+                steps=tuple(self._steps),
+                children=factor_nodes,
+            )
+            return relation, entry
+
+        order = sorted(
+            range(len(relations)), key=lambda i: (len(relations[i]), i)
+        )
+        remaining = [(i, relations[i]) for i in order]
+        seed_index, current = remaining.pop(0)
+        self._steps.append(
+            f"seed {factor_label(self._factors[seed_index].node)}"
+            f"  rows={len(current)}"
+        )
+        current = self._apply_local(current)
+
+        while remaining:
+            current_names = set(current.schema.names)
+            best: Optional[Tuple[float, int, int, int]] = None
+            best_pairs: List[Tuple[str, str]] = []
+            for position, (index, factor) in enumerate(remaining):
+                pairs = self._connecting_pairs(
+                    current_names, set(factor.schema.names)
+                )
+                if not pairs:
+                    continue
+                rank = (
+                    estimated_join_size(current, factor, pairs),
+                    len(factor),
+                    index,
+                    position,
+                )
+                if best is None or rank < best:
+                    best = rank
+                    best_pairs = pairs
+            if best is None:
+                # No connecting equality: cross product, smallest first.
+                position = min(
+                    range(len(remaining)),
+                    key=lambda p: (len(remaining[p][1]), remaining[p][0]),
+                )
+                index, factor = remaining.pop(position)
+                start = time.perf_counter()
+                joined = current.product(factor)
+                self._stats.op("product").record(
+                    len(current) + len(factor),
+                    len(joined),
+                    time.perf_counter() - start,
+                )
+                self._steps.append(
+                    f"product x {factor_label(self._factors[index].node)}"
+                    f"  rows={len(joined)}"
+                )
+                current = joined
+            else:
+                position = best[3]
+                index, factor = remaining.pop(position)
+                current = self._hash_join(current, factor, best_pairs)
+                used = {(a, b) for a, b in best_pairs} | {
+                    (b, a) for a, b in best_pairs
+                }
+                self._conditions = [
+                    c
+                    for c in self._conditions
+                    if not (c[2] and (c[0], c[1]) in used)
+                ]
+                conds = ", ".join(f"{a}={b}" for a, b in best_pairs)
+                self._steps.append(
+                    f"hash join {factor_label(self._factors[index].node)} "
+                    f"on ({conds})  est={best[0]:.1f}  rows={len(current)}"
+                )
+            current = self._apply_local(current)
+
+        current = self._apply_local(current)
+        if self._conditions:
+            raise RelationError(
+                f"join planning left conditions {self._conditions} "
+                f"unapplied; available attributes "
+                f"{list(current.schema.names)}"
+            )
+        if current.schema.names != expected:
+            start = time.perf_counter()
+            projected = current.project(expected)
+            self._stats.op("project").record(
+                len(current), len(projected), time.perf_counter() - start
+            )
+            self._steps.append(
+                f"project [{', '.join(expected)}]  rows={len(projected)}"
+            )
+            current = projected
+        entry = _PlanEntry(
+            "join-region",
+            len(current),
+            detail=self._region_detail(output),
+            steps=tuple(self._steps),
+            children=factor_nodes,
+        )
+        return current, entry
+
+    def _region_detail(self, output: Tuple[str, ...]) -> str:
+        return (
+            f"({len(self._factors)} factors -> "
+            f"[{', '.join(output)}])"
+        )
+
+
+def factor_label(node: Expr) -> str:
+    """A short human-readable label for a plan factor."""
+    if isinstance(node, Rel):
+        return f"scan {node.name}"
+    if isinstance(node, Empty):
+        return "empty"
+    return type(node).__name__.lower()

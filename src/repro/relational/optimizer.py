@@ -38,7 +38,11 @@ from repro.relational.algebra import (
     Union,
 )
 from repro.relational.database import Database
-from repro.relational.relation import Relation, RelationSchema
+from repro.relational.relation import (
+    Relation,
+    RelationError,
+    RelationSchema,
+)
 
 Condition = Tuple[str, str, bool]  # (left attr, right attr, equal?)
 
@@ -110,6 +114,10 @@ def _join_factors(
         current_names = set(current.schema.names)
         chosen_index: Optional[int] = None
         chosen_pairs: List[Tuple[str, str]] = []
+        # Deterministic, size-aware choice: among the factors connected
+        # to the joined-so-far relation by an equality, take the
+        # smallest (ties by position).  First-match selection made plan
+        # shape depend on incidental factor order.
         for index, factor in enumerate(remaining_factors):
             factor_names = set(factor.schema.names)
             pairs = []
@@ -120,10 +128,12 @@ def _join_factors(
                     pairs.append((left, right))
                 elif right in current_names and left in factor_names:
                     pairs.append((right, left))
-            if pairs:
+            if pairs and (
+                chosen_index is None
+                or len(factor) < len(remaining_factors[chosen_index])
+            ):
                 chosen_index = index
                 chosen_pairs = pairs
-                break
         if chosen_index is None:
             # No connecting equality: cross product with the smallest.
             chosen_index = min(
@@ -154,7 +164,14 @@ def _join_factors(
     if conditions:
         # All factors joined; any leftover condition must be local now.
         current, conditions = _apply_local_conditions(current, conditions)
-    assert not conditions, f"unapplied conditions {conditions}"
+    if conditions:
+        # A leftover condition references attributes absent from every
+        # factor — an ill-typed flatten.  A bare assert here would be
+        # stripped under ``python -O``.
+        raise RelationError(
+            f"join planning left conditions {conditions} unapplied; "
+            f"available attributes {list(current.schema.names)}"
+        )
     return current
 
 

@@ -5,13 +5,24 @@ to be deleted; only in a second phase they are effectively removed".
 In the paper's reading, a set-oriented statement applies a *trivial*,
 order-independent update (remove this row / set these columns) to a
 precomputed (key) set of receivers — which is why it is always safe.
+
+The ``*_from_query`` variants run the identification phase through the
+memoizing :class:`~repro.relational.engine.QueryEngine`: the receiver
+set is computed as a relational algebra query (optimized, instrumented,
+executed once), then applied in a second phase — the engine-backed
+rendition of the paper's "one single relational algebra expression ...
+executed only once".
 """
 
 from __future__ import annotations
 
 from typing import Callable, Hashable, Mapping, Optional
 
-from repro.sqlsim.table import Row, Table
+from repro.relational.algebra import Expr
+from repro.relational.database import Database
+from repro.relational.engine import QueryEngine
+from repro.relational.relation import Attribute, Relation, RelationSchema
+from repro.sqlsim.table import Row, Table, TableError
 
 
 def set_delete(
@@ -43,6 +54,121 @@ def set_update(
         changes = compute(table.get(row_id))
         if changes:
             planned.append((row_id, dict(changes)))
+    for row_id, changes in planned:
+        table.update_row(row_id, changes)
+    return len(planned)
+
+
+# ----------------------------------------------------------------------
+# Engine-backed two-phase statements
+# ----------------------------------------------------------------------
+def table_relation(table: Table, domain: str = "value") -> Relation:
+    """The table's rows as a typed relation (one shared ``domain``)."""
+    schema = RelationSchema(
+        [Attribute(column, domain) for column in table.columns]
+    )
+    return Relation(
+        schema,
+        (
+            tuple(row[column] for column in table.columns)
+            for row in table.rows()
+        ),
+    )
+
+
+def tables_database(
+    tables: Mapping[str, Table], domain: str = "value"
+) -> Database:
+    """A relational database view over a set of tables."""
+    return Database(
+        {
+            name: table_relation(table, domain)
+            for name, table in tables.items()
+        }
+    )
+
+
+def _key_positions(table: Table, relation: Relation, key_attr: str):
+    if table.key is None:
+        raise TableError(f"table {table.name} has no key")
+    if not relation.schema.has_attribute(key_attr):
+        raise TableError(
+            f"query result {relation.schema} lacks key attribute "
+            f"{key_attr!r}"
+        )
+    return relation.schema.position(key_attr)
+
+
+def set_delete_from_query(
+    table: Table,
+    query: Expr,
+    database: Database,
+    *,
+    key_attr: Optional[str] = None,
+    engine: Optional[QueryEngine] = None,
+) -> int:
+    """Two-phase DELETE with the doomed set computed by the engine.
+
+    Phase one evaluates ``query`` (whose result must carry the table's
+    key in attribute ``key_attr``, default the key column name) through
+    a memoizing engine; phase two removes the identified rows.
+    """
+    engine = engine if engine is not None else QueryEngine(database)
+    relation = engine.evaluate(query)
+    key_attr = key_attr if key_attr is not None else table.key
+    position = _key_positions(table, relation, key_attr)
+    doomed_keys = {row[position] for row in relation}
+    doomed = [
+        row_id
+        for row_id in table.row_ids()
+        if table.get(row_id)[table.key] in doomed_keys
+    ]
+    for row_id in doomed:
+        table.delete_row(row_id)
+    return len(doomed)
+
+
+def set_update_from_query(
+    table: Table,
+    query: Expr,
+    database: Database,
+    assignments: Mapping[str, str],
+    *,
+    key_attr: Optional[str] = None,
+    engine: Optional[QueryEngine] = None,
+) -> int:
+    """Two-phase UPDATE with the new values computed by the engine.
+
+    ``assignments`` maps table columns to attributes of the query
+    result; each result row assigns those values to the table row whose
+    key matches its ``key_attr`` attribute.  All new values are computed
+    against the original state (phase one — a single engine evaluation),
+    then applied together (phase two), like :func:`set_update`.
+    """
+    engine = engine if engine is not None else QueryEngine(database)
+    relation = engine.evaluate(query)
+    key_attr = key_attr if key_attr is not None else table.key
+    key_position = _key_positions(table, relation, key_attr)
+    positions = {
+        column: relation.schema.position(attr)
+        for column, attr in assignments.items()
+    }
+    changes_by_key = {}
+    for row in relation:
+        key = row[key_position]
+        if key in changes_by_key:
+            raise TableError(
+                f"query assigns multiple rows to key {key!r}"
+            )
+        changes_by_key[key] = {
+            column: row[position]
+            for column, position in positions.items()
+        }
+    planned = []
+    for row_id in table.row_ids():
+        changes = changes_by_key.get(table.get(row_id)[table.key])
+        if changes:
+            planned.append((row_id, changes))
     for row_id, changes in planned:
         table.update_row(row_id, changes)
     return len(planned)
