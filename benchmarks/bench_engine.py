@@ -13,31 +13,69 @@ Series:
   expressions of the Section 7 salary update (B'), as the company grows;
 * the seq-vs-par ablation: sequential application, parallel application
   through the engine, and the parallel statements evaluated by the
-  non-memoizing ``evaluate_optimized`` path (memoization off).
+  non-memoizing ``evaluate_optimized`` path (memoization off);
+* cross-state reuse: after a single *written* edge changes (an
+  ``Employee.salary`` edge — what the update itself writes; the
+  statements' read set is untouched), a fresh engine over the new state
+  with the shared :class:`EngineCache` serves every subtree from the
+  fingerprint-keyed memo;
+* Δ-propagation: ``delta_evaluate_many`` under the realistic
+  between-step change of a receiver sequence (the singleton ``rec``
+  swap), plus the end-to-end incremental sequence
+  ``apply_sequence_incremental`` against the cold per-step chain.
 
-``test_warm_cache_speedup`` asserts the acceptance bar directly: warm
-``M_par`` evaluation at least 2x faster than ``evaluate_optimized`` on
-the same expressions, with identical results (differential check
-against the naive evaluator).
+Acceptance gates (marked ``benchmark_acceptance``, hand-timed so the
+numbers survive ``--benchmark-disable``): ``test_warm_cache_speedup``
+(warm ``M_par`` >= 2x ``evaluate_optimized``) and
+``test_cross_state_speedup`` (warm cross-state re-evaluation after a
+one-edge update >= 3x a cold engine), both with results differentially
+checked against the naive and optimizing evaluators.
 """
 
 import time
 
 import pytest
 
-from benchmarks.conftest import company_instance_and_receivers
+from benchmarks.conftest import company_instance_and_receivers, record_timing
 from repro.core.sequential import apply_sequence
 from repro.parallel.apply import (
     apply_parallel,
+    apply_sequence_incremental,
     parallel_database,
     parallel_statement_expression,
 )
-from repro.relational.engine import QueryEngine
+from repro.parallel.transform import REC
+from repro.relational.delta import RelationDelta
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.evaluate import evaluate as evaluate_naive
 from repro.relational.optimizer import evaluate_optimized
 from repro.sqlsim.scenarios import scenario_b_method
 
 SIZES = [8, 32, 96]
+
+
+def one_written_edge_delta(database):
+    """A single-edge change to the update's *write set*.
+
+    Deleting one ``Employee.salary`` edge models what an application of
+    the salary update actually does to the object base; the ``par(E)``
+    statements read only ``NewSal.new``/``NewSal.old``/``rec``, so their
+    base fingerprints are unchanged and a warm shared cache can serve
+    the whole battery.
+    """
+    row = min(database.relation("Employee.salary").tuples)
+    return {"Employee.salary": RelationDelta(deleted=frozenset({row}))}
+
+
+def best_of(callable_, repetitions=2):
+    """Best wall-clock of ``repetitions`` runs (suppresses scheduler
+    noise; the acceptance asserts compare best against best)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def par_workload(size):
@@ -108,6 +146,78 @@ def test_ablation_sequential(benchmark, size):
     assert result is not None
 
 
+# ----------------------------------------------------------------------
+# Cross-state reuse and Δ-propagation series
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("size", SIZES)
+def test_cross_state_warm_engine(benchmark, size):
+    """Fresh engine over the post-update state, shared cache warm from
+    the pre-update state: every statement is a fingerprint-keyed hit."""
+    _, _, _, database, exprs = par_workload(size)
+    cache = EngineCache()
+    engine = QueryEngine(database, cache=cache)
+    for expr in exprs:
+        engine.evaluate(expr)
+    updated = database.apply_delta(one_written_edge_delta(database))
+    reference = [evaluate_naive(expr, updated) for expr in exprs]
+
+    def warm_cross_state():
+        fresh = QueryEngine(updated, cache=cache)
+        return [fresh.evaluate(expr) for expr in exprs]
+
+    results = benchmark(warm_cross_state)
+    assert results == reference
+    probe = QueryEngine(updated, cache=cache)
+    for expr in exprs:
+        probe.evaluate(expr)
+    assert probe.stats.cross_state_hits > 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_delta_rec_swap_engine(benchmark, size):
+    """delta_evaluate_many under the between-step change of a receiver
+    sequence: the singleton ``rec`` swap of Lemma 6.7 steps."""
+    method, instance, receivers, _, _ = par_workload(size)
+    database = parallel_database(method, instance, receivers[:1])
+    exprs = [
+        parallel_statement_expression(method, label)
+        for label in method.updated_properties
+    ]
+    engine = QueryEngine(database)
+    for expr in exprs:
+        engine.evaluate(expr)
+    old_rec = database.relation(REC).tuples
+    new_rec = frozenset({tuple(receivers[1].objects)})
+    changes = {REC: RelationDelta(new_rec - old_rec, old_rec - new_rec)}
+    updated = database.apply_delta(changes)
+    reference = [evaluate_naive(expr, updated) for expr in exprs]
+    # Seed the Δ-memo once so the series measures the steady state
+    # (pure Δ-rules, no structural fallbacks).
+    engine.delta_evaluate_many(exprs, changes, new_database=updated)
+
+    results = benchmark(
+        lambda: engine.delta_evaluate_many(
+            exprs, changes, new_database=updated
+        )
+    )
+    assert results == reference
+    assert engine.stats.delta_fast_paths > 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ablation_incremental_sequence(benchmark, size):
+    """End-to-end M(I, t1..tn) by incremental singleton-M_par steps."""
+    method, instance, receivers, _, _ = par_workload(size)
+    result = benchmark(
+        lambda: apply_sequence_incremental(method, instance, receivers)
+    )
+    assert result == apply_sequence(method, instance, receivers)
+
+
+# ----------------------------------------------------------------------
+# Acceptance gates
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark_acceptance
 def test_warm_cache_speedup():
     """Acceptance: warm-cache M_par >= 2x faster than evaluate_optimized,
     identical results."""
@@ -121,19 +231,61 @@ def test_warm_cache_speedup():
         assert warm == evaluate_optimized(expr, database)
 
     repetitions = 5
-    start = time.perf_counter()
-    for _ in range(repetitions):
-        for expr in exprs:
-            evaluate_optimized(expr, database)
-    optimizer_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    for _ in range(repetitions):
-        for expr in exprs:
-            engine.evaluate(expr)
-    warm_seconds = time.perf_counter() - start
+    def optimizer_battery():
+        for _ in range(repetitions):
+            for expr in exprs:
+                evaluate_optimized(expr, database)
+
+    def warm_battery():
+        for _ in range(repetitions):
+            for expr in exprs:
+                engine.evaluate(expr)
+
+    optimizer_seconds = best_of(optimizer_battery)
+    warm_seconds = best_of(warm_battery)
+    record_timing("warm_cache_96.evaluate_optimized", optimizer_seconds)
+    record_timing("warm_cache_96.engine_warm", warm_seconds)
 
     assert warm_seconds * 2 <= optimizer_seconds, (
         f"warm cache {warm_seconds:.6f}s not 2x faster than "
         f"evaluate_optimized {optimizer_seconds:.6f}s"
+    )
+
+
+@pytest.mark.benchmark_acceptance
+def test_cross_state_speedup():
+    """Acceptance: after one written-edge update, a fresh engine with the
+    warm shared cache beats a cold engine >= 3x, identical results."""
+    _, _, _, database, exprs = par_workload(96)
+    cache = EngineCache()
+    engine = QueryEngine(database, cache=cache)
+    for expr in exprs:
+        engine.evaluate(expr)
+
+    updated = database.apply_delta(one_written_edge_delta(database))
+    reference = [evaluate_naive(expr, updated) for expr in exprs]
+    assert reference == [
+        evaluate_optimized(expr, updated) for expr in exprs
+    ]
+
+    def cold_battery():
+        fresh = QueryEngine(updated)
+        return [fresh.evaluate(expr) for expr in exprs]
+
+    def warm_battery():
+        fresh = QueryEngine(updated, cache=cache)
+        return [fresh.evaluate(expr) for expr in exprs]
+
+    assert cold_battery() == reference
+    assert warm_battery() == reference
+
+    cold_seconds = best_of(cold_battery)
+    warm_seconds = best_of(warm_battery)
+    record_timing("cross_state_96.cold", cold_seconds)
+    record_timing("cross_state_96.warm", warm_seconds)
+
+    assert warm_seconds * 3 <= cold_seconds, (
+        f"cross-state warm cache {warm_seconds:.6f}s not 3x faster "
+        f"than cold engine {cold_seconds:.6f}s"
     )

@@ -3,17 +3,43 @@
 Every benchmark regenerates one of the experiment series listed in
 DESIGN.md's per-experiment index; EXPERIMENTS.md records the measured
 shapes against the paper's claims.
+
+Benchmarks that time sections by hand (the acceptance gates do — their
+numbers must exist even under ``--benchmark-disable``) report seconds
+via :func:`record_timing`; at session end the collected timings are
+dumped as JSON (``{benchmark name: seconds}``) to the path in the
+``BENCH_ENGINE_JSON`` environment variable (default
+``BENCH_engine.json``), which CI uploads as an artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
+from typing import Dict
 
 import pytest
 
 from repro.core.receiver import Receiver
 from repro.graph.instance import Edge, Instance, Obj
 from repro.graph.schema import Schema
+
+_TIMINGS: Dict[str, float] = {}
+
+
+def record_timing(name: str, seconds: float) -> None:
+    """Record one hand-timed measurement for the session JSON dump."""
+    _TIMINGS[name] = seconds
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_TIMINGS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def chain_instance(length: int) -> Instance:

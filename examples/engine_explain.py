@@ -8,6 +8,14 @@ memoizing engine, prints the plan ``explain()`` chose (join order,
 condition placement, per-step row counts), re-evaluates to show the
 cache serving the repeat, and dumps the per-operator counters.
 
+It then goes *across states*: after the update writes one
+``Employee.salary`` edge, a fresh engine sharing the same
+:class:`EngineCache` serves the whole statement from the
+fingerprint-keyed memo (``cross_state_hits``), and a change to the
+statement's read set (a ``rec`` swap) is Δ-propagated through the
+operators (``delta_fast_paths`` / ``delta_fallbacks``) instead of
+re-evaluated.
+
 Run:  python examples/engine_explain.py
 """
 
@@ -17,7 +25,9 @@ from repro.parallel.apply import (
     parallel_database,
     parallel_statement_expression,
 )
-from repro.relational.engine import QueryEngine
+from repro.parallel.transform import REC
+from repro.relational.delta import RelationDelta, single_row_change
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.sqlsim.scenarios import make_company, tables_to_instance
 from repro.sqlsim.scenarios import scenario_b_method
 
@@ -31,10 +41,11 @@ def main() -> None:
         for r in employees
     ]
     database = parallel_database(method, instance, receivers)
-    engine = QueryEngine(database)
+    cache = EngineCache()
+    engine = QueryEngine(database, cache=cache)
 
     expr = parallel_statement_expression(method, "salary")
-    print("=== plan for par(E_salary) over 12 employees ===")
+    print("=== plan for par(E_salary) over 12 employees (cold) ===")
     print(engine.explain(expr))
 
     relation = engine.evaluate(expr)
@@ -47,8 +58,42 @@ def main() -> None:
         "hit(s), zero operator work"
     )
 
-    print("\n=== engine counters ===")
-    print(engine.stats.render())
+    # ------------------------------------------------------------------
+    # Cross-state reuse: the update writes one Employee.salary edge.
+    # The statement only reads NewSal.new/NewSal.old/rec, so its base
+    # fingerprints are unchanged — a fresh engine over the new state
+    # finds every subtree in the shared cache.
+    # ------------------------------------------------------------------
+    written_edge = min(database.relation("Employee.salary").tuples)
+    updated = database.apply_delta(
+        single_row_change("Employee.salary", written_edge, insert=False)
+    )
+    fresh = QueryEngine(updated, cache=cache)
+    fresh.evaluate(expr)
+    print(
+        "\n=== after writing one Employee.salary edge "
+        "(fresh engine, shared cache) ==="
+    )
+    print(fresh.explain(expr))
+    print(f"cross-state hits: {fresh.stats.cross_state_hits}")
+
+    # ------------------------------------------------------------------
+    # Δ-propagation: shrink rec to one receiver — a read-set change —
+    # and propagate it through the operators instead of re-evaluating.
+    # ------------------------------------------------------------------
+    old_rec = updated.relation(REC).tuples
+    new_rec = frozenset({tuple(receivers[0].objects)})
+    changes = {REC: RelationDelta(new_rec - old_rec, old_rec - new_rec)}
+    delta_result = fresh.delta_evaluate(expr, changes)
+    print("\n=== rec swapped to a single receiver (delta_evaluate) ===")
+    print(f"result: {len(delta_result)} (self, salary) pair(s)")
+    print(
+        f"delta: {fresh.stats.delta_fast_paths} fast path(s), "
+        f"{fresh.stats.delta_fallbacks} fallback(s)"
+    )
+
+    print("\n=== engine counters (cross-state engine) ===")
+    print(fresh.stats.render())
 
 
 if __name__ == "__main__":

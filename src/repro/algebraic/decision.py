@@ -34,7 +34,7 @@ from repro.cq.translate import translate_expression
 from repro.graph.instance import Edge, Instance, Obj
 from repro.graph.schema import Schema
 from repro.relational.database import Database
-from repro.relational.engine import QueryEngine
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.relation import Relation
 
 
@@ -113,6 +113,7 @@ def decide_key_order_independence(
 
 def replay_counterexample(
     result: DecisionResult,
+    cache: Optional[EngineCache] = None,
 ) -> Optional[Tuple[Relation, Relation]]:
     """Re-evaluate the witness pair on the counterexample database.
 
@@ -123,6 +124,11 @@ def replay_counterexample(
     the two relations — which differ, validating the counterexample at
     the algebra level rather than only at the conjunctive-query level.
     Returns ``None`` for order-independent results.
+
+    Pass a shared ``cache`` when replaying several counterexamples of
+    related methods: canonical databases frequently share relation
+    contents, so guard factors keep their fingerprint keys and are
+    re-served across replays.
     """
     if result.counterexample is None or result.witness_property is None:
         return None
@@ -138,7 +144,7 @@ def replay_counterexample(
             relations[name] = Relation(schema, source.relation(name).tuples)
         else:
             relations[name] = Relation(schema, ())
-    engine = QueryEngine(Database(relations))
+    engine = QueryEngine(Database(relations), cache=cache)
     forward, backward = result.reduction.pairs[result.witness_property]
     return engine.evaluate(forward), engine.evaluate(backward)
 

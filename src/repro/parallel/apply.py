@@ -4,22 +4,30 @@
 ``par(E_a)`` once per statement, and for each receiving object occurring
 in ``T`` replace its ``a``-edges by edges to the objects linked to it in
 the result.
+
+For *sequences* of applications, :func:`apply_sequence_incremental`
+exploits that ``M(I, t) = M_par(I, {t})`` (Lemma 6.7 on the trivially-key
+singleton set): it binds one shared :class:`EngineCache` across all
+steps and advances the engine's database by delta — the ``rec`` swap
+plus the property edges each step actually rewired — so step ``i+1`` is
+Δ-propagated from step ``i``'s results instead of re-evaluated.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.algebraic.expression import UpdateTypeError, evaluate_update_expression
 from repro.algebraic.method import AlgebraicUpdateMethod
 from repro.core.receiver import Receiver
 from repro.core.signature import MethodSignature
 from repro.graph.instance import Instance, Obj
-from repro.objrel.mapping import instance_to_database
+from repro.objrel.mapping import instance_to_database, property_relation_name
 from repro.parallel.transform import REC, par_transform, rec_schema
 from repro.relational.algebra import Expr, Rename
 from repro.relational.database import Database
-from repro.relational.engine import QueryEngine
+from repro.relational.delta import RelationDelta
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.relation import Relation, RelationError
 
 
@@ -97,13 +105,21 @@ def apply_parallel(
     method: AlgebraicUpdateMethod,
     instance: Instance,
     receivers: Iterable[Receiver],
+    cache: Optional[EngineCache] = None,
 ) -> Instance:
-    """``M_par(I, T)`` (Definition 6.2)."""
+    """``M_par(I, T)`` (Definition 6.2).
+
+    Pass a shared ``cache`` when applying several ``M_par`` across
+    related states: subtrees whose base relations kept their content
+    fingerprints are re-served instead of re-evaluated.
+    """
     receivers = list(receivers)
     # One engine for the whole application: the statements of M_par are
     # evaluated against the same state, so subtrees they share (the
     # rec projections, duplicated statement bodies) are computed once.
-    engine = QueryEngine(parallel_database(method, instance, receivers))
+    engine = QueryEngine(
+        parallel_database(method, instance, receivers), cache=cache
+    )
     # Evaluate all statements first (simultaneous semantics).
     updates: Dict[str, Dict[Obj, Set[Obj]]] = {}
     for label in method.updated_properties:
@@ -133,6 +149,106 @@ def apply_parallel(
                 obj, label, by_receiver.get(obj, ())
             )
     return result
+
+
+def apply_sequence_incremental(
+    method: AlgebraicUpdateMethod,
+    instance: Instance,
+    receivers: Sequence[Receiver],
+    cache: Optional[EngineCache] = None,
+) -> Instance:
+    """``M(I, t1 ... tn)`` by incremental singleton-``M_par`` steps.
+
+    Equivalent to :func:`repro.core.sequential.apply_sequence` for
+    algebraic methods: ``M(I, t) = M_par(I, {t})`` because a singleton
+    receiver set is trivially a key set (Lemma 6.7).  Where the
+    sequential fold re-evaluates every statement from scratch per step,
+    this keeps one engine pipeline across the whole sequence:
+
+    * all steps share one :class:`EngineCache` (pass ``cache`` to share
+      it further, e.g. across several sequences over related states);
+    * between steps the database advances by an explicit
+      :class:`RelationDelta` change set — the ``rec`` swap
+      ``{t_i} -> {t_i+1}`` plus the property edges step ``i`` actually
+      rewired — and the next step's ``par(E_a)`` relations are obtained
+      with :meth:`QueryEngine.delta_evaluate_many`, touching O(|Δ|)
+      operator work where the statements' subtrees were not hit.
+
+    Raises :class:`~repro.core.method.MethodUndefined` when some ``t_i``
+    is not a receiver over the intermediate instance, and
+    :class:`UpdateTypeError` when a statement produces values outside
+    its target class — the same failure modes as the sequential fold.
+    """
+    receivers = list(receivers)
+    if len(set(receivers)) != len(receivers):
+        raise ValueError("sequential application requires distinct receivers")
+    if not receivers:
+        return instance
+    if cache is None:
+        cache = EngineCache()
+    schema = method.object_schema
+    labels = method.updated_properties
+    exprs = [
+        parallel_statement_expression(method, label) for label in labels
+    ]
+    current = instance
+    database: Optional[Database] = None
+    engine: Optional[QueryEngine] = None
+    relations: Optional[Sequence[Relation]] = None
+    for index, receiver in enumerate(receivers):
+        method.check_receiver(current, receiver)
+        if relations is None:
+            database = parallel_database(method, current, [receiver])
+            engine = QueryEngine(database, cache=cache)
+            relations = [engine.evaluate(expr) for expr in exprs]
+        obj = receiver.receiving_object
+        changes: Dict[str, RelationDelta] = {}
+        stepped = current
+        for label, relation in zip(labels, relations):
+            self_position, value_position = receiver_value_positions(
+                relation
+            )
+            target_class = schema.edge(label).target
+            targets = current.objects_of_class(target_class)
+            values: Set[Obj] = set()
+            for row in relation:
+                if row[self_position] != obj:
+                    continue
+                value = row[value_position]
+                if value not in targets:
+                    raise UpdateTypeError(
+                        f"parallel statement {label} produced {value} "
+                        f"outside class {target_class}"
+                    )
+                values.add(value)
+            old_values = current.property_values(obj, label)
+            stepped = stepped.replace_property(obj, label, values)
+            inserted = frozenset(
+                (obj, value) for value in values - old_values
+            )
+            deleted = frozenset(
+                (obj, value) for value in old_values - values
+            )
+            if inserted or deleted:
+                changes[property_relation_name(schema, label)] = (
+                    RelationDelta(inserted, deleted)
+                )
+        current = stepped
+        if index + 1 < len(receivers):
+            old_rec = rec_relation(method.signature, [receiver])
+            new_rec = rec_relation(
+                method.signature, [receivers[index + 1]]
+            )
+            changes[REC] = RelationDelta(
+                frozenset(new_rec.tuples - old_rec.tuples),
+                frozenset(old_rec.tuples - new_rec.tuples),
+            )
+            database = database.apply_delta(changes)
+            relations = engine.delta_evaluate_many(
+                exprs, changes, new_database=database
+            )
+            engine = QueryEngine(database, cache=cache)
+    return current
 
 
 def lemma_6_7_holds(

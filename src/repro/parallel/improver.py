@@ -29,8 +29,8 @@ from repro.parallel.simplify import simplify
 from repro.parallel.transform import REC, par_transform, rec_schema
 from repro.relational.algebra import Expr, Rel, Rename, substitute
 from repro.relational.database import DatabaseSchema
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.evaluate import infer_schema
-from repro.relational.optimizer import evaluate_optimized as evaluate
 from repro.relational.relation import Relation, RelationError
 from repro.relational.sqlrender import to_sql
 
@@ -55,13 +55,23 @@ class ImprovedUpdate:
         db_schema = schema_to_database_schema(self.method.object_schema)
         return to_sql(self.receiver_query, db_schema)
 
-    def apply(self, instance: Instance) -> Instance:
-        """Run the set-oriented update against an instance."""
+    def apply(
+        self, instance: Instance, cache: Optional[EngineCache] = None
+    ) -> Instance:
+        """Run the set-oriented update against an instance.
+
+        One :class:`QueryEngine` evaluates the receiver query and every
+        per-property expression, so subtrees they share are computed
+        once; pass ``cache`` to reuse results across applications to
+        related states (only subtrees whose base relations changed are
+        re-evaluated).
+        """
         database = instance_to_database(instance)
-        receivers_relation = evaluate(self.receiver_query, database)
+        engine = QueryEngine(database, cache=cache)
+        receivers_relation = engine.evaluate(self.receiver_query)
         updates: Dict[str, Dict] = {}
         for label, expr in self.expressions.items():
-            relation = evaluate(expr, database)
+            relation = engine.evaluate(expr)
             self_position = relation.schema.position("self")
             by_receiver: Dict = {}
             for row in relation:

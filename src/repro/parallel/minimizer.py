@@ -9,7 +9,7 @@ matches the paper's hand-simplified form.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.cq.containment import ContainmentBudgetExceeded
 from repro.cq.minimize import minimize_positive
@@ -21,12 +21,16 @@ from repro.relational.dependencies import Dependency
 from repro.relational.evaluate import infer_schema
 from repro.relational.positivity import is_positive
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.engine import QueryEngine
+
 
 def minimize_positive_expression(
     expr: Expr,
     db_schema: DatabaseSchema,
     dependencies: Iterable[Dependency] = (),
     max_partitions: Optional[int] = 100_000,
+    verify_engine: Optional["QueryEngine"] = None,
 ) -> Expr:
     """An equivalent minimized expression (falls back to the input).
 
@@ -35,6 +39,14 @@ def minimize_positive_expression(
     redundant only under an inclusion dependency still folds).  When the
     containment budget trips, the original expression is returned
     unchanged.
+
+    ``verify_engine`` (optional) differentially checks the minimized
+    expression against the original on the engine's database — the two
+    evaluations share the engine's memo, so the original's subtrees are
+    typically already cached.  On disagreement (which the containment
+    procedure should preclude; dependency-satisfying states only) the
+    original expression is returned, keeping minimization strictly
+    best-effort.
     """
     if not is_positive(expr):
         return expr
@@ -47,8 +59,12 @@ def minimize_positive_expression(
             dependencies,
             max_partitions=max_partitions,
         )
-        return positive_to_expression(minimized, db_schema, output)
+        result = positive_to_expression(minimized, db_schema, output)
     except ContainmentBudgetExceeded:
         # Minimization is best-effort; an over-budget containment test
         # just means the original expression is kept.
         return expr
+    if verify_engine is not None:
+        if verify_engine.evaluate(result) != verify_engine.evaluate(expr):
+            return expr
+    return result

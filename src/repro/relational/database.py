@@ -9,9 +9,12 @@ relations of Sections 5-6).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.relational.relation import Relation, RelationError, RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.delta import RelationDelta
 
 
 class DatabaseSchema:
@@ -95,6 +98,35 @@ class Database:
     def with_relation(self, name: str, relation: Relation) -> "Database":
         updated = dict(self._relations)
         updated[name] = relation
+        return Database(updated)
+
+    def fingerprint_of(self, name: str) -> int:
+        """The content fingerprint of the named relation."""
+        return self.relation(name).fingerprint
+
+    def fingerprints(self) -> Dict[str, int]:
+        """Per-relation content fingerprints of this state."""
+        return {
+            name: rel.fingerprint
+            for name, rel in self._relations.items()
+        }
+
+    def apply_delta(self, changes: Mapping[str, "RelationDelta"]) -> "Database":
+        """A new state with per-relation insert/delete deltas applied.
+
+        ``changes`` maps relation names to objects carrying ``inserted``
+        and ``deleted`` tuple sets (see
+        :class:`repro.relational.delta.RelationDelta`).  Unchanged
+        relations are shared with this database, so their cached
+        fingerprints carry over; changed relations go through
+        :meth:`Relation.updated`, which maintains fingerprints
+        incrementally.
+        """
+        updated = dict(self._relations)
+        for name, delta in changes.items():
+            updated[name] = self.relation(name).updated(
+                delta.inserted, delta.deleted
+            )
         return Database(updated)
 
     def __eq__(self, other: object) -> bool:

@@ -32,8 +32,29 @@ occurrence of an updated property relation.
   :meth:`QueryEngine.explain`, which renders the actual plan — join
   order, condition placement, per-step row counts — as text.
 
-The engine is bound to one database state; results are always identical
-to :func:`repro.relational.evaluate.evaluate` (the differential-testing
+An engine is *bound* to one database state, but its memo survives state
+changes through two more layers:
+
+* **Cross-state memoization.**  Memo entries live in a shared
+  :class:`EngineCache`, keyed by ``(interned node identity, content
+  fingerprints of the base relations the subtree references)``.  A new
+  engine bound to an updated state re-serves every subtree whose
+  referenced relations kept their fingerprints — sequential update
+  application, the minimizer/improver loops, and decision-procedure
+  replays stop re-evaluating work their update never touched
+  (``EngineStats.cross_state_hits``; ``explain`` marks such subtrees
+  ``reused``).
+
+* **Delta evaluation.**  :meth:`QueryEngine.delta_evaluate` propagates
+  single-edge (or any small) insert/delete changes through
+  Select/Project/Rename/Union/Difference/Product with the classic ΔQ
+  rules, touching O(|Δ|) operator work per node instead of re-running
+  joins, and falls back to fingerprint-guarded full re-evaluation where
+  no cached pre-state result anchors a rule
+  (``delta_fast_paths`` / ``delta_fallbacks`` count the two paths).
+
+Results are always identical to
+:func:`repro.relational.evaluate.evaluate` (the differential-testing
 oracle, together with ``evaluate_optimized``).
 """
 
@@ -41,7 +62,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.relational.algebra import (
     Difference,
@@ -53,10 +83,12 @@ from repro.relational.algebra import (
     Rename,
     Select,
     Union,
+    children,
     walk,
 )
 from repro.relational.cardinality import estimated_join_size
 from repro.relational.database import Database, DatabaseSchema
+from repro.relational.delta import RelationDelta, normalize_changes
 from repro.relational.evaluate import infer_schema
 from repro.relational.relation import (
     Relation,
@@ -143,6 +175,99 @@ def intern_expr(expr: Expr) -> Expr:
 
 
 # ----------------------------------------------------------------------
+# Cross-state memoization
+# ----------------------------------------------------------------------
+class EngineCache:
+    """A memo shared by engines across *database states*.
+
+    Results are keyed by ``(interned node identity, fingerprints of the
+    base relations the subtree references)`` — exactly the inputs that
+    determine a subtree's value.  Engines bound to different states of a
+    sequence of update applications share one ``EngineCache``: a subtree
+    whose referenced relations were untouched by an update keeps its key
+    and is re-served instead of re-evaluated.  Inferred schemas are
+    shared the same way (keyed by the base relations' *schemas*, the
+    only database input of schema inference).
+
+    The cache grows with the number of distinct (subtree, state)
+    combinations it has seen; call :meth:`clear` between unrelated
+    workloads to release memory.
+    """
+
+    def __init__(self, interner: Optional[Interner] = None) -> None:
+        self.interner = interner if interner is not None else Interner()
+        self._results: Dict[Tuple[int, Tuple[int, ...]], Relation] = {}
+        self._schemas: Dict[tuple, RelationSchema] = {}
+        self._base_rels: Dict[int, Tuple[str, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def clear(self) -> None:
+        """Drop all memoized results and schemas (keep the interner)."""
+        self._results.clear()
+        self._schemas.clear()
+
+    def base_relations(self, node: Expr) -> Tuple[str, ...]:
+        """The sorted names of base relations ``node`` references.
+
+        ``node`` must be interned through this cache's interner, so the
+        memo can key on object identity.
+        """
+        key = id(node)
+        names = self._base_rels.get(key)
+        if names is None:
+            if isinstance(node, Rel):
+                names = (node.name,)
+            elif isinstance(node, Empty):
+                names = ()
+            else:
+                merged: Set[str] = set()
+                for child in children(node):
+                    merged.update(self.base_relations(child))
+                names = tuple(sorted(merged))
+            self._base_rels[key] = names
+        return names
+
+    def result_key(
+        self, node: Expr, database: Database
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """The memo key of ``node`` evaluated against ``database``."""
+        return (
+            id(node),
+            tuple(
+                database.relation(name).fingerprint
+                for name in self.base_relations(node)
+            ),
+        )
+
+    def lookup(
+        self, key: Tuple[int, Tuple[int, ...]]
+    ) -> Optional[Relation]:
+        return self._results.get(key)
+
+    def store(
+        self, key: Tuple[int, Tuple[int, ...]], relation: Relation
+    ) -> None:
+        self._results[key] = relation
+
+    def schema_key(self, node: Expr, db_schema: DatabaseSchema) -> tuple:
+        return (
+            id(node),
+            tuple(
+                db_schema.relation_schema(name)
+                for name in self.base_relations(node)
+            ),
+        )
+
+    def lookup_schema(self, key: tuple) -> Optional[RelationSchema]:
+        return self._schemas.get(key)
+
+    def store_schema(self, key: tuple, schema: RelationSchema) -> None:
+        self._schemas[key] = schema
+
+
+# ----------------------------------------------------------------------
 # Instrumentation
 # ----------------------------------------------------------------------
 @dataclass
@@ -169,6 +294,9 @@ class EngineStats:
 
     cache_hits: int = 0
     cache_misses: int = 0
+    cross_state_hits: int = 0
+    delta_fast_paths: int = 0
+    delta_fallbacks: int = 0
     hash_build_rows: int = 0
     operators: Dict[str, OperatorStats] = field(default_factory=dict)
 
@@ -188,7 +316,10 @@ class EngineStats:
         lines = [
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.cache_hit_rate:.1%} hit rate), "
+            f"{self.cross_state_hits} cross-state hits, "
             f"hash build rows: {self.hash_build_rows}",
+            f"delta: {self.delta_fast_paths} fast paths / "
+            f"{self.delta_fallbacks} fallbacks",
             f"{'operator':<12}{'calls':>8}{'rows in':>10}"
             f"{'rows out':>10}{'wall ms':>10}",
         ]
@@ -213,6 +344,22 @@ class _PlanEntry:
     wall_seconds: float = 0.0
 
 
+@dataclass
+class _DeltaState:
+    """One node's Δ-propagation result: pre/post-state relations plus
+    the exact added/removed row sets of the transition (``added`` is
+    disjoint from ``old``, ``removed`` is contained in it)."""
+
+    old: Relation
+    new: Relation
+    added: FrozenSet[Tuple]
+    removed: FrozenSet[Tuple]
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.added and not self.removed
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -232,17 +379,28 @@ class QueryEngine:
     like through it — structurally shared subtrees (after interning) are
     computed once.  ``evaluate`` always returns the same relation as the
     naive evaluator.
+
+    Pass a shared :class:`EngineCache` to make the memo survive state
+    changes: engines for successive states of an update sequence then
+    re-serve every subtree whose referenced base relations kept their
+    content fingerprints (``stats.cross_state_hits``), and
+    :meth:`delta_evaluate` propagates small changes with ΔQ rules
+    instead of re-evaluating.
     """
 
     def __init__(
         self,
         database: Database,
         interner: Optional[Interner] = None,
+        cache: Optional[EngineCache] = None,
     ) -> None:
         self._database = database
         self._db_schema: DatabaseSchema = database.schema
-        self._interner = interner if interner is not None else Interner()
-        self._cache: Dict[int, Relation] = {}
+        if cache is None:
+            cache = EngineCache(interner)
+        self._shared = cache
+        self._interner = cache.interner
+        self._local: Dict[int, Relation] = {}
         self._schemas: Dict[int, RelationSchema] = {}
         self._plans: Dict[int, _PlanEntry] = {}
         self.stats = EngineStats()
@@ -251,6 +409,11 @@ class QueryEngine:
     @property
     def database(self) -> Database:
         return self._database
+
+    @property
+    def cache(self) -> EngineCache:
+        """The (possibly shared) cross-state cache backing this engine."""
+        return self._shared
 
     def intern(self, expr: Expr) -> Expr:
         """Intern ``expr`` in this engine's interner (CSE)."""
@@ -280,21 +443,90 @@ class QueryEngine:
         self._render(node, 0, lines, timings, set())
         return "\n".join(lines)
 
+    def delta_evaluate(
+        self,
+        expr: Expr,
+        changes: Mapping[str, RelationDelta],
+        new_database: Optional[Database] = None,
+    ) -> Relation:
+        """Evaluate ``expr`` over this engine's state with ``changes``
+        applied, by Δ-propagation instead of re-evaluation.
+
+        ``changes`` maps relation names to
+        :class:`~repro.relational.delta.RelationDelta` insert/delete
+        sets (a single-edge update is a one-row delta).  Classic ΔQ
+        rules carry the added/removed rows through Select, Project,
+        Rename, Union, Difference and Product nodes, anchored on the
+        cached pre-state result of each node; subtrees referencing no
+        changed relation are served from the (cross-state) cache
+        outright.  Where no cached pre-state result anchors a rule, the
+        node is re-evaluated in full — fingerprint-guarded, and counted
+        in ``stats.delta_fallbacks``; rule applications count in
+        ``stats.delta_fast_paths``.
+
+        All post-state results (including operator-interior nodes) are
+        published into the shared :class:`EngineCache` under the
+        post-state fingerprints, so an engine bound to the new state —
+        or the next ``delta_evaluate`` step of a sequence — finds them.
+        The result is always identical to evaluating ``expr`` against
+        ``database.apply_delta(changes)`` from scratch.
+        """
+        return self.delta_evaluate_many(
+            [expr], changes, new_database=new_database
+        )[0]
+
+    def delta_evaluate_many(
+        self,
+        exprs: Sequence[Expr],
+        changes: Mapping[str, RelationDelta],
+        new_database: Optional[Database] = None,
+    ) -> List[Relation]:
+        """:meth:`delta_evaluate` for several expressions, sharing one
+        Δ-memo so subtrees common to the expressions propagate once."""
+        nodes = [self.intern(expr) for expr in exprs]
+        effective = normalize_changes(self._database, changes)
+        if not effective:
+            return [self._evaluate(node) for node in nodes]
+        if new_database is None:
+            new_database = self._database.apply_delta(effective)
+        changed = frozenset(effective)
+        memo: Dict[int, _DeltaState] = {}
+        return [
+            self._delta(node, effective, changed, new_database, memo).new
+            for node in nodes
+        ]
+
     # -- internals -----------------------------------------------------
     def _schema(self, node: Expr) -> RelationSchema:
         key = id(node)
         schema = self._schemas.get(key)
         if schema is None:
-            schema = infer_schema(node, self._db_schema)
+            shared_key = self._shared.schema_key(node, self._db_schema)
+            schema = self._shared.lookup_schema(shared_key)
+            if schema is None:
+                schema = infer_schema(node, self._db_schema)
+                self._shared.store_schema(shared_key, schema)
             self._schemas[key] = schema
         return schema
 
     def _evaluate(self, node: Expr) -> Relation:
         key = id(node)
-        cached = self._cache.get(key)
+        cached = self._local.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
+        shared_key = self._shared.result_key(node, self._database)
+        shared = self._shared.lookup(shared_key)
+        if shared is not None:
+            # Another engine (an earlier database state, or the delta
+            # evaluator) already computed this subtree over identical
+            # base-relation contents.
+            self.stats.cross_state_hits += 1
+            self._local[key] = shared
+            self._plans[key] = _PlanEntry(
+                "reused", len(shared), detail="(cross-state cache)"
+            )
+            return shared
         self.stats.cache_misses += 1
         start = time.perf_counter()
         if isinstance(node, (Select, Product, Project, Rename)):
@@ -326,9 +558,212 @@ class QueryEngine:
         else:
             raise TypeError(f"unknown expression node {node!r}")
         entry.wall_seconds = time.perf_counter() - start
-        self._cache[key] = relation
+        self._local[key] = relation
+        self._shared.store(shared_key, relation)
         self._plans[key] = entry
         return relation
+
+    # -- delta propagation ---------------------------------------------
+    def _old_result(self, node: Expr) -> Optional[Relation]:
+        """``node``'s pre-state result, if any engine computed it."""
+        relation = self._local.get(id(node))
+        if relation is not None:
+            return relation
+        return self._shared.lookup(
+            self._shared.result_key(node, self._database)
+        )
+
+    @staticmethod
+    def _apply_node(node: Expr, child_rels: Sequence[Relation]) -> Relation:
+        """Apply ``node``'s single operator to materialized children."""
+        if isinstance(node, Union):
+            return child_rels[0].union(child_rels[1])
+        if isinstance(node, Difference):
+            return child_rels[0].difference(child_rels[1])
+        if isinstance(node, Product):
+            return child_rels[0].product(child_rels[1])
+        if isinstance(node, Select):
+            return child_rels[0].select(node.left, node.right, node.equal)
+        if isinstance(node, Project):
+            return child_rels[0].project(node.attrs)
+        if isinstance(node, Rename):
+            return child_rels[0].rename(node.old, node.new)
+        raise TypeError(f"unknown expression node {node!r}")
+
+    def _delta(
+        self,
+        node: Expr,
+        effective: Mapping[str, RelationDelta],
+        changed: FrozenSet[str],
+        new_db: Database,
+        memo: Dict[int, _DeltaState],
+    ) -> _DeltaState:
+        key = id(node)
+        state = memo.get(key)
+        if state is not None:
+            return state
+        if not changed.intersection(self._shared.base_relations(node)):
+            # No changed base relation below: the pre-state result *is*
+            # the post-state result (served via the ordinary cache).
+            relation = self._evaluate(node)
+            state = _DeltaState(relation, relation, frozenset(), frozenset())
+            memo[key] = state
+            return state
+        if isinstance(node, Rel):
+            old = self._evaluate(node)
+            new = new_db.relation(node.name)
+            delta = effective[node.name]
+            # Base relations need no cache publication: a new-state
+            # engine serves them by name as cheaply as by memo key.
+            state = _DeltaState(old, new, delta.inserted, delta.deleted)
+            memo[key] = state
+            return state
+        else:
+            states = [
+                self._delta(child, effective, changed, new_db, memo)
+                for child in children(node)
+            ]
+            old = self._old_result(node)
+            if old is None:
+                # No cached pre-state result anchors a Δ rule here (the
+                # planner only memoizes region roots and factors, not
+                # operator-interior nodes).  Re-apply the operator in
+                # full over the children's old and new states, and seed
+                # the shared cache so the *next* delta pass over this
+                # node runs the fast path.
+                self.stats.delta_fallbacks += 1
+                old = self._apply_node(node, [s.old for s in states])
+                self._shared.store(
+                    self._shared.result_key(node, self._database), old
+                )
+                if all(s.unchanged for s in states):
+                    state = _DeltaState(old, old, frozenset(), frozenset())
+                else:
+                    new = self._apply_node(node, [s.new for s in states])
+                    state = _DeltaState(
+                        old,
+                        new,
+                        frozenset(new.tuples - old.tuples),
+                        frozenset(old.tuples - new.tuples),
+                    )
+            else:
+                self.stats.delta_fast_paths += 1
+                added, removed = self._delta_rule(node, old, states)
+                new = old._updated_exact(added, removed)
+                state = _DeltaState(old, new, added, removed)
+        self._shared.store(
+            self._shared.result_key(node, new_db), state.new
+        )
+        memo[key] = state
+        return state
+
+    @staticmethod
+    def _delta_rule(
+        node: Expr, old: Relation, states: Sequence[_DeltaState]
+    ) -> Tuple[FrozenSet[Tuple], FrozenSet[Tuple]]:
+        """The classic set-semantics ΔQ rule for one operator node.
+
+        Returns the exact ``(added, removed)`` row sets of ``node``'s
+        transition, given its cached pre-state result ``old`` and its
+        children's Δ-states.  Work is proportional to the child deltas
+        (plus, for ``Project`` removals, one support scan of the child's
+        post-state).
+        """
+        if isinstance(node, Rename):
+            child = states[0]
+            return child.added, child.removed
+        if isinstance(node, Select):
+            child = states[0]
+            i = child.old.schema.position(node.left)
+            j = child.old.schema.position(node.right)
+            if node.equal:
+                keep = lambda row: row[i] == row[j]  # noqa: E731
+            else:
+                keep = lambda row: row[i] != row[j]  # noqa: E731
+            return (
+                frozenset(r for r in child.added if keep(r)),
+                frozenset(r for r in child.removed if keep(r)),
+            )
+        if isinstance(node, Project):
+            child = states[0]
+            positions = [
+                child.old.schema.position(name) for name in node.attrs
+            ]
+            p_add = {
+                tuple(row[p] for p in positions) for row in child.added
+            }
+            p_rem = {
+                tuple(row[p] for p in positions) for row in child.removed
+            }
+            added = frozenset(p_add - old.tuples)
+            # A projected row disappears only when it loses its *last*
+            # supporting child row: scan the child's post-state to keep
+            # still-supported candidates.
+            candidates = (p_rem & old.tuples) - p_add
+            if candidates:
+                for row in child.new.tuples:
+                    candidates.discard(tuple(row[p] for p in positions))
+                    if not candidates:
+                        break
+            return added, frozenset(candidates)
+        if isinstance(node, Union):
+            left, right = states
+            added = frozenset(
+                row
+                for row in left.added | right.added
+                if row not in old.tuples
+            )
+            removed = frozenset(
+                row
+                for row in left.removed | right.removed
+                if row in old.tuples
+                and row not in left.new.tuples
+                and row not in right.new.tuples
+            )
+            return added, removed
+        if isinstance(node, Difference):
+            left, right = states
+            added = frozenset(
+                row
+                for row in left.added | right.removed
+                if row in left.new.tuples
+                and row not in right.new.tuples
+                and row not in old.tuples
+            )
+            removed = frozenset(
+                row
+                for row in left.removed | right.added
+                if row in old.tuples
+                and (
+                    row not in left.new.tuples
+                    or row in right.new.tuples
+                )
+            )
+            return added, removed
+        if isinstance(node, Product):
+            left, right = states
+            added = set()
+            for a in left.added:
+                for b in right.new.tuples:
+                    added.add(a + b)
+            if right.added:
+                for a in left.new.tuples:
+                    if a in left.added:
+                        continue
+                    for b in right.added:
+                        added.add(a + b)
+            removed = set()
+            for a in left.removed:
+                for b in right.old.tuples:
+                    removed.add(a + b)
+            if right.removed:
+                for a in left.old.tuples:
+                    if a in left.removed:
+                        continue
+                    for b in right.removed:
+                        removed.add(a + b)
+            return frozenset(added), frozenset(removed)
+        raise TypeError(f"unknown expression node {node!r}")
 
     def _render(
         self,

@@ -28,6 +28,32 @@ class RelationError(ValueError):
     """Raised on schema violations in relational operations."""
 
 
+# ----------------------------------------------------------------------
+# Content fingerprints
+# ----------------------------------------------------------------------
+#: Fingerprints are 64-bit values: an order-insensitive XOR of per-tuple
+#: hashes, each scrambled through a splitmix64-style finalizer so that
+#: structured tuple hashes (consecutive integers, shared prefixes) do not
+#: cancel under XOR.  They identify relation *contents* within one
+#: process: equal relations always have equal fingerprints, and distinct
+#: contents collide with probability ~2^-64.  The engine keys its
+#: cross-state memo on them.
+_FP_MASK = (1 << 64) - 1
+
+
+def _fp_scramble(value: int) -> int:
+    """splitmix64 finalizer: a bijective avalanche mix on 64 bits."""
+    value &= _FP_MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _FP_MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _FP_MASK
+    return value ^ (value >> 31)
+
+
+def tuple_fingerprint(row: Tuple) -> int:
+    """The scrambled 64-bit fingerprint of one tuple."""
+    return _fp_scramble(hash(row))
+
+
 @dataclass(frozen=True, order=True)
 class Attribute:
     """An attribute: a name paired with a domain name."""
@@ -129,7 +155,7 @@ def schema_of(*pairs: Tuple[str, str]) -> RelationSchema:
 class Relation:
     """A finite, typed relation: a schema plus a set of tuples."""
 
-    __slots__ = ("_schema", "_tuples")
+    __slots__ = ("_schema", "_tuples", "_tuple_xor", "_fp")
 
     def __init__(
         self,
@@ -145,6 +171,8 @@ class Relation:
                 )
         self._schema = schema
         self._tuples = rows
+        self._tuple_xor: Optional[int] = None
+        self._fp: Optional[int] = None
 
     @property
     def schema(self) -> RelationSchema:
@@ -153,6 +181,99 @@ class Relation:
     @property
     def tuples(self) -> FrozenSet[Tuple]:
         return self._tuples
+
+    def _content_xor(self) -> int:
+        if self._tuple_xor is None:
+            acc = 0
+            for row in self._tuples:
+                acc ^= tuple_fingerprint(row)
+            self._tuple_xor = acc
+        return self._tuple_xor
+
+    @property
+    def fingerprint(self) -> int:
+        """An order-insensitive 64-bit content fingerprint.
+
+        Equal relations always share it; the XOR accumulator is cached
+        and maintained incrementally by :meth:`updated`, so fingerprints
+        of mutated states cost O(changed tuples), not O(relation).
+        """
+        if self._fp is None:
+            self._fp = _fp_scramble(
+                self._content_xor()
+                ^ _fp_scramble(hash(self._schema))
+                ^ len(self._tuples)
+            )
+        return self._fp
+
+    def updated(
+        self,
+        insert: Iterable[Tuple] = (),
+        delete: Iterable[Tuple] = (),
+    ) -> "Relation":
+        """This relation with ``delete`` removed and ``insert`` added.
+
+        Deletions are applied first, so a tuple in both sets ends up
+        present.  The fingerprint accumulator carries over incrementally
+        (XOR out the effectively removed tuples, XOR in the added ones)
+        when it has already been computed.  Returns ``self`` when the
+        update is a no-op.
+        """
+        ins = {tuple(row) for row in insert}
+        dele = {tuple(row) for row in delete}
+        added = ins - self._tuples
+        removed = (dele & self._tuples) - ins
+        if not added and not removed:
+            return self
+        arity = self._schema.arity
+        for row in added:
+            if len(row) != arity:
+                raise RelationError(
+                    f"tuple {row} has arity {len(row)}, expected {arity}"
+                )
+        # Build directly: existing tuples are already validated, so the
+        # __init__ re-validation pass (O(relation)) is skipped.
+        result = Relation.__new__(Relation)
+        result._schema = self._schema
+        result._tuples = (self._tuples - removed) | added
+        result._fp = None
+        if self._tuple_xor is not None:
+            acc = self._tuple_xor
+            for row in added:
+                acc ^= tuple_fingerprint(row)
+            for row in removed:
+                acc ^= tuple_fingerprint(row)
+            result._tuple_xor = acc
+        else:
+            result._tuple_xor = None
+        return result
+
+    def _updated_exact(
+        self, added: FrozenSet[Tuple], removed: FrozenSet[Tuple]
+    ) -> "Relation":
+        """:meth:`updated` for pre-normalized delta sets.
+
+        Internal fast path for the engine's Δ-rules, whose invariants
+        already guarantee ``added`` is disjoint from the tuples,
+        ``removed`` is contained in them, and all rows are valid tuples
+        of this schema — so normalization and validation are skipped.
+        """
+        if not added and not removed:
+            return self
+        result = Relation.__new__(Relation)
+        result._schema = self._schema
+        result._tuples = (self._tuples - removed) | added
+        result._fp = None
+        if self._tuple_xor is not None:
+            acc = self._tuple_xor
+            for row in added:
+                acc ^= tuple_fingerprint(row)
+            for row in removed:
+                acc ^= tuple_fingerprint(row)
+            result._tuple_xor = acc
+        else:
+            result._tuple_xor = None
+        return result
 
     def column(self, name: str) -> FrozenSet:
         """All values in the named column."""

@@ -16,13 +16,20 @@ executed only once".
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Mapping, Optional
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.relational.algebra import Expr
 from repro.relational.database import Database
-from repro.relational.engine import QueryEngine
+from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.relation import Attribute, Relation, RelationSchema
 from repro.sqlsim.table import Row, Table, TableError
+
+#: Cache for :func:`table_relation`: ``(table name, domain) ->
+#: (table version, converted relation)``.  Callers own the dict (and its
+#: scope); entries are invalidated by the table's mutation counter, so
+#: an unchanged table converts once no matter how many ``*_from_query``
+#: statements run against it.
+TableRelationCache = Dict[Tuple[str, str], Tuple[int, Relation]]
 
 
 def set_delete(
@@ -62,27 +69,49 @@ def set_update(
 # ----------------------------------------------------------------------
 # Engine-backed two-phase statements
 # ----------------------------------------------------------------------
-def table_relation(table: Table, domain: str = "value") -> Relation:
-    """The table's rows as a typed relation (one shared ``domain``)."""
+def table_relation(
+    table: Table,
+    domain: str = "value",
+    cache: Optional[TableRelationCache] = None,
+) -> Relation:
+    """The table's rows as a typed relation (one shared ``domain``).
+
+    With ``cache``, the conversion is reused while the table's
+    ``version`` counter is unchanged — repeated ``*_from_query``
+    statements against an unmutated table stop rebuilding the relation
+    (and keep its cached fingerprint, so engine memo keys stay stable).
+    The cache keys on the table *name*; use one cache per collection of
+    distinctly-named tables.
+    """
+    if cache is not None:
+        key = (table.name, domain)
+        entry = cache.get(key)
+        if entry is not None and entry[0] == table.version:
+            return entry[1]
     schema = RelationSchema(
         [Attribute(column, domain) for column in table.columns]
     )
-    return Relation(
+    relation = Relation(
         schema,
         (
             tuple(row[column] for column in table.columns)
             for row in table.rows()
         ),
     )
+    if cache is not None:
+        cache[key] = (table.version, relation)
+    return relation
 
 
 def tables_database(
-    tables: Mapping[str, Table], domain: str = "value"
+    tables: Mapping[str, Table],
+    domain: str = "value",
+    cache: Optional[TableRelationCache] = None,
 ) -> Database:
     """A relational database view over a set of tables."""
     return Database(
         {
-            name: table_relation(table, domain)
+            name: table_relation(table, domain, cache=cache)
             for name, table in tables.items()
         }
     )
@@ -106,14 +135,21 @@ def set_delete_from_query(
     *,
     key_attr: Optional[str] = None,
     engine: Optional[QueryEngine] = None,
+    cache: Optional[EngineCache] = None,
 ) -> int:
     """Two-phase DELETE with the doomed set computed by the engine.
 
     Phase one evaluates ``query`` (whose result must carry the table's
     key in attribute ``key_attr``, default the key column name) through
-    a memoizing engine; phase two removes the identified rows.
+    a memoizing engine; phase two removes the identified rows.  Pass
+    ``cache`` (used when no ``engine`` is given) to share subtree
+    results across statements over related database states.
     """
-    engine = engine if engine is not None else QueryEngine(database)
+    engine = (
+        engine
+        if engine is not None
+        else QueryEngine(database, cache=cache)
+    )
     relation = engine.evaluate(query)
     key_attr = key_attr if key_attr is not None else table.key
     position = _key_positions(table, relation, key_attr)
@@ -136,6 +172,7 @@ def set_update_from_query(
     *,
     key_attr: Optional[str] = None,
     engine: Optional[QueryEngine] = None,
+    cache: Optional[EngineCache] = None,
 ) -> int:
     """Two-phase UPDATE with the new values computed by the engine.
 
@@ -143,9 +180,15 @@ def set_update_from_query(
     result; each result row assigns those values to the table row whose
     key matches its ``key_attr`` attribute.  All new values are computed
     against the original state (phase one — a single engine evaluation),
-    then applied together (phase two), like :func:`set_update`.
+    then applied together (phase two), like :func:`set_update`.  Pass
+    ``cache`` (used when no ``engine`` is given) to share subtree
+    results across statements over related database states.
     """
-    engine = engine if engine is not None else QueryEngine(database)
+    engine = (
+        engine
+        if engine is not None
+        else QueryEngine(database, cache=cache)
+    )
     relation = engine.evaluate(query)
     key_attr = key_attr if key_attr is not None else table.key
     key_position = _key_positions(table, relation, key_attr)

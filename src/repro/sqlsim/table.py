@@ -35,7 +35,11 @@ class Table:
     """A mutable table with named columns and row identities.
 
     Every row gets a stable internal row id; when ``key`` names a column,
-    its values must be unique and can address rows too.
+    its values must be unique and can address rows too.  ``version``
+    counts applied mutations (inserts, effective deletes, updates of
+    existing rows), making staleness of derived artifacts — e.g. the
+    converted relations of :func:`repro.sqlsim.setops.table_relation` —
+    detectable without comparing contents.
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class Table:
         self.name = name
         self.columns: Tuple[str, ...] = tuple(columns)
         self.key = key
+        self.version = 0
         self._rows: Dict[int, Row] = {}
         self._row_ids = itertools.count(1)
         for row in rows:
@@ -78,21 +83,26 @@ class Table:
                 )
         row_id = next(self._row_ids)
         self._rows[row_id] = dict(row)
+        self.version += 1
         return row_id
 
     def delete_row(self, row_id: int) -> None:
-        self._rows.pop(row_id, None)
+        if self._rows.pop(row_id, None) is not None:
+            self.version += 1
 
     def update_row(
         self, row_id: int, changes: Mapping[str, Hashable]
     ) -> None:
         if row_id not in self._rows:
             return
-        row = self._rows[row_id]
-        for column, value in changes.items():
+        for column in changes:
             if column not in self.columns:
                 raise TableError(f"unknown column {column!r}")
+        row = self._rows[row_id]
+        for column, value in changes.items():
             row[column] = value
+        if changes:
+            self.version += 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -132,6 +142,7 @@ class Table:
         for row_id in sorted(self._rows):
             copy._rows[row_id] = dict(self._rows[row_id])
         copy._row_ids = itertools.count(max(self._rows, default=0) + 1)
+        copy.version = self.version
         return copy
 
     def contents(self) -> frozenset:
