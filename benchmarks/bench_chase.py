@@ -6,6 +6,7 @@ fd-merge-heavy vs ind-addition-heavy workloads.
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.cq.chase import chase
 from repro.cq.model import Atom, ConjunctiveQuery, Variable
 from repro.relational.database import DatabaseSchema
@@ -52,14 +53,22 @@ def chain_query(n_atoms):
 @pytest.mark.parametrize("size", [4, 16, 64])
 def test_fd_merge_heavy(benchmark, size):
     query = star_query(size)
-    result = benchmark(lambda: chase(query, FDS, DB_SCHEMA))
+    result = measure(
+        benchmark,
+        f"chase.fd_merge_heavy[{size}]",
+        lambda: chase(query, FDS, DB_SCHEMA),
+    )
     assert len(result.atoms) == 1  # everything merges
 
 
 @pytest.mark.parametrize("size", [4, 16, 64])
 def test_ind_addition_heavy(benchmark, size):
     query = chain_query(size)
-    result = benchmark(lambda: chase(query, INDS, DB_SCHEMA))
+    result = measure(
+        benchmark,
+        f"chase.ind_addition_heavy[{size}]",
+        lambda: chase(query, INDS, DB_SCHEMA),
+    )
     # Each variable gains an S-atom and a T-atom.
     assert len(result.atoms) == size + 2 * (size + 1)
 
@@ -67,5 +76,9 @@ def test_ind_addition_heavy(benchmark, size):
 @pytest.mark.parametrize("size", [4, 16, 64])
 def test_combined_dependencies(benchmark, size):
     query = star_query(size)
-    result = benchmark(lambda: chase(query, FDS + INDS, DB_SCHEMA))
+    result = measure(
+        benchmark,
+        f"chase.combined_dependencies[{size}]",
+        lambda: chase(query, FDS + INDS, DB_SCHEMA),
+    )
     assert result is not None

@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.coloring.canonical import INFLATIONARY, canonical_method
 from repro.coloring.coloring import Coloring, full_coloring
 from repro.coloring.inference import infer_coloring
@@ -31,11 +32,13 @@ def test_soundness_check(benchmark, n_classes, n_edges):
     rng = random.Random(5)
     schema = random_schema(rng, n_classes, n_edges)
     coloring = full_coloring(schema)
-    benchmark(
+    measure(
+        benchmark,
+        f"coloring.soundness[{n_classes}x{n_edges}]",
         lambda: (
             is_sound_inflationary(coloring),
             is_sound_deflationary(coloring),
-        )
+        ),
     )
 
 
@@ -57,7 +60,9 @@ def test_canonical_method_application(benchmark):
                 pass
         return applied
 
-    assert benchmark(run) > 0
+    assert measure(
+        benchmark, "coloring.canonical_application", run
+    ) > 0
 
 
 def test_witness_generation_and_replay(benchmark):
@@ -75,7 +80,7 @@ def test_witness_generation_and_replay(benchmark):
         )
         return first != second
 
-    assert benchmark(run)
+    assert measure(benchmark, "coloring.witness_replay", run)
 
 
 def test_coloring_inference(benchmark):
@@ -92,7 +97,9 @@ def test_coloring_inference(benchmark):
         include_canonical_objects=True,
         vary_class_sizes=True,
     )
-    result = benchmark(
-        lambda: infer_coloring(method, samples, INFLATIONARY)
+    result = measure(
+        benchmark,
+        "coloring.inference",
+        lambda: infer_coloring(method, samples, INFLATIONARY),
     )
     assert result == kappa

@@ -11,6 +11,7 @@ Series:
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.cq.containment import cq_contained_in
 from repro.cq.model import Atom, ConjunctiveQuery, PositiveQuery, Variable
 from repro.cq.partitions import bell_number
@@ -53,8 +54,10 @@ def test_fast_path_equality_only(benchmark, length):
     # One canonical instance; cost grows mildly with the path length.
     query = path_query(length)
     container = edge_container(with_neq=False)
-    assert benchmark(
-        lambda: cq_contained_in(query, container, [], DB_SCHEMA)
+    assert measure(
+        benchmark,
+        f"containment.fast_path[{length}]",
+        lambda: cq_contained_in(query, container, [], DB_SCHEMA),
     )
 
 
@@ -64,8 +67,10 @@ def test_full_representative_enumeration(benchmark, length):
     # partitions of length+1 variables: B(n) canonical instances.
     query = path_query(length)
     container = edge_container(with_neq=True)
-    assert benchmark(
-        lambda: cq_contained_in(query, container, [], DB_SCHEMA)
+    assert measure(
+        benchmark,
+        f"containment.representatives[{length}]",
+        lambda: cq_contained_in(query, container, [], DB_SCHEMA),
     )
     assert bell_number(length + 1) >= 5
 
@@ -80,6 +85,8 @@ def test_containment_under_dependencies(benchmark, length):
     ]
     query = path_query(length)
     container = edge_container(with_neq=True)
-    assert benchmark(
-        lambda: cq_contained_in(query, container, deps, DB_SCHEMA)
+    assert measure(
+        benchmark,
+        f"containment.under_dependencies[{length}]",
+        lambda: cq_contained_in(query, container, deps, DB_SCHEMA),
     )

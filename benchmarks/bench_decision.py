@@ -11,6 +11,7 @@ asserted to match the paper's:
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.algebraic.decision import (
     decide_key_order_independence,
     decide_order_independence,
@@ -40,7 +41,11 @@ CASES = [
 )
 def test_decide_order_independence(benchmark, name, factory, expect_oi, expect_koi):
     method = factory()
-    result = benchmark(lambda: decide_order_independence(method))
+    result = measure(
+        benchmark,
+        f"decision.order_independence[{name}]",
+        lambda: decide_order_independence(method),
+    )
     assert result.order_independent == expect_oi
 
 
@@ -53,5 +58,9 @@ def test_decide_key_order_independence(
     benchmark, name, factory, expect_oi, expect_koi
 ):
     method = factory()
-    result = benchmark(lambda: decide_key_order_independence(method))
+    result = measure(
+        benchmark,
+        f"decision.key_order_independence[{name}]",
+        lambda: decide_key_order_independence(method),
+    )
     assert result.order_independent == expect_koi

@@ -8,6 +8,7 @@ run time) for the Section 7 salary update.
 import pytest
 
 from benchmarks.conftest import company_instance_and_receivers
+from benchmarks.harness import measure
 from repro.objrel.mapping import instance_to_database, schema_dependencies
 from repro.parallel.improver import improve
 from repro.parallel.minimizer import minimize_positive_expression
@@ -36,8 +37,10 @@ def test_minimization_cost(benchmark, raw_improved):
     db_schema = schema_to_database_schema(method.object_schema)
     deps = schema_dependencies(method.object_schema)
     expr = raw_improved.expressions["salary"]
-    result = benchmark(
-        lambda: minimize_positive_expression(expr, db_schema, deps)
+    result = measure(
+        benchmark,
+        "minimizer.minimization_cost",
+        lambda: minimize_positive_expression(expr, db_schema, deps),
     )
     assert result is not None
 
@@ -47,7 +50,11 @@ def test_evaluate_unminimized(benchmark, raw_improved, size):
     _, _, instance, _ = company_instance_and_receivers(size)
     database = instance_to_database(instance)
     expr = raw_improved.expressions["salary"]
-    result = benchmark(lambda: evaluate_optimized(expr, database))
+    result = measure(
+        benchmark,
+        f"minimizer.evaluate_unminimized[{size}]",
+        lambda: evaluate_optimized(expr, database),
+    )
     assert len(result) > 0
 
 
@@ -56,5 +63,9 @@ def test_evaluate_minimized(benchmark, minimized_improved, size):
     _, _, instance, _ = company_instance_and_receivers(size)
     database = instance_to_database(instance)
     expr = minimized_improved.expressions["salary"]
-    result = benchmark(lambda: evaluate_optimized(expr, database))
+    result = measure(
+        benchmark,
+        f"minimizer.evaluate_minimized[{size}]",
+        lambda: evaluate_optimized(expr, database),
+    )
     assert len(result) > 0

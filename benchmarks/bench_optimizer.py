@@ -9,6 +9,7 @@ evaluator (Cartesian products first) and by the hash-join planner.
 import pytest
 
 from benchmarks.conftest import company_instance_and_receivers
+from benchmarks.harness import measure
 from repro.objrel.mapping import instance_to_database
 from repro.parallel.apply import rec_relation
 from repro.parallel.transform import REC, par_transform
@@ -40,13 +41,21 @@ def build_case(size):
 @pytest.mark.parametrize("size", SIZES)
 def test_naive_evaluation(benchmark, size):
     expr, database = build_case(size)
-    result = benchmark(lambda: evaluate_naive(expr, database))
+    result = measure(
+        benchmark,
+        f"optimizer.naive[{size}]",
+        lambda: evaluate_naive(expr, database),
+    )
     assert len(result) > 0
 
 
 @pytest.mark.parametrize("size", SIZES)
 def test_optimized_evaluation(benchmark, size):
     expr, database = build_case(size)
-    result = benchmark(lambda: evaluate_optimized(expr, database))
+    result = measure(
+        benchmark,
+        f"optimizer.optimized[{size}]",
+        lambda: evaluate_optimized(expr, database),
+    )
     # Same answers, different plan.
     assert result == evaluate_naive(expr, database)

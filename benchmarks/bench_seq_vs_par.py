@@ -15,6 +15,7 @@ the benchmark asserts that too.
 import pytest
 
 from benchmarks.conftest import company_instance_and_receivers
+from benchmarks.harness import measure
 from repro.core.sequential import apply_sequence
 from repro.parallel.apply import apply_parallel
 from repro.parallel.improver import improve
@@ -36,8 +37,10 @@ def improved(method):
 @pytest.mark.parametrize("size", SIZES)
 def test_sequential_application(benchmark, method, size):
     _, _, instance, receivers = company_instance_and_receivers(size)
-    result = benchmark(
-        lambda: apply_sequence(method, instance, receivers)
+    result = measure(
+        benchmark,
+        f"seq_vs_par.sequential[{size}]",
+        lambda: apply_sequence(method, instance, receivers),
     )
     assert result is not None
 
@@ -45,8 +48,10 @@ def test_sequential_application(benchmark, method, size):
 @pytest.mark.parametrize("size", SIZES)
 def test_parallel_application(benchmark, method, size):
     _, _, instance, receivers = company_instance_and_receivers(size)
-    result = benchmark(
-        lambda: apply_parallel(method, instance, receivers)
+    result = measure(
+        benchmark,
+        f"seq_vs_par.parallel[{size}]",
+        lambda: apply_parallel(method, instance, receivers),
     )
     # Theorem 6.5: parallel equals sequential on this key set.
     assert result == apply_sequence(method, instance, receivers)
@@ -55,5 +60,9 @@ def test_parallel_application(benchmark, method, size):
 @pytest.mark.parametrize("size", SIZES)
 def test_improved_set_oriented_statement(benchmark, improved, size):
     _, _, instance, receivers = company_instance_and_receivers(size)
-    result = benchmark(lambda: improved.apply(instance))
+    result = measure(
+        benchmark,
+        f"seq_vs_par.improved_statement[{size}]",
+        lambda: improved.apply(instance),
+    )
     assert result == apply_parallel(improved.method, instance, receivers)

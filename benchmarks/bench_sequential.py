@@ -12,6 +12,7 @@ Series:
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.algebraic.examples import add_bar_algebraic
 from repro.core.independence import (
     is_order_independent_on,
@@ -40,8 +41,10 @@ def receivers(n):
 def test_sequential_fold(benchmark, size):
     method = add_bar_algebraic()
     instance = star_instance(size)
-    result = benchmark(
-        lambda: apply_sequence(method, instance, receivers(size))
+    result = measure(
+        benchmark,
+        f"sequential.fold[{size}]",
+        lambda: apply_sequence(method, instance, receivers(size)),
     )
     assert len(result.edges_labeled("frequents")) == size
 
@@ -51,8 +54,10 @@ def test_exhaustive_order_independence(benchmark, size):
     # All size! enumerations — only feasible for tiny sets.
     method = add_bar_algebraic()
     instance = star_instance(size)
-    assert benchmark(
-        lambda: is_order_independent_on(method, instance, receivers(size))
+    assert measure(
+        benchmark,
+        f"sequential.exhaustive_independence[{size}]",
+        lambda: is_order_independent_on(method, instance, receivers(size)),
     )
 
 
@@ -61,8 +66,10 @@ def test_pairwise_order_independence(benchmark, size):
     # Lemma 3.3: transpositions suffice — quadratic, not factorial.
     method = add_bar_algebraic()
     instance = star_instance(size)
-    assert benchmark(
+    assert measure(
+        benchmark,
+        f"sequential.pairwise_independence[{size}]",
         lambda: is_order_independent_on_pairs(
             method, instance, receivers(size)
-        )
+        ),
     )

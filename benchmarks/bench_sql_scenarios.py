@@ -9,6 +9,7 @@ up here as the per-row-lookup cost of the cursor loops.
 
 import pytest
 
+from benchmarks.harness import measure
 from repro.sqlsim.scenarios import (
     fire_by_salary_cursor,
     fire_by_salary_set,
@@ -33,7 +34,7 @@ def test_fire_by_salary_cursor(benchmark, size):
         fire_by_salary_cursor(copy, fire)
         return copy
 
-    result = benchmark(run)
+    result = measure(benchmark, f"sqlsim.fire_by_salary_cursor[{size}]", run)
     assert len(result) < size
 
 
@@ -46,7 +47,7 @@ def test_fire_by_salary_set(benchmark, size):
         fire_by_salary_set(copy, fire)
         return copy
 
-    result = benchmark(run)
+    result = measure(benchmark, f"sqlsim.fire_by_salary_set[{size}]", run)
     assert len(result) < size
 
 
@@ -59,7 +60,7 @@ def test_salary_update_cursor_b(benchmark, size):
         salary_update_cursor(copy, newsal)
         return copy
 
-    result = benchmark(run)
+    result = measure(benchmark, f"sqlsim.salary_update_cursor_b[{size}]", run)
     assert len(result) == size
 
 
@@ -72,5 +73,5 @@ def test_salary_update_set_a(benchmark, size):
         salary_update_set(copy, newsal)
         return copy
 
-    result = benchmark(run)
+    result = measure(benchmark, f"sqlsim.salary_update_set_a[{size}]", run)
     assert len(result) == size

@@ -10,6 +10,7 @@ match the example's claims (closure vs copy).
 import pytest
 
 from benchmarks.conftest import chain_instance
+from benchmarks.harness import measure
 from repro.algebraic.specimens import transitive_closure_method
 from repro.core.receiver import receivers_over
 from repro.core.sequential import apply_sequence
@@ -24,8 +25,10 @@ def test_sequential_transitive_closure(benchmark, size):
     instance = chain_instance(size)
     receivers = sorted(receivers_over(instance, method.signature))
 
-    result = benchmark(
-        lambda: apply_sequence(method, instance, receivers)
+    result = measure(
+        benchmark,
+        f"tc.sequential_closure[{size}]",
+        lambda: apply_sequence(method, instance, receivers),
     )
     closure_pairs = {
         (e.source.key, e.target.key) for e in result.edges_labeled("tc")
@@ -41,8 +44,10 @@ def test_parallel_single_pass(benchmark, size):
     instance = chain_instance(size)
     receivers = sorted(receivers_over(instance, method.signature))
 
-    result = benchmark(
-        lambda: apply_parallel(method, instance, receivers)
+    result = measure(
+        benchmark,
+        f"tc.parallel_single_pass[{size}]",
+        lambda: apply_parallel(method, instance, receivers),
     )
     copied = {
         (e.source.key, e.target.key) for e in result.edges_labeled("tc")

@@ -4,42 +4,47 @@ Every benchmark regenerates one of the experiment series listed in
 DESIGN.md's per-experiment index; EXPERIMENTS.md records the measured
 shapes against the paper's claims.
 
-Benchmarks that time sections by hand (the acceptance gates do — their
-numbers must exist even under ``--benchmark-disable``) report seconds
-via :func:`record_timing`; at session end the collected timings are
-dumped as JSON (``{benchmark name: seconds}``) to the path in the
-``BENCH_ENGINE_JSON`` environment variable (default
-``BENCH_engine.json``), which CI uploads as an artifact.
+Measurements flow through :func:`benchmarks.harness.measure` (or, for
+the hand-timed acceptance gates, :func:`record_timing` directly) into a
+session-wide series table.  At session end the table is written in the
+shared metrics-JSON schema (:data:`repro.obs.export.METRICS_SCHEMA`) to
+the path in the ``BENCH_ENGINE_JSON`` environment variable (default
+``BENCH_engine.json``), which CI uploads as an artifact.  The write
+*merges by key* with whatever the file already holds — series
+accumulate a perf trajectory across runs instead of being overwritten —
+and carries a snapshot of the global metrics registry (engine counters,
+chase step histograms, fan-out gauges) alongside the timings.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import random
-from typing import Dict
-
-import pytest
+from typing import Dict, List
 
 from repro.core.receiver import Receiver
 from repro.graph.instance import Edge, Instance, Obj
-from repro.graph.schema import Schema
 
-_TIMINGS: Dict[str, float] = {}
+_SERIES: Dict[str, List[float]] = {}
 
 
 def record_timing(name: str, seconds: float) -> None:
-    """Record one hand-timed measurement for the session JSON dump."""
-    _TIMINGS[name] = seconds
+    """Record one measured point in the session's metrics series."""
+    _SERIES.setdefault(name, []).append(seconds)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _TIMINGS:
+    if not _SERIES:
         return
+    from repro.obs.export import metrics_dump, write_metrics
+    from repro.obs.metrics import global_registry
+
     path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(_TIMINGS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    document = metrics_dump(
+        {name: values for name, values in _SERIES.items()},
+        registry=global_registry(),
+        suite="benchmarks",
+    )
+    write_metrics(path, document)
 
 
 def chain_instance(length: int) -> Instance:

@@ -17,8 +17,10 @@ method to validate the whole pipeline end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.algebraic.expression import SELF, arg_name, primed
 from repro.algebraic.method import AlgebraicUpdateMethod
 from repro.algebraic.reduction import (
@@ -72,21 +74,42 @@ def _decide(
             "order independence of general algebraic methods is "
             "undecidable (Corollary 5.7)"
         )
-    reduction = order_independence_reduction(method, key_order=key_order)
-    for label, (forward, backward) in sorted(reduction.pairs.items()):
-        first = translate_expression(forward, reduction.db_schema)
-        second = translate_expression(backward, reduction.db_schema)
-        counterexample = positive_equivalence_counterexample(
-            first,
-            second,
-            reduction.dependencies,
-            reduction.db_schema,
-            max_partitions=max_partitions,
+    registry = global_registry()
+    registry.counter("decision.runs").inc()
+    with trace.span(
+        "decision.decide",
+        category="decision",
+        method=method.name,
+        key_order=key_order,
+    ) as decide_span:
+        reduction = order_independence_reduction(
+            method, key_order=key_order
         )
-        if counterexample is not None:
-            return DecisionResult(
-                False, key_order, label, counterexample, reduction
-            )
+        for label, (forward, backward) in sorted(reduction.pairs.items()):
+            with trace.span(
+                "decision.property", category="decision", label=label
+            ):
+                first = translate_expression(forward, reduction.db_schema)
+                second = translate_expression(
+                    backward, reduction.db_schema
+                )
+                counterexample = positive_equivalence_counterexample(
+                    first,
+                    second,
+                    reduction.dependencies,
+                    reduction.db_schema,
+                    max_partitions=max_partitions,
+                )
+            if counterexample is not None:
+                registry.counter("decision.order_dependent").inc()
+                decide_span.set(
+                    order_independent=False, witness=label
+                )
+                return DecisionResult(
+                    False, key_order, label, counterexample, reduction
+                )
+        registry.counter("decision.order_independent").inc()
+        decide_span.set(order_independent=True)
     return DecisionResult(True, key_order, None, None, reduction)
 
 
@@ -132,6 +155,17 @@ def replay_counterexample(
     """
     if result.counterexample is None or result.witness_property is None:
         return None
+    with trace.span(
+        "decision.replay",
+        category="decision",
+        witness=result.witness_property,
+    ):
+        return _replay(result, cache)
+
+
+def _replay(
+    result: DecisionResult, cache: Optional[EngineCache]
+) -> Tuple[Relation, Relation]:
     source = result.counterexample.database
     db_schema = result.reduction.db_schema
     # The canonical database only populates relations its conjuncts

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.cq.model import Atom, ConjunctiveQuery, Variable
 from repro.relational.database import DatabaseSchema
 from repro.relational.dependencies import (
@@ -113,38 +115,71 @@ def chase(
         else:
             raise TypeError(f"unknown dependency {dep!r}")
 
-    current = query
-    changed = True
-    while changed:
-        changed = False
-        for fd in fds:
-            violation = _find_fd_violation(current, fd, db_schema)
-            if violation is None:
+    registry = global_registry()
+    registry.counter("chase.runs").inc()
+    fd_merges = 0
+    ind_additions = 0
+    with trace.span(
+        "chase.run",
+        category="chase",
+        atoms_in=len(query.atoms),
+        dependencies=len(fds) + len(inds),
+    ) as run_span:
+        current = query
+        changed = True
+        while changed:
+            changed = False
+            for fd in fds:
+                violation = _find_fd_violation(current, fd, db_schema)
+                if violation is None:
+                    continue
+                first, second = violation
+                keep, drop = sorted(
+                    (first, second),
+                    key=lambda v: _variable_order_key(current, v),
+                )
+                with trace.span("chase.fd_step", category="chase") as step:
+                    substituted = current.substitute({drop: keep})
+                    step.set(
+                        relation=fd.relation,
+                        merged=f"{drop.name}->{keep.name}",
+                    )
+                fd_merges += 1
+                if substituted is None:
+                    # Bottom: a non-equality collapsed.
+                    registry.counter("chase.bottoms").inc()
+                    registry.counter("chase.fd_merges").inc(fd_merges)
+                    registry.counter("chase.ind_additions").inc(
+                        ind_additions
+                    )
+                    run_span.set(outcome="bottom", steps=fd_merges)
+                    return None
+                current = substituted
+                changed = True
+                break
+            if changed:
                 continue
-            first, second = violation
-            keep, drop = sorted(
-                (first, second),
-                key=lambda v: _variable_order_key(current, v),
-            )
-            substituted = current.substitute({drop: keep})
-            if substituted is None:
-                return None  # bottom: a non-equality collapsed
-            current = substituted
-            changed = True
-            break
-        if changed:
-            continue
-        for ind in inds:
-            missing = _find_missing_ind_atom(current, ind, db_schema)
-            if missing is None:
-                continue
-            current = ConjunctiveQuery(
-                current.summary,
-                set(current.atoms) | {missing},
-                current.nonequalities,
-            )
-            changed = True
-            break
+            for ind in inds:
+                missing = _find_missing_ind_atom(current, ind, db_schema)
+                if missing is None:
+                    continue
+                with trace.span("chase.ind_step", category="chase") as step:
+                    current = ConjunctiveQuery(
+                        current.summary,
+                        set(current.atoms) | {missing},
+                        current.nonequalities,
+                    )
+                    step.set(added=missing.relation)
+                ind_additions += 1
+                changed = True
+                break
+        registry.counter("chase.fd_merges").inc(fd_merges)
+        registry.counter("chase.ind_additions").inc(ind_additions)
+        registry.histogram("chase.steps").observe(fd_merges + ind_additions)
+        run_span.set(
+            atoms_out=len(current.atoms),
+            steps=fd_merges + ind_additions,
+        )
     return current
 
 

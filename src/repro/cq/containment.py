@@ -32,11 +32,13 @@ same variable set, so the enumeration stays complete:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.cq.chase import chase
 from repro.cq.homomorphism import tuple_in_query
-from repro.cq.model import ConjunctiveQuery, PositiveQuery, Variable
+from repro.cq.model import ConjunctiveQuery, PositiveQuery
 from repro.cq.partitions import (
     count_typed_partitions,
     partition_substitution,
@@ -130,28 +132,42 @@ def cq_containment_counterexample(
     if not container.has_nonequalities():
         return _membership_fails(chased, container)
 
+    registry = global_registry()
     variables = sorted(chased.variables())
-    if max_partitions is not None:
-        total = count_typed_partitions(variables)
-        if total > max_partitions:
-            raise ContainmentBudgetExceeded(
-                f"{total} typed partitions exceed the budget "
-                f"{max_partitions}"
-            )
-    for partition in typed_partitions(variables):
-        substitution = partition_substitution(partition)
-        if not substitution:
-            merged: Optional[ConjunctiveQuery] = chased
-        else:
-            merged = chased.substitute(substitution)
-        if merged is None:
-            continue  # the partition collapses a non-equality
-        rechased = chase(merged, dependencies, db_schema)
-        if rechased is None:
-            continue  # bottom: no dependency-satisfying valuation here
-        counterexample = _membership_fails(rechased, container)
-        if counterexample is not None:
-            return counterexample
+    # The Klug representative set is the typed partitions of the chased
+    # query's variables — the Bell-number blowup the observability layer
+    # makes visible (high-water gauge + per-run histogram).
+    total = count_typed_partitions(variables)
+    registry.gauge("containment.representative_set_size").set_max(total)
+    registry.histogram("containment.representative_set_sizes").observe(
+        total
+    )
+    if max_partitions is not None and total > max_partitions:
+        raise ContainmentBudgetExceeded(
+            f"{total} typed partitions exceed the budget "
+            f"{max_partitions}"
+        )
+    with trace.span(
+        "containment.representatives",
+        category="chase",
+        variables=len(variables),
+        representative_set_size=total,
+    ):
+        for partition in typed_partitions(variables):
+            registry.counter("containment.partitions_examined").inc()
+            substitution = partition_substitution(partition)
+            if not substitution:
+                merged: Optional[ConjunctiveQuery] = chased
+            else:
+                merged = chased.substitute(substitution)
+            if merged is None:
+                continue  # the partition collapses a non-equality
+            rechased = chase(merged, dependencies, db_schema)
+            if rechased is None:
+                continue  # bottom: no dependency-satisfying valuation
+            counterexample = _membership_fails(rechased, container)
+            if counterexample is not None:
+                return counterexample
     return None
 
 

@@ -1,0 +1,86 @@
+"""``repro.obs`` — tracing, metrics and profiling for the whole stack.
+
+A zero-dependency observability layer shared by the query engine, the
+decision procedure's chase, the parallel applicator and the sqlsim
+scenarios:
+
+* :mod:`repro.obs.tracer` — hierarchical spans (context manager +
+  decorator), thread-safe, with a module-level no-op fast path so
+  instrumented hot paths cost one global check while tracing is off;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms behind a get-or-create :class:`MetricsRegistry` (the
+  engine's ``EngineStats`` is a view over one);
+* :mod:`repro.obs.export` — a text tree renderer, Chrome
+  ``trace_event`` JSON (``about://tracing`` / Perfetto), and the flat
+  metrics-JSON schema every ``BENCH_*.json`` artifact uses.
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        with tracer.span("batch", category="app", size=3):
+            run_workload()
+    print(obs.render_tree(tracer))
+    obs.write_chrome_trace(tracer, "trace.json")
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    chrome_trace,
+    merge_metrics,
+    metrics_dump,
+    render_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Event,
+    Span,
+    Tracer,
+    active,
+    disable,
+    enable,
+    event,
+    span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "chrome_trace",
+    "merge_metrics",
+    "metrics_dump",
+    "render_tree",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "NOOP_SPAN",
+    "Event",
+    "Span",
+    "Tracer",
+    "active",
+    "disable",
+    "enable",
+    "event",
+    "span",
+    "traced",
+    "tracing",
+]

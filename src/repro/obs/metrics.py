@@ -1,0 +1,202 @@
+"""Counters, gauges and fixed-bucket histograms behind one registry.
+
+The registry is the numeric half of the observability layer: spans
+(:mod:`repro.obs.tracer`) answer *where the time went*, the registry
+answers *how much of everything happened*.  Instruments are
+get-or-create by name, so call sites never coordinate: the engine's
+:class:`~repro.relational.engine.EngineStats` is a view over a private
+registry, while the chase, the containment procedure, the parallel
+applicator and the sqlsim statements record into the process-wide
+:func:`global_registry`.
+
+Instrument updates are plain attribute arithmetic — under CPython's GIL
+individual updates never corrupt an instrument, and instrument
+*creation* (the only structural mutation) is lock-guarded, so one
+registry can be shared by concurrent workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds — log-spaced to cover both row
+#: counts and (milli)second-scale durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+)
+
+
+class Counter:
+    """A monotonically *intended* cumulative value (resettable)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def set_max(self, value: Number) -> None:
+        """Keep the high-water mark instead of the last write."""
+        if value > self.value:
+            self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus sum/count/min/max.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    counts overflows.  Bounds are fixed at creation, so merging dumps of
+    the same histogram across runs stays well-defined.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError(
+                f"histogram bounds must be non-empty and sorted: {bounds!r}"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Name-keyed instruments, get-or-create, shareable across threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, bounds)
+                )
+        return instrument
+
+    # -- introspection -------------------------------------------------
+    def counters(self) -> Dict[str, Number]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, Number]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            name: {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+                "min": h.min,
+                "max": h.max,
+            }
+            for name, h in sorted(self._histograms.items())
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The registry's state as plain JSON-serializable data."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments themselves survive)."""
+        with self._lock:
+            for group in (self._counters, self._gauges, self._histograms):
+                for instrument in group.values():
+                    instrument.reset()
+
+
+#: Process-wide registry for call sites with no natural owner object
+#: (the chase, containment, parallel application, sqlsim statements).
+GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return GLOBAL_REGISTRY

@@ -15,8 +15,11 @@ plus the property edges each step actually rewired — so step ``i+1`` is
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.algebraic.expression import UpdateTypeError, evaluate_update_expression
 from repro.algebraic.method import AlgebraicUpdateMethod
 from repro.core.receiver import Receiver
@@ -106,48 +109,88 @@ def apply_parallel(
     instance: Instance,
     receivers: Iterable[Receiver],
     cache: Optional[EngineCache] = None,
+    max_workers: Optional[int] = None,
 ) -> Instance:
     """``M_par(I, T)`` (Definition 6.2).
 
     Pass a shared ``cache`` when applying several ``M_par`` across
     related states: subtrees whose base relations kept their content
     fingerprints are re-served instead of re-evaluated.
+
+    The statements of ``M_par`` are independent by definition
+    (simultaneous semantics), so with ``max_workers > 1`` they are
+    evaluated by a thread pool; worker spans nest under the batch span
+    via :meth:`~repro.obs.tracer.Tracer.wrap`.  Workers share the
+    engine's memo — a subtree raced by two statements is at worst
+    computed twice (both arrive at the same relation), never wrongly.
     """
     receivers = list(receivers)
-    # One engine for the whole application: the statements of M_par are
-    # evaluated against the same state, so subtrees they share (the
-    # rec projections, duplicated statement bodies) are computed once.
-    engine = QueryEngine(
-        parallel_database(method, instance, receivers), cache=cache
+    labels = method.updated_properties
+    batch = trace.span(
+        "parallel.apply",
+        category="parallel",
+        receivers=len(receivers),
+        statements=len(labels),
+        workers=max_workers or 1,
     )
-    # Evaluate all statements first (simultaneous semantics).
-    updates: Dict[str, Dict[Obj, Set[Obj]]] = {}
-    for label in method.updated_properties:
-        relation = parallel_update_relation(
-            method, label, instance, receivers, engine=engine
+    with batch:
+        registry = global_registry()
+        registry.counter("parallel.batches").inc()
+        registry.gauge("parallel.fan_out_width").set_max(len(receivers))
+        # One engine for the whole application: the statements of M_par
+        # are evaluated against the same state, so subtrees they share
+        # (the rec projections, duplicated statement bodies) are
+        # computed once.
+        engine = QueryEngine(
+            parallel_database(method, instance, receivers), cache=cache
         )
-        by_receiver: Dict[Obj, Set[Obj]] = {}
-        self_position, value_position = receiver_value_positions(relation)
-        target_class = method.object_schema.edge(label).target
-        targets = instance.objects_of_class(target_class)
-        for row in relation:
-            receiver_obj = row[self_position]
-            value = row[value_position]
-            if value not in targets:
-                raise UpdateTypeError(
-                    f"parallel statement {label} produced {value} outside "
-                    f"class {target_class}"
-                )
-            by_receiver.setdefault(receiver_obj, set()).add(value)
-        updates[label] = by_receiver
 
-    receiving_objects = {r.receiving_object for r in receivers}
-    result = instance
-    for label, by_receiver in updates.items():
-        for obj in receiving_objects:
-            result = result.replace_property(
-                obj, label, by_receiver.get(obj, ())
+        def statement_updates(label: str) -> Dict[Obj, Set[Obj]]:
+            with trace.span(
+                "parallel.statement", category="parallel", label=label
+            ) as span:
+                relation = parallel_update_relation(
+                    method, label, instance, receivers, engine=engine
+                )
+                span.set(rows=len(relation))
+            by_receiver: Dict[Obj, Set[Obj]] = {}
+            self_position, value_position = receiver_value_positions(
+                relation
             )
+            target_class = method.object_schema.edge(label).target
+            targets = instance.objects_of_class(target_class)
+            for row in relation:
+                receiver_obj = row[self_position]
+                value = row[value_position]
+                if value not in targets:
+                    raise UpdateTypeError(
+                        f"parallel statement {label} produced {value} "
+                        f"outside class {target_class}"
+                    )
+                by_receiver.setdefault(receiver_obj, set()).add(value)
+            return by_receiver
+
+        # Evaluate all statements first (simultaneous semantics).
+        if max_workers is not None and max_workers > 1 and len(labels) > 1:
+            tracer = trace.active()
+            worker = (
+                statement_updates
+                if tracer is None
+                else tracer.wrap(statement_updates)
+            )
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                by_label = list(pool.map(worker, labels))
+        else:
+            by_label = [statement_updates(label) for label in labels]
+        updates = dict(zip(labels, by_label))
+
+        receiving_objects = {r.receiving_object for r in receivers}
+        result = instance
+        for label, by_receiver in updates.items():
+            for obj in receiving_objects:
+                result = result.replace_property(
+                    obj, label, by_receiver.get(obj, ())
+                )
     return result
 
 

@@ -61,7 +61,7 @@ oracle, together with ``evaluate_optimized``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -73,6 +73,8 @@ from typing import (
     Tuple,
 )
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import MetricsRegistry
 from repro.relational.algebra import (
     Difference,
     Empty,
@@ -270,40 +272,101 @@ class EngineCache:
 # ----------------------------------------------------------------------
 # Instrumentation
 # ----------------------------------------------------------------------
-@dataclass
-class OperatorStats:
-    """Counters for one physical operator kind."""
+def _counter_property(field_name: str) -> property:
+    """An attribute that reads/writes a bound registry counter, so the
+    historical ``stats.cache_hits += 1`` call sites keep working."""
 
-    calls: int = 0
-    rows_in: int = 0
-    rows_out: int = 0
-    wall_seconds: float = 0.0
+    def fget(self):
+        return self._counters[field_name].value
+
+    def fset(self, value):
+        self._counters[field_name].value = value
+
+    return property(fget, fset)
+
+
+class OperatorStats:
+    """Counters for one physical operator kind.
+
+    A view over the owning registry's ``engine.op.<name>.*`` counters:
+    the attribute API (``calls``, ``rows_in``, ``rows_out``,
+    ``wall_seconds``) is unchanged, but the numbers live in the
+    :class:`~repro.obs.metrics.MetricsRegistry`, where exporters and
+    the benchmark harness can read them alongside every other metric.
+    """
+
+    __slots__ = ("_counters",)
+
+    _FIELDS = ("calls", "rows_in", "rows_out", "wall_seconds")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        prefix = f"engine.op.{name}."
+        self._counters = {
+            field_name: registry.counter(prefix + field_name)
+            for field_name in self._FIELDS
+        }
+
+    calls = _counter_property("calls")
+    rows_in = _counter_property("rows_in")
+    rows_out = _counter_property("rows_out")
+    wall_seconds = _counter_property("wall_seconds")
 
     def record(
         self, rows_in: int, rows_out: int, wall_seconds: float = 0.0
     ) -> None:
-        self.calls += 1
-        self.rows_in += rows_in
-        self.rows_out += rows_out
-        self.wall_seconds += wall_seconds
+        counters = self._counters
+        counters["calls"].value += 1
+        counters["rows_in"].value += rows_in
+        counters["rows_out"].value += rows_out
+        counters["wall_seconds"].value += wall_seconds
 
 
-@dataclass
 class EngineStats:
-    """Cache and per-operator counters of one :class:`QueryEngine`."""
+    """Cache and per-operator counters of one :class:`QueryEngine`.
 
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cross_state_hits: int = 0
-    delta_fast_paths: int = 0
-    delta_fallbacks: int = 0
-    hash_build_rows: int = 0
-    operators: Dict[str, OperatorStats] = field(default_factory=dict)
+    Since the observability layer landed this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``engine.*`` names):
+    every attribute read/write goes through the registry's counters, so
+    ``stats.cache_hits`` and
+    ``stats.registry.counter("engine.cache_hits").value`` are the same
+    number, and a registry shared across engines (sequential update
+    steps, replay loops) accumulates over all of them.  The attribute
+    API, :meth:`render` and :meth:`op` are unchanged from the dataclass
+    era.
+    """
+
+    __slots__ = ("registry", "_counters", "operators")
+
+    _FIELDS = (
+        "cache_hits",
+        "cache_misses",
+        "cross_state_hits",
+        "delta_fast_paths",
+        "delta_fallbacks",
+        "hash_build_rows",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            field_name: self.registry.counter(f"engine.{field_name}")
+            for field_name in self._FIELDS
+        }
+        self.operators: Dict[str, OperatorStats] = {}
+
+    cache_hits = _counter_property("cache_hits")
+    cache_misses = _counter_property("cache_misses")
+    cross_state_hits = _counter_property("cross_state_hits")
+    delta_fast_paths = _counter_property("delta_fast_paths")
+    delta_fallbacks = _counter_property("delta_fallbacks")
+    hash_build_rows = _counter_property("hash_build_rows")
 
     def op(self, name: str) -> OperatorStats:
         stats = self.operators.get(name)
         if stats is None:
-            stats = self.operators[name] = OperatorStats()
+            stats = self.operators[name] = OperatorStats(
+                self.registry, name
+            )
         return stats
 
     @property
@@ -393,6 +456,7 @@ class QueryEngine:
         database: Database,
         interner: Optional[Interner] = None,
         cache: Optional[EngineCache] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._database = database
         self._db_schema: DatabaseSchema = database.schema
@@ -403,7 +467,10 @@ class QueryEngine:
         self._local: Dict[int, Relation] = {}
         self._schemas: Dict[int, RelationSchema] = {}
         self._plans: Dict[int, _PlanEntry] = {}
-        self.stats = EngineStats()
+        # Pass one ``registry`` to several engines (the per-step engines
+        # of a receiver sequence, replay loops) to accumulate counters
+        # across all of them.
+        self.stats = EngineStats(registry)
 
     # -- public API ----------------------------------------------------
     @property
@@ -421,7 +488,14 @@ class QueryEngine:
 
     def evaluate(self, expr: Expr) -> Relation:
         """Evaluate ``expr``, reusing every previously computed subtree."""
-        return self._evaluate(self.intern(expr))
+        node = self.intern(expr)
+        tracer = trace.active()
+        if tracer is None:
+            return self._evaluate(node)
+        with tracer.span("engine.evaluate", category="engine") as span:
+            relation = self._evaluate(node)
+            span.set(rows=len(relation))
+        return relation
 
     def schema(self, expr: Expr) -> RelationSchema:
         """Memoized :func:`infer_schema` of ``expr``."""
@@ -491,10 +565,18 @@ class QueryEngine:
             new_database = self._database.apply_delta(effective)
         changed = frozenset(effective)
         memo: Dict[int, _DeltaState] = {}
-        return [
-            self._delta(node, effective, changed, new_database, memo).new
-            for node in nodes
-        ]
+        with trace.span(
+            "engine.delta_evaluate",
+            category="engine",
+            expressions=len(nodes),
+            changed_relations=len(changed),
+        ):
+            return [
+                self._delta(
+                    node, effective, changed, new_database, memo
+                ).new
+                for node in nodes
+            ]
 
     # -- internals -----------------------------------------------------
     def _schema(self, node: Expr) -> RelationSchema:
@@ -514,6 +596,7 @@ class QueryEngine:
         cached = self._local.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            trace.event("engine.cache_hit", category="engine")
             return cached
         shared_key = self._shared.result_key(node, self._database)
         shared = self._shared.lookup(shared_key)
@@ -522,6 +605,7 @@ class QueryEngine:
             # evaluator) already computed this subtree over identical
             # base-relation contents.
             self.stats.cross_state_hits += 1
+            trace.event("engine.cross_state_hit", category="engine")
             self._local[key] = shared
             self._plans[key] = _PlanEntry(
                 "reused", len(shared), detail="(cross-state cache)"
@@ -530,7 +614,11 @@ class QueryEngine:
         self.stats.cache_misses += 1
         start = time.perf_counter()
         if isinstance(node, (Select, Product, Project, Rename)):
-            relation, entry = _RegionPlanner(self, node).run()
+            with trace.span(
+                "engine.join_region", category="engine"
+            ) as span:
+                relation, entry = _RegionPlanner(self, node).run()
+                span.set(factors=len(entry.children), rows=len(relation))
         elif isinstance(node, Rel):
             relation = self._database.relation(node.name)
             entry = _PlanEntry("scan", len(relation), detail=node.name)
@@ -542,11 +630,15 @@ class QueryEngine:
             left = self._evaluate(node.left)
             right = self._evaluate(node.right)
             op_name = type(node).__name__.lower()
-            op_start = time.perf_counter()
-            if isinstance(node, Union):
-                relation = left.union(right)
-            else:
-                relation = left.difference(right)
+            with trace.span(f"engine.{op_name}", category="engine") as span:
+                op_start = time.perf_counter()
+                if isinstance(node, Union):
+                    relation = left.union(right)
+                else:
+                    relation = left.difference(right)
+                span.set(
+                    rows_in=len(left) + len(right), rows=len(relation)
+                )
             self.stats.op(op_name).record(
                 len(left) + len(right),
                 len(relation),
@@ -632,6 +724,7 @@ class QueryEngine:
                 # the shared cache so the *next* delta pass over this
                 # node runs the fast path.
                 self.stats.delta_fallbacks += 1
+                trace.event("engine.delta_fallback", category="engine")
                 old = self._apply_node(node, [s.old for s in states])
                 self._shared.store(
                     self._shared.result_key(node, self._database), old
@@ -648,6 +741,7 @@ class QueryEngine:
                     )
             else:
                 self.stats.delta_fast_paths += 1
+                trace.event("engine.delta_fast_path", category="engine")
                 added, removed = self._delta_rule(node, old, states)
                 new = old._updated_exact(added, removed)
                 state = _DeltaState(old, new, added, removed)
@@ -775,13 +869,22 @@ class QueryEngine:
     ) -> None:
         entry = self._plans[id(node)]
         pad = "  " * indent
-        suffix = f"  [{entry.wall_seconds * 1e3:.2f} ms]" if timings else ""
+        if not timings:
+            suffix = ""
+        elif entry.kind == "reused":
+            # A cross-state cache hit did no operator work: label it
+            # instead of printing a near-zero wall time that reads as
+            # operator cost.
+            suffix = "  [cached]"
+        else:
+            suffix = f"  [{entry.wall_seconds * 1e3:.2f} ms]"
         detail = f" {entry.detail}" if entry.detail else ""
         if id(node) in seen:
             # Common subexpression: evaluated once, cached thereafter.
+            cached_suffix = "  [cached]" if timings else ""
             lines.append(
                 f"{pad}{entry.kind}{detail}  rows={entry.rows}"
-                f"  (shared subtree, cached)"
+                f"  (shared subtree, cached){cached_suffix}"
             )
             return
         seen.add(id(node))

@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Union
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.sqlsim.table import Row, Table, TableError
 
 Order = Union[None, Sequence[int], random.Random, str]
@@ -58,26 +60,36 @@ def cursor_for_each(
     pending = _visit_order(table, order)
     seen = set(pending)
     visits = 0
-    index = 0
-    while index < len(pending):
-        row_id = pending[index]
-        index += 1
-        row = table.get(row_id)
-        if row is None:
-            continue  # deleted by an earlier visit
-        visits += 1
-        if visits > max_visits:
-            raise RuntimeError(
-                "cursor visited more rows than max_visits — a "
-                "Halloween-style feedback loop (the body keeps "
-                "inserting rows the live cursor then revisits)"
-            )
-        body(row_id, row)
-        if include_inserted:
-            for new_id in table.row_ids():
-                if new_id not in seen:
-                    seen.add(new_id)
-                    pending.append(new_id)
+    with trace.span(
+        "sqlsim.cursor_loop",
+        category="sqlsim",
+        table=table.name,
+        live=include_inserted,
+    ) as loop_span:
+        index = 0
+        while index < len(pending):
+            row_id = pending[index]
+            index += 1
+            row = table.get(row_id)
+            if row is None:
+                continue  # deleted by an earlier visit
+            visits += 1
+            if visits > max_visits:
+                raise RuntimeError(
+                    "cursor visited more rows than max_visits — a "
+                    "Halloween-style feedback loop (the body keeps "
+                    "inserting rows the live cursor then revisits)"
+                )
+            body(row_id, row)
+            if include_inserted:
+                for new_id in table.row_ids():
+                    if new_id not in seen:
+                        seen.add(new_id)
+                        pending.append(new_id)
+        loop_span.set(visits=visits)
+    registry = global_registry()
+    registry.counter("sqlsim.cursor_loops").inc()
+    registry.counter("sqlsim.cursor_visits").inc(visits)
 
 
 def cursor_delete(

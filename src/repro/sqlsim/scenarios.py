@@ -29,8 +29,9 @@ discriminate the two mechanically.
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, Optional, Tuple
 
+from repro.obs.tracer import traced
 from repro.algebraic.expression import SELF, arg_name
 from repro.algebraic.method import AlgebraicUpdateMethod
 from repro.core.signature import MethodSignature
@@ -89,6 +90,7 @@ def make_company(
 # ----------------------------------------------------------------------
 # Deletions
 # ----------------------------------------------------------------------
+@traced("scenario.fire_by_salary_cursor", category="sqlsim")
 def fire_by_salary_cursor(
     employees: Table, fire: Table, order: Order = None
 ) -> int:
@@ -103,6 +105,7 @@ def fire_by_salary_cursor(
     )
 
 
+@traced("scenario.fire_by_salary_set", category="sqlsim")
 def fire_by_salary_set(employees: Table, fire: Table) -> int:
     """Set-oriented: ``delete from Employee where Salary in table Fire``."""
     amounts = set(fire.column("Amount"))
@@ -121,6 +124,7 @@ def _manager_salary_fired(
     return manager_row["Salary"] in fire_amounts
 
 
+@traced("scenario.fire_by_manager_cursor", category="sqlsim")
 def fire_by_manager_cursor(
     employees: Table, fire: Table, order: Order = None
 ) -> int:
@@ -138,6 +142,7 @@ def fire_by_manager_cursor(
     )
 
 
+@traced("scenario.fire_by_manager_set", category="sqlsim")
 def fire_by_manager_set(employees: Table, fire: Table) -> int:
     """Set-oriented manager-based firing — the correct two-phase version."""
     amounts = set(fire.column("Amount"))
@@ -156,6 +161,7 @@ def _new_salary(newsal: Table, salary: Hashable) -> Optional[Hashable]:
     return match["New"] if match is not None else None
 
 
+@traced("scenario.salary_update_cursor", category="sqlsim")
 def salary_update_cursor(
     employees: Table, newsal: Table, order: Order = None
 ) -> int:
@@ -171,6 +177,7 @@ def salary_update_cursor(
     )
 
 
+@traced("scenario.salary_update_set", category="sqlsim")
 def salary_update_set(employees: Table, newsal: Table) -> int:
     """Update (A): the standalone set-oriented statement."""
     return set_update(
@@ -191,6 +198,7 @@ def _manager_new_salary(
     return _new_salary(newsal, manager_row["Salary"])
 
 
+@traced("scenario.manager_salary_cursor", category="sqlsim")
 def manager_salary_cursor(
     employees: Table, newsal: Table, order: Order = None
 ) -> int:
@@ -213,6 +221,7 @@ def manager_salary_cursor(
     )
 
 
+@traced("scenario.manager_salary_set", category="sqlsim")
 def manager_salary_set(employees: Table, newsal: Table) -> int:
     """The correct set-oriented version of update (C)."""
     snapshot = employees.snapshot()
@@ -231,6 +240,7 @@ def manager_salary_set(employees: Table, newsal: Table) -> int:
 # Insertions ("Analogous examples can be given with insertions instead
 # of deletions").
 # ----------------------------------------------------------------------
+@traced("scenario.award_bonus_cursor", category="sqlsim")
 def award_bonus_cursor(
     employees: Table,
     fire: Table,
@@ -258,6 +268,7 @@ def award_bonus_cursor(
     return inserted
 
 
+@traced("scenario.award_bonus_set", category="sqlsim")
 def award_bonus_set(
     employees: Table, fire: Table, bonus: Table
 ) -> int:

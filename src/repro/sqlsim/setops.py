@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
 
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
 from repro.relational.algebra import Expr
 from repro.relational.database import Database
 from repro.relational.engine import EngineCache, QueryEngine
@@ -36,13 +38,18 @@ def set_delete(
     table: Table, predicate: Callable[[Row], bool]
 ) -> int:
     """``delete from T where P`` with two-phase semantics; returns count."""
-    doomed = [
-        row_id
-        for row_id in table.row_ids()
-        if predicate(table.get(row_id))
-    ]
-    for row_id in doomed:
-        table.delete_row(row_id)
+    with trace.span(
+        "sqlsim.set_delete", category="sqlsim", table=table.name
+    ) as span:
+        doomed = [
+            row_id
+            for row_id in table.row_ids()
+            if predicate(table.get(row_id))
+        ]
+        for row_id in doomed:
+            table.delete_row(row_id)
+        span.set(rows=len(doomed))
+    global_registry().counter("sqlsim.set_statements").inc()
     return len(doomed)
 
 
@@ -56,13 +63,18 @@ def set_update(
     together — the "changes are made only after all the new salaries are
     computed" behavior of updates (A) and the corrected (C).
     """
-    planned = []
-    for row_id in table.row_ids():
-        changes = compute(table.get(row_id))
-        if changes:
-            planned.append((row_id, dict(changes)))
-    for row_id, changes in planned:
-        table.update_row(row_id, changes)
+    with trace.span(
+        "sqlsim.set_update", category="sqlsim", table=table.name
+    ) as span:
+        planned = []
+        for row_id in table.row_ids():
+            changes = compute(table.get(row_id))
+            if changes:
+                planned.append((row_id, dict(changes)))
+        for row_id, changes in planned:
+            table.update_row(row_id, changes)
+        span.set(rows=len(planned))
+    global_registry().counter("sqlsim.set_statements").inc()
     return len(planned)
 
 
@@ -145,22 +157,29 @@ def set_delete_from_query(
     ``cache`` (used when no ``engine`` is given) to share subtree
     results across statements over related database states.
     """
-    engine = (
-        engine
-        if engine is not None
-        else QueryEngine(database, cache=cache)
-    )
-    relation = engine.evaluate(query)
-    key_attr = key_attr if key_attr is not None else table.key
-    position = _key_positions(table, relation, key_attr)
-    doomed_keys = {row[position] for row in relation}
-    doomed = [
-        row_id
-        for row_id in table.row_ids()
-        if table.get(row_id)[table.key] in doomed_keys
-    ]
-    for row_id in doomed:
-        table.delete_row(row_id)
+    with trace.span(
+        "sqlsim.set_delete_from_query",
+        category="sqlsim",
+        table=table.name,
+    ) as span:
+        engine = (
+            engine
+            if engine is not None
+            else QueryEngine(database, cache=cache)
+        )
+        relation = engine.evaluate(query)
+        key_attr = key_attr if key_attr is not None else table.key
+        position = _key_positions(table, relation, key_attr)
+        doomed_keys = {row[position] for row in relation}
+        doomed = [
+            row_id
+            for row_id in table.row_ids()
+            if table.get(row_id)[table.key] in doomed_keys
+        ]
+        for row_id in doomed:
+            table.delete_row(row_id)
+        span.set(rows=len(doomed))
+    global_registry().counter("sqlsim.set_statements").inc()
     return len(doomed)
 
 
@@ -184,34 +203,41 @@ def set_update_from_query(
     ``cache`` (used when no ``engine`` is given) to share subtree
     results across statements over related database states.
     """
-    engine = (
-        engine
-        if engine is not None
-        else QueryEngine(database, cache=cache)
-    )
-    relation = engine.evaluate(query)
-    key_attr = key_attr if key_attr is not None else table.key
-    key_position = _key_positions(table, relation, key_attr)
-    positions = {
-        column: relation.schema.position(attr)
-        for column, attr in assignments.items()
-    }
-    changes_by_key = {}
-    for row in relation:
-        key = row[key_position]
-        if key in changes_by_key:
-            raise TableError(
-                f"query assigns multiple rows to key {key!r}"
-            )
-        changes_by_key[key] = {
-            column: row[position]
-            for column, position in positions.items()
+    with trace.span(
+        "sqlsim.set_update_from_query",
+        category="sqlsim",
+        table=table.name,
+    ) as span:
+        engine = (
+            engine
+            if engine is not None
+            else QueryEngine(database, cache=cache)
+        )
+        relation = engine.evaluate(query)
+        key_attr = key_attr if key_attr is not None else table.key
+        key_position = _key_positions(table, relation, key_attr)
+        positions = {
+            column: relation.schema.position(attr)
+            for column, attr in assignments.items()
         }
-    planned = []
-    for row_id in table.row_ids():
-        changes = changes_by_key.get(table.get(row_id)[table.key])
-        if changes:
-            planned.append((row_id, changes))
-    for row_id, changes in planned:
-        table.update_row(row_id, changes)
+        changes_by_key = {}
+        for row in relation:
+            key = row[key_position]
+            if key in changes_by_key:
+                raise TableError(
+                    f"query assigns multiple rows to key {key!r}"
+                )
+            changes_by_key[key] = {
+                column: row[position]
+                for column, position in positions.items()
+            }
+        planned = []
+        for row_id in table.row_ids():
+            changes = changes_by_key.get(table.get(row_id)[table.key])
+            if changes:
+                planned.append((row_id, changes))
+        for row_id, changes in planned:
+            table.update_row(row_id, changes)
+        span.set(rows=len(planned))
+    global_registry().counter("sqlsim.set_statements").inc()
     return len(planned)

@@ -1,0 +1,402 @@
+"""The observability layer: tracer, metrics, exporters, and the wiring.
+
+Covers the PR's acceptance surface:
+
+* span nesting/ordering invariants, including property-based threaded
+  nesting (every ``wrap``-carried worker span must land under the batch
+  span, and per-thread open intervals must nest properly);
+* exporter round-trips (the Chrome ``trace_event`` dump survives JSON
+  serialization and validates; the metrics dump merges by key and
+  upgrades legacy flat files);
+* the disabled fast path (module helpers return the shared no-op handle
+  and record nothing);
+* :class:`EngineStats` as a registry view — attribute API, ``render``
+  and ``explain`` unchanged, numbers shared with the registry;
+* threaded ``apply_parallel`` equals the sequential semantics.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.receiver import Receiver
+from repro.core.sequential import apply_sequence
+from repro.graph.instance import Obj
+from repro.obs import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    merge_metrics,
+    metrics_dump,
+    render_tree,
+    validate_chrome_trace,
+)
+from repro.obs import tracer as trace
+from repro.obs.export import METRICS_SCHEMA, write_metrics
+from repro.parallel.apply import apply_parallel
+from repro.relational.engine import QueryEngine
+from repro.sqlsim.scenarios import (
+    make_company,
+    scenario_b_method,
+    tables_to_instance,
+)
+
+
+# ----------------------------------------------------------------------
+# Tracer basics
+# ----------------------------------------------------------------------
+def test_span_nesting_single_thread():
+    tracer = Tracer()
+    with tracer.span("outer", category="t") as outer:
+        with tracer.span("inner", category="t") as inner:
+            tracer.event("tick", category="t")
+    assert inner.parent is outer
+    assert outer.parent is None
+    assert tracer.roots == [outer]
+    assert tracer.spans == [outer, inner]
+    assert inner.start_ns >= outer.start_ns
+    assert inner.end_ns <= outer.end_ns
+    assert tracer.events[0].parent is inner
+    assert inner.events == [tracer.events[0]]
+
+
+def test_span_set_attributes_and_repr():
+    tracer = Tracer()
+    with tracer.span("s", category="t", a=1) as span:
+        span.set(b=2)
+    assert span.args == {"a": 1, "b": 2}
+    assert span.duration_ns >= 0
+    assert "s" in repr(span)
+
+
+def test_out_of_order_exit_raises():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(ValueError):
+        outer.__exit__(None, None, None)
+
+
+def test_module_helpers_disabled_are_noops():
+    assert trace.active() is None
+    assert trace.span("anything", category="t", key=1) is NOOP_SPAN
+    trace.event("anything", category="t")  # must not raise
+    with trace.span("nested") as handle:
+        assert handle is NOOP_SPAN
+        assert handle.set(x=1) is NOOP_SPAN
+
+
+def test_tracing_context_restores_previous():
+    assert trace.active() is None
+    with trace.tracing() as tracer:
+        assert trace.active() is tracer
+        with trace.tracing() as inner:
+            assert trace.active() is inner
+        assert trace.active() is tracer
+    assert trace.active() is None
+
+
+def test_traced_decorator():
+    @trace.traced("decorated.fn", category="t")
+    def fn(x):
+        return x + 1
+
+    assert fn(1) == 2  # disabled: plain call
+    with trace.tracing() as tracer:
+        assert fn(2) == 3
+    assert [s.name for s in tracer.spans] == ["decorated.fn"]
+
+
+# ----------------------------------------------------------------------
+# Threaded nesting (property-based)
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=4), min_size=1, max_size=6
+    )
+)
+def test_threaded_worker_spans_nest_under_batch(depths):
+    """Each worker opens a chain of ``depth`` nested spans in its own
+    thread; wrapped workers must hang off the batch span, with proper
+    per-chain interval containment and no cross-thread corruption."""
+    tracer = Tracer()
+
+    def worker(depth):
+        def run():
+            spans = []
+            for level in range(depth):
+                span = tracer.span(f"w{level}", category="t")
+                span.__enter__()
+                spans.append(span)
+            for span in reversed(spans):
+                span.__exit__(None, None, None)
+
+        return run
+
+    with tracer.span("batch", category="t") as batch:
+        threads = [
+            threading.Thread(target=tracer.wrap(worker(depth)))
+            for depth in depths
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    # One root; every worker's outermost span is a child of the batch.
+    assert tracer.roots == [batch]
+    assert len(batch.children) == len(depths)
+    assert sorted(
+        len_of_chain(child) for child in batch.children
+    ) == sorted(depths)
+    for span in tracer.spans:
+        assert span.finished
+        if span.parent is not None:
+            assert span.start_ns >= span.parent.start_ns
+            assert span.end_ns <= span.parent.end_ns
+            # Nesting never crosses threads except batch -> worker root.
+            if span.parent is not batch:
+                assert span.thread_id == span.parent.thread_id
+
+
+def len_of_chain(span):
+    length = 1
+    while span.children:
+        assert len(span.children) == 1
+        span = span.children[0]
+        length += 1
+    return length
+
+
+def test_wrap_restores_previous_adoption():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        bound = tracer.wrap(lambda: tracer.current())
+    assert bound() is tracer.roots[0]
+    # After the bound call, this thread adopts nothing.
+    assert tracer.current() is None
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+def test_counter_gauge_histogram():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(3.0)
+    registry.gauge("g").set_max(2.0)  # keeps the high-water mark
+    hist = registry.histogram("h", bounds=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert registry.counter("c").value == 5
+    assert registry.gauge("g").value == 3.0
+    assert hist.count == 3
+    assert hist.counts == [1, 1, 1]  # <=1, <=10, overflow
+    assert hist.min == 0.5 and hist.max == 50.0
+    snapshot = registry.to_dict()
+    assert snapshot["counters"]["c"] == 5
+    assert snapshot["gauges"]["g"] == 3.0
+    assert snapshot["histograms"]["h"]["count"] == 3
+
+
+def test_registry_get_or_create_is_stable():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.histogram("h", bounds=(2.0, 1.0))
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("root", category="t", size=3):
+        tracer.event("mark", category="t", detail="x")
+        with tracer.span("child", category="t"):
+            pass
+    return tracer
+
+
+def test_chrome_trace_round_trip():
+    tracer = _sample_tracer()
+    dumped = json.dumps(chrome_trace(tracer, pid=42))
+    loaded = json.loads(dumped)
+    assert validate_chrome_trace(loaded) == []
+    events = loaded["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in complete} == {"root", "child"}
+    assert [e["name"] for e in instants] == ["mark"]
+    root = next(e for e in complete if e["name"] == "root")
+    child = next(e for e in complete if e["name"] == "child")
+    assert root["ts"] <= child["ts"]
+    assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-9
+    assert root["args"] == {"size": 3}
+
+
+def test_validate_chrome_trace_flags_problems():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+    bad_duration = {
+        "traceEvents": [
+            {"name": "s", "ph": "X", "ts": 1, "pid": 1, "tid": 1, "dur": -5}
+        ]
+    }
+    assert any("dur" in p for p in validate_chrome_trace(bad_duration))
+
+
+def test_render_tree_shows_nesting_and_events():
+    text = render_tree(_sample_tracer())
+    lines = text.splitlines()
+    assert lines[0].startswith("root [t]")
+    assert any(line.lstrip().startswith("* mark") for line in lines)
+    assert any(line.startswith("  child [t]") for line in lines)
+
+
+def test_metrics_dump_and_merge_by_key():
+    fresh = metrics_dump({"a": 1.0, "b": [2.0, 3.0]}, suite="s")
+    assert fresh["schema"] == METRICS_SCHEMA
+    merged = merge_metrics(fresh, metrics_dump({"a": 4.0}, suite="s"))
+    assert merged["series"]["a"]["values"] == [1.0, 4.0]
+    assert merged["series"]["b"]["values"] == [2.0, 3.0]
+
+
+def test_merge_metrics_upgrades_legacy_flat_files():
+    legacy = {"warm": 0.25, "cold": 1.5}
+    merged = merge_metrics(legacy, metrics_dump({"warm": 0.75}))
+    assert merged["series"]["warm"]["values"] == [0.25, 0.75]
+    assert merged["series"]["cold"]["values"] == [1.5]
+    assert merged["schema"] == METRICS_SCHEMA
+
+
+def test_write_metrics_accumulates_across_runs(tmp_path):
+    path = str(tmp_path / "BENCH_test.json")
+    write_metrics(path, metrics_dump({"series.x": 1.0}))
+    document = write_metrics(path, metrics_dump({"series.x": 2.0}))
+    assert document["series"]["series.x"]["values"] == [1.0, 2.0]
+    on_disk = json.loads(open(path).read())
+    assert on_disk == document
+
+
+# ----------------------------------------------------------------------
+# EngineStats as a registry view
+# ----------------------------------------------------------------------
+def _b_workload(size=8):
+    method = scenario_b_method()
+    employees, _, newsal = make_company(size)
+    instance = tables_to_instance(employees, newsal=newsal)
+    receivers = [
+        Receiver([Obj("Employee", r["EmpId"]), Obj("Money", r["Salary"])])
+        for r in employees
+    ]
+    return method, instance, receivers
+
+
+def test_engine_stats_is_registry_view():
+    from repro.parallel.apply import (
+        parallel_database,
+        parallel_statement_expression,
+    )
+
+    method, instance, receivers = _b_workload()
+    database = parallel_database(method, instance, receivers)
+    registry = MetricsRegistry()
+    engine = QueryEngine(database, registry=registry)
+    expr = parallel_statement_expression(method, "salary")
+    engine.evaluate(expr)
+    engine.evaluate(expr)
+
+    stats = engine.stats
+    assert stats.registry is registry
+    assert stats.cache_hits == registry.counter("engine.cache_hits").value
+    assert stats.cache_hits > 0
+    assert (
+        stats.cache_misses
+        == registry.counter("engine.cache_misses").value
+    )
+    # Writes through the attribute API land in the registry too.
+    stats.cache_hits += 10
+    assert registry.counter("engine.cache_hits").value == stats.cache_hits
+    # Operator counters live under engine.op.<name>.*
+    op_names = [
+        name
+        for name in registry.counters()
+        if name.startswith("engine.op.")
+    ]
+    assert op_names
+    # The PR 2 surface is intact.
+    rendered = stats.render()
+    assert "cache:" in rendered and "delta:" in rendered
+    assert engine.explain(expr)  # non-timing explain still works
+
+
+def test_explain_timings_labels_cached_nodes():
+    from repro.parallel.apply import (
+        parallel_database,
+        parallel_statement_expression,
+    )
+
+    method, instance, receivers = _b_workload()
+    database = parallel_database(method, instance, receivers)
+    engine = QueryEngine(database)
+    expr = parallel_statement_expression(method, "salary")
+    engine.evaluate(expr)
+    timed = engine.explain(expr, timings=True)
+    assert "[cached]" in timed
+    # Without timings the near-zero wall times are not printed at all,
+    # so the cached label only appears on the shared-subtree marker.
+    plain = engine.explain(expr)
+    assert "ms]" not in plain
+
+
+# ----------------------------------------------------------------------
+# Wiring: spans cover the four layers; threaded apply is equivalent
+# ----------------------------------------------------------------------
+def test_apply_parallel_threaded_equals_sequential():
+    method, instance, receivers = _b_workload(12)
+    sequential = apply_sequence(method, instance, receivers)
+    assert (
+        apply_parallel(method, instance, receivers, max_workers=4)
+        == sequential
+    )
+    with trace.tracing() as tracer:
+        apply_parallel(method, instance, receivers, max_workers=4)
+    names = [s.name for s in tracer.spans]
+    assert "parallel.apply" in names
+    statements = [
+        s for s in tracer.spans if s.name == "parallel.statement"
+    ]
+    batch = next(s for s in tracer.spans if s.name == "parallel.apply")
+    assert statements
+    for span in statements:
+        assert span.parent is batch
+
+
+def test_layers_emit_spans_under_one_trace():
+    from repro.algebraic.decision import decide_key_order_independence
+    from repro.sqlsim.scenarios import (
+        fire_by_manager_set,
+        salary_update_cursor,
+    )
+
+    method, instance, receivers = _b_workload(6)
+    with trace.tracing() as tracer:
+        employees, fire, newsal = make_company(6)
+        fire_by_manager_set(employees, fire)
+        salary_update_cursor(employees, newsal)
+        apply_parallel(method, instance, receivers)
+        decide_key_order_independence(scenario_b_method())
+    categories = {s.category for s in tracer.spans}
+    assert {"sqlsim", "parallel", "engine", "decision", "chase"} <= (
+        categories
+    )
+    assert validate_chrome_trace(chrome_trace(tracer)) == []
