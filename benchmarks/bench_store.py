@@ -1,0 +1,258 @@
+"""Experiment: the transactional versioned store (``repro.store``).
+
+Three series, written to ``BENCH_store.json``:
+
+* ``store.commit_throughput[w{N}]`` — wall time for a fixed batch of
+  update-(B') transactions over disjoint receiver slices, committed
+  from 1 vs N worker threads.  All slices write ``Employee.salary``, so
+  every commit after the first conflicts at relation granularity — the
+  deterministic-replay path resolves them all without a single abort,
+  and more workers must not serialize.
+* ``store.abort_rate.*`` — aborts per transaction for *fully
+  overlapping* batches with the commutativity machinery on vs off.
+  Update (B') is provably order independent (Theorem 5.12), so the
+  commutativity store commits every batch with zero aborts; the naive
+  store aborts whatever overlaps and pays the retry.
+* ``store.replay[n{L}]`` — :func:`repro.store.recovery.recover` wall
+  time as the WAL grows to ``L`` committed transactions; a final point
+  shows checkpoint + compaction flattening the curve.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import company_instance_and_receivers, record_timing
+from benchmarks.harness import best_of, measure
+from repro.core.sequential import apply_sequence
+from repro.obs.metrics import global_registry
+from repro.objrel.mapping import instance_to_database
+from repro.relational.delta import RelationDelta
+from repro.sqlsim.scenarios import scenario_b_method
+from repro.sqlsim.versioned_run import company_store, scenario_b_receivers
+from repro.store import (
+    TransactionConflict,
+    VersionedStore,
+    recover,
+    run_transaction,
+)
+
+EMPLOYEES = 64
+WORKERS = [1, 4]
+WAL_LENGTHS = [8, 32, 96]
+
+_UNIQUE = itertools.count()
+
+
+def _fresh_store(tmp_path, label, **kwargs):
+    name = f"{label}_{next(_UNIQUE)}.wal"
+    return company_store(
+        n_employees=EMPLOYEES, wal=str(tmp_path / name), **kwargs
+    )
+
+
+def _commit_batches(store, batches, workers):
+    """Commit each batch as one transaction from ``workers`` threads."""
+    import threading
+
+    method = scenario_b_method()
+    errors = []
+
+    def worker(chunk):
+        try:
+            for receivers in chunk:
+                run_transaction(
+                    store,
+                    lambda txn: txn.apply_method(method, receivers),
+                    retries=len(batches) + 2,
+                )
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    chunks = [batches[i::workers] for i in range(workers)]
+    threads = [
+        threading.Thread(target=worker, args=(chunk,))
+        for chunk in chunks
+        if chunk
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_commit_throughput(benchmark, tmp_path, workers):
+    store = _fresh_store(tmp_path, "throughput")
+    receivers = scenario_b_receivers(store)
+    batches = [receivers[i::8] for i in range(8)]
+
+    aborts = global_registry().counter("store.txn.aborts")
+    before = aborts.value
+    measure(
+        benchmark,
+        f"store.commit_throughput[w{workers}]",
+        lambda: _commit_batches(store, batches, workers),
+    )
+    # Every batch writes Employee.salary, so later commits conflict at
+    # relation granularity — replay resolves them all, abort-free.
+    assert aborts.value == before
+    # The head equals one sequential (B') pass over all receivers.
+    expected = apply_sequence(
+        scenario_b_method(), store.version(0).instance, receivers
+    )
+    assert (
+        store.head.database.fingerprints()
+        == instance_to_database(expected).fingerprints()
+    )
+    store.close()
+
+
+@pytest.mark.parametrize(
+    "commutativity, label", [(True, "commute"), (False, "naive")]
+)
+def test_abort_rate(benchmark, tmp_path, commutativity, label):
+    """Deterministic full overlap: every transaction begins before any
+    commits, so each one validates against all earlier commits."""
+    registry = global_registry()
+    aborts = registry.counter("store.txn.aborts")
+    commits = registry.counter("store.txn.commits")
+    method = scenario_b_method()
+
+    def overlapping_run():
+        store = _fresh_store(
+            tmp_path, f"aborts_{label}", commutativity=commutativity
+        )
+        receivers = scenario_b_receivers(store)
+        txns = [store.begin() for _ in range(4)]
+        for txn in txns:
+            txn.apply_method(method, receivers)
+        for txn in txns:
+            try:
+                txn.commit()
+            except TransactionConflict:
+                run_transaction(
+                    store,
+                    lambda t: t.apply_method(method, receivers),
+                )
+        store.close()
+
+    before_aborts, before_commits = aborts.value, commits.value
+    measure(benchmark, f"store.abort_rate.{label}", overlapping_run)
+    new_commits = commits.value - before_commits
+    rate = (aborts.value - before_aborts) / max(1, new_commits)
+    record_timing(f"store.abort_rate.{label}.per_commit", rate)
+    if commutativity:
+        # Theorem 5.12 proves (B') order independent: overlap commits
+        # through the commute/replay paths, never by abort-and-retry.
+        assert aborts.value == before_aborts
+    else:
+        assert aborts.value > before_aborts
+
+
+def test_commutativity_beats_naive_on_overlap(tmp_path):
+    """Acceptance: the same fully-overlapping schedule aborts under the
+    naive store and commits abort-free under commutativity resolution —
+    landing on the same final state."""
+    method = scenario_b_method()
+    aborts = global_registry().counter("store.txn.aborts")
+
+    def run(commutativity, label):
+        store = _fresh_store(tmp_path, label, commutativity=commutativity)
+        receivers = scenario_b_receivers(store)
+        first = store.begin()
+        second = store.begin()
+        first.apply_method(method, receivers)
+        second.apply_method(method, receivers)
+        first.commit()
+        before = aborts.value
+        conflicted = False
+        try:
+            second.commit()
+        except TransactionConflict:
+            conflicted = True
+            run_transaction(
+                store, lambda t: t.apply_method(method, receivers)
+            )
+        head = store.head
+        store.close()
+        return conflicted, aborts.value - before, head
+
+    naive_conflicted, naive_aborts, naive_head = run(False, "ov_naive")
+    commute_conflicted, commute_aborts, commute_head = run(
+        True, "ov_commute"
+    )
+    assert naive_conflicted and naive_aborts > 0
+    assert not commute_conflicted and commute_aborts == 0
+    # Identical batches agree on the final state however they commit.
+    assert (
+        naive_head.database.fingerprints()
+        == commute_head.database.fingerprints()
+    )
+
+
+def _toggle_deltas(instance, length):
+    """``length`` change sets that each really change the state.
+
+    One employee's salary set gains/loses two existing ``Money``
+    objects alternately, so every commit normalizes non-empty and
+    produces exactly one WAL record."""
+    employee = sorted(instance.objects_of_class("Employee"))[0]
+    first, second = sorted(instance.objects_of_class("Money"))[:2]
+    deltas = []
+    for index in range(length):
+        gain = (first, second)[index % 2]
+        lose = (first, second)[(index + 1) % 2]
+        deltas.append(
+            {
+                "Employee.salary": RelationDelta(
+                    frozenset({(employee, gain)}),
+                    frozenset({(employee, lose)}),
+                )
+            }
+        )
+    return deltas
+
+
+@pytest.mark.parametrize("length", WAL_LENGTHS)
+def test_replay_time(benchmark, tmp_path, length):
+    _, _, instance, _ = company_instance_and_receivers(EMPLOYEES)
+    path = str(tmp_path / f"replay_{length}.wal")
+    store = VersionedStore(instance=instance, wal=path)
+    for delta in _toggle_deltas(instance, length):
+        store.commit_changes(delta)
+    assert store.head.version == length
+    store.close()
+
+    state = measure(
+        benchmark, f"store.replay[n{length}]", lambda: recover(path)
+    )
+    assert state.clean
+    assert state.version == length
+    assert (
+        state.database.fingerprints()
+        == store.head.database.fingerprints()
+    )
+
+
+def test_replay_after_checkpoint_is_flat(tmp_path):
+    """Checkpoint + compaction makes replay O(checkpoint), not O(log)."""
+    length = WAL_LENGTHS[-1]
+    _, _, instance, _ = company_instance_and_receivers(EMPLOYEES)
+    path = str(tmp_path / "replay_ckpt.wal")
+    store = VersionedStore(instance=instance, wal=path)
+    for delta in _toggle_deltas(instance, length):
+        store.commit_changes(delta)
+    long_replay = best_of(lambda: recover(path), repetitions=3)
+    store.checkpoint(compact=True)
+    store.close()
+
+    flat_replay = best_of(lambda: recover(path), repetitions=3)
+    record_timing("store.replay.uncompacted", long_replay)
+    record_timing("store.replay.compacted", flat_replay)
+    state = recover(path)
+    assert state.version == length
+    assert state.commits_applied == 0  # everything folded into the
+    # checkpoint; replay starts (and ends) at the snapshot record.

@@ -38,13 +38,30 @@ def pytest_sessionfinish(session, exitstatus):
     from repro.obs.export import metrics_dump, write_metrics
     from repro.obs.metrics import global_registry
 
-    path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
-    document = metrics_dump(
-        {name: values for name, values in _SERIES.items()},
-        registry=global_registry(),
-        suite="benchmarks",
-    )
-    write_metrics(path, document)
+    # Store-subsystem series (bench_store.py, all named ``store.*``) go
+    # to their own artifact; everything else stays in the engine dump.
+    store_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name.startswith("store.")
+    }
+    engine_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name not in store_series
+    }
+    if engine_series:
+        path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+        document = metrics_dump(
+            engine_series, registry=global_registry(), suite="benchmarks"
+        )
+        write_metrics(path, document)
+    if store_series:
+        path = os.environ.get("BENCH_STORE_JSON", "BENCH_store.json")
+        document = metrics_dump(
+            store_series, registry=global_registry(), suite="store"
+        )
+        write_metrics(path, document)
 
 
 def chain_instance(length: int) -> Instance:

@@ -97,4 +97,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from repro.obs.cli import run_traced
+
+    run_traced(main, "example.engine_explain")

@@ -75,4 +75,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from repro.obs.cli import run_traced
+
+    run_traced(main, "example.extended_model")

@@ -98,4 +98,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from repro.obs.cli import run_traced
+
+    run_traced(main, "example.salary_updates")

@@ -89,7 +89,7 @@ def main() -> None:
 
     print(f"fired {fired}, updated {updated} employees")
     print()
-    print(render_tree(tracer, max_events=3))
+    print(render_tree(tracer, max_events=3, self_time=True))
 
     trace = write_chrome_trace(tracer, TRACE_PATH)
     problems = validate_chrome_trace(trace)
@@ -115,4 +115,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from repro.obs.cli import run_traced
+
+    run_traced(main, "example.tracing_demo")

@@ -31,10 +31,12 @@ from repro.obs.export import (
     merge_metrics,
     metrics_dump,
     render_tree,
+    self_time_rollup,
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.cli import run_traced
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -63,6 +65,8 @@ __all__ = [
     "merge_metrics",
     "metrics_dump",
     "render_tree",
+    "run_traced",
+    "self_time_rollup",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics",

@@ -1,0 +1,70 @@
+"""``--trace`` support for the example scripts.
+
+Every ``examples/`` entry point funnels its ``main()`` through
+:func:`run_traced`, which recognises a trailing ``--trace [PATH]``
+flag:
+
+* absent — ``main()`` runs untouched (the no-op fast path costs one
+  global check per instrumented call site);
+* ``--trace`` — the run happens under an installed
+  :class:`~repro.obs.tracer.Tracer`, and the span tree is printed
+  afterwards with self-time rollups;
+* ``--trace out.json`` — additionally dumps a Chrome ``trace_event``
+  file loadable in ``about://tracing`` / Perfetto.
+
+The flag is parsed with ``parse_known_args`` so examples keep their own
+argument handling (none of them currently take arguments, but the hook
+must not steal anything that is not ours).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable, List, Optional
+
+from repro.obs.export import render_tree, write_chrome_trace
+from repro.obs.tracer import tracing
+
+
+def run_traced(
+    main: Callable[[], Any],
+    name: str,
+    argv: Optional[List[str]] = None,
+) -> Any:
+    """Run an example's ``main`` with optional ``--trace [PATH]``.
+
+    Returns whatever ``main`` returns.  ``argv`` defaults to
+    ``sys.argv[1:]``; unrecognised arguments are left alone.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trace the run; print the span tree with self-time "
+            "rollups, and write a Chrome trace_event JSON to PATH "
+            "when given"
+        ),
+    )
+    args, _ = parser.parse_known_args(
+        sys.argv[1:] if argv is None else argv
+    )
+    if args.trace is None:
+        return main()
+    with tracing() as tracer:
+        with tracer.span(name, category="example"):
+            result = main()
+    print()
+    print(f"=== trace: {name} ===")
+    print(render_tree(tracer, self_time=True))
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(f"chrome trace written to {args.trace}")
+    return result
+
+
+__all__ = ["run_traced"]

@@ -42,12 +42,18 @@ def _format_args(args: Mapping[str, Any]) -> str:
 
 
 def _render_span(
-    span: Span, indent: int, lines: List[str], max_events: int
+    span: Span,
+    indent: int,
+    lines: List[str],
+    max_events: int,
+    self_time: bool,
 ) -> None:
     pad = "  " * indent
     duration = (
         f"{span.duration_ms:.3f} ms" if span.finished else "open"
     )
+    if self_time and span.finished and span.children:
+        duration += f" (self {span.self_time_ms:.3f} ms)"
     lines.append(
         f"{pad}{span.name} [{span.category}]  {duration}"
         f"{_format_args(span.args)}"
@@ -59,14 +65,64 @@ def _render_span(
     if hidden > 0:
         lines.append(f"{pad}  * ... {hidden} more event(s)")
     for child in span.children:
-        _render_span(child, indent + 1, lines, max_events)
+        _render_span(child, indent + 1, lines, max_events, self_time)
 
 
-def render_tree(tracer: Tracer, max_events: int = 8) -> str:
-    """The tracer's span forest as an indented text tree."""
+def self_time_rollup(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Aggregate self time per span name, heaviest first.
+
+    Self time is each span's duration minus its finished children —
+    where the program *itself* spent the wall clock, as opposed to
+    inclusive durations, which double-count nested work.  Rows carry
+    ``name``, ``category``, ``count``, ``self_ms`` and ``total_ms``.
+    """
+    table: Dict[tuple, Dict[str, Any]] = {}
+    for span in tracer.spans:
+        if not span.finished:
+            continue
+        row = table.setdefault(
+            (span.name, span.category),
+            {
+                "name": span.name,
+                "category": span.category,
+                "count": 0,
+                "self_ms": 0.0,
+                "total_ms": 0.0,
+            },
+        )
+        row["count"] += 1
+        row["self_ms"] += span.self_time_ms
+        row["total_ms"] += span.duration_ms
+    return sorted(
+        table.values(), key=lambda row: -row["self_ms"]
+    )
+
+
+def render_tree(
+    tracer: Tracer, max_events: int = 8, self_time: bool = False
+) -> str:
+    """The tracer's span forest as an indented text tree.
+
+    With ``self_time``, spans that have children also show their own
+    (exclusive) time, and a per-name rollup table — the flat profile of
+    where the wall clock actually went — is appended below the tree.
+    """
     lines: List[str] = []
     for root in tracer.roots:
-        _render_span(root, 0, lines, max_events)
+        _render_span(root, 0, lines, max_events, self_time)
+    if self_time:
+        rollup = self_time_rollup(tracer)
+        if rollup:
+            lines.append("")
+            lines.append("self time by span:")
+            width = max(len(row["name"]) for row in rollup)
+            for row in rollup:
+                lines.append(
+                    f"  {row['name']:<{width}}  "
+                    f"x{row['count']:<5d} "
+                    f"self {row['self_ms']:10.3f} ms   "
+                    f"total {row['total_ms']:10.3f} ms"
+                )
     return "\n".join(lines)
 
 
@@ -269,11 +325,27 @@ def merge_metrics(
 _IO_LOCK = threading.Lock()
 
 
+def _quarantine(path: str) -> None:
+    """Move a corrupt metrics file aside (``<path>.corrupt``), best-effort.
+
+    A benchmark run must never die because a previous run (or a partial
+    CI upload) left garbage behind — the history is an accumulator, not
+    a dependency.  The bad bytes are preserved next door for forensics.
+    """
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        pass
+
+
 def write_metrics(path: str, document: Mapping[str, Any]) -> Dict[str, Any]:
     """Merge ``document`` into the file at ``path`` and rewrite it.
 
     Reads any existing dump first (schema'd or legacy flat) and merges
-    series by key, so the file accumulates values across runs.
+    series by key, so the file accumulates values across runs.  An
+    existing file that is truncated, unparsable, or structurally not a
+    metrics document is backed up to ``<path>.corrupt`` and the history
+    restarts from this run instead of raising.
     """
     with _IO_LOCK:
         existing: Optional[Dict[str, Any]] = None
@@ -281,9 +353,21 @@ def write_metrics(path: str, document: Mapping[str, Any]) -> Dict[str, Any]:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     existing = json.load(handle)
+                if not isinstance(existing, dict):
+                    raise ValueError(
+                        f"metrics file holds {type(existing).__name__}, "
+                        "expected an object"
+                    )
             except (OSError, ValueError):
-                existing = None  # unreadable history: start over
-        merged = merge_metrics(existing, document)
+                existing = None
+                _quarantine(path)
+        try:
+            merged = merge_metrics(existing, document)
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Parsable JSON object, but not shaped like a metrics dump
+            # (e.g. series entries that are not objects).
+            _quarantine(path)
+            merged = merge_metrics(None, document)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(merged, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -82,6 +82,24 @@ class Span:
         return self.duration_ns / 1e6
 
     @property
+    def self_time_ns(self) -> int:
+        """Time spent in this span minus its finished children.
+
+        Children running on *other* threads (via :meth:`Tracer.wrap`)
+        overlap their parent's wall clock, so concurrent batches can
+        push the naive subtraction below zero — clamped to 0, meaning
+        "fully accounted for by children".
+        """
+        child_ns = sum(
+            child.duration_ns for child in self.children if child.finished
+        )
+        return max(0, self.duration_ns - child_ns)
+
+    @property
+    def self_time_ms(self) -> float:
+        return self.self_time_ns / 1e6
+
+    @property
     def finished(self) -> bool:
         return self.end_ns is not None
 

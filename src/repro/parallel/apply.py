@@ -27,7 +27,7 @@ from repro.core.signature import MethodSignature
 from repro.graph.instance import Instance, Obj
 from repro.objrel.mapping import instance_to_database, property_relation_name
 from repro.parallel.transform import REC, par_transform, rec_schema
-from repro.relational.algebra import Expr, Rename
+from repro.relational.algebra import Expr, Rel, Rename, walk
 from repro.relational.database import Database
 from repro.relational.delta import RelationDelta
 from repro.relational.engine import EngineCache, QueryEngine
@@ -104,25 +104,45 @@ def receiver_value_positions(relation: Relation) -> Tuple[int, int]:
     return self_position, 1 - self_position
 
 
-def apply_parallel(
+def method_read_relations(
+    method: AlgebraicUpdateMethod,
+) -> FrozenSet[str]:
+    """The base relations an ``M_par`` application reads.
+
+    The relation names referenced by the ``par``-transformed statement
+    bodies (minus the transaction-local ``rec`` binding) plus the target
+    class extents consulted by the well-typedness check — the *read set*
+    the optimistic transactions of :mod:`repro.store.txn` validate
+    against concurrent writers.
+    """
+    names: Set[str] = set()
+    for label in method.updated_properties:
+        expr = parallel_statement_expression(method, label)
+        for node in walk(expr):
+            if isinstance(node, Rel):
+                names.add(node.name)
+        names.add(method.object_schema.edge(label).target)
+    names.discard(REC)
+    return frozenset(names)
+
+
+def parallel_changes(
     method: AlgebraicUpdateMethod,
     instance: Instance,
     receivers: Iterable[Receiver],
     cache: Optional[EngineCache] = None,
     max_workers: Optional[int] = None,
-) -> Instance:
-    """``M_par(I, T)`` (Definition 6.2).
+) -> Tuple[Instance, Dict[str, RelationDelta]]:
+    """``M_par(I, T)`` plus the relational change set it induces.
 
-    Pass a shared ``cache`` when applying several ``M_par`` across
-    related states: subtrees whose base relations kept their content
-    fingerprints are re-served instead of re-evaluated.
-
-    The statements of ``M_par`` are independent by definition
-    (simultaneous semantics), so with ``max_workers > 1`` they are
-    evaluated by a thread pool; worker spans nest under the batch span
-    via :meth:`~repro.obs.tracer.Tracer.wrap`.  Workers share the
-    engine's memo — a subtree raced by two statements is at worst
-    computed twice (both arrive at the same relation), never wrongly.
+    Returns ``(new_instance, changes)`` where ``changes`` maps property
+    relation names (``C.a``) to the exact
+    :class:`~repro.relational.delta.RelationDelta` of the transition —
+    normalized (insertions absent before, deletions present before), so
+    ``instance_to_database(instance).apply_delta(changes)`` equals
+    ``instance_to_database(new_instance)``.  This is the write-set
+    vocabulary the versioned store logs and validates; ``apply_parallel``
+    is this function with the change set dropped.
     """
     receivers = list(receivers)
     labels = method.updated_properties
@@ -186,12 +206,76 @@ def apply_parallel(
 
         receiving_objects = {r.receiving_object for r in receivers}
         result = instance
+        schema = method.object_schema
+        changes: Dict[str, RelationDelta] = {}
         for label, by_receiver in updates.items():
+            inserted: Set[Tuple[Obj, Obj]] = set()
+            deleted: Set[Tuple[Obj, Obj]] = set()
             for obj in receiving_objects:
-                result = result.replace_property(
-                    obj, label, by_receiver.get(obj, ())
+                values = frozenset(by_receiver.get(obj, ()))
+                old_values = instance.property_values(obj, label)
+                result = result.replace_property(obj, label, values)
+                inserted.update((obj, v) for v in values - old_values)
+                deleted.update((obj, v) for v in old_values - values)
+            if inserted or deleted:
+                changes[property_relation_name(schema, label)] = (
+                    RelationDelta(frozenset(inserted), frozenset(deleted))
                 )
-    return result
+        batch.set(changed_relations=len(changes))
+    return result, changes
+
+
+def apply_parallel(
+    method: AlgebraicUpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    cache: Optional[EngineCache] = None,
+    max_workers: Optional[int] = None,
+) -> Instance:
+    """``M_par(I, T)`` (Definition 6.2).
+
+    Pass a shared ``cache`` when applying several ``M_par`` across
+    related states: subtrees whose base relations kept their content
+    fingerprints are re-served instead of re-evaluated.
+
+    The statements of ``M_par`` are independent by definition
+    (simultaneous semantics), so with ``max_workers > 1`` they are
+    evaluated by a thread pool; worker spans nest under the batch span
+    via :meth:`~repro.obs.tracer.Tracer.wrap`.  Workers share the
+    engine's memo — a subtree raced by two statements is at worst
+    computed twice (both arrive at the same relation), never wrongly.
+    """
+    return parallel_changes(
+        method, instance, receivers, cache=cache, max_workers=max_workers
+    )[0]
+
+
+def apply_parallel_transactional(
+    store,
+    method: AlgebraicUpdateMethod,
+    receivers: Iterable[Receiver],
+    max_workers: Optional[int] = None,
+    retries: int = 5,
+):
+    """Apply a receiver batch as one transaction against a versioned store.
+
+    Begins an optimistic transaction on ``store``
+    (a :class:`~repro.store.versioned.VersionedStore`), applies
+    ``M_par(I, T)`` through it, and commits — retrying with backoff when
+    the commit conflicts with a concurrent writer and the store's
+    commutativity machinery cannot resolve it.  Returns the committed
+    :class:`~repro.store.versioned.Version`.
+    """
+    from repro.store.txn import run_transaction
+
+    receivers = list(receivers)
+    _, version = run_transaction(
+        store,
+        lambda txn: txn.apply_method(method, receivers),
+        retries=retries,
+        max_workers=max_workers,
+    )
+    return version
 
 
 def apply_sequence_incremental(

@@ -33,6 +33,13 @@ from repro.sqlsim.scenarios import (
     scenario_c_method,
     tables_to_instance,
 )
+from repro.sqlsim.versioned_run import (
+    company_store,
+    run_scenario_b,
+    run_scenario_c,
+    salaries,
+    scenario_b_receivers,
+)
 
 __all__ = [
     "Table",
@@ -56,4 +63,9 @@ __all__ = [
     "scenario_b_method",
     "scenario_b_receiver_query",
     "scenario_c_method",
+    "company_store",
+    "run_scenario_b",
+    "run_scenario_c",
+    "salaries",
+    "scenario_b_receivers",
 ]

@@ -1,0 +1,437 @@
+"""Copy-on-write MVCC store over ``Database``/``Instance`` states.
+
+A :class:`VersionedStore` holds an immutable chain of
+:class:`Version` objects.  Committing never mutates anything: a new
+version's database shares every unchanged relation (and its cached
+content fingerprint) with its parent through
+:meth:`~repro.relational.database.Database.apply_delta`, so concurrent
+readers pin snapshots without blocking writers, and writers pay only
+for the relations they touch.
+
+Versions are keyed two ways:
+
+* by a **monotonically increasing version number** — the commit order,
+  what the write-ahead log records and recovery replays; and
+* by the **content fingerprints** of their relations (PR 2) — the
+  engine-cache key.  All engines handed out by the store share one
+  :class:`~repro.relational.engine.EngineCache`, so a subtree evaluated
+  at version ``n`` is re-served at version ``n+k`` whenever its base
+  relations kept their fingerprints: memoized query work survives
+  across the whole version chain.
+
+Durability rides on :mod:`repro.store.wal`: when the store owns a log,
+every commit appends its normalized change set *before* the in-memory
+chain advances (write-ahead), and :meth:`VersionedStore.checkpoint`
+snapshots the head so :func:`repro.store.recovery.recover` replays a
+bounded suffix.  Transactions (:mod:`repro.store.txn`) layer optimistic
+concurrency control — including the paper's commutativity machinery —
+on top of :meth:`begin`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.graph.instance import Edge, Instance
+from repro.graph.schema import Schema
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
+from repro.objrel.mapping import (
+    database_to_instance,
+    instance_to_database,
+    property_relation_name,
+)
+from repro.relational.database import Database
+from repro.relational.delta import RelationDelta, normalize_changes
+from repro.relational.engine import EngineCache, QueryEngine
+from repro.store.wal import WriteAheadLog
+
+
+class StoreError(ValueError):
+    """Raised on misuse of the versioned store."""
+
+
+@dataclass(frozen=True)
+class MethodApplication:
+    """One recorded update-method application: ``M_par(I, T)``.
+
+    Versions carry the applications that produced them so the commit
+    protocol can reason *semantically*: two transactions whose versions
+    were produced by a provably order-independent method commute even
+    when their read and write sets overlap.
+    """
+
+    method: Any  # AlgebraicUpdateMethod; typed loosely to avoid cycles
+    receivers: Tuple
+
+    @property
+    def method_name(self) -> str:
+        return self.method.name
+
+
+@dataclass(frozen=True)
+class Version:
+    """One immutable committed state of the store."""
+
+    version: int
+    database: Database
+    instance: Optional[Instance]
+    changes: Mapping[str, RelationDelta]
+    """The normalized delta from the parent version (empty for the root)."""
+
+    operations: Tuple[MethodApplication, ...] = ()
+    """The method applications whose effects this version commits."""
+
+    txn_id: Optional[int] = None
+
+    def fingerprints(self) -> Dict[str, int]:
+        """Per-relation content fingerprints — the engine-cache key."""
+        return self.database.fingerprints()
+
+    @property
+    def written_relations(self) -> frozenset:
+        return frozenset(self.changes)
+
+
+@dataclass
+class Snapshot:
+    """A pinned, immutable view of one version.
+
+    Snapshots are how readers interact with the store: everything they
+    can reach is immutable, so no lock is held while one is open.
+    ``release`` drops the pin (pins only matter to :meth:`VersionedStore.prune`).
+    """
+
+    store: "VersionedStore"
+    at: Version
+    _released: bool = field(default=False, repr=False)
+
+    @property
+    def version(self) -> int:
+        return self.at.version
+
+    @property
+    def database(self) -> Database:
+        return self.at.database
+
+    @property
+    def instance(self) -> Optional[Instance]:
+        return self.at.instance
+
+    def engine(self) -> QueryEngine:
+        """A query engine bound to this snapshot, sharing the store cache."""
+        return self.store.engine(self.at)
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.store._unpin(self.at.version)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.release()
+        return False
+
+
+def _advance_instance(
+    instance: Instance, changes: Mapping[str, RelationDelta]
+) -> Optional[Instance]:
+    """``instance`` with a property-edge change set applied, or ``None``
+    when the changes touch class extents (full reconstruction needed)."""
+    schema: Schema = instance.schema
+    property_names = {
+        property_relation_name(schema, edge.label): edge.label
+        for edge in schema.edges
+    }
+    if not set(changes) <= set(property_names):
+        return None
+    added: List[Edge] = []
+    removed: List[Edge] = []
+    for name, delta in changes.items():
+        label = property_names[name]
+        added.extend(Edge(s, label, t) for s, t in delta.inserted)
+        removed.extend(Edge(s, label, t) for s, t in delta.deleted)
+    return instance.without_edges(removed).with_edges(added)
+
+
+class VersionedStore:
+    """The MVCC object-base store.
+
+    Parameters
+    ----------
+    instance:
+        Seed the store from an object-base instance (the relational
+        state is derived via ``instance_to_database`` and both views are
+        maintained in step).
+    database:
+        Seed from a bare relational state (no instance view).
+    wal:
+        A :class:`~repro.store.wal.WriteAheadLog` (or a path string to
+        open one).  When present, commits are logged write-ahead and a
+        checkpoint of the seed state is appended on construction if the
+        log is empty.
+    cache:
+        The shared :class:`EngineCache`; created when omitted.  Every
+        engine the store hands out uses it, so memoized subtrees flow
+        across versions by fingerprint.
+    commutativity:
+        Whether transactions may use the paper's order-independence
+        machinery to commit through conflicts (see
+        :mod:`repro.store.txn`).  Off = naive abort-on-overlap.
+    """
+
+    def __init__(
+        self,
+        instance: Optional[Instance] = None,
+        database: Optional[Database] = None,
+        wal: Optional[WriteAheadLog] = None,
+        cache: Optional[EngineCache] = None,
+        commutativity: bool = True,
+        durability: str = "flush",
+    ) -> None:
+        if (instance is None) == (database is None):
+            raise StoreError(
+                "seed the store with exactly one of instance= or database="
+            )
+        if instance is not None:
+            database = instance_to_database(instance)
+        if isinstance(wal, str):
+            wal = WriteAheadLog(wal, durability=durability)
+        self.wal = wal
+        self.cache = cache if cache is not None else EngineCache()
+        self.commutativity = commutativity
+        self._lock = threading.RLock()
+        self._pins: Dict[int, int] = {}
+        self._next_txn_id = 0
+        root = Version(
+            version=0,
+            database=database,
+            instance=instance,
+            changes={},
+        )
+        self._versions: List[Version] = [root]
+        self._by_id: Dict[int, Version] = {0: root}
+        if self.wal is not None and self.wal.next_lsn == 0:
+            self.wal.append_checkpoint(0, database)
+        global_registry().gauge("store.versions").set_max(1)
+
+    # -- construction from a log ---------------------------------------
+    @classmethod
+    def from_wal(
+        cls,
+        path: str,
+        schema: Optional[Schema] = None,
+        cache: Optional[EngineCache] = None,
+        commutativity: bool = True,
+        durability: str = "flush",
+    ) -> "VersionedStore":
+        """Recover the head state from ``path`` and attach to the log.
+
+        The torn tail (if any) is truncated, the latest checkpoint plus
+        subsequent commits replay into the head database, and the store
+        resumes committing at the recovered version.  Pass ``schema`` to
+        rebuild the object-base instance view as well.
+        """
+        from repro.store.recovery import recover
+
+        state = recover(path, truncate=True)
+        if state.database is None:
+            raise StoreError(f"log {path!r} holds no recoverable state")
+        instance = (
+            database_to_instance(state.database, schema)
+            if schema is not None
+            else None
+        )
+        store = cls.__new__(cls)
+        store.wal = WriteAheadLog(path, durability=durability)
+        store.cache = cache if cache is not None else EngineCache()
+        store.commutativity = commutativity
+        store._lock = threading.RLock()
+        store._pins = {}
+        store._next_txn_id = 0
+        root = Version(
+            version=state.version,
+            database=state.database,
+            instance=instance,
+            changes={},
+        )
+        store._versions = [root]
+        store._by_id = {root.version: root}
+        global_registry().gauge("store.versions").set_max(1)
+        return store
+
+    # -- reading -------------------------------------------------------
+    @property
+    def head(self) -> Version:
+        with self._lock:
+            return self._versions[-1]
+
+    @property
+    def versions(self) -> Tuple[Version, ...]:
+        with self._lock:
+            return tuple(self._versions)
+
+    def version(self, number: int) -> Version:
+        with self._lock:
+            found = self._by_id.get(number)
+        if found is None:
+            raise StoreError(f"version {number} is unknown (pruned?)")
+        return found
+
+    def versions_after(self, number: int) -> List[Version]:
+        """Versions committed strictly after ``number`` (commit order)."""
+        with self._lock:
+            return [v for v in self._versions if v.version > number]
+
+    def snapshot(self, at: Optional[int] = None) -> Snapshot:
+        """Pin a version (the head by default) for reading."""
+        with self._lock:
+            version = (
+                self._versions[-1] if at is None else self.version(at)
+            )
+            self._pins[version.version] = (
+                self._pins.get(version.version, 0) + 1
+            )
+        global_registry().counter("store.snapshots").inc()
+        return Snapshot(self, version)
+
+    def _unpin(self, number: int) -> None:
+        with self._lock:
+            count = self._pins.get(number, 0) - 1
+            if count <= 0:
+                self._pins.pop(number, None)
+            else:
+                self._pins[number] = count
+
+    def engine(self, at: Optional[Version] = None) -> QueryEngine:
+        """A query engine over ``at`` (default head), sharing the cache."""
+        version = at if at is not None else self.head
+        return QueryEngine(version.database, cache=self.cache)
+
+    # -- writing -------------------------------------------------------
+    def _allocate_txn_id(self) -> int:
+        with self._lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        return txn_id
+
+    def commit_changes(
+        self,
+        changes: Mapping[str, RelationDelta],
+        instance: Optional[Instance] = None,
+        operations: Iterable[MethodApplication] = (),
+        txn_id: Optional[int] = None,
+    ) -> Version:
+        """Commit a change set against the current head (low-level).
+
+        Normalizes ``changes`` against the head database, logs them
+        write-ahead (when a WAL is attached), then publishes the new
+        version.  If the log append raises — a crash, real or injected —
+        the in-memory chain does **not** advance: the commit either
+        becomes durable as one whole record or never happened.
+
+        Transactions go through :meth:`begin` instead, which layers
+        conflict detection on top; ``commit_changes`` is the primitive
+        they (and recovery tooling) share.
+        """
+        with self._lock:
+            head = self._versions[-1]
+            effective = normalize_changes(head.database, changes)
+            if not effective:
+                return head
+            number = head.version + 1
+            if self.wal is not None:
+                self.wal.append_commit(number, effective, txn_id=txn_id)
+            database = head.database.apply_delta(effective)
+            new_instance: Optional[Instance] = instance
+            if new_instance is None and head.instance is not None:
+                new_instance = _advance_instance(head.instance, effective)
+                if new_instance is None:
+                    new_instance = database_to_instance(
+                        database, head.instance.schema
+                    )
+            version = Version(
+                version=number,
+                database=database,
+                instance=new_instance,
+                changes=effective,
+                operations=tuple(operations),
+                txn_id=txn_id,
+            )
+            self._versions.append(version)
+            self._by_id[number] = version
+            registry = global_registry()
+            registry.counter("store.commits").inc()
+            registry.gauge("store.versions").set_max(len(self._versions))
+        trace.event(
+            "store.version_committed",
+            category="store",
+            version=version.version,
+            relations=len(effective),
+        )
+        return version
+
+    def begin(self, max_workers: Optional[int] = None):
+        """Start an optimistic transaction pinned to the current head."""
+        from repro.store.txn import Transaction
+
+        return Transaction(self, max_workers=max_workers)
+
+    # -- maintenance ---------------------------------------------------
+    def checkpoint(self, compact: bool = False) -> Version:
+        """Snapshot the head into the WAL; optionally drop older records."""
+        if self.wal is None:
+            raise StoreError("store has no write-ahead log to checkpoint")
+        with self._lock:
+            head = self._versions[-1]
+            self.wal.append_checkpoint(head.version, head.database)
+        if compact:
+            self.wal.compact()
+        return head
+
+    def prune(self, keep: int = 1) -> int:
+        """Drop old unpinned versions, keeping at least ``keep`` newest.
+
+        Pinned versions (open snapshots) always survive.  Returns the
+        number of versions dropped.  The WAL is untouched — pruning
+        bounds memory, checkpoint+compact bounds the log.
+        """
+        if keep < 1:
+            raise StoreError("must keep at least the head version")
+        with self._lock:
+            if len(self._versions) <= keep:
+                return 0
+            cut = len(self._versions) - keep
+            kept: List[Version] = []
+            dropped = 0
+            for index, version in enumerate(self._versions):
+                if index < cut and version.version not in self._pins:
+                    self._by_id.pop(version.version, None)
+                    dropped += 1
+                else:
+                    kept.append(version)
+            self._versions = kept
+        return dropped
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "VersionedStore":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

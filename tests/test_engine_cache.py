@@ -379,3 +379,119 @@ class TestTableRelationCache:
         assert database.relation("T") is table_relation(
             table, cache=cache
         )
+
+
+# ----------------------------------------------------------------------
+# Δ accounting property (hypothesis)
+# ----------------------------------------------------------------------
+def _interned_dag(node):
+    """Every distinct interned node reachable from ``node``."""
+    from repro.relational.algebra import children
+
+    seen = {}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen[id(current)] = current
+        stack.extend(children(current))
+    return list(seen.values())
+
+
+@st.composite
+def change_sets(draw):
+    """Random insert/delete sets over E and U (possibly no-ops)."""
+    changes = {}
+    if draw(st.booleans()):
+        changes["E"] = RelationDelta(
+            inserted=frozenset(
+                draw(
+                    st.sets(
+                        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                        max_size=3,
+                    )
+                )
+            ),
+            deleted=frozenset(
+                draw(
+                    st.sets(
+                        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                        max_size=3,
+                    )
+                )
+            ),
+        )
+    if draw(st.booleans()):
+        changes["U"] = RelationDelta(
+            inserted=frozenset(
+                draw(st.sets(st.tuples(st.integers(0, 3)), max_size=2))
+            ),
+            deleted=frozenset(
+                draw(st.sets(st.tuples(st.integers(0, 3)), max_size=2))
+            ),
+        )
+    return changes
+
+
+class TestDeltaAccountingProperty:
+    @given(engine_expressions(), databases(), change_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_counters_account_for_every_changed_node(
+        self, expr, database, changes
+    ):
+        """Exactly one fast-path *or* fallback increment per distinct
+        interned non-Rel node whose subtree touches a changed relation —
+        and the Δ result equals full re-evaluation of the new state."""
+        from repro.relational.algebra import Rel as RelNode
+
+        cache = EngineCache()
+        engine = QueryEngine(database, cache=cache)
+        engine.evaluate(expr)
+
+        before = (
+            engine.stats.delta_fast_paths + engine.stats.delta_fallbacks
+        )
+        result = engine.delta_evaluate(expr, changes)
+        increments = (
+            engine.stats.delta_fast_paths
+            + engine.stats.delta_fallbacks
+            - before
+        )
+
+        changed = frozenset(normalize_changes(database, changes))
+        node = engine.intern(expr)
+        expected = [
+            n
+            for n in _interned_dag(node)
+            if not isinstance(n, RelNode)
+            and changed.intersection(cache.base_relations(n))
+        ]
+        assert increments == len(expected)
+        # Differential: Δ-propagation equals evaluating from scratch.
+        assert result == evaluate(expr, database.apply_delta(changes))
+
+    @given(engine_expressions(), databases(), change_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_holds_on_cold_engines(
+        self, expr, database, changes
+    ):
+        """The invariant is warmth-independent: a cold engine falls back
+        more, but fast + fallback still covers each changed node once."""
+        cache = EngineCache()
+        engine = QueryEngine(database, cache=cache)
+        result = engine.delta_evaluate(expr, changes)
+        total = (
+            engine.stats.delta_fast_paths + engine.stats.delta_fallbacks
+        )
+        from repro.relational.algebra import Rel as RelNode
+
+        changed = frozenset(normalize_changes(database, changes))
+        expected = [
+            n
+            for n in _interned_dag(engine.intern(expr))
+            if not isinstance(n, RelNode)
+            and changed.intersection(cache.base_relations(n))
+        ]
+        assert total == len(expected)
+        assert result == evaluate(expr, database.apply_delta(changes))

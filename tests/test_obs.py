@@ -36,7 +36,11 @@ from repro.obs import (
     validate_chrome_trace,
 )
 from repro.obs import tracer as trace
-from repro.obs.export import METRICS_SCHEMA, write_metrics
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    self_time_rollup,
+    write_metrics,
+)
 from repro.parallel.apply import apply_parallel
 from repro.relational.engine import QueryEngine
 from repro.sqlsim.scenarios import (
@@ -400,3 +404,172 @@ def test_layers_emit_spans_under_one_trace():
         categories
     )
     assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+
+# ----------------------------------------------------------------------
+# Self-time rollups (exclusive span time)
+# ----------------------------------------------------------------------
+def _layered_tracer():
+    tracer = Tracer()
+    with tracer.span("outer", category="t"):
+        with tracer.span("inner", category="t"):
+            pass
+        with tracer.span("inner", category="t"):
+            pass
+    return tracer
+
+
+def test_self_time_subtracts_finished_children():
+    tracer = _layered_tracer()
+    outer = tracer.roots[0]
+    children_ns = sum(child.duration_ns for child in outer.children)
+    assert outer.self_time_ns == outer.duration_ns - children_ns
+    assert outer.self_time_ns >= 0
+    for child in outer.children:
+        # Leaves own their entire duration.
+        assert child.self_time_ns == child.duration_ns
+        assert child.self_time_ms == pytest.approx(child.duration_ms)
+
+
+def test_self_time_of_running_span_raises_like_duration():
+    tracer = Tracer()
+    with tracer.span("outer", category="t") as outer:
+        with tracer.span("inner", category="t"):
+            pass
+        # Same contract as duration_ns: defined only once finished.
+        with pytest.raises(ValueError):
+            outer.self_time_ns
+
+
+def test_self_time_rollup_aggregates_by_name():
+    rows = self_time_rollup(_layered_tracer())
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["inner"]["count"] == 2
+    assert by_name["outer"]["count"] == 1
+    for row in rows:
+        assert row["self_ms"] <= row["total_ms"] + 1e-9
+    # Heaviest self time first.
+    assert [row["self_ms"] for row in rows] == sorted(
+        (row["self_ms"] for row in rows), reverse=True
+    )
+
+
+def test_rollup_self_times_partition_the_root_duration():
+    tracer = _layered_tracer()
+    rows = self_time_rollup(tracer)
+    total_self = sum(row["self_ms"] for row in rows)
+    assert total_self == pytest.approx(tracer.roots[0].duration_ms)
+
+
+def test_render_tree_self_time_annotations_and_table():
+    text = render_tree(_layered_tracer(), self_time=True)
+    # Parents show exclusive time inline; leaves do not.
+    outer_line = next(
+        line for line in text.splitlines() if line.startswith("outer")
+    )
+    assert "(self " in outer_line and outer_line.rstrip().endswith("ms)")
+    inner_line = next(
+        line
+        for line in text.splitlines()
+        if line.lstrip().startswith("inner")
+    )
+    assert "(self" not in inner_line
+    assert "self time by span:" in text
+    # Without the flag the tree stays as before.
+    plain = render_tree(_layered_tracer())
+    assert "(self" not in plain and "self time by span:" not in plain
+
+
+# ----------------------------------------------------------------------
+# write_metrics survives corrupt result files
+# ----------------------------------------------------------------------
+def test_write_metrics_quarantines_unparsable_json(tmp_path):
+    path = str(tmp_path / "BENCH_bad.json")
+    with open(path, "w") as handle:
+        handle.write('{"series": {truncated...')
+    document = write_metrics(path, metrics_dump({"x": 1.0}))
+    assert document["series"]["x"]["values"] == [1.0]
+    assert json.loads(open(path).read()) == document
+    backup = open(path + ".corrupt").read()
+    assert backup.startswith('{"series": {truncated')
+
+
+def test_write_metrics_quarantines_structurally_bad_json(tmp_path):
+    path = str(tmp_path / "BENCH_shape.json")
+    with open(path, "w") as handle:
+        json.dump([1, 2, 3], handle)  # parsable, but not a document
+    document = write_metrics(path, metrics_dump({"x": 2.0}))
+    assert document["series"]["x"]["values"] == [2.0]
+    assert json.loads(open(path + ".corrupt").read()) == [1, 2, 3]
+
+
+def test_write_metrics_quarantines_unmergeable_document(tmp_path):
+    path = str(tmp_path / "BENCH_merge.json")
+    with open(path, "w") as handle:
+        # A dict, so it survives parsing — but its series table is not
+        # a mapping, so merging raises inside merge_metrics.
+        json.dump({"schema": METRICS_SCHEMA, "series": 5}, handle)
+    document = write_metrics(path, metrics_dump({"x": 3.0}))
+    assert document["series"]["x"]["values"] == [3.0]
+    assert json.loads(open(path).read()) == document
+
+
+def test_write_metrics_still_merges_healthy_files(tmp_path):
+    path = str(tmp_path / "BENCH_ok.json")
+    write_metrics(path, metrics_dump({"x": 1.0}))
+    document = write_metrics(path, metrics_dump({"x": 2.0}))
+    assert document["series"]["x"]["values"] == [1.0, 2.0]
+    import os
+
+    assert not os.path.exists(path + ".corrupt")
+
+
+# ----------------------------------------------------------------------
+# run_traced (the examples' --trace flag)
+# ----------------------------------------------------------------------
+def test_run_traced_without_flag_is_passthrough(capsys):
+    from repro.obs.cli import run_traced
+
+    calls = []
+    result = run_traced(lambda: calls.append(1) or 42, "t", argv=[])
+    assert result == 42 and calls == [1]
+    assert "=== trace" not in capsys.readouterr().out
+
+
+def test_run_traced_prints_tree_with_self_time(capsys):
+    from repro.obs.cli import run_traced
+
+    def body():
+        with trace.span("work", category="t"):
+            pass
+        return "done"
+
+    result = run_traced(body, "example.t", argv=["--trace"])
+    out = capsys.readouterr().out
+    assert result == "done"
+    assert "=== trace: example.t ===" in out
+    assert "example.t [example]" in out
+    assert "work [t]" in out
+    assert "self time by span:" in out
+
+
+def test_run_traced_writes_chrome_trace(tmp_path, capsys):
+    from repro.obs.cli import run_traced
+
+    path = str(tmp_path / "trace.json")
+    run_traced(lambda: None, "example.t", argv=["--trace", path])
+    trace_doc = json.loads(open(path).read())
+    assert validate_chrome_trace(trace_doc) == []
+    assert any(
+        event["name"] == "example.t"
+        for event in trace_doc["traceEvents"]
+    )
+    assert f"chrome trace written to {path}" in capsys.readouterr().out
+
+
+def test_run_traced_leaves_unknown_arguments_alone():
+    from repro.obs.cli import run_traced
+
+    seen = []
+    run_traced(lambda: seen.append(1), "t", argv=["--other", "--trace"])
+    assert seen == [1]
