@@ -49,6 +49,10 @@ def scenario_b_receivers(store: VersionedStore) -> Tuple[Receiver, ...]:
 
     Deterministically ordered; evaluated against the head instance, so
     each receiver carries the employee's *current* salary as ``arg1``.
+    This is an *untracked* read for building explicit batches (tests,
+    benchmarks); a transaction should derive its own receivers via
+    :meth:`~repro.store.txn.Transaction.derive_receivers` so the
+    derivation joins its read set — :func:`run_scenario_b` does.
     """
     head = store.head
     if head.instance is None:
@@ -70,19 +74,32 @@ def run_scenario_b(
 ) -> Version:
     """Commit update (B') over ``receivers`` as one transaction.
 
-    Defaults to the full key set from the head.  The batch is applied
-    with ``M_par`` inside an optimistic transaction and retried on
+    With no explicit ``receivers``, each attempt derives the full key
+    set from its own snapshot via
+    :meth:`~repro.store.txn.Transaction.derive_receivers`: the
+    receiver query's relations join the read set, and a retry never
+    reuses ``arg1`` salaries baked against a stale head — a foreign
+    salary write conflicts instead of being silently overwritten.
+    Explicit ``receivers`` (e.g. disjoint slices) are applied as
+    given; the caller owns their freshness.  The batch is applied with
+    ``M_par`` inside an optimistic transaction and retried on
     conflict; because (B') is provably order independent, concurrent
-    callers commit through each other instead of serializing.
+    callers over disjoint slices commit through each other instead of
+    serializing.
     """
-    if receivers is None:
-        receivers = scenario_b_receivers(store)
     method = scenario_b_method()
+    query = scenario_b_receiver_query()
+
+    def body(txn: Transaction):
+        batch = (
+            tuple(receivers)
+            if receivers is not None
+            else txn.derive_receivers(query)
+        )
+        return txn.apply_method(method, batch)
+
     _, version = run_transaction(
-        store,
-        lambda txn: txn.apply_method(method, receivers),
-        retries=retries,
-        max_workers=max_workers,
+        store, body, retries=retries, max_workers=max_workers
     )
     return version
 

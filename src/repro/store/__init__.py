@@ -40,6 +40,7 @@ from repro.store.versioned import (
     StoreError,
     Version,
     VersionedStore,
+    VersionSummary,
 )
 from repro.store.wal import (
     DURABILITY_MODES,
@@ -63,6 +64,7 @@ __all__ = [
     "TransactionConflict",
     "TransactionError",
     "Version",
+    "VersionSummary",
     "VersionedStore",
     "WalError",
     "WalRecord",

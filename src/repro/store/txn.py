@@ -70,6 +70,7 @@ from repro.store.versioned import (
     StoreError,
     Version,
     VersionedStore,
+    VersionLike,
 )
 
 T = TypeVar("T")
@@ -238,6 +239,20 @@ class Transaction:
         self._reads.update(self.store.cache.base_relations(node))
         return engine.evaluate(node)
 
+    def derive_receivers(self, query) -> Tuple[Receiver, ...]:
+        """``Q`` over the working state as sorted receivers — tracked.
+
+        The query's base relations join the read set: receiver
+        arguments are reads (update (B') bakes each employee's current
+        salary into ``arg1``), so a concurrent write to a relation
+        that fed the derivation must surface at validation instead of
+        being silently overwritten by replaying stale arguments.
+        Derive receivers inside the :func:`run_transaction` body, not
+        before it, so every retry re-derives against its own snapshot.
+        """
+        relation = self.evaluate(query)
+        return tuple(sorted(Receiver(row) for row in relation))
+
     # -- writing -------------------------------------------------------
     def _stage(self, changes: Mapping[str, RelationDelta]) -> None:
         effective = normalize_changes(self._database, changes)
@@ -304,7 +319,9 @@ class Transaction:
         return new_instance
 
     # -- commit protocol -----------------------------------------------
-    def _interferes(self, intervening: Sequence[Version]) -> Tuple[bool, bool]:
+    def _interferes(
+        self, intervening: Sequence[VersionLike]
+    ) -> Tuple[bool, bool]:
         """``(writes_overlap, reads_overlap)`` against intervening commits."""
         written = set(self._writes)
         writes_overlap = False
@@ -320,7 +337,7 @@ class Transaction:
         return writes_overlap, reads_overlap
 
     def _commutes_semantically(
-        self, intervening: Sequence[Version]
+        self, intervening: Sequence[VersionLike]
     ) -> bool:
         """Whether the paper's machinery proves both orders agree."""
         if not self._replayable or not self._operations:

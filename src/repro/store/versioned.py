@@ -40,6 +40,7 @@ from typing import (
     Mapping,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.graph.instance import Edge, Instance
@@ -101,6 +102,30 @@ class Version:
     @property
     def written_relations(self) -> frozenset:
         return frozenset(self.changes)
+
+
+@dataclass(frozen=True)
+class VersionSummary:
+    """What commit validation needs from a pruned version.
+
+    :meth:`VersionedStore.prune` may drop a version's database while a
+    snapshot older than it is still pinned (e.g. by an open
+    transaction).  The version's write set and operations must survive
+    anyway — :meth:`VersionedStore.versions_after` has to report every
+    commit between a transaction's snapshot and the head, or validation
+    would miss a genuine conflict and publish a lost update.  A summary
+    keeps exactly those fields, at a fraction of the state's size.
+    """
+
+    version: int
+    written_relations: frozenset
+    operations: Tuple[MethodApplication, ...] = ()
+    txn_id: Optional[int] = None
+
+
+#: What :meth:`VersionedStore.versions_after` yields: a full version,
+#: or the validation-relevant summary of a pruned one.
+VersionLike = Union[Version, VersionSummary]
 
 
 @dataclass
@@ -214,6 +239,7 @@ class VersionedStore:
         self.commutativity = commutativity
         self._lock = threading.RLock()
         self._pins: Dict[int, int] = {}
+        self._summaries: Dict[int, VersionSummary] = {}
         self._next_txn_id = 0
         root = Version(
             version=0,
@@ -260,6 +286,7 @@ class VersionedStore:
         store.commutativity = commutativity
         store._lock = threading.RLock()
         store._pins = {}
+        store._summaries = {}
         store._next_txn_id = 0
         root = Version(
             version=state.version,
@@ -290,10 +317,21 @@ class VersionedStore:
             raise StoreError(f"version {number} is unknown (pruned?)")
         return found
 
-    def versions_after(self, number: int) -> List[Version]:
-        """Versions committed strictly after ``number`` (commit order)."""
+    def versions_after(self, number: int) -> List[VersionLike]:
+        """Versions committed strictly after ``number`` (commit order).
+
+        Pruned versions appear as :class:`VersionSummary` stand-ins, so
+        commit validation sees every intervening write set even after
+        :meth:`prune` dropped the full states.
+        """
         with self._lock:
-            return [v for v in self._versions if v.version > number]
+            found: List[VersionLike] = [
+                summary
+                for version, summary in self._summaries.items()
+                if version > number
+            ]
+            found.extend(v for v in self._versions if v.version > number)
+        return sorted(found, key=lambda v: v.version)
 
     def snapshot(self, at: Optional[int] = None) -> Snapshot:
         """Pin a version (the head by default) for reading."""
@@ -336,11 +374,14 @@ class VersionedStore:
     ) -> Version:
         """Commit a change set against the current head (low-level).
 
-        Normalizes ``changes`` against the head database, logs them
-        write-ahead (when a WAL is attached), then publishes the new
-        version.  If the log append raises — a crash, real or injected —
-        the in-memory chain does **not** advance: the commit either
-        becomes durable as one whole record or never happened.
+        Normalizes ``changes`` against the head database, constructs
+        the new version, logs it write-ahead (when a WAL is attached),
+        then publishes.  The log append is the *last* fallible step
+        before publication: a failure anywhere — constructing the new
+        state, or the append itself, a crash real or injected — leaves
+        the log and the in-memory chain agreeing that the commit never
+        happened.  The log can never durably hold a record the chain
+        skipped.
 
         Transactions go through :meth:`begin` instead, which layers
         conflict detection on top; ``commit_changes`` is the primitive
@@ -352,8 +393,6 @@ class VersionedStore:
             if not effective:
                 return head
             number = head.version + 1
-            if self.wal is not None:
-                self.wal.append_commit(number, effective, txn_id=txn_id)
             database = head.database.apply_delta(effective)
             new_instance: Optional[Instance] = instance
             if new_instance is None and head.instance is not None:
@@ -370,6 +409,8 @@ class VersionedStore:
                 operations=tuple(operations),
                 txn_id=txn_id,
             )
+            if self.wal is not None:
+                self.wal.append_commit(number, effective, txn_id=txn_id)
             self._versions.append(version)
             self._by_id[number] = version
             registry = global_registry()
@@ -404,9 +445,14 @@ class VersionedStore:
     def prune(self, keep: int = 1) -> int:
         """Drop old unpinned versions, keeping at least ``keep`` newest.
 
-        Pinned versions (open snapshots) always survive.  Returns the
-        number of versions dropped.  The WAL is untouched — pruning
-        bounds memory, checkpoint+compact bounds the log.
+        Pinned versions (open snapshots) always survive, and a dropped
+        version newer than the *oldest* pin leaves a
+        :class:`VersionSummary` behind: transactions pinned before it
+        must still validate against its write set, or a genuine
+        conflict would pass as a structural commute and publish a lost
+        update.  Returns the number of versions dropped.  The WAL is
+        untouched — pruning bounds memory, checkpoint+compact bounds
+        the log.
         """
         if keep < 1:
             raise StoreError("must keep at least the head version")
@@ -414,15 +460,31 @@ class VersionedStore:
             if len(self._versions) <= keep:
                 return 0
             cut = len(self._versions) - keep
+            oldest_pin = min(self._pins) if self._pins else None
             kept: List[Version] = []
             dropped = 0
             for index, version in enumerate(self._versions):
                 if index < cut and version.version not in self._pins:
                     self._by_id.pop(version.version, None)
+                    if (
+                        oldest_pin is not None
+                        and version.version > oldest_pin
+                    ):
+                        self._summaries[version.version] = VersionSummary(
+                            version=version.version,
+                            written_relations=version.written_relations,
+                            operations=version.operations,
+                            txn_id=version.txn_id,
+                        )
                     dropped += 1
                 else:
                     kept.append(version)
             self._versions = kept
+            # A summary at or below the oldest pin can never intervene
+            # for any open (or future) snapshot again.
+            for number in list(self._summaries):
+                if oldest_pin is None or number <= oldest_pin:
+                    del self._summaries[number]
         return dropped
 
     def close(self) -> None:

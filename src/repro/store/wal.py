@@ -263,6 +263,14 @@ class WriteAheadLog:
     rely on that).  Opening an existing file appends after its last
     *valid* record — a torn tail left by a crash is truncated away
     first, exactly as :func:`repro.store.recovery.recover` would.
+
+    A *failed* append (disk full, EIO, injected crash) poisons the
+    log: the file may now end in a torn partial record, and appending
+    a valid record after those bytes would merge the two into one
+    unparsable line — the scan would stop there and silently drop
+    every later commit.  A poisoned log refuses further appends with
+    :class:`WalError`; reopening the path truncates the torn tail and
+    resumes cleanly.
     """
 
     def __init__(
@@ -282,6 +290,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._next_lsn = 0
         self._last_version = -1
+        self._poisoned: Optional[str] = None
         if os.path.exists(path):
             from repro.store.recovery import scan_wal
 
@@ -303,6 +312,11 @@ class WriteAheadLog:
     def last_version(self) -> int:
         """The version of the last appended record (-1 when empty)."""
         return self._last_version
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether a failed append left the log refusing writes."""
+        return self._poisoned is not None
 
     def size_bytes(self) -> int:
         self._handle.flush()
@@ -328,11 +342,27 @@ class WriteAheadLog:
     def append(
         self, kind: str, version: int, payload: Mapping[str, Any]
     ) -> int:
-        """Append one record; returns its LSN."""
+        """Append one record; returns its LSN.
+
+        Raises :class:`WalError` if a previous append failed — the
+        file may end in that append's torn bytes, and writing a valid
+        record after them would merge both into one unparsable line,
+        losing every later commit at recovery.  Reopen the path to
+        truncate the torn tail and resume.
+        """
         with self._lock:
+            if self._poisoned is not None:
+                raise WalError(
+                    f"log {self.path!r} refuses appends after a failed "
+                    f"write ({self._poisoned}); reopen it to recover"
+                )
             lsn = self._next_lsn
             line = record_line(lsn, kind, version, payload)
-            self._write(line)
+            try:
+                self._write(line)
+            except BaseException as error:
+                self._poisoned = repr(error)
+                raise
             self._next_lsn = lsn + 1
             self._last_version = version
         registry = global_registry()

@@ -116,6 +116,42 @@ class TestVersioning:
         with pytest.raises(StoreError):
             store.version(0)
 
+    def test_prune_keeps_write_sets_for_open_transactions(self, store):
+        """Pruning a version newer than an open transaction's snapshot
+        must not erase its write set: the transaction staged a write to
+        the same relation, and validating without v1's summary would
+        pass the conflict off as a structural commute (lost update)."""
+        instance = store.head.instance
+        employees = sorted(instance.objects_of_class("Employee"))
+        money = sorted(instance.objects_of_class("Money"))[0]
+        txn = store.begin()  # pins version 0
+        txn.stage(
+            {
+                "Employee.manager": RelationDelta(
+                    inserted=frozenset({(employees[0], employees[1])})
+                )
+            }
+        )
+        # v1 writes the same relation, v2 a different one.
+        store.commit_changes(
+            {
+                "Employee.manager": RelationDelta(
+                    inserted=frozenset({(employees[2], employees[3])})
+                )
+            }
+        )
+        store.commit_changes(
+            {
+                "Employee.salary": RelationDelta(
+                    inserted=frozenset({(employees[4], money)})
+                )
+            }
+        )
+        assert store.prune(keep=1) == 1  # v1's full state may go…
+        with pytest.raises(TransactionConflict):  # …its write set stays
+            txn.commit()
+        assert txn.status == "aborted"
+
     def test_cross_version_cache_reuse(self, store, method):
         """A query over relations untouched by a commit is served from
         the shared cache in the next version (PR 2 fingerprints)."""
@@ -239,6 +275,51 @@ class TestCommitPaths:
         with pytest.raises(TransactionConflict):
             second.commit()
         assert second.status == "aborted"
+
+    def test_derived_receivers_join_the_read_set(self, store):
+        """Receiver arguments are reads: deriving receivers inside the
+        transaction tracks the query's base relations."""
+        txn = store.begin()
+        receivers = txn.derive_receivers(scenario_b_receiver_query())
+        assert receivers == scenario_b_receivers(store)
+        assert "Employee.salary" in txn.reads
+        txn.abort()
+
+    def test_stale_derived_receivers_abort_instead_of_lost_update(
+        self, store, method
+    ):
+        """A foreign commit to the relation that fed the receiver
+        derivation invalidates the baked-in ``arg1`` salaries: the
+        transaction must conflict, not replay stale arguments over the
+        new head."""
+        txn = store.begin()
+        receivers = txn.derive_receivers(scenario_b_receiver_query())
+        txn.apply_method(method, receivers)
+        run_scenario_b(store)  # rewrites Employee.salary meanwhile
+        with pytest.raises(TransactionConflict):
+            txn.commit()
+        assert txn.status == "aborted"
+
+    def test_run_transaction_rederives_receivers_each_attempt(self):
+        """A retry must not reuse receivers derived against the old
+        head; deriving inside the body gives each attempt the then-
+        current salaries as ``arg1``."""
+        store = company_store(n_employees=8)
+        method = scenario_b_method()
+        query = scenario_b_receiver_query()
+        seen = []
+
+        def body(txn):
+            batch = txn.derive_receivers(query)
+            seen.append(batch)
+            if len(seen) == 1:
+                run_scenario_b(store)  # intervening salary rewrite
+            return txn.apply_method(method, batch)
+
+        _, version = run_transaction(store, body, retries=3)
+        assert version.version == store.head.version
+        assert len(seen) == 2
+        assert seen[0] != seen[1]  # the retry saw the updated salaries
 
     def test_order_dependent_method_aborts_on_read_overlap(self, store):
         """(C') reads Employee.salary through the manager edge and is

@@ -326,17 +326,34 @@ class TestCrashRecovery:
         assert state.version == -1 and state.database is None
         assert state.truncated_bytes > 0
 
-    def test_injector_fires_once_and_rearms(self, tmp_path):
-        injector = FaultInjector(kill_at_append=0, torn_fraction=0.0)
-        wal = WriteAheadLog(str(tmp_path / "rearm.wal"), fault=injector)
+    def test_failed_append_poisons_the_log_until_reopened(self, tmp_path):
+        """A failed append leaves torn bytes in the file; a later
+        append gluing a valid record onto them would merge both into
+        one unparsable line and silently drop every later commit at
+        recovery.  The handle must refuse appends until reopened."""
+        path = tmp_path / "poison.wal"
+        injector = FaultInjector(kill_at_append=0, torn_fraction=0.5)
+        wal = WriteAheadLog(str(path), fault=injector)
         with pytest.raises(CrashPoint):
             wal.append(KIND_COMMIT, 1, {"changes": {}})
-        # Fired injectors pass appends through untouched.
-        wal.append(KIND_COMMIT, 1, {"changes": {}})
-        injector.rearm(kill_at_append=0)
+        assert wal.poisoned
+        with pytest.raises(WalError):
+            wal.append(KIND_COMMIT, 1, {"changes": {}})
+        wal.close()
+        # Reopening truncates the torn tail and resumes cleanly; the
+        # injector re-arms for a second crash after one good append.
+        injector.rearm(kill_at_append=1)
+        wal = WriteAheadLog(str(path), fault=injector)
+        assert not wal.poisoned
+        assert wal.append(KIND_COMMIT, 1, {"changes": {}}) == 0
         with pytest.raises(CrashPoint):
             wal.append(KIND_COMMIT, 2, {"changes": {}})
         wal.close()
+        # Exactly the good record survives; the second torn tail is
+        # still recognized as such.
+        records, _, problems = scan_wal(str(path))
+        assert [r.lsn for r in records] == [0]
+        assert problems
 
     def test_reopened_wal_truncates_and_resumes(self, tmp_path):
         path = tmp_path / "resume.wal"
