@@ -38,17 +38,23 @@ def pytest_sessionfinish(session, exitstatus):
     from repro.obs.export import metrics_dump, write_metrics
     from repro.obs.metrics import global_registry
 
-    # Store-subsystem series (bench_store.py, all named ``store.*``) go
-    # to their own artifact; everything else stays in the engine dump.
+    # Subsystem series go to their own artifacts — ``store.*`` from
+    # bench_store.py and ``resilience.*`` from bench_resilience.py;
+    # everything else stays in the engine dump.
     store_series = {
         name: values
         for name, values in _SERIES.items()
         if name.startswith("store.")
     }
+    resilience_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name.startswith("resilience.")
+    }
     engine_series = {
         name: values
         for name, values in _SERIES.items()
-        if name not in store_series
+        if name not in store_series and name not in resilience_series
     }
     if engine_series:
         path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
@@ -60,6 +66,16 @@ def pytest_sessionfinish(session, exitstatus):
         path = os.environ.get("BENCH_STORE_JSON", "BENCH_store.json")
         document = metrics_dump(
             store_series, registry=global_registry(), suite="store"
+        )
+        write_metrics(path, document)
+    if resilience_series:
+        path = os.environ.get(
+            "BENCH_RESILIENCE_JSON", "BENCH_resilience.json"
+        )
+        document = metrics_dump(
+            resilience_series,
+            registry=global_registry(),
+            suite="resilience",
         )
         write_metrics(path, document)
 

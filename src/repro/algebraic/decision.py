@@ -29,6 +29,7 @@ from repro.algebraic.reduction import (
 )
 from repro.core.receiver import Receiver
 from repro.cq.containment import (
+    ContainmentBudgetExceeded,
     Counterexample,
     positive_equivalence_counterexample,
 )
@@ -38,6 +39,7 @@ from repro.graph.schema import Schema
 from repro.relational.database import Database
 from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.relation import Relation
+from repro.resilience.budget import Budget, BudgetExceeded, applied
 
 
 class NotPositiveError(ValueError):
@@ -111,6 +113,125 @@ def _decide(
         registry.counter("decision.order_independent").inc()
         decide_span.set(order_independent=True)
     return DecisionResult(True, key_order, None, None, reduction)
+
+
+#: Three-valued verdicts of the *budgeted* decision entry points.  The
+#: paper's procedure is total but hyperexponential; under a resource
+#: :class:`~repro.resilience.budget.Budget` "did not finish in time" is
+#: a first-class outcome, not a hang.
+INDEPENDENT = "independent"
+KEY_INDEPENDENT = "key_independent"
+DEPENDENT = "dependent"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class BudgetedDecision:
+    """Outcome of a decision run under a resource budget.
+
+    ``verdict`` is :data:`INDEPENDENT`, :data:`DEPENDENT`, or
+    :data:`UNKNOWN`; a definite verdict carries the full
+    :class:`DecisionResult`, an ``UNKNOWN`` carries ``reason``
+    (which bound tripped, where).  Consumers must treat ``UNKNOWN``
+    as "assume order-dependent": sequential application is always
+    paper-correct, so degradation costs latency, never correctness.
+    """
+
+    verdict: str
+    key_order: bool
+    result: Optional[DecisionResult]
+    reason: Optional[str] = None
+
+    @property
+    def definite(self) -> bool:
+        return self.verdict != UNKNOWN
+
+
+def _decide_budgeted(
+    method: AlgebraicUpdateMethod,
+    key_order: bool,
+    budget: Optional[Budget],
+    max_partitions: Optional[int],
+) -> BudgetedDecision:
+    try:
+        with applied(budget):
+            result = _decide(method, key_order, max_partitions)
+    except (BudgetExceeded, ContainmentBudgetExceeded) as error:
+        global_registry().counter("decision.unknown").inc()
+        trace.event(
+            "decision.unknown",
+            category="decision",
+            method=method.name,
+            key_order=key_order,
+            reason=str(error),
+        )
+        return BudgetedDecision(UNKNOWN, key_order, None, str(error))
+    verdict = INDEPENDENT if result.order_independent else DEPENDENT
+    return BudgetedDecision(verdict, key_order, result)
+
+
+def decide_order_independence_budgeted(
+    method: AlgebraicUpdateMethod,
+    budget: Optional[Budget] = None,
+    max_partitions: Optional[int] = None,
+) -> BudgetedDecision:
+    """Absolute order independence under a budget (three-valued).
+
+    Installs ``budget`` for the duration of the run — the cooperative
+    ticks inside the chase, the representative-set enumeration, and the
+    engine unwind the whole pipeline the moment a bound trips — and
+    folds both :class:`~repro.resilience.budget.BudgetExceeded` and the
+    enumeration's own
+    :class:`~repro.cq.containment.ContainmentBudgetExceeded` into the
+    ``UNKNOWN`` verdict.  Never *contradicts* the unbudgeted procedure:
+    a definite verdict is the unbudgeted answer (asserted by the
+    hypothesis property in ``tests/test_resilience.py``).
+    """
+    return _decide_budgeted(method, False, budget, max_partitions)
+
+
+def decide_key_order_independence_budgeted(
+    method: AlgebraicUpdateMethod,
+    budget: Optional[Budget] = None,
+    max_partitions: Optional[int] = None,
+) -> BudgetedDecision:
+    """Key-order independence under a budget (three-valued)."""
+    return _decide_budgeted(method, True, budget, max_partitions)
+
+
+def classify_method(
+    method: AlgebraicUpdateMethod,
+    budget: Optional[Budget] = None,
+    max_partitions: Optional[int] = None,
+) -> str:
+    """The strongest verdict provable within the budget.
+
+    Returns :data:`INDEPENDENT` (commutes on every receiver pair),
+    :data:`KEY_INDEPENDENT` (commutes on key sets — distinct
+    receivers), :data:`DEPENDENT` (a counterexample exists even for
+    key sets), or :data:`UNKNOWN` (some needed decision ran out of
+    budget; callers must assume order-dependent).  Non-positive
+    methods — outside Theorem 5.12 entirely — classify as
+    :data:`UNKNOWN`.
+
+    Note the asymmetry: absolute ``DEPENDENT`` alone leaves key-order
+    independence open, so an exhausted key-order run downgrades the
+    classification to ``UNKNOWN`` — but a *key-order* counterexample
+    is a pair of distinct receivers on which the orders disagree,
+    hence also an absolute counterexample, so keyed ``DEPENDENT``
+    settles the classification by itself.
+    """
+    if not method.is_positive():
+        return UNKNOWN
+    absolute = _decide_budgeted(method, False, budget, max_partitions)
+    if absolute.verdict == INDEPENDENT:
+        return INDEPENDENT
+    keyed = _decide_budgeted(method, True, budget, max_partitions)
+    if keyed.verdict == INDEPENDENT:
+        return KEY_INDEPENDENT
+    if keyed.verdict == DEPENDENT:
+        return DEPENDENT
+    return UNKNOWN
 
 
 def decide_order_independence(

@@ -25,6 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.cq.model import Atom, ConjunctiveQuery, Variable
+from repro.resilience.budget import tick as budget_tick
+from repro.resilience.faults import CHASE_STEP, fault_point
 from repro.relational.database import DatabaseSchema
 from repro.relational.dependencies import (
     Dependency,
@@ -128,6 +130,10 @@ def chase(
         current = query
         changed = True
         while changed:
+            # Each iteration applies at most one rule — the cooperative
+            # step the resilience budget counts and faults target.
+            budget_tick(CHASE_STEP)
+            fault_point(CHASE_STEP)
             changed = False
             for fd in fds:
                 violation = _find_fd_violation(current, fd, db_schema)

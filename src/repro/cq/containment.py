@@ -47,6 +47,7 @@ from repro.cq.partitions import (
 from repro.relational.database import Database, DatabaseSchema
 from repro.relational.dependencies import Dependency
 from repro.relational.relation import Attribute, Relation, RelationSchema
+from repro.resilience.budget import tick as budget_tick
 
 
 class ContainmentBudgetExceeded(RuntimeError):
@@ -154,6 +155,7 @@ def cq_containment_counterexample(
         representative_set_size=total,
     ):
         for partition in typed_partitions(variables):
+            budget_tick("containment.partition")
             registry.counter("containment.partitions_examined").inc()
             substitution = partition_substitution(partition)
             if not substitution:

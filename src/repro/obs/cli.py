@@ -55,15 +55,29 @@ def run_traced(
     )
     if args.trace is None:
         return main()
-    with tracing() as tracer:
-        with tracer.span(name, category="example"):
-            result = main()
-    print()
-    print(f"=== trace: {name} ===")
-    print(render_tree(tracer, self_time=True))
-    if args.trace:
-        write_chrome_trace(tracer, args.trace)
-        print(f"chrome trace written to {args.trace}")
+    tracer = None
+    failed = False
+    try:
+        with tracing() as tracer:
+            with tracer.span(name, category="example"):
+                result = main()
+    except BaseException:
+        # Flush the partial trace: the spans that led up to the failure
+        # are exactly what the reader needs, so losing them here would
+        # defeat the flag's purpose.
+        failed = True
+        raise
+    finally:
+        if tracer is not None:
+            print()
+            header = f"=== trace: {name}"
+            if failed:
+                header += " (partial: run raised)"
+            print(header + " ===")
+            print(render_tree(tracer, self_time=True))
+            if args.trace:
+                write_chrome_trace(tracer, args.trace)
+                print(f"chrome trace written to {args.trace}")
     return result
 
 

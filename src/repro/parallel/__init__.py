@@ -24,7 +24,9 @@ Key results implemented and tested here:
 
 from repro.parallel.transform import REC, par_transform, rec_schema
 from repro.parallel.apply import (
+    apply_adaptive,
     apply_parallel,
+    choose_apply_mode,
     lemma_6_7_holds,
     parallel_update_relation,
     rec_relation,
@@ -44,7 +46,9 @@ __all__ = [
     "par_transform",
     "rec_relation",
     "parallel_update_relation",
+    "apply_adaptive",
     "apply_parallel",
+    "choose_apply_mode",
     "lemma_6_7_holds",
     "improve",
     "ImprovedUpdate",

@@ -11,18 +11,37 @@ singleton set): it binds one shared :class:`EngineCache` across all
 steps and advances the engine's database by delta — the ``rec`` swap
 plus the property edges each step actually rewired — so step ``i+1`` is
 Δ-propagated from step ``i``'s results instead of re-evaluated.
+
+Resilience (PR 5): :func:`apply_adaptive` runs the Theorem 5.12
+classification under a :class:`~repro.resilience.budget.Budget` and
+degrades gracefully — parallel only when independence is *proven*
+within budget, paper-correct sequential application otherwise (same
+final state, bounded decision latency).  The ``max_workers`` thread
+fan-out runs under a supervisor that catches worker crashes and
+retries each failed statement sequentially with exponential backoff +
+jitter (:func:`repro.resilience.retry.retry_call`).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.algebraic.expression import UpdateTypeError, evaluate_update_expression
 from repro.algebraic.method import AlgebraicUpdateMethod
-from repro.core.receiver import Receiver
+from repro.core.receiver import Receiver, is_key_set
 from repro.core.signature import MethodSignature
 from repro.graph.instance import Instance, Obj
 from repro.objrel.mapping import instance_to_database, property_relation_name
@@ -32,6 +51,10 @@ from repro.relational.database import Database
 from repro.relational.delta import RelationDelta
 from repro.relational.engine import EngineCache, QueryEngine
 from repro.relational.relation import Relation, RelationError
+from repro.resilience import budget as resilience_budget
+from repro.resilience.budget import Budget, BudgetExceeded
+from repro.resilience.faults import PARALLEL_WORKER, fault_point
+from repro.resilience.retry import RetryPolicy, retry_call
 
 
 def rec_relation(
@@ -126,6 +149,73 @@ def method_read_relations(
     return frozenset(names)
 
 
+#: Backoff for statements whose pool worker crashed: short, capped, and
+#: jittered — crashed statements re-run in the supervising thread, so
+#: the sleeps only pace genuinely flaky re-execution.
+WORKER_RETRY_POLICY = RetryPolicy(
+    retries=3, base_delay=0.002, factor=2.0, max_delay=0.05
+)
+
+
+def _supervised_fan_out(
+    worker: Callable[[str], Dict[Obj, Set[Obj]]],
+    labels: Sequence[str],
+    max_workers: int,
+) -> List[Dict[Obj, Set[Obj]]]:
+    """Run ``worker`` over ``labels`` in a pool, surviving worker crashes.
+
+    Two failure kinds pass through untouched: :class:`UpdateTypeError`
+    (a semantic error — the statement is *wrong*, re-running cannot fix
+    it) and :class:`~repro.resilience.budget.BudgetExceeded` (the
+    ambient budget tripped — retrying would burn more of it).  Any
+    other worker exception is treated as a crash: the batch **degrades
+    to sequential** for the failed statements, re-running each in the
+    supervising thread under :func:`repro.resilience.retry.retry_call`
+    (exponential backoff + jitter); only exhausted retries propagate.
+
+    The worker is wrapped for the pool the way the tracer prescribes
+    (spans nest under the batch) and, when the calling thread has an
+    ambient budget installed, bound to it — worker ticks charge the
+    same budget as the callers'.
+    """
+    registry = global_registry()
+    call = worker
+    tracer = trace.active()
+    if tracer is not None:
+        call = tracer.wrap(call)
+    budget = resilience_budget.current()
+    if budget is not None:
+        call = budget.bind(call)
+    results: Dict[str, Dict[Obj, Set[Obj]]] = {}
+    failures: List[Tuple[str, BaseException]] = []
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [(label, pool.submit(call, label)) for label in labels]
+        for label, future in futures:
+            try:
+                results[label] = future.result()
+            except (UpdateTypeError, BudgetExceeded):
+                raise
+            except Exception as error:
+                failures.append((label, error))
+    if failures:
+        registry.counter("parallel.worker_crashes").inc(len(failures))
+        trace.event(
+            "parallel.workers_degraded",
+            category="parallel",
+            statements=len(failures),
+            error=type(failures[0][1]).__name__,
+        )
+    for label, _error in failures:
+        results[label] = retry_call(
+            lambda label=label: worker(label),
+            policy=WORKER_RETRY_POLICY,
+            retryable=(Exception,),
+            giveup=(UpdateTypeError, BudgetExceeded),
+            label=f"parallel.worker[{label}]",
+        )
+    return [results[label] for label in labels]
+
+
 def parallel_changes(
     method: AlgebraicUpdateMethod,
     instance: Instance,
@@ -166,6 +256,7 @@ def parallel_changes(
         )
 
         def statement_updates(label: str) -> Dict[Obj, Set[Obj]]:
+            fault_point(PARALLEL_WORKER)
             with trace.span(
                 "parallel.statement", category="parallel", label=label
             ) as span:
@@ -192,14 +283,9 @@ def parallel_changes(
 
         # Evaluate all statements first (simultaneous semantics).
         if max_workers is not None and max_workers > 1 and len(labels) > 1:
-            tracer = trace.active()
-            worker = (
-                statement_updates
-                if tracer is None
-                else tracer.wrap(statement_updates)
+            by_label = _supervised_fan_out(
+                statement_updates, labels, max_workers
             )
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                by_label = list(pool.map(worker, labels))
         else:
             by_label = [statement_updates(label) for label in labels]
         updates = dict(zip(labels, by_label))
@@ -248,6 +334,85 @@ def apply_parallel(
     return parallel_changes(
         method, instance, receivers, cache=cache, max_workers=max_workers
     )[0]
+
+
+def choose_apply_mode(
+    verdict: str, receivers: Sequence[Receiver]
+) -> str:
+    """``"parallel"`` when the verdict licenses ``M_par``, else
+    ``"sequential"``.
+
+    ``INDEPENDENT`` licenses any receiver set; ``KEY_INDEPENDENT``
+    only key sets (Section 3); ``DEPENDENT`` and ``UNKNOWN`` — the
+    budgeted "did not finish in time" — both mean *assume
+    order-dependent* and fall back to the paper-correct sequential
+    fold.  Degradation costs latency, never correctness.
+    """
+    from repro.algebraic.decision import INDEPENDENT, KEY_INDEPENDENT
+
+    if verdict == INDEPENDENT:
+        return "parallel"
+    if verdict == KEY_INDEPENDENT and is_key_set(receivers):
+        return "parallel"
+    return "sequential"
+
+
+def apply_adaptive(
+    method: AlgebraicUpdateMethod,
+    instance: Instance,
+    receivers: Iterable[Receiver],
+    cache: Optional[EngineCache] = None,
+    max_workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    max_partitions: Optional[int] = None,
+    verdict: Optional[str] = None,
+) -> Instance:
+    """Apply a receiver set with budget-bounded graceful degradation.
+
+    Classifies the method under ``budget`` / ``max_partitions``
+    (:func:`repro.algebraic.decision.classify_method` — pass a
+    precomputed ``verdict`` to skip the classification, e.g. when the
+    caller memoizes it per method) and dispatches per
+    :func:`choose_apply_mode`: parallel ``M_par`` when independence
+    was *proven* in time, the sequential fold otherwise.  Theorem 6.5
+    makes the two agree exactly when parallelism is chosen, so the
+    final state always equals the sequential (paper) semantics —
+    asserted by the degradation tests in ``tests/test_resilience.py``.
+
+    Receivers are treated as a *set* (``M_par``'s vocabulary):
+    duplicates are dropped, first occurrence fixing the sequential
+    order.
+    """
+    from repro.algebraic.decision import UNKNOWN, classify_method
+
+    receivers = list(dict.fromkeys(receivers))
+    if verdict is None:
+        verdict = classify_method(
+            method, budget=budget, max_partitions=max_partitions
+        )
+    registry = global_registry()
+    mode = choose_apply_mode(verdict, receivers)
+    if mode == "parallel":
+        registry.counter("parallel.adaptive.parallel").inc()
+        return apply_parallel(
+            method,
+            instance,
+            receivers,
+            cache=cache,
+            max_workers=max_workers,
+        )
+    registry.counter("parallel.adaptive.sequential").inc()
+    if verdict == UNKNOWN:
+        registry.counter("parallel.adaptive.unknown").inc()
+    trace.event(
+        "parallel.degraded",
+        category="parallel",
+        verdict=verdict,
+        receivers=len(receivers),
+    )
+    return apply_sequence_incremental(
+        method, instance, receivers, cache=cache
+    )
 
 
 def apply_parallel_transactional(

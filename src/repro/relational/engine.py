@@ -89,6 +89,8 @@ from repro.relational.algebra import (
     walk,
 )
 from repro.relational.cardinality import estimated_join_size
+from repro.resilience.budget import tick as budget_tick
+from repro.resilience.faults import ENGINE_EVALUATE, fault_point
 from repro.relational.database import Database, DatabaseSchema
 from repro.relational.delta import RelationDelta, normalize_changes
 from repro.relational.evaluate import infer_schema
@@ -488,6 +490,7 @@ class QueryEngine:
 
     def evaluate(self, expr: Expr) -> Relation:
         """Evaluate ``expr``, reusing every previously computed subtree."""
+        fault_point(ENGINE_EVALUATE)
         node = self.intern(expr)
         tracer = trace.active()
         if tracer is None:
@@ -592,6 +595,9 @@ class QueryEngine:
         return schema
 
     def _evaluate(self, node: Expr) -> Relation:
+        # One cooperative budget step per visited node (cache hits
+        # included — a hit still bounds the walk, not the work).
+        budget_tick("engine.node")
         key = id(node)
         cached = self._local.get(key)
         if cached is not None:

@@ -1,0 +1,146 @@
+"""A circuit breaker for the store's semantic-commute tier.
+
+The commit escalation of :mod:`repro.store.txn` ends in the most
+expensive tier: running Theorem 5.12's decision procedure to prove the
+conflicting transactions' method order independent.  On a pathological
+schema the budgeted procedure times out (verdict ``UNKNOWN``) — and
+without memoizable evidence it would time out again on *every*
+conflicted commit, burning the full decision budget each time.  The
+breaker caps that: after ``failure_threshold`` consecutive
+``UNKNOWN``/timeout outcomes it **opens** (the tier is skipped
+outright, commits degrade straight to abort-and-retry), and after
+``reset_timeout`` seconds it **half-opens**, letting probe calls
+through; a definite verdict closes it again.
+
+States follow the classic protocol::
+
+    CLOSED --(N consecutive failures)--> OPEN
+    OPEN --(reset_timeout elapsed)-----> HALF_OPEN
+    HALF_OPEN --success--> CLOSED      HALF_OPEN --failure--> OPEN
+
+Thread-safe; the clock is injectable so tests step time explicitly.
+Transitions surface as ``resilience.breaker.*`` counters and trace
+events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes.
+
+    ``allow()`` answers "may I attempt the protected call?"; callers
+    then report the outcome with :meth:`record_success` /
+    :meth:`record_failure`.  A "failure" is whatever the caller deems
+    one — for the semantic-commute tier it is an ``UNKNOWN`` verdict
+    (budget exhausted), *not* a definite ``DEPENDENT``, which is the
+    procedure working fine.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        name: str = "breaker",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValueError(
+                f"reset_timeout must be >= 0, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def _effective_state(self) -> str:
+        # Caller holds the lock.  OPEN lazily becomes HALF_OPEN once the
+        # reset timer elapses — there is no background thread.
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._transition_event(HALF_OPEN)
+        return self._state
+
+    def _transition_event(self, state: str) -> None:
+        global_registry().counter(
+            f"resilience.breaker.{self.name}.{state}"
+        ).inc()
+        trace.event(
+            "resilience.breaker_transition",
+            category="resilience",
+            breaker=self.name,
+            state=state,
+        )
+
+    # -- the protocol --------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the protected call may be attempted right now."""
+        with self._lock:
+            state = self._effective_state()
+            if state == OPEN:
+                global_registry().counter(
+                    f"resilience.breaker.{self.name}.rejected"
+                ).inc()
+                return False
+            return True
+
+    def record_success(self) -> None:
+        """A definite outcome: reset failures, close the breaker."""
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._transition_event(CLOSED)
+
+    def record_failure(self) -> None:
+        """An UNKNOWN/timeout outcome: count it; open on the threshold.
+
+        In HALF_OPEN a single failed probe re-opens immediately (the
+        dependency has not recovered; restart the timer).
+        """
+        with self._lock:
+            state = self._effective_state()
+            self._failures += 1
+            if state == HALF_OPEN or (
+                state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._transition_event(OPEN)
+
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]

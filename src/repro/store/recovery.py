@@ -10,10 +10,11 @@ first, committed change sets after it — into a
 the recovered database always equals the state after some *prefix* of
 the committed transactions: torn commits never surface.
 
-:class:`FaultInjector` is the test hook the acceptance suite uses to
-kill the log mid-append: the Nth append writes only a prefix of its
-encoded record and raises :class:`CrashPoint`, simulating power loss at
-the worst possible byte.
+:class:`FaultInjector` — the test hook that kills the log mid-append,
+simulating power loss at the worst possible byte — now lives in
+:mod:`repro.resilience.faults` alongside the generalized site-based
+injection; it is re-exported here (with :class:`CrashPoint`) for
+backward compatibility.
 """
 
 from __future__ import annotations
@@ -24,13 +25,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.relational.database import Database
+from repro.resilience.faults import CrashPoint, FaultInjector
 from repro.store.wal import (
     KIND_CHECKPOINT,
     KIND_COMMIT,
-    FaultHook,
     WalError,
     WalRecord,
-    WriteAheadLog,
     parse_record,
 )
 
@@ -180,68 +180,6 @@ def recover(path: str, truncate: bool = True) -> RecoveredState:
         truncated_bytes=torn,
         problems=problems,
     )
-
-
-# ----------------------------------------------------------------------
-# Fault injection
-# ----------------------------------------------------------------------
-class CrashPoint(RuntimeError):
-    """The simulated crash raised by :class:`FaultInjector`."""
-
-
-class FaultInjector(FaultHook):
-    """Kill the log on its Nth append, leaving a torn record behind.
-
-    ``kill_at_append`` counts appends from zero *after* the injector is
-    installed; ``torn_fraction`` controls how much of the fatal record
-    reaches the file (0.0 = nothing, 0.5 = half the bytes, 1.0 would be
-    a complete record — capped just below so the tail is always torn).
-    One injector fires once; reuse requires :meth:`rearm`.
-    """
-
-    def __init__(
-        self, kill_at_append: int, torn_fraction: float = 0.5
-    ) -> None:
-        if not 0.0 <= torn_fraction <= 1.0:
-            raise ValueError(
-                f"torn_fraction must be in [0, 1], got {torn_fraction}"
-            )
-        self.kill_at_append = kill_at_append
-        self.torn_fraction = torn_fraction
-        self.appends_seen = 0
-        self.fired = False
-        self._armed = False
-
-    def rearm(self, kill_at_append: int) -> None:
-        self.kill_at_append = kill_at_append
-        self.appends_seen = 0
-        self.fired = False
-        self._armed = False
-
-    # -- FaultHook -----------------------------------------------------
-    def on_append(self, log: WriteAheadLog, line: bytes) -> None:
-        self._armed = (
-            not self.fired and self.appends_seen == self.kill_at_append
-        )
-        self.appends_seen += 1
-
-    def armed(self) -> bool:
-        return self._armed
-
-    def torn_prefix(self, line_length: int) -> int:
-        # Cap below the full line: writing every byte would be a clean
-        # (recoverable) record, not a crash mid-append.
-        return min(
-            int(line_length * self.torn_fraction), line_length - 1
-        )
-
-    def fire(self) -> None:
-        self.fired = True
-        self._armed = False
-        global_registry().counter("store.faults.injected").inc()
-        raise CrashPoint(
-            f"injected crash on append #{self.kill_at_append}"
-        )
 
 
 def committed_prefix_fingerprints(

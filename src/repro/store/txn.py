@@ -64,6 +64,8 @@ from repro.parallel.apply import method_read_relations, parallel_changes
 from repro.relational.delta import RelationDelta, normalize_changes
 from repro.relational.engine import QueryEngine
 from repro.relational.relation import Relation
+from repro.resilience.budget import Budget
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.store.versioned import (
     MethodApplication,
     Snapshot,
@@ -80,10 +82,14 @@ ACTIVE = "active"
 COMMITTED = "committed"
 ABORTED = "aborted"
 
-#: Order-independence classifications (memoized per method).
+#: Order-independence classifications (memoized per method).  ``UNKNOWN``
+#: — the budgeted decision ran out of resources — is *not* memoized: a
+#: later attempt with a fresh budget (or a half-open circuit breaker
+#: probe) may still reach a definite verdict.
 INDEPENDENT = "independent"
 KEY_INDEPENDENT = "key"
 DEPENDENT = "dependent"
+UNKNOWN = "unknown"
 
 #: Memoized decision-procedure outcomes.  Keyed by ``id(method)`` with
 #: the method kept alive alongside, so identities never recycle; update
@@ -99,38 +105,45 @@ class TransactionConflict(TransactionError):
     """Commit-time validation failed and commutativity could not help."""
 
 
-def classify_order_independence(method) -> str:
-    """``independent`` / ``key`` / ``dependent`` for an update method.
+def classify_order_independence(
+    method,
+    budget: Optional[Budget] = None,
+    max_partitions: Optional[int] = None,
+) -> str:
+    """``independent`` / ``key`` / ``dependent`` / ``unknown``.
 
-    Runs Theorem 5.12's decision procedure (absolute first, key-order
-    as the fallback) and memoizes the outcome.  Non-positive methods —
-    where order independence is undecidable (Corollary 5.7) — classify
-    as ``dependent``: the store must not commit through a conflict it
-    cannot prove safe.
+    Delegates to the budgeted Theorem 5.12 classification
+    (:func:`repro.algebraic.decision.classify_method`) and memoizes
+    *definite* outcomes — ``unknown`` (the budget tripped mid-decision)
+    is returned but never cached, so a later call with more resources
+    can still settle the method.  Non-positive methods — where order
+    independence is undecidable (Corollary 5.7) — classify as
+    ``dependent``: that is a *definite* "the store must not commit
+    through a conflict it cannot prove safe", not a resource failure.
     """
     cached = _DECISIONS.get(id(method))
     if cached is not None:
         return cached[1]
-    from repro.algebraic.decision import (
-        NotPositiveError,
-        decide_key_order_independence,
-        decide_order_independence,
-    )
+    from repro.algebraic import decision
 
     with trace.span(
         "store.txn.classify", category="store", method=method.name
     ) as span:
-        try:
-            if decide_order_independence(method).order_independent:
-                outcome = INDEPENDENT
-            elif decide_key_order_independence(method).order_independent:
-                outcome = KEY_INDEPENDENT
-            else:
-                outcome = DEPENDENT
-        except NotPositiveError:
+        if not method.is_positive():
             outcome = DEPENDENT
+        else:
+            verdict = decision.classify_method(
+                method, budget=budget, max_partitions=max_partitions
+            )
+            outcome = {
+                decision.INDEPENDENT: INDEPENDENT,
+                decision.KEY_INDEPENDENT: KEY_INDEPENDENT,
+                decision.DEPENDENT: DEPENDENT,
+                decision.UNKNOWN: UNKNOWN,
+            }[verdict]
         span.set(outcome=outcome)
-    _DECISIONS[id(method)] = (method, outcome)
+    if outcome != UNKNOWN:
+        _DECISIONS[id(method)] = (method, outcome)
     return outcome
 
 
@@ -339,7 +352,14 @@ class Transaction:
     def _commutes_semantically(
         self, intervening: Sequence[VersionLike]
     ) -> bool:
-        """Whether the paper's machinery proves both orders agree."""
+        """Whether the paper's machinery proves both orders agree.
+
+        The decision run is the most expensive tier of the commit
+        escalation, so it sits behind the store's circuit breaker: an
+        open breaker skips the tier outright (the commit degrades to
+        abort-and-retry), ``UNKNOWN`` outcomes count as breaker
+        failures, definite verdicts as successes.
+        """
         if not self._replayable or not self._operations:
             return False
         operations = list(self._operations)
@@ -352,7 +372,28 @@ class Transaction:
             # Cross-method commutation is out of the theorems' scope.
             return False
         method = operations[0].method
-        outcome = classify_order_independence(method)
+        store = self.store
+        breaker = store.breaker
+        if _DECISIONS.get(id(method)) is None and breaker is not None:
+            # Only undecided methods pay the decision procedure; a
+            # memoized verdict is a dictionary hit the breaker must
+            # neither block nor score.
+            if not breaker.allow():
+                global_registry().counter(
+                    "store.txn.breaker_skips"
+                ).inc()
+                return False
+            outcome = classify_order_independence(
+                method, budget=store.new_decision_budget()
+            )
+            if outcome == UNKNOWN:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        else:
+            outcome = classify_order_independence(
+                method, budget=store.new_decision_budget()
+            )
         if outcome == INDEPENDENT:
             return True
         if outcome != KEY_INDEPENDENT:
@@ -508,41 +549,63 @@ def run_transaction(
     retries: int = 5,
     backoff: float = 0.001,
     max_workers: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Tuple[T, Version]:
     """Run ``body`` in a transaction, retrying conflicts with backoff.
 
     ``body`` receives a fresh :class:`Transaction` per attempt (each
     pinned to the then-current head) and must be safe to re-run.
-    Sleeps ``backoff * 2**attempt`` (with jitter) between attempts;
-    after ``retries`` failed re-runs the final
-    :class:`TransactionConflict` propagates.
+    Backoff follows the unified
+    :class:`~repro.resilience.retry.RetryPolicy` — exponential from
+    ``backoff`` with *full jitter*, so transactions that collided once
+    decorrelate instead of re-colliding in lockstep.  After ``retries``
+    failed re-runs the final :class:`TransactionConflict` propagates,
+    wrapped with the attempt count.  ``rng`` and ``sleep`` are
+    injectable for deterministic tests.
     """
-    rng = random.Random()
-    last: Optional[TransactionConflict] = None
-    for attempt in range(retries + 1):
+    policy = RetryPolicy(
+        retries=retries, base_delay=backoff, factor=2.0, max_delay=0.25
+    )
+
+    def attempt() -> Tuple[T, Version]:
         txn = Transaction(store, max_workers=max_workers)
         try:
             result = body(txn)
             version = txn.commit()
             return result, version
-        except TransactionConflict as conflict:
-            txn.abort()
-            last = conflict
-            global_registry().counter("store.txn.retries").inc()
-            if attempt < retries:
-                time.sleep(backoff * (2**attempt) * (0.5 + rng.random()))
         except BaseException:
             txn.abort()
             raise
-    raise TransactionConflict(
-        f"transaction failed after {retries + 1} attempts: {last}"
-    ) from last
+
+    def on_retry(_attempt: int, _error: BaseException) -> None:
+        global_registry().counter("store.txn.retries").inc()
+
+    try:
+        return retry_call(
+            attempt,
+            policy=policy,
+            retryable=(TransactionConflict,),
+            rng=rng,
+            sleep=sleep,
+            on_retry=on_retry,
+            label="store.txn",
+        )
+    except TransactionConflict as last:
+        global_registry().counter("store.txn.retries").inc()
+        raise TransactionConflict(
+            f"transaction failed after {retries + 1} attempts: {last}"
+        ) from last
 
 
 __all__ = [
     "ACTIVE",
     "ABORTED",
     "COMMITTED",
+    "DEPENDENT",
+    "INDEPENDENT",
+    "KEY_INDEPENDENT",
+    "UNKNOWN",
     "Transaction",
     "TransactionConflict",
     "TransactionError",

@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -55,6 +56,8 @@ from repro.objrel.mapping import (
 from repro.relational.database import Database
 from repro.relational.delta import RelationDelta, normalize_changes
 from repro.relational.engine import EngineCache, QueryEngine
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import Budget
 from repro.store.wal import WriteAheadLog
 
 
@@ -215,6 +218,21 @@ class VersionedStore:
         Whether transactions may use the paper's order-independence
         machinery to commit through conflicts (see
         :mod:`repro.store.txn`).  Off = naive abort-on-overlap.
+    decision_budget:
+        Zero-arg factory producing a fresh
+        :class:`~repro.resilience.budget.Budget` for each commit-time
+        decision-procedure run (budgets are single-use — a deadline
+        starts at construction).  ``None`` = unbudgeted decisions.
+    breaker:
+        The :class:`~repro.resilience.breaker.CircuitBreaker` guarding
+        the semantic-commute tier; a default (threshold 3, 30 s reset)
+        is created when omitted.  Pass one with a huge
+        ``failure_threshold`` to effectively disable it.
+    group_commit:
+        Open the WAL (path form only) in group-commit mode: appends
+        buffer, and :meth:`commit_changes` blocks on a batched fsync
+        shared across concurrent committers.  Requires
+        ``durability="fsync"``.
     """
 
     def __init__(
@@ -225,6 +243,9 @@ class VersionedStore:
         cache: Optional[EngineCache] = None,
         commutativity: bool = True,
         durability: str = "flush",
+        decision_budget: Optional[Callable[[], Budget]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        group_commit: bool = False,
     ) -> None:
         if (instance is None) == (database is None):
             raise StoreError(
@@ -233,10 +254,18 @@ class VersionedStore:
         if instance is not None:
             database = instance_to_database(instance)
         if isinstance(wal, str):
-            wal = WriteAheadLog(wal, durability=durability)
+            wal = WriteAheadLog(
+                wal, durability=durability, group_commit=group_commit
+            )
         self.wal = wal
         self.cache = cache if cache is not None else EngineCache()
         self.commutativity = commutativity
+        self.decision_budget = decision_budget
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name="store.semantic")
+        )
         self._lock = threading.RLock()
         self._pins: Dict[int, int] = {}
         self._summaries: Dict[int, VersionSummary] = {}
@@ -262,6 +291,9 @@ class VersionedStore:
         cache: Optional[EngineCache] = None,
         commutativity: bool = True,
         durability: str = "flush",
+        decision_budget: Optional[Callable[[], Budget]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        group_commit: bool = False,
     ) -> "VersionedStore":
         """Recover the head state from ``path`` and attach to the log.
 
@@ -281,9 +313,17 @@ class VersionedStore:
             else None
         )
         store = cls.__new__(cls)
-        store.wal = WriteAheadLog(path, durability=durability)
+        store.wal = WriteAheadLog(
+            path, durability=durability, group_commit=group_commit
+        )
         store.cache = cache if cache is not None else EngineCache()
         store.commutativity = commutativity
+        store.decision_budget = decision_budget
+        store.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(name="store.semantic")
+        )
         store._lock = threading.RLock()
         store._pins = {}
         store._summaries = {}
@@ -358,6 +398,11 @@ class VersionedStore:
         version = at if at is not None else self.head
         return QueryEngine(version.database, cache=self.cache)
 
+    def new_decision_budget(self) -> Optional[Budget]:
+        """A fresh budget for one decision run (``None`` = unbudgeted)."""
+        factory = self.decision_budget
+        return None if factory is None else factory()
+
     # -- writing -------------------------------------------------------
     def _allocate_txn_id(self) -> int:
         with self._lock:
@@ -409,13 +454,23 @@ class VersionedStore:
                 operations=tuple(operations),
                 txn_id=txn_id,
             )
+            lsn: Optional[int] = None
             if self.wal is not None:
-                self.wal.append_commit(number, effective, txn_id=txn_id)
+                lsn = self.wal.append_commit(
+                    number, effective, txn_id=txn_id
+                )
             self._versions.append(version)
             self._by_id[number] = version
             registry = global_registry()
             registry.counter("store.commits").inc()
             registry.gauge("store.versions").set_max(len(self._versions))
+        if lsn is not None:
+            # Group-commit durability wait, *outside* the store lock so
+            # concurrent committers batch behind one fsync leader (a
+            # no-op for per-record durability modes).  The version is
+            # already visible in-memory; this call returning is the
+            # durability acknowledgement.
+            self.wal.wait_durable(lsn)
         trace.event(
             "store.version_committed",
             category="store",
