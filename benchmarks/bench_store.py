@@ -16,6 +16,12 @@ Three series, written to ``BENCH_store.json``:
 * ``store.replay[n{L}]`` — :func:`repro.store.recovery.recover` wall
   time as the WAL grows to ``L`` committed transactions; a final point
   shows checkpoint + compaction flattening the curve.
+* ``store.shard_scaling[s{N}]`` — wall time for a fixed stream of
+  disjoint update-(B') batches through a :class:`ShardedStore` with
+  ``N`` worker processes.  Slices shrink ``~1/N`` in objects *and*
+  edges, so the dominant ``O(B x E)`` per-batch term drops ``~N``-fold
+  in total work — the curve must improve monotonically 1 -> 4 shards
+  and clear 2x at 4, even on a single core.
 """
 
 import itertools
@@ -256,3 +262,69 @@ def test_replay_after_checkpoint_is_flat(tmp_path):
     assert state.version == length
     assert state.commits_applied == 0  # everything folded into the
     # checkpoint; replay starts (and ends) at the snapshot record.
+
+
+SHARD_COUNTS = [1, 2, 4]
+SHARD_EMPLOYEES = 640
+SHARD_BATCH = 80
+
+
+def test_shard_scaling(tmp_path):
+    """Acceptance: disjoint-batch commit throughput improves
+    monotonically from 1 to 4 shards and is >= 2x at 4.
+
+    Hand-timed (like the overlap acceptance gate): each point builds a
+    fresh process-mode fleet outside the clock and times only the
+    batch stream, best of three.  Every fleet must land on the same
+    head as the receiver-level sequential fold — speed without the
+    differential guarantee is worthless.
+    """
+    from repro.store import ShardedStore
+    from repro.workloads.sharded import raise_batches, sharded_company
+
+    method = scenario_b_method()
+    instance, receivers = sharded_company(
+        n_employees=SHARD_EMPLOYEES, salary_levels=8
+    )
+    batches = raise_batches(receivers, SHARD_BATCH)
+    expected = instance_to_database(
+        apply_sequence(method, instance, receivers)
+    ).fingerprints()
+
+    times = {}
+    for shards in SHARD_COUNTS:
+        best = float("inf")
+        for repetition in range(3):
+            wal_dir = str(
+                tmp_path / f"fleet_s{shards}_r{repetition}"
+            )
+            store = ShardedStore(
+                instance,
+                ["Employee"],
+                shards=shards,
+                mode="process",
+                wal_dir=wal_dir,
+            )
+            try:
+                import time as _time
+
+                start = _time.perf_counter()
+                for batch in batches:
+                    _, route = store.apply_batch(method, batch)
+                    assert route.is_disjoint, route.reason
+                best = min(best, _time.perf_counter() - start)
+                assert (
+                    store.coordinator.head.database.fingerprints()
+                    == expected
+                )
+                store.verify_consistent()
+            finally:
+                store.close()
+        times[shards] = best
+        record_timing(f"store.shard_scaling[s{shards}]", best)
+
+    # Monotone improvement, and the acceptance ratio at 4 shards.
+    assert times[1] > times[2] > times[4], times
+    speedup = times[1] / times[4]
+    record_timing("store.shard_scaling.speedup_1_to_4", speedup)
+    assert speedup >= 2.0, f"1->4 shard speedup only {speedup:.2f}x"

@@ -22,7 +22,9 @@ This package implements:
 * empirical inference of minimal colorings for black-box methods
   (:mod:`repro.coloring.inference`), and
 * the order-independence verdicts of Theorems 4.14 / 4.23
-  (:mod:`repro.coloring.analysis`).
+  (:mod:`repro.coloring.analysis`), and
+* read/write region extraction — the coloring as a *partitioner* for
+  the sharded store (:mod:`repro.coloring.regions`).
 """
 
 from repro.coloring.coloring import (
@@ -55,6 +57,11 @@ from repro.coloring.inference import (
     observed_created_items,
     observed_deleted_items,
 )
+from repro.coloring.regions import (
+    UpdateRegion,
+    coloring_region,
+    method_region,
+)
 
 __all__ = [
     "COLORS",
@@ -77,4 +84,7 @@ __all__ = [
     "infer_coloring",
     "observed_created_items",
     "observed_deleted_items",
+    "UpdateRegion",
+    "coloring_region",
+    "method_region",
 ]

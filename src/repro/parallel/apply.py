@@ -194,6 +194,20 @@ def _supervised_fan_out(
             try:
                 results[label] = future.result()
             except (UpdateTypeError, BudgetExceeded):
+                # Fatal — re-running cannot help, so don't let the pool
+                # context's implicit shutdown drain every still-queued
+                # statement before the error surfaces: cancel the queue
+                # and propagate immediately.  Workers already running
+                # finish (their results are simply dropped); the error
+                # latency no longer scales with the batch size.
+                cancelled = sum(
+                    1 for _label, f in futures if f.cancel()
+                )
+                pool.shutdown(wait=False, cancel_futures=True)
+                if cancelled:
+                    registry.counter(
+                        "parallel.futures_cancelled"
+                    ).inc(cancelled)
                 raise
             except Exception as error:
                 failures.append((label, error))
@@ -430,10 +444,20 @@ def apply_parallel_transactional(
     the commit conflicts with a concurrent writer and the store's
     commutativity machinery cannot resolve it.  Returns the committed
     :class:`~repro.store.versioned.Version`.
+
+    A :class:`~repro.store.sharding.ShardedStore` works too: the batch
+    routes through the shard fleet (disjoint sub-batches commit on
+    their shards, anything else escalates to the coordinator) and the
+    committed *coordinator* version comes back — same contract, shard
+    topology invisible to the caller.
     """
+    from repro.store.sharding import ShardedStore
     from repro.store.txn import run_transaction
 
     receivers = list(receivers)
+    if isinstance(store, ShardedStore):
+        version, _route = store.apply_batch(method, receivers)
+        return version
     _, version = run_transaction(
         store,
         lambda txn: txn.apply_method(method, receivers),

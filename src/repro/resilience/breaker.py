@@ -18,6 +18,13 @@ States follow the classic protocol::
     OPEN --(reset_timeout elapsed)-----> HALF_OPEN
     HALF_OPEN --success--> CLOSED      HALF_OPEN --failure--> OPEN
 
+HALF_OPEN admits exactly **one** in-flight probe: the first
+``allow()`` after the reset timer claims the probe slot and every
+other caller is rejected until that probe records an outcome.
+Without the gate, every conflicted commit arriving during the probe
+window would stampede the expensive tier the breaker exists to
+protect.
+
 Thread-safe; the clock is injectable so tests step time explicitly.
 Transitions surface as ``resilience.breaker.*`` counters and trace
 events.
@@ -72,6 +79,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
 
     # -- introspection -------------------------------------------------
     @property
@@ -81,7 +89,8 @@ class CircuitBreaker:
 
     @property
     def consecutive_failures(self) -> int:
-        return self._failures
+        with self._lock:
+            return self._failures
 
     def _effective_state(self) -> str:
         # Caller holds the lock.  OPEN lazily becomes HALF_OPEN once the
@@ -91,6 +100,7 @@ class CircuitBreaker:
             and self._clock() - self._opened_at >= self.reset_timeout
         ):
             self._state = HALF_OPEN
+            self._probe_in_flight = False
             self._transition_event(HALF_OPEN)
         return self._state
 
@@ -107,7 +117,12 @@ class CircuitBreaker:
 
     # -- the protocol --------------------------------------------------
     def allow(self) -> bool:
-        """Whether the protected call may be attempted right now."""
+        """Whether the protected call may be attempted right now.
+
+        In HALF_OPEN only one caller at a time gets a True — the probe
+        slot — and it MUST report back via :meth:`record_success` or
+        :meth:`record_failure` (even on exceptions) to release it.
+        """
         with self._lock:
             state = self._effective_state()
             if state == OPEN:
@@ -115,12 +130,20 @@ class CircuitBreaker:
                     f"resilience.breaker.{self.name}.rejected"
                 ).inc()
                 return False
+            if state == HALF_OPEN:
+                if self._probe_in_flight:
+                    global_registry().counter(
+                        f"resilience.breaker.{self.name}.rejected"
+                    ).inc()
+                    return False
+                self._probe_in_flight = True
             return True
 
     def record_success(self) -> None:
         """A definite outcome: reset failures, close the breaker."""
         with self._lock:
             self._failures = 0
+            self._probe_in_flight = False
             if self._state != CLOSED:
                 self._state = CLOSED
                 self._transition_event(CLOSED)
@@ -134,6 +157,7 @@ class CircuitBreaker:
         with self._lock:
             state = self._effective_state()
             self._failures += 1
+            self._probe_in_flight = False
             if state == HALF_OPEN or (
                 state == CLOSED
                 and self._failures >= self.failure_threshold

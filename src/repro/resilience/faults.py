@@ -46,6 +46,10 @@ ENGINE_EVALUATE = "engine.evaluate"
 CHASE_STEP = "chase.step"
 PARALLEL_WORKER = "parallel.worker"
 WAL_APPEND = "wal.append"
+WAL_COMPACT_REPLACE = "wal.compact.replace"
+"""After ``os.replace`` swaps the compacted log in, before the parent
+directory fsync makes the rename durable — the window where a crash
+used to be able to resurrect the old log."""
 
 #: Every site the chaos suite must cover (one entry per instrumented
 #: layer).  Keep in sync with the ``fault_point`` call sites.
@@ -54,6 +58,7 @@ KNOWN_SITES: Tuple[str, ...] = (
     CHASE_STEP,
     PARALLEL_WORKER,
     WAL_APPEND,
+    WAL_COMPACT_REPLACE,
 )
 
 

@@ -15,6 +15,10 @@ machinery:
 - :mod:`repro.store.txn` — optimistic transactions whose commit-time
   conflicts are resolved with the paper's order-independence theorems
   before falling back to abort/retry.
+- :mod:`repro.store.sharding` — coloring-partitioned shards with a
+  per-shard process pool: provably-disjoint receiver sub-batches
+  commit on separate stores with zero coordination; everything else
+  escalates to a coordinator running the usual commit tiers.
 """
 
 from repro.store.recovery import (
@@ -49,6 +53,13 @@ from repro.store.wal import (
     WalRecord,
     WriteAheadLog,
 )
+from repro.store.sharding import (
+    Partitioning,
+    Route,
+    Router,
+    ShardedStore,
+    ShardingError,
+)
 
 __all__ = [
     "CrashPoint",
@@ -56,8 +67,13 @@ __all__ = [
     "FaultHook",
     "FaultInjector",
     "MethodApplication",
+    "Partitioning",
     "RecoveredState",
     "RecoveryError",
+    "Route",
+    "Router",
+    "ShardedStore",
+    "ShardingError",
     "Snapshot",
     "StoreError",
     "Transaction",

@@ -1,0 +1,52 @@
+"""Coloring-partitioned sharding for the versioned store.
+
+The §4 coloring lattice proves which receivers touch disjoint parts of
+the instance; this package spends that proof as a *partitioner*:
+
+* :mod:`repro.store.sharding.partition` — the shard layout
+  (:class:`Partitioning`): partition-class property relations split
+  row-wise by receiving object, everything else replicated;
+* :mod:`repro.store.sharding.router` — :class:`Router` classifies a
+  batch as **disjoint** (zero-coordination per-shard commits) or
+  **cross_shard** (coordinator escalation) from its
+  :class:`~repro.coloring.regions.UpdateRegion`;
+* :mod:`repro.store.sharding.service` — :class:`ShardedStore`, the
+  front-end over one coordinator plus ``N`` shard stores, each
+  optionally a persistent worker process.
+"""
+
+from repro.store.sharding.partition import (
+    Partitioning,
+    ShardingError,
+    merge_changes,
+    stable_shard_hash,
+)
+from repro.store.sharding.router import (
+    CROSS_SHARD,
+    DISJOINT,
+    Route,
+    Router,
+)
+from repro.store.sharding.service import (
+    InlineShard,
+    ProcessShard,
+    ShardBackend,
+    ShardedStore,
+    database_delta,
+)
+
+__all__ = [
+    "CROSS_SHARD",
+    "DISJOINT",
+    "InlineShard",
+    "Partitioning",
+    "ProcessShard",
+    "Route",
+    "Router",
+    "ShardBackend",
+    "ShardedStore",
+    "ShardingError",
+    "database_delta",
+    "merge_changes",
+    "stable_shard_hash",
+]

@@ -1,0 +1,246 @@
+"""Coloring-derived partitioning of an object base into shard regions.
+
+A :class:`Partitioning` splits the relational image of an instance in
+two:
+
+* **partitioned relations** — the *extents* of the partition classes
+  and their ``C.a`` property relations.  Rows are keyed by the leading
+  object: extent row ``(s,)`` and property row ``(s, t)`` both live on
+  ``shard_of_object(s)``.  The property relations are exactly what
+  ``M_par`` writes when its receiving class is a partition class —
+  every write row is keyed by the receiving object, so receiver
+  sub-batches with disjoint home shards write provably disjoint row
+  sets.
+* **replicated relations** — everything else: non-partition class
+  extents and their property relations (reference data such as
+  ``NewSal.old``).  Every shard holds a full, identical copy, so a
+  shard-local evaluation that only *reads* replicated relations reads
+  exactly what a global evaluation would.
+
+Partitioning the extents (not just the property edges) is what makes a
+shard's working set genuinely ``~1/N`` of the global one: the per-
+receiver cost of ``M_par``'s property replacement is dominated by the
+instance it walks, so replicating every object would put a floor of
+``O(V)`` under each shard no matter how the edges split.
+
+Object-to-shard assignment uses a content hash (CRC-32 of the object's
+class and key representation), not Python's ``hash`` — the assignment
+must agree across worker *processes* regardless of
+``PYTHONHASHSEED``.
+
+The partition classes are where the §4 coloring earns its keep: pick
+them as the receiving classes of the workload's methods, and
+:meth:`Partitioning.disjoint_reason` checks a method's
+:class:`~repro.coloring.regions.UpdateRegion` against the split —
+writes confined to partitioned relations, reads confined to replicated
+ones — which is the precondition under which per-shard commits need no
+coordination at all.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.coloring.regions import UpdateRegion
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance, Obj
+from repro.graph.schema import Schema, SchemaError
+from repro.objrel.mapping import property_relation_name
+from repro.relational.delta import RelationDelta
+from repro.store.versioned import StoreError
+
+
+class ShardingError(StoreError):
+    """Raised on misuse of the sharding layer."""
+
+
+def stable_shard_hash(obj: Obj) -> int:
+    """A process-independent hash of an object.
+
+    ``repr`` of the class name and key is deterministic for the
+    hashable key types relations hold (ints, strings, tuples, objects),
+    and CRC-32 of it is stable across interpreter processes — unlike
+    ``hash(str)``, which varies with ``PYTHONHASHSEED`` and would
+    scatter the same object to different shards in different workers.
+    """
+    return zlib.crc32(repr((obj.cls, obj.key)).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """A shard layout: which relations split, and where each row lands."""
+
+    schema: Schema
+    partition_classes: FrozenSet[str]
+    shards: int
+    partitioned_relations: FrozenSet[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ShardingError(f"need >= 1 shard, got {self.shards}")
+        if not self.partition_classes:
+            raise ShardingError("need at least one partition class")
+        for cls in self.partition_classes:
+            if not self.schema.has_class(cls):
+                raise SchemaError(f"unknown partition class {cls!r}")
+        object.__setattr__(
+            self,
+            "partitioned_relations",
+            frozenset(self.partition_classes)
+            | frozenset(
+                property_relation_name(self.schema, edge.label)
+                for edge in self.schema.edges
+                if edge.source in self.partition_classes
+            ),
+        )
+
+    # -- placement -----------------------------------------------------
+    def shard_of_object(self, obj: Obj) -> int:
+        return stable_shard_hash(obj) % self.shards
+
+    def shard_of_receiver(self, receiver: Receiver) -> int:
+        return self.shard_of_object(receiver.receiving_object)
+
+    def is_partitioned(self, relation: str) -> bool:
+        return relation in self.partitioned_relations
+
+    # -- the disjointness certificate ----------------------------------
+    def disjoint_reason(self, region: UpdateRegion) -> Optional[str]:
+        """Why a method with ``region`` canNOT take the zero-coordination
+        path — ``None`` when it can.
+
+        The certificate: every write lands in a partitioned relation
+        (so sub-batch writes are disjoint row sets, keyed by the
+        receiving object), and no read touches a partitioned relation
+        (so each shard's local copy of everything the evaluation reads
+        is bit-identical to the global state).  Together these are the
+        row-granular structural-commute argument of
+        :mod:`repro.store.txn`, proven *before* execution instead of
+        validated after it.
+        """
+        stray_writes = region.writes - self.partitioned_relations
+        if stray_writes:
+            return (
+                "writes touch replicated relation(s) "
+                f"{sorted(stray_writes)}"
+            )
+        sharded_reads = region.reads & self.partitioned_relations
+        if sharded_reads:
+            return (
+                "reads touch partitioned relation(s) "
+                f"{sorted(sharded_reads)}"
+            )
+        return None
+
+    # -- slicing -------------------------------------------------------
+    def slice_instance(self, instance: Instance, shard: int) -> Instance:
+        """Shard ``shard``'s sub-instance.
+
+        Kept: every non-partition-class object, the shard's *own*
+        partition-class objects, partitioned property edges whose
+        source the shard owns, every replicated edge — plus any foreign
+        partition-class object some kept edge points at (a *borrow*:
+        present in the extent so the sub-instance stays schema-valid,
+        but carrying none of its own partitioned edges).  The slice is
+        ``~1/N`` of the global instance in both objects and edges.
+        """
+        partitioned_labels = {
+            edge.label
+            for edge in self.schema.edges
+            if edge.source in self.partition_classes
+        }
+        edges = [
+            edge
+            for edge in instance.edges
+            if edge.label not in partitioned_labels
+            or self.shard_of_object(edge.source) == shard
+        ]
+        nodes = {
+            node
+            for node in instance.nodes
+            if node.cls not in self.partition_classes
+            or self.shard_of_object(node) == shard
+        }
+        for edge in edges:
+            nodes.add(edge.source)
+            nodes.add(edge.target)
+        return Instance(self.schema, nodes, edges)
+
+    def split_receivers(
+        self, receivers: Iterable[Receiver]
+    ) -> Dict[int, Tuple[Receiver, ...]]:
+        """Receivers grouped by home shard (insertion order kept)."""
+        grouped: Dict[int, list] = {}
+        for receiver in receivers:
+            grouped.setdefault(
+                self.shard_of_receiver(receiver), []
+            ).append(receiver)
+        return {
+            shard: tuple(batch) for shard, batch in grouped.items()
+        }
+
+    def split_changes(
+        self, changes: Mapping[str, RelationDelta]
+    ) -> Tuple[Dict[int, Dict[str, RelationDelta]], Dict[str, RelationDelta]]:
+        """``(per_shard, replicated)`` halves of a change set.
+
+        Partitioned relations split row-wise by the source object;
+        replicated relations are returned whole — the caller must apply
+        them to *every* shard to keep the copies identical.
+        """
+        per_shard: Dict[int, Dict[str, RelationDelta]] = {}
+        replicated: Dict[str, RelationDelta] = {}
+        for name, delta in changes.items():
+            if not self.is_partitioned(name):
+                replicated[name] = delta
+                continue
+            inserted: Dict[int, set] = {}
+            deleted: Dict[int, set] = {}
+            for row in delta.inserted:
+                inserted.setdefault(
+                    self.shard_of_object(row[0]), set()
+                ).add(row)
+            for row in delta.deleted:
+                deleted.setdefault(
+                    self.shard_of_object(row[0]), set()
+                ).add(row)
+            for shard in inserted.keys() | deleted.keys():
+                per_shard.setdefault(shard, {})[name] = RelationDelta(
+                    frozenset(inserted.get(shard, ())),
+                    frozenset(deleted.get(shard, ())),
+                )
+        return per_shard, replicated
+
+
+def merge_changes(
+    parts: Iterable[Mapping[str, RelationDelta]]
+) -> Dict[str, RelationDelta]:
+    """The union of *disjoint* per-shard change sets.
+
+    Inverse of :meth:`Partitioning.split_changes` for the partitioned
+    half: row sets from different shards never collide (each shard only
+    emits rows keyed by its own objects), so a plain union per relation
+    is exact.
+    """
+    merged: Dict[str, RelationDelta] = {}
+    for changes in parts:
+        for name, delta in changes.items():
+            old = merged.get(name)
+            if old is None:
+                merged[name] = delta
+            else:
+                merged[name] = RelationDelta(
+                    old.inserted | delta.inserted,
+                    old.deleted | delta.deleted,
+                )
+    return merged
+
+
+__all__ = [
+    "Partitioning",
+    "ShardingError",
+    "merge_changes",
+    "stable_shard_hash",
+]

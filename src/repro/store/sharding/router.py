@@ -1,0 +1,131 @@
+"""Routing receiver batches onto shards.
+
+The router turns a ``(method, receivers)`` batch into a
+:class:`Route`: either **disjoint** — per-shard sub-batches that may
+commit independently with zero coordination — or **cross_shard** — the
+batch must go through the coordinator's full commit-tier escalation
+(the 2PC-lite path of :class:`~repro.store.sharding.service.ShardedStore`).
+
+A batch routes disjoint exactly when the partitioning can *certify*
+independence before execution:
+
+1. every receiver's receiving object belongs to a partition class, so
+   its writes land on a known home shard;
+2. the method's write region is confined to partitioned relations
+   (sub-batch write row sets are then disjoint — each row is keyed by
+   the receiving object in the source column);
+3. the method's read region avoids partitioned relations, so every
+   shard's replicated copy of what the evaluation reads equals the
+   global state, and shard-local ``par(E)`` evaluation of a sub-batch
+   agrees with the global evaluation restricted to it (Def. 6.2 —
+   every receiver's new edges depend only on the pre-state).
+
+Condition 3 is deliberately conservative: a method that reads its own
+written relation (scenario C's ``manager.salary`` chain) is
+order-*dependent* in general and must escalate; the coordinator then
+decides commutativity with the usual structural/replay/semantic tiers.
+A fourth, receiver-shaped condition guards the slices' *borrowing*
+model: a receiver argument living in a partition class may be owned by
+another shard, so such batches escalate too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.coloring.regions import UpdateRegion, method_region
+from repro.core.receiver import Receiver
+from repro.store.sharding.partition import Partitioning
+
+DISJOINT = "disjoint"
+CROSS_SHARD = "cross_shard"
+
+
+@dataclass(frozen=True)
+class Route:
+    """The routing decision for one batch."""
+
+    kind: str
+    reason: str
+    region: UpdateRegion
+    sub_batches: Dict[int, Tuple[Receiver, ...]]
+
+    @property
+    def is_disjoint(self) -> bool:
+        return self.kind == DISJOINT
+
+    @property
+    def shards_touched(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.sub_batches))
+
+
+class Router:
+    """Classifies batches against a fixed :class:`Partitioning`."""
+
+    def __init__(self, partitioning: Partitioning) -> None:
+        self.partitioning = partitioning
+
+    def route(
+        self,
+        method,
+        receivers: Sequence[Receiver],
+        region: Optional[UpdateRegion] = None,
+    ) -> Route:
+        """Decide how ``(method, receivers)`` executes.
+
+        ``region`` overrides the structural :func:`method_region` — a
+        caller holding a tighter inferred §4 coloring may pass
+        ``coloring_region(schema, inferred)`` instead.
+        """
+        if region is None:
+            region = method_region(method)
+        sub_batches = self.partitioning.split_receivers(receivers)
+
+        stray = sorted(
+            {
+                receiver.receiving_object.cls
+                for receiver in receivers
+                if receiver.receiving_object.cls
+                not in self.partitioning.partition_classes
+            }
+        )
+        if stray:
+            return Route(
+                CROSS_SHARD,
+                f"receiving class(es) {stray} not partitioned",
+                region,
+                sub_batches,
+            )
+        foreign_args = sorted(
+            {
+                obj.cls
+                for receiver in receivers
+                for obj in receiver.objects[1:]
+                if obj.cls in self.partitioning.partition_classes
+            }
+        )
+        if foreign_args:
+            # An argument in a partition class may live on another
+            # shard (the slice only borrows objects its edges point
+            # at), so a shard-local evaluation could not even see it.
+            return Route(
+                CROSS_SHARD,
+                f"receiver argument class(es) {foreign_args} are "
+                "partitioned",
+                region,
+                sub_batches,
+            )
+        reason = self.partitioning.disjoint_reason(region)
+        if reason is not None:
+            return Route(CROSS_SHARD, reason, region, sub_batches)
+        return Route(
+            DISJOINT,
+            f"writes partitioned, reads replicated, "
+            f"{len(sub_batches)} shard(s)",
+            region,
+            sub_batches,
+        )
+
+
+__all__ = ["CROSS_SHARD", "DISJOINT", "Route", "Router"]

@@ -1,0 +1,553 @@
+"""The sharded execution service: one store (and one process) per shard.
+
+:class:`ShardedStore` fronts ``N`` shard :class:`VersionedStore`\\ s —
+each with its own WAL and :class:`EngineCache` — plus a *coordinator*
+store holding the full object base.  The coordinator is the logical
+head: its version chain (and WAL) is the authoritative history, the
+differential-test witness, and the host for the full commit-tier
+escalation when a batch cannot be proven disjoint.
+
+Batches flow through :meth:`ShardedStore.apply_batch`:
+
+* **disjoint** route — each touched shard applies its sub-batch as a
+  local transaction over its *slice* of the instance (all objects, all
+  replicated edges, only its own partitioned edges) and returns the
+  normalized :class:`RelationDelta` change set; the front-end merges
+  the provably disjoint deltas and commits them once on the
+  coordinator.  No inter-shard coordination, and each shard's
+  ``M_par`` evaluation walks an edge set ~``N``× smaller than the
+  global one — the source of the shard-scaling win even on one core.
+* **cross_shard** route — 2PC-lite: the coordinator runs the batch
+  through the ordinary optimistic transaction (structural-commute /
+  replay / semantic tiers), its WAL record being the durable decision;
+  the committed delta is then split by ownership and *staged* to every
+  shard (partitioned rows to their owners, replicated deltas to all).
+  Staging is idempotent redo — deltas re-normalize against each
+  shard's head — so a failed shard is healed by :meth:`resync_shard`,
+  which re-slices from the coordinator head.
+
+Execution modes: ``inline`` backends run in-process (useful for tests
+and as the degraded fallback), ``process`` backends each own a
+persistent worker process fed commands over a pipe, with methods,
+receivers and deltas crossing as pickles.  Dispatch is
+send-to-all-then-collect, so shard work overlaps without any parent
+threads.  Crash recovery rebuilds shards from the coordinator WAL:
+shard logs are derived state; the coordinator log is the truth.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.instance import Instance
+from repro.objrel.mapping import instance_to_database
+from repro.obs import tracer as trace
+from repro.obs.metrics import global_registry
+from repro.relational.database import Database
+from repro.relational.delta import RelationDelta
+from repro.store.sharding.partition import (
+    Partitioning,
+    ShardingError,
+    merge_changes,
+)
+from repro.store.sharding.router import Route, Router
+from repro.store.versioned import MethodApplication, VersionedStore, Version
+from repro.store.txn import run_transaction
+
+
+def database_delta(
+    current: Database, target: Database
+) -> Dict[str, RelationDelta]:
+    """The change set taking ``current`` to ``target``, per relation."""
+    changes: Dict[str, RelationDelta] = {}
+    for name in target.relation_names:
+        have = current.relation(name).tuples
+        want = target.relation(name).tuples
+        if have != want:
+            changes[name] = RelationDelta(
+                frozenset(want - have), frozenset(have - want)
+            )
+    return changes
+
+
+class ShardBackend:
+    """One shard's store plus its command interpreter.
+
+    The same interpreter serves both execution modes: in-process for
+    :class:`InlineShard`, inside the worker for :class:`ProcessShard`.
+    Commands are ``(op, *operands)`` tuples; every payload that crosses
+    a pipe is plain picklable data (methods, receivers, deltas, row
+    sets) — never a live store object.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        instance: Instance,
+        wal: Optional[str] = None,
+        durability: str = "flush",
+    ) -> None:
+        self.shard = shard
+        self.store = VersionedStore(
+            instance=instance, wal=wal, durability=durability
+        )
+
+    def handle(self, command: Tuple[Any, ...]) -> Any:
+        op = command[0]
+        if op == "apply":
+            _, method, receivers = command
+            _, version = run_transaction(
+                self.store,
+                lambda txn: txn.apply_method(method, receivers),
+            )
+            return dict(version.changes)
+        if op == "stage":
+            (_, changes) = command
+            return self.store.commit_changes(changes).version
+        if op == "dump":
+            database = self.store.head.database
+            return {
+                name: database.relation(name).tuples
+                for name in database.relation_names
+            }
+        if op == "fingerprints":
+            return self.store.head.database.fingerprints()
+        if op == "checkpoint":
+            (_, compact) = command
+            if self.store.wal is not None:
+                self.store.checkpoint(compact=compact)
+            return self.store.head.version
+        if op == "close":
+            self.store.close()
+            return None
+        raise ShardingError(f"unknown shard command {op!r}")
+
+
+class InlineShard:
+    """A shard executing commands synchronously in the calling process."""
+
+    def __init__(self, backend: ShardBackend) -> None:
+        self.shard = backend.shard
+        self._backend = backend
+        self._pending: List[Any] = []
+
+    def send(self, command: Tuple[Any, ...]) -> None:
+        self._pending.append(self._backend.handle(command))
+
+    def recv(self) -> Any:
+        return self._pending.pop(0)
+
+    def call(self, command: Tuple[Any, ...]) -> Any:
+        self.send(command)
+        return self.recv()
+
+    def close(self) -> None:
+        self.call(("close",))
+
+
+def _shard_worker(
+    conn,
+    shard: int,
+    instance: Instance,
+    wal: Optional[str],
+    durability: str,
+) -> None:
+    """Worker-process main loop: one backend, commands off the pipe.
+
+    Runs until a ``close`` command (or EOF from a dying parent).
+    Failures are shipped back as ``("error", message)`` rather than
+    killing the worker — the shard stays serviceable and the parent
+    decides whether to resync.
+    """
+    backend = ShardBackend(
+        shard, instance, wal=wal, durability=durability
+    )
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        try:
+            result = backend.handle(command)
+            conn.send(("ok", result))
+        except BaseException as exc:  # ship, don't die
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        if command[0] == "close":
+            break
+    conn.close()
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap start, no re-import); fall back cleanly."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessShard:
+    """A shard owned by a persistent worker process.
+
+    ``send`` is asynchronous — the front-end sends to *all* shards
+    before collecting any reply, so sub-batches execute concurrently
+    in their workers with zero threads in the parent.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        instance: Instance,
+        wal: Optional[str] = None,
+        durability: str = "flush",
+        context=None,
+    ) -> None:
+        ctx = context if context is not None else _mp_context()
+        self.shard = shard
+        parent, child = ctx.Pipe()
+        self._conn = parent
+        self._process = ctx.Process(
+            target=_shard_worker,
+            args=(child, shard, instance, wal, durability),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        self._process.start()
+        child.close()
+
+    def send(self, command: Tuple[Any, ...]) -> None:
+        self._conn.send(command)
+
+    def recv(self) -> Any:
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise ShardingError(
+                f"shard {self.shard} worker died (pipe EOF)"
+            ) from None
+        if status == "error":
+            raise ShardingError(
+                f"shard {self.shard} failed: {payload}"
+            )
+        return payload
+
+    def call(self, command: Tuple[Any, ...]) -> Any:
+        self.send(command)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self.send(("close",))
+            self.recv()
+        except (OSError, ShardingError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+
+class ShardedStore:
+    """Front-end over a coordinator store plus ``N`` shard stores."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        partition_classes: Iterable[str],
+        shards: int = 2,
+        mode: str = "inline",
+        wal_dir: Optional[str] = None,
+        durability: str = "flush",
+    ) -> None:
+        if mode not in ("inline", "process"):
+            raise ShardingError(f"unknown execution mode {mode!r}")
+        self.partitioning = Partitioning(
+            instance.schema, frozenset(partition_classes), shards
+        )
+        self.router = Router(self.partitioning)
+        self.mode = mode
+        self.wal_dir = wal_dir
+        self.durability = durability
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+        self.coordinator = VersionedStore(
+            instance=instance,
+            wal=self._wal_path("coordinator"),
+            durability=durability,
+        )
+        self._lock = threading.Lock()
+        self._shards: List[Any] = [
+            self._make_shard(k, self.partitioning.slice_instance(instance, k))
+            for k in range(shards)
+        ]
+
+    # -- construction helpers ------------------------------------------
+    def _wal_path(self, name: str) -> Optional[str]:
+        if self.wal_dir is None:
+            return None
+        return os.path.join(self.wal_dir, f"{name}.wal")
+
+    def _make_shard(self, shard: int, instance: Instance):
+        wal = self._wal_path(f"shard-{shard}")
+        if self.mode == "process":
+            return ProcessShard(
+                shard, instance, wal=wal, durability=self.durability
+            )
+        return InlineShard(
+            ShardBackend(
+                shard, instance, wal=wal, durability=self.durability
+            )
+        )
+
+    @classmethod
+    def from_wal_dir(
+        cls,
+        wal_dir: str,
+        schema,
+        partition_classes: Iterable[str],
+        shards: int = 2,
+        mode: str = "inline",
+        durability: str = "flush",
+    ) -> "ShardedStore":
+        """Recover from the coordinator WAL and re-slice the shards.
+
+        The coordinator log is the authoritative history; shard logs
+        are derived state (a shard can even be *ahead* by the tail of a
+        disjoint batch whose coordinator commit a crash cut off — that
+        batch is simply not part of the recovered history).  Rebuilding
+        shards from the recovered head makes every copy agree by
+        construction, which is exactly :meth:`resync_shard` applied to
+        all shards at once.
+        """
+        from repro.store.recovery import recover
+
+        path = os.path.join(wal_dir, "coordinator.wal")
+        state = recover(path, truncate=True)
+        if state.database is None:
+            raise ShardingError(
+                f"coordinator log {path!r} holds no recoverable state"
+            )
+        from repro.objrel.mapping import database_to_instance
+
+        instance = database_to_instance(state.database, schema)
+        for shard in range(shards):
+            stale = os.path.join(wal_dir, f"shard-{shard}.wal")
+            if os.path.exists(stale):
+                os.remove(stale)
+        return cls(
+            instance,
+            partition_classes,
+            shards=shards,
+            mode=mode,
+            wal_dir=wal_dir,
+            durability=durability,
+        )
+
+    # -- the batch entry point -----------------------------------------
+    @property
+    def shards(self) -> int:
+        return self.partitioning.shards
+
+    def apply_batch(self, method, receivers: Sequence[Any]) -> Tuple[Version, Route]:
+        """Apply ``M_par(I, T)`` through the shard fleet.
+
+        Routes the batch, executes it on the disjoint or cross-shard
+        path, and returns the committed coordinator version together
+        with the route (so callers — and tests — can see which path
+        ran and why).
+        """
+        receivers = tuple(receivers)
+        route = self.router.route(method, receivers)
+        registry = global_registry()
+        with self._lock, trace.span(
+            "store.shard.batch",
+            category="store",
+            kind=route.kind,
+            receivers=len(receivers),
+            shards=len(route.sub_batches),
+        ):
+            if route.is_disjoint:
+                registry.counter("store.shard.disjoint_batches").inc()
+                version = self._apply_disjoint(method, receivers, route)
+            else:
+                registry.counter("store.shard.cross_shard_batches").inc()
+                version = self._apply_cross_shard(method, receivers, route)
+        return version, route
+
+    def _apply_disjoint(self, method, receivers, route: Route) -> Version:
+        """Independent single-shard commits, then one coordinator commit.
+
+        Shards evaluate and commit first — their deltas *are* the
+        result — and the coordinator commit publishes the merged batch
+        as the logical history entry.  Each shard's local evaluation
+        agrees with the global one restricted to its sub-batch because
+        the route certified that every relation the method reads is
+        replicated (bit-identical on all shards).
+        """
+        registry = global_registry()
+        touched = sorted(route.sub_batches)
+        for shard in touched:
+            self._shards[shard].send(
+                ("apply", method, route.sub_batches[shard])
+            )
+        parts = []
+        for shard in touched:
+            with trace.span(
+                "store.shard.commit",
+                category="store",
+                shard=shard,
+                receivers=len(route.sub_batches[shard]),
+            ):
+                parts.append(self._shards[shard].recv())
+            registry.counter("store.shard.sub_batches").inc()
+        merged = merge_changes(parts)
+        return self.coordinator.commit_changes(
+            merged,
+            operations=[MethodApplication(method, tuple(receivers))],
+        )
+
+    def _apply_cross_shard(self, method, receivers, route: Route) -> Version:
+        """2PC-lite: decide on the coordinator, redo onto the shards.
+
+        The coordinator transaction runs the full commit-tier
+        escalation; its WAL append is the durable decision record.
+        Propagation to shards is idempotent redo — every delta
+        re-normalizes against the shard head, so replaying after a
+        partial failure (or a resync) converges instead of corrupting.
+        """
+        _, version = run_transaction(
+            self.coordinator,
+            lambda txn: txn.apply_method(method, receivers),
+        )
+        per_shard, replicated = self.partitioning.split_changes(
+            version.changes
+        )
+        sent = []
+        for shard_obj in self._shards:
+            payload = dict(replicated)
+            payload.update(per_shard.get(shard_obj.shard, {}))
+            if not payload:
+                continue
+            shard_obj.send(("stage", payload))
+            sent.append(shard_obj)
+        for shard_obj in sent:
+            with trace.span(
+                "store.shard.stage",
+                category="store",
+                shard=shard_obj.shard,
+            ):
+                shard_obj.recv()
+        return version
+
+    # -- consistency and repair ----------------------------------------
+    def resync_shard(self, shard: int) -> None:
+        """Heal one shard from the coordinator head (idempotent)."""
+        target = instance_slice_database(
+            self.partitioning, self.coordinator.head, shard
+        )
+        with self._lock:
+            current = dict(self._shards[shard].call(("dump",)))
+            delta = {
+                name: RelationDelta(
+                    frozenset(target[name] - current.get(name, frozenset())),
+                    frozenset(current.get(name, frozenset()) - target[name]),
+                )
+                for name in target
+                if target[name] != current.get(name, frozenset())
+            }
+            if delta:
+                self._shards[shard].call(("stage", delta))
+            global_registry().counter("store.shard.resyncs").inc()
+
+    def merged_relations(self) -> Dict[str, frozenset]:
+        """The global relations reassembled from the shard fleet.
+
+        Replicated relations come from shard 0 (asserting the copies
+        agree); partitioned relations are the union of every shard's
+        owned rows.  Comparing this against the coordinator head is the
+        differential witness that sharded execution lost nothing.
+        """
+        with self._lock:
+            for shard_obj in self._shards:
+                shard_obj.send(("dump",))
+            dumps = [shard_obj.recv() for shard_obj in self._shards]
+        merged: Dict[str, frozenset] = {}
+        for name in dumps[0]:
+            if self.partitioning.is_partitioned(name):
+                rows = frozenset().union(
+                    *(dump[name] for dump in dumps)
+                )
+            else:
+                rows = dumps[0][name]
+                for shard_obj, dump in zip(self._shards[1:], dumps[1:]):
+                    if dump[name] != rows:
+                        raise ShardingError(
+                            f"replicated relation {name!r} diverged on "
+                            f"shard {shard_obj.shard}"
+                        )
+            merged[name] = rows
+        return merged
+
+    def verify_consistent(self) -> None:
+        """Assert every shard copy agrees with the coordinator head."""
+        head = self.coordinator.head.database
+        merged = self.merged_relations()
+        for name in head.relation_names:
+            if merged.get(name) != head.relation(name).tuples:
+                raise ShardingError(
+                    f"shard fleet diverged from coordinator on {name!r}"
+                )
+
+    def checkpoint(self, compact: bool = False) -> None:
+        """Checkpoint the coordinator and every shard WAL."""
+        with self._lock:
+            if self.coordinator.wal is not None:
+                self.coordinator.checkpoint(compact=compact)
+            for shard_obj in self._shards:
+                shard_obj.send(("checkpoint", compact))
+            for shard_obj in self._shards:
+                shard_obj.recv()
+
+    def close(self) -> None:
+        with self._lock:
+            for shard_obj in self._shards:
+                shard_obj.close()
+            self.coordinator.close()
+
+
+def instance_slice_database(
+    partitioning: Partitioning, head, shard: int
+) -> Dict[str, frozenset]:
+    """Shard ``shard``'s target relation rows, from a coordinator head.
+
+    Derived through :meth:`Partitioning.slice_instance` so the target
+    includes exactly the *borrowed* objects a fresh slice would — a
+    resynced shard is indistinguishable from a freshly built one.
+    """
+    from repro.objrel.mapping import database_to_instance
+
+    instance = head.instance
+    if instance is None:
+        instance = database_to_instance(
+            head.database, partitioning.schema
+        )
+    sliced = instance_to_database(
+        partitioning.slice_instance(instance, shard)
+    )
+    return {
+        name: sliced.relation(name).tuples
+        for name in sliced.relation_names
+    }
+
+
+__all__ = [
+    "InlineShard",
+    "ProcessShard",
+    "ShardBackend",
+    "ShardedStore",
+    "database_delta",
+    "instance_slice_database",
+]

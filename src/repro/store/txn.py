@@ -383,9 +383,16 @@ class Transaction:
                     "store.txn.breaker_skips"
                 ).inc()
                 return False
-            outcome = classify_order_independence(
-                method, budget=store.new_decision_budget()
-            )
+            try:
+                outcome = classify_order_independence(
+                    method, budget=store.new_decision_budget()
+                )
+            except BaseException:
+                # The breaker now holds a single HALF_OPEN probe slot;
+                # an escaping decision run must release it or the tier
+                # deadlocks shut until the next reset window.
+                breaker.record_failure()
+                raise
             if outcome == UNKNOWN:
                 breaker.record_failure()
             else:

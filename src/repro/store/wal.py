@@ -58,7 +58,11 @@ from repro.obs.metrics import global_registry
 from repro.relational.database import Database
 from repro.relational.delta import RelationDelta
 from repro.relational.relation import Attribute, Relation, RelationSchema
-from repro.resilience.faults import WAL_APPEND, fault_point
+from repro.resilience.faults import (
+    WAL_APPEND,
+    WAL_COMPACT_REPLACE,
+    fault_point,
+)
 
 #: The allowed ``durability`` arguments of :class:`WriteAheadLog`.
 DURABILITY_MODES = ("lazy", "flush", "fsync")
@@ -473,10 +477,15 @@ class WriteAheadLog:
     def compact(self) -> int:
         """Drop every record before the latest checkpoint.
 
-        Rewrites the file atomically (write-new + rename) so a crash
-        during compaction leaves either the old or the new log, never a
-        mix.  Returns the number of records dropped.  A log with no
-        checkpoint is left untouched.
+        Rewrites the file atomically (write-new + fsync + rename +
+        **directory fsync**) so a crash during compaction leaves either
+        the old or the new log, never a mix.  The directory fsync is
+        load-bearing: ``os.replace`` updates a directory entry, and on
+        a crash before the directory's own metadata reaches disk the
+        rename may be lost — resurrecting the old (longer) log.  That
+        is *observably* wrong the moment a post-compaction append goes
+        only to the new file.  Returns the number of records dropped.
+        A log with no checkpoint is left untouched.
         """
         from repro.store.recovery import scan_wal
 
@@ -505,7 +514,24 @@ class WriteAheadLog:
                 os.fsync(handle.fileno())
             self._handle.close()
             os.replace(replacement, self.path)
-            self._handle = open(self.path, "ab")
+            try:
+                fault_point(WAL_COMPACT_REPLACE)
+                dir_fd = os.open(
+                    os.path.dirname(os.path.abspath(self.path)),
+                    os.O_RDONLY,
+                )
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+                self._handle = open(self.path, "ab")
+            except BaseException as error:
+                # The live handle is gone; without a replacement the
+                # log must refuse further appends rather than lose
+                # them silently.  Recovery (reopen) heals it — both
+                # the old and the new file replay to the same state.
+                self._poisoned = repr(error)
+                raise
             dropped = checkpoint_at
         global_registry().counter("store.wal.compactions").inc()
         return dropped

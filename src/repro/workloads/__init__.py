@@ -19,6 +19,11 @@ from repro.workloads.drinkers import (
     figure_2_instance,
     random_drinkers_instance,
 )
+from repro.workloads.sharded import (
+    mixed_batches,
+    raise_batches,
+    sharded_company,
+)
 
 __all__ = [
     "random_schema",
@@ -31,4 +36,7 @@ __all__ = [
     "figure_1_instance",
     "figure_2_instance",
     "random_drinkers_instance",
+    "mixed_batches",
+    "raise_batches",
+    "sharded_company",
 ]

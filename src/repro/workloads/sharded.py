@@ -1,0 +1,95 @@
+"""Workloads for the sharded store: scaled companies and mixed batches.
+
+The shard-scaling benchmark and the router differential test both need
+the same shape of input: a company instance large enough that the
+``O(B x E)`` per-batch edge-scan cost dominates, plus a seeded stream
+of batches mixing the two routes — scenario (B') raises (disjoint:
+writes partitioned ``Employee.salary``, reads only replicated
+``NewSal``/``Money`` relations) and scenario (C') manager-salary
+updates (cross-shard: reads its own written relations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.receiver import Receiver
+from repro.graph.instance import Instance, Obj
+from repro.sqlsim.scenarios import (
+    make_company,
+    scenario_b_method,
+    scenario_c_method,
+    tables_to_instance,
+)
+
+
+def sharded_company(
+    n_employees: int = 256,
+    seed: int = 7,
+    salary_levels: int = 8,
+) -> Tuple[Instance, List[Receiver]]:
+    """A scaled company instance plus scenario (B')'s full key set.
+
+    Each receiver pairs an employee with its *current* salary object —
+    the batch is a key set (Lemma 6.7: one receiver per ``Employee``),
+    so ``M_par`` is defined and order independence is free.
+    """
+    employees, _, newsal = make_company(
+        n_employees=n_employees, seed=seed, salary_levels=salary_levels
+    )
+    instance = tables_to_instance(employees, newsal=newsal)
+    receivers = [
+        Receiver(
+            [Obj("Employee", row["EmpId"]), Obj("Money", row["Salary"])]
+        )
+        for row in employees.rows()
+    ]
+    return instance, receivers
+
+
+def raise_batches(
+    receivers: Sequence[Receiver], batch_size: int
+) -> List[List[Receiver]]:
+    """The key set chopped into disjoint-routable batches."""
+    return [
+        list(receivers[start : start + batch_size])
+        for start in range(0, len(receivers), batch_size)
+    ]
+
+
+def mixed_batches(
+    instance: Instance,
+    receivers: Sequence[Receiver],
+    rng: random.Random,
+    rounds: int = 6,
+    batch_size: int = 8,
+    cross_shard_probability: float = 0.35,
+) -> Iterator[Tuple[object, List[Receiver]]]:
+    """A seeded stream of ``(method, batch)`` pairs mixing both routes.
+
+    Disjoint rounds draw a sample of (B') raise receivers; cross-shard
+    rounds apply (C') — every employee's salary becomes its manager's —
+    to a sample of employees.  Receivers carry no arguments for (C'),
+    so any employee subset is a key set.
+    """
+    method_b = scenario_b_method()
+    method_c = scenario_c_method()
+    employees = sorted(
+        obj for obj in instance.nodes if obj.cls == "Employee"
+    )
+    for _ in range(rounds):
+        if rng.random() < cross_shard_probability:
+            sample = rng.sample(
+                employees, min(batch_size, len(employees))
+            )
+            yield method_c, [Receiver([obj]) for obj in sample]
+        else:
+            yield method_b, list(
+                rng.sample(
+                    list(receivers), min(batch_size, len(receivers))
+                )
+            )
+
+
+__all__ = ["mixed_batches", "raise_batches", "sharded_company"]

@@ -385,6 +385,75 @@ class TestCircuitBreaker:
         assert not breaker.allow()
         assert counter.value == before + 1
 
+    def test_half_open_admits_exactly_one_probe(self):
+        """The stampede bug: before the gate, every caller's allow()
+        returned True in HALF_OPEN until someone recorded an outcome."""
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe slot claimed
+        assert not breaker.allow()  # second caller rejected
+        assert not breaker.allow()
+        breaker.record_success()  # probe reports back
+        assert breaker.state == CLOSED
+        assert breaker.allow()  # closed again: everyone admitted
+        assert breaker.allow()
+
+    def test_failed_probe_releases_the_slot_for_the_next_window(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: OPEN, timer restarted
+        assert not breaker.allow()
+        clock.advance(10.0)  # next window gets a fresh probe slot
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_concurrent_half_open_probes_race_to_one_winner(self):
+        """Many threads hit allow() simultaneously in HALF_OPEN: exactly
+        one wins the probe slot."""
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        barrier = threading.Barrier(8)
+        admitted = []
+
+        def caller():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+
+    def test_consecutive_failures_is_read_under_the_lock(self):
+        breaker, _ = self.make(threshold=100)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    breaker.record_failure()
+                    breaker.consecutive_failures
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert breaker.consecutive_failures == 800
+
 
 # ----------------------------------------------------------------------
 # Fault plans

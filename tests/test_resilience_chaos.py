@@ -28,6 +28,7 @@ from repro.resilience.faults import (
     CHASE_STEP,
     KNOWN_SITES,
     WAL_APPEND,
+    WAL_COMPACT_REPLACE,
     CrashPoint,
     FaultError,
     FaultPlan,
@@ -66,6 +67,28 @@ def test_kill_at_every_site_leaves_unchanged_or_fully_applied(
     expected = instance_to_database(
         apply_sequence(method, instance, receivers)
     ).fingerprints()
+
+    if site == WAL_COMPACT_REPLACE:
+        # This site sits inside maintenance, not the commit path: the
+        # batch commits fine, and the kill fires mid-compaction — after
+        # the rename, before the directory fsync.  The swap already
+        # happened, so recovery must land on the fully-applied state
+        # from either file, and the log (its live handle lost to the
+        # crash) must refuse further appends rather than drop them.
+        run_transaction(
+            store, lambda txn: txn.apply_method(method, receivers)
+        )
+        store.checkpoint()
+        plan = FaultPlan(seed=CHAOS_SEED).kill_at(site, at=0)
+        with plan.installed():
+            with pytest.raises(CrashPoint):
+                store.wal.compact()
+        assert plan.hits.get(site, 0) > 0
+        assert store.wal.poisoned
+        assert store.head.database.fingerprints() == expected
+        store.close()
+        assert recover(str(path)).database.fingerprints() == expected
+        return
 
     def body(txn):
         if site == CHASE_STEP:

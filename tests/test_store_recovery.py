@@ -413,3 +413,117 @@ class TestCrashRecovery:
         state = recover(str(path))
         assert state.clean
         assert state.database.fingerprints() == head
+
+
+# ----------------------------------------------------------------------
+# Crash-at-every-step compaction (the directory-fsync fix)
+# ----------------------------------------------------------------------
+class TestCompactionCrashWindows:
+    """Walk a crash through every window of ``compact()`` and prove the
+    committed head survives each one.
+
+    Compaction is write-new + fsync + rename + directory-fsync; the
+    windows are (1) mid-write of the replacement, (2) replacement
+    complete but rename not issued, (3) rename issued and durable but
+    directory fsync lost, (4) rename issued but *lost* with the old
+    file resurrected — the failure the directory fsync exists to make
+    impossible going forward — and (5) compaction complete.  In every
+    case recovery from what is on disk must land on the committed head.
+    """
+
+    def committed_store(self, path, commits=6):
+        instance = company_instance()
+        store = VersionedStore(instance=instance, wal=str(path))
+        for delta in toggle_deltas(instance, commits):
+            store.commit_changes(delta)
+        store.checkpoint()  # compaction keeps records from here on
+        return store, store.head.database.fingerprints()
+
+    def test_crash_mid_replacement_write(self, tmp_path):
+        path = tmp_path / "w1.wal"
+        store, head = self.committed_store(path)
+        store.close()
+        # A torn replacement file is all the crash leaves behind; the
+        # real log was never touched.
+        (tmp_path / "w1.wal.compact").write_bytes(b'{"lsn": 0, "to')
+        assert recover(str(path)).database.fingerprints() == head
+        # A reopened log compacts fine over the stale side file.
+        reopened = VersionedStore.from_wal(
+            str(path), schema=employee_object_schema()
+        )
+        reopened.checkpoint(compact=True)
+        reopened.close()
+        assert recover(str(path)).database.fingerprints() == head
+
+    def test_crash_after_replacement_before_rename(self, tmp_path):
+        path = tmp_path / "w2.wal"
+        store, head = self.committed_store(path)
+        store.close()
+        # The replacement is complete and fsynced, the rename never
+        # issued: the old log is still the log.
+        (tmp_path / "w2.wal.compact").write_bytes(path.read_bytes())
+        assert recover(str(path)).database.fingerprints() == head
+
+    def test_crash_after_rename_durable(self, tmp_path):
+        from repro.resilience.faults import (
+            WAL_COMPACT_REPLACE,
+            FaultPlan,
+        )
+
+        path = tmp_path / "w3.wal"
+        store, head = self.committed_store(path)
+        plan = FaultPlan(seed=1).kill_at(WAL_COMPACT_REPLACE, at=0)
+        with plan.installed():
+            with pytest.raises(CrashPoint):
+                store.wal.compact()
+        # The swap happened; the new (compacted) file recovers the head.
+        assert recover(str(path)).database.fingerprints() == head
+        # The live log lost its handle mid-maintenance: it must refuse
+        # appends (poisoned) rather than drop them silently...
+        assert store.wal.poisoned
+        with pytest.raises(WalError):
+            store.commit_changes(
+                toggle_deltas(company_instance(), 1)[0]
+            )
+        store.close()
+        # ...until reopened, after which commits flow again.
+        reopened = VersionedStore.from_wal(
+            str(path), schema=employee_object_schema()
+        )
+        instance = reopened.head.instance
+        reopened.commit_changes(toggle_deltas(instance, 1)[0])
+        after = reopened.head.database.fingerprints()
+        reopened.close()
+        assert recover(str(path)).database.fingerprints() == after
+
+    def test_crash_with_rename_lost_resurrects_old_log_safely(
+        self, tmp_path
+    ):
+        """The pre-fix disaster window: without the directory fsync the
+        rename itself can be lost, resurrecting the *old* log.  Both
+        files replay to the same committed head — and because a failed
+        compact poisons the log, no post-compaction append can exist
+        only in the new file for the resurrected old one to lose."""
+        from repro.resilience.faults import (
+            WAL_COMPACT_REPLACE,
+            FaultPlan,
+        )
+
+        path = tmp_path / "w4.wal"
+        store, head = self.committed_store(path)
+        old_bytes = path.read_bytes()
+        plan = FaultPlan(seed=1).kill_at(WAL_COMPACT_REPLACE, at=0)
+        with plan.installed():
+            with pytest.raises(CrashPoint):
+                store.wal.compact()
+        store.close()
+        path.write_bytes(old_bytes)  # the lost rename, made flesh
+        assert recover(str(path)).database.fingerprints() == head
+
+    def test_complete_compaction_survives(self, tmp_path):
+        path = tmp_path / "w5.wal"
+        store, head = self.committed_store(path)
+        dropped = store.wal.compact()
+        assert dropped > 0
+        store.close()
+        assert recover(str(path)).database.fingerprints() == head
