@@ -1,0 +1,508 @@
+"""Columnar (tuples-of-arrays) execution tier for the hot operators.
+
+The engine's tuple path evaluates every operator as a Python loop over
+row tuples; at 10^5-row relations the interpreter overhead per row —
+tuple construction, dict probes, per-row comparisons — dominates the
+actual relational work.  This module provides the **columnar tier**: a
+:class:`ColumnarView` of a relation holding one ``numpy`` ``int64``
+array per encodable column (plus a stable row-order snapshot), and
+vectorized kernels for the three hottest physical operators:
+
+* :func:`select_mask` — σ with an ``attr = attr`` / ``attr != attr``
+  predicate as one vectorized comparison over two column arrays;
+* :func:`join_indices` — hash-join build/probe as sort + binary search
+  (``argsort``/``searchsorted``) over the combined join-key arrays,
+  returning matching ``(build, probe)`` row-index pairs;
+* :func:`distinct_indices` — π-dedup as ``np.unique`` over the
+  projected key array, returning one representative index per distinct
+  projected row.
+
+**Bit-exactness.**  Kernels never fabricate values: they only compute
+*row indices*, and the engine materializes result tuples from the
+original rows.  Columns are encodable when ``numpy`` infers an integer
+(or boolean) dtype for their values — exactly the case where ``int64``
+equality coincides with Python ``==`` on the original values (``True``
+and ``1`` are the same set element already).  Floats, strings, ``Obj``
+values, and >64-bit integers are *not* encoded; every kernel then
+returns ``None`` and the engine runs the tuple path, so results are
+identical either way (the differential property suite proves it).
+
+**Graceful degradation.**  ``numpy`` is optional: without it
+:data:`HAVE_NUMPY` is false, :func:`columnar_enabled` is false, and the
+engine never leaves the tuple path.  ``REPRO_COLUMNAR=0`` disables the
+tier explicitly; ``REPRO_COLUMNAR_THRESHOLD`` tunes the row count below
+which vectorization is not worth the encode (default 512).
+
+Encoded views are cached on the :class:`Relation` object itself
+(relations are immutable, and ``Database.apply_delta`` shares unchanged
+relation objects between states), so a warm workload pays the encode
+once per relation, not once per evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the no-numpy degradation test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+from repro.relational.relation import Relation, RelationSchema
+
+#: Row count below which the tuple path wins (encode + kernel overhead
+#: beats the loop only on larger inputs).
+DEFAULT_THRESHOLD = 512
+
+
+def columnar_threshold() -> int:
+    """The minimum input rows for columnar dispatch (env-tunable)."""
+    try:
+        return int(os.environ.get("REPRO_COLUMNAR_THRESHOLD", DEFAULT_THRESHOLD))
+    except ValueError:
+        return DEFAULT_THRESHOLD
+
+
+def columnar_enabled() -> bool:
+    """Whether the columnar tier may be selected at all."""
+    return HAVE_NUMPY and os.environ.get("REPRO_COLUMNAR", "1") != "0"
+
+
+class ColumnarView:
+    """Tuples-of-arrays view of one relation.
+
+    ``rows`` is a stable snapshot of the relation's tuples (the order the
+    arrays are aligned to); ``column(p)`` lazily encodes column ``p`` as
+    an ``int64`` array, or remembers ``None`` when the column's values
+    do not admit an equality-preserving integer encoding.
+    """
+
+    __slots__ = ("rows", "_columns")
+
+    def __init__(self, relation: Relation) -> None:
+        self.rows: Tuple[Tuple, ...] = tuple(relation.tuples)
+        self._columns: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, position: int):
+        """The ``int64`` array of column ``position``, or ``None``."""
+        if position in self._columns:
+            return self._columns[position]
+        arr = _encode([row[position] for row in self.rows])
+        self._columns[position] = arr
+        return arr
+
+
+def _encode(values: List):
+    """``values`` as an ``int64`` array iff that preserves equality.
+
+    ``np.array`` infers the dtype: integer/bool kinds are safe (Python
+    ``==`` on ints and bools coincides with ``int64`` ``==`` after
+    coercion, and ``True``/``1`` already collide as set elements);
+    float, string, and object kinds are rejected — mixed or lossy
+    encodings there could equate values Python distinguishes.
+    """
+    if np is None or not values:
+        return None
+    try:
+        arr = np.array(values)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in ("i", "b"):
+        return None
+    if arr.dtype != np.int64:
+        arr = arr.astype(np.int64)
+    return arr
+
+
+def view_of(relation: Relation) -> ColumnarView:
+    """The (cached) columnar view of ``relation``."""
+    view = relation._columnar
+    if view is None:
+        view = ColumnarView(relation)
+        relation._columnar = view
+    return view
+
+
+# ----------------------------------------------------------------------
+# Kernels — all return row indices (or None for "not encodable")
+# ----------------------------------------------------------------------
+def select_mask(
+    view: ColumnarView, i: int, j: int, equal: bool
+):
+    """Boolean row mask of column ``i`` == / != column ``j``.
+
+    Feed it to ``itertools.compress(view.rows, mask)`` to materialize
+    the selected original rows without a Python-level comparison loop.
+    """
+    a = view.column(i)
+    b = view.column(j)
+    if a is None or b is None:
+        return None
+    return (a == b) if equal else (a != b)
+
+
+def _combined_key(
+    columns: Sequence, lows: Sequence[int], spans: Sequence[int]
+):
+    """Combine per-column arrays into one injective ``int64`` key.
+
+    ``lows``/``spans`` must cover the value range of every array that
+    will be compared against the result (i.e. they are computed over
+    build *and* probe sides together), so equal value tuples — and only
+    those — get equal keys.  Returns ``None`` when the combined range
+    overflows 63 bits.
+    """
+    key = None
+    for column, low, span in zip(columns, lows, spans):
+        shifted = column - low
+        key = shifted if key is None else key * span + shifted
+    return key
+
+
+def _key_arrays(
+    build_cols: Sequence, probe_cols: Sequence
+) -> Optional[Tuple]:
+    """Consistent combined join keys for both sides, or ``None``."""
+    if len(build_cols) == 1:
+        return build_cols[0], probe_cols[0]
+    lows: List[int] = []
+    spans: List[int] = []
+    limit = 1 << 62
+    total_span = 1
+    for b_col, p_col in zip(build_cols, probe_cols):
+        low = int(min(b_col.min(), p_col.min()))
+        high = int(max(b_col.max(), p_col.max()))
+        span = high - low + 1
+        total_span *= span
+        if total_span >= limit:
+            return None
+        lows.append(low)
+        spans.append(span)
+    return (
+        _combined_key(build_cols, lows, spans),
+        _combined_key(probe_cols, lows, spans),
+    )
+
+
+def join_indices(
+    build: ColumnarView,
+    build_positions: Sequence[int],
+    probe: ColumnarView,
+    probe_positions: Sequence[int],
+):
+    """All matching ``(build_index, probe_index)`` pairs of an equi-join.
+
+    Sort-based: the build keys are sorted once (``argsort``), each probe
+    key binary-searched (``searchsorted``) for its matching run, and the
+    run contents expanded without a Python-level loop.  Returns a pair
+    of aligned index arrays, or ``None`` when a key column is not
+    encodable or the combined key would overflow.
+    """
+    if not build.rows or not probe.rows:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    build_cols = [build.column(p) for p in build_positions]
+    probe_cols = [probe.column(p) for p in probe_positions]
+    if any(c is None for c in build_cols + probe_cols):
+        return None
+    keys = _key_arrays(build_cols, probe_cols)
+    if keys is None:
+        return None
+    build_key, probe_key = keys
+    order = np.argsort(build_key, kind="stable")
+    sorted_key = build_key[order]
+    left = np.searchsorted(sorted_key, probe_key, side="left")
+    right = np.searchsorted(sorted_key, probe_key, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_key)), counts)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), probe_idx
+    starts = np.repeat(left, counts)
+    prefix = np.repeat(np.cumsum(counts) - counts, counts)
+    build_idx = order[starts + (np.arange(total) - prefix)]
+    return build_idx, probe_idx
+
+
+def _distinct_key(columns: Sequence):
+    """One injective ``int64`` key per row over ``columns``, or ``None``
+    when the combined value range overflows 63 bits."""
+    if len(columns) == 1:
+        return columns[0]
+    lows: List[int] = []
+    spans: List[int] = []
+    limit = 1 << 62
+    total_span = 1
+    for column in columns:
+        low = int(column.min())
+        span = int(column.max()) - low + 1
+        total_span *= span
+        if total_span >= limit:
+            return None
+        lows.append(low)
+        spans.append(span)
+    return _combined_key(columns, lows, spans)
+
+
+def distinct_indices(view: ColumnarView, positions: Sequence[int]):
+    """One representative row index per distinct projection onto
+    ``positions``, or ``None`` when a column is not encodable."""
+    if not positions or not view.rows:
+        return None
+    columns = [view.column(p) for p in positions]
+    if any(c is None for c in columns):
+        return None
+    key = _distinct_key(columns)
+    if key is None:
+        return None
+    _, indices = np.unique(key, return_index=True)
+    return indices
+
+
+# ----------------------------------------------------------------------
+# Batches — columnar intermediates of one join region
+# ----------------------------------------------------------------------
+_NOT_ENCODED = object()
+
+
+class Batch:
+    """A columnar *intermediate*: row-index selections into factor views.
+
+    The tuple path materializes a Python tuple per intermediate row at
+    every σ/join step; at 10^5 rows those tuple constructions and set
+    hashes dominate the region even when the kernels themselves are
+    vectorized.  A ``Batch`` instead represents an intermediate as
+
+    * ``sources`` — the :class:`ColumnarView` of each joined factor,
+    * ``indices`` — one aligned ``int64`` row-index array per source
+      (row ``r`` of the intermediate is the concatenation of
+      ``sources[s].rows[indices[s][r]]`` projections), and
+    * ``columns`` — the output columns as ``(source, position)`` refs
+      with their :class:`~repro.relational.relation.Attribute`\\ s.
+
+    σ, equi-join, π (column remapping), and π-dedup then compose as pure
+    index/array arithmetic, and Python row tuples are built **once**, at
+    :meth:`materialize` — which also dedups through ``frozenset``, so a
+    metadata-only :meth:`project` is exact for set semantics.
+
+    Intermediates inside a region are duplicate-free by construction
+    (factors are sets and joins pair distinct rows), so ``len(batch)``
+    agrees with the tuple path's intermediate cardinalities.
+
+    Any operation needing a non-encodable column returns ``None``; the
+    engine then materializes the batch and continues on the tuple path,
+    preserving bit-exactness.
+    """
+
+    __slots__ = ("sources", "indices", "attributes", "columns", "_gathered")
+
+    def __init__(self, sources, indices, attributes, columns) -> None:
+        self.sources: List[ColumnarView] = sources
+        self.indices: List = indices
+        self.attributes: List = attributes
+        self.columns: List[Tuple[int, int]] = columns
+        self._gathered: dict = {}
+
+    def __len__(self) -> int:
+        return int(self.indices[0].shape[0]) if self.indices else 0
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def position(self, name: str) -> int:
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return index
+        raise KeyError(name)
+
+    def column(self, index: int):
+        """The gathered ``int64`` array of output column ``index``."""
+        cached = self._gathered.get(index)
+        if cached is not None:
+            return None if cached is _NOT_ENCODED else cached
+        source, position = self.columns[index]
+        base = self.sources[source].column(position)
+        arr = None if base is None else base[self.indices[source]]
+        self._gathered[index] = _NOT_ENCODED if arr is None else arr
+        return arr
+
+    def ndistinct(self, index: int, sample: int = 1024) -> Optional[int]:
+        """Sampled distinct-count of an output column (planner stats)."""
+        column = self.column(index)
+        if column is None:
+            return None
+        if column.shape[0] > sample:
+            column = column[:sample]
+        return max(1, int(np.unique(column).size))
+
+    def filtered(self, mask) -> "Batch":
+        return Batch(
+            self.sources,
+            [index_array[mask] for index_array in self.indices],
+            self.attributes,
+            self.columns,
+        )
+
+    def select(self, i: int, j: int, equal: bool) -> Optional["Batch"]:
+        """σ with ``column i == / != column j``, or ``None``."""
+        a = self.column(i)
+        b = self.column(j)
+        if a is None or b is None:
+            return None
+        return self.filtered((a == b) if equal else (a != b))
+
+    def project(self, positions: Sequence[int]) -> "Batch":
+        """Reorder/drop output columns — metadata only, no row work.
+
+        Exact under set semantics because :meth:`materialize` dedups;
+        use :meth:`distinct` first when the downstream cares about the
+        deduplicated *count* before materialization.
+        """
+        return Batch(
+            self.sources,
+            self.indices,
+            [self.attributes[p] for p in positions],
+            [self.columns[p] for p in positions],
+        )
+
+    def distinct(self) -> Optional["Batch"]:
+        """π-dedup over all output columns via ``np.unique``."""
+        if len(self) == 0:
+            return self
+        columns = [self.column(i) for i in range(len(self.columns))]
+        if any(c is None for c in columns):
+            return None
+        key = _distinct_key(columns)
+        if key is None:
+            return None
+        _, keep = np.unique(key, return_index=True)
+        return self.filtered(keep)
+
+    def join(self, other: "Batch", pairs) -> Optional["Batch"]:
+        """Equi-join on ``pairs`` of (self, other) column indices.
+
+        Output columns are self's then other's (schema-concat order)
+        regardless of which side is sorted internally.
+        """
+        remapped = [
+            (source + len(self.sources), position)
+            for source, position in other.columns
+        ]
+        attributes = self.attributes + other.attributes
+        columns = self.columns + remapped
+        sources = self.sources + other.sources
+        n_self, n_other = len(self), len(other)
+        if n_self == 0 or n_other == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return Batch(
+                sources,
+                [empty for _ in self.indices + other.indices],
+                attributes,
+                columns,
+            )
+        self_cols = [self.column(i) for i, _ in pairs]
+        other_cols = [other.column(j) for _, j in pairs]
+        if any(c is None for c in self_cols + other_cols):
+            return None
+        # Sort the smaller side, probe with the larger.
+        if n_self <= n_other:
+            keys = _key_arrays(self_cols, other_cols)
+        else:
+            keys = _key_arrays(other_cols, self_cols)
+        if keys is None:
+            return None
+        build_key, probe_key = keys
+        order = np.argsort(build_key, kind="stable")
+        sorted_key = build_key[order]
+        left = np.searchsorted(sorted_key, probe_key, side="left")
+        right = np.searchsorted(sorted_key, probe_key, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        probe_sel = np.repeat(np.arange(len(probe_key)), counts)
+        if total == 0:
+            build_sel = np.empty(0, dtype=np.int64)
+        else:
+            starts = np.repeat(left, counts)
+            prefix = np.repeat(np.cumsum(counts) - counts, counts)
+            build_sel = order[starts + (np.arange(total) - prefix)]
+        if n_self <= n_other:
+            self_sel, other_sel = build_sel, probe_sel
+        else:
+            self_sel, other_sel = probe_sel, build_sel
+        return Batch(
+            sources,
+            [index_array[self_sel] for index_array in self.indices]
+            + [index_array[other_sel] for index_array in other.indices],
+            attributes,
+            columns,
+        )
+
+    def materialize(self) -> Relation:
+        """Build the :class:`Relation` — the single tuple-construction
+        pass of the region (``frozenset`` dedups projected rows)."""
+        schema = RelationSchema(tuple(self.attributes))
+        n = len(self)
+        if n == 0:
+            return Relation._from_rows(schema, frozenset())
+        pattern = [
+            (source, position)
+            for source, view in enumerate(self.sources)
+            for position in range(len(view.rows[0]))
+        ]
+        if self.columns == pattern:
+            # Concatenation layout: rows are plain per-source concats.
+            tuples = None
+            for view, index_array in zip(self.sources, self.indices):
+                rows = view.rows
+                part = [rows[k] for k in index_array.tolist()]
+                if tuples is None:
+                    tuples = part
+                else:
+                    tuples = [a + b for a, b in zip(tuples, part)]
+        else:
+            row_lists = [view.rows for view in self.sources]
+            index_lists = [
+                index_array.tolist() for index_array in self.indices
+            ]
+            tuples = [
+                tuple(
+                    row_lists[source][index_lists[source][r]][position]
+                    for source, position in self.columns
+                )
+                for r in range(n)
+            ]
+        return Relation._from_rows(schema, tuples)
+
+
+def batch_of(relation: Relation) -> Batch:
+    """Seed a :class:`Batch` from one base factor relation."""
+    view = view_of(relation)
+    schema = relation.schema
+    return Batch(
+        [view],
+        [np.arange(len(view.rows), dtype=np.int64)],
+        list(schema.attributes),
+        [(0, position) for position in range(schema.arity)],
+    )
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "DEFAULT_THRESHOLD",
+    "Batch",
+    "ColumnarView",
+    "batch_of",
+    "columnar_enabled",
+    "columnar_threshold",
+    "distinct_indices",
+    "join_indices",
+    "select_mask",
+    "view_of",
+]

@@ -12,12 +12,30 @@ one through an algebra expression with classic ΔQ rules.
 The paper's update methods only ever move single edges of the object
 base — :func:`single_row_change` builds the corresponding one-row
 change set.
+
+:func:`substituted` supports the engine's *fused* σ/× region Δ-rule:
+the delta of a product is a union of terms, each the original factor
+list with exactly one factor replaced by its delta —
+
+    Δ⁺(R₁×…×Rₙ) = ⋃ᵢ R₁'×…×Δ⁺Rᵢ×…×Rₙ'   (primes: post-states)
+    Δ⁻(R₁×…×Rₙ) = ⋃ᵢ R₁×…×Δ⁻Rᵢ×…×Rₙ
+
+and selections commute with set difference, so σ conditions push into
+each term's join unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
 
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -67,6 +85,16 @@ def single_row_change(
     if insert:
         return {name: RelationDelta(inserted=rows)}
     return {name: RelationDelta(deleted=rows)}
+
+
+def substituted(
+    relations: Sequence[Relation], index: int, replacement: Relation
+) -> List[Relation]:
+    """The factor list with ``relations[index]`` replaced — one term of
+    the fused product Δ-rule (see the module docstring)."""
+    term = list(relations)
+    term[index] = replacement
+    return term
 
 
 def normalize_changes(

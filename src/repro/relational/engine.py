@@ -49,9 +49,34 @@ changes through two more layers:
   single-edge (or any small) insert/delete changes through
   Select/Project/Rename/Union/Difference/Product with the classic ΔQ
   rules, touching O(|Δ|) operator work per node instead of re-running
-  joins, and falls back to fingerprint-guarded full re-evaluation where
-  no cached pre-state result anchors a rule
-  (``delta_fast_paths`` / ``delta_fallbacks`` count the two paths).
+  joins.  σ/× subtrees run a *fused* region rule: the product-delta
+  identity (one term per changed factor, conditions pushed into each
+  term's join) replaces per-operator propagation, so region interiors
+  need no cached anchors and the old structural-fallback cliff is gone
+  (``delta_fast_paths`` / ``delta_fallbacks`` / ``delta_fused_regions``
+  count the paths taken).
+
+Optimizer v2 adds two more layers on the hot path:
+
+* **Plan cache + stats feedback.**  The join order and pushdown shape
+  chosen for a region is memoized in the shared :class:`EngineCache`,
+  keyed like the schema memo (interned node + base-relation schemas)
+  and guarded by base-relation fingerprints with a size-drift band — a
+  stable workload plans once (``plan_cache_hits``), and replans only on
+  real cardinality drift (``replans``).  Fresh plans rank candidate
+  joins through the shared
+  :class:`~repro.relational.cardinality.StatsCatalog`: sampled
+  n-distinct estimates plus correlated-predicate corrections learned
+  from executed-join actuals.
+
+* **Columnar tier.**  When an operator's input exceeds
+  :func:`~repro.relational.columnar.columnar_threshold` rows, the
+  planner runs it on the vectorized kernels of
+  :mod:`repro.relational.columnar` (hash join, σ, π-dedup over int64
+  column arrays).  Kernels only ever produce *row indices* — result
+  tuples are materialized from the original rows — and decline inputs
+  they cannot encode exactly, so the tuple path and the columnar path
+  are bit-identical (``columnar_ops`` / ``columnar_fallbacks``).
 
 Results are always identical to
 :func:`repro.relational.evaluate.evaluate` (the differential-testing
@@ -60,6 +85,7 @@ oracle, together with ``evaluate_optimized``).
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 from typing import (
@@ -88,12 +114,37 @@ from repro.relational.algebra import (
     children,
     walk,
 )
-from repro.relational.cardinality import estimated_join_size
+from repro.relational.cardinality import (
+    StatsCatalog,
+    estimated_join_size,
+    join_signature,
+)
+from repro.relational.columnar import (
+    HAVE_NUMPY,
+    Batch,
+    batch_of,
+    columnar_enabled,
+    columnar_threshold,
+    distinct_indices,
+    select_mask,
+    view_of,
+)
 from repro.resilience.budget import tick as budget_tick
-from repro.resilience.faults import ENGINE_EVALUATE, fault_point
+from repro.resilience.faults import (
+    ENGINE_COLUMNAR,
+    ENGINE_EVALUATE,
+    ENGINE_PLAN,
+    FaultError,
+    fault_point,
+)
 from repro.relational.database import Database, DatabaseSchema
-from repro.relational.delta import RelationDelta, normalize_changes
+from repro.relational.delta import (
+    RelationDelta,
+    normalize_changes,
+    substituted,
+)
 from repro.relational.evaluate import infer_schema
+from repro.relational.optimizer import join_factors
 from repro.relational.relation import (
     Relation,
     RelationError,
@@ -181,6 +232,24 @@ def intern_expr(expr: Expr) -> Expr:
 # ----------------------------------------------------------------------
 # Cross-state memoization
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _CachedPlan:
+    """One memoized join-region plan.
+
+    ``steps`` is the executable shape — ``("seed" | "join" | "product",
+    factor index)`` in execution order (join conditions are re-derived
+    from the expression at execution time, so only the *order* needs
+    recording).  ``fingerprints`` and ``factor_sizes`` record what the
+    plan was planned against: identical fingerprints mean the exact
+    same data, and sizes within a 2×+16 band mean the greedy choice
+    would almost surely come out the same — either way the plan is
+    reused; real drift triggers a replan."""
+
+    steps: Tuple[Tuple[str, int], ...]
+    factor_sizes: Tuple[int, ...]
+    fingerprints: Tuple[int, ...]
+
+
 class EngineCache:
     """A memo shared by engines across *database states*.
 
@@ -203,14 +272,30 @@ class EngineCache:
         self._results: Dict[Tuple[int, Tuple[int, ...]], Relation] = {}
         self._schemas: Dict[tuple, RelationSchema] = {}
         self._base_rels: Dict[int, Tuple[str, ...]] = {}
+        self._plan_entries: Dict[tuple, _CachedPlan] = {}
+        #: Optimizer-v2 statistics (sampled n-distinct, learned join
+        #: corrections), shared by every engine bound to this cache so
+        #: feedback from one state's execution improves the next's plans.
+        self.stats_catalog = StatsCatalog()
 
     def __len__(self) -> int:
         return len(self._results)
 
     def clear(self) -> None:
-        """Drop all memoized results and schemas (keep the interner)."""
+        """Drop all memoized results, schemas, plans and statistics
+        (keep the interner)."""
         self._results.clear()
         self._schemas.clear()
+        self._plan_entries.clear()
+        self.stats_catalog.clear()
+
+    def forget_results(self) -> None:
+        """Drop memoized *results* only, keeping schemas, cached plans
+        and the statistics catalog — i.e. stay plan-warm but force
+        actual re-execution.  Used by benchmarks measuring executor
+        throughput, and handy for bounding memory on long workloads
+        without losing the learned planning state."""
+        self._results.clear()
 
     def base_relations(self, node: Expr) -> Tuple[str, ...]:
         """The sorted names of base relations ``node`` references.
@@ -269,6 +354,20 @@ class EngineCache:
 
     def store_schema(self, key: tuple, schema: RelationSchema) -> None:
         self._schemas[key] = schema
+
+    def plan_key(self, node: Expr, db_schema: DatabaseSchema) -> tuple:
+        """The plan-cache key of a join region: interned node identity
+        plus base-relation *schemas* — the inputs that fix the region's
+        shape.  Data freshness is checked per entry (fingerprints and
+        the size-drift band), not baked into the key, so one stable
+        workload keeps exactly one entry per region."""
+        return self.schema_key(node, db_schema)
+
+    def lookup_plan(self, key: tuple) -> Optional[_CachedPlan]:
+        return self._plan_entries.get(key)
+
+    def store_plan(self, key: tuple, plan: _CachedPlan) -> None:
+        self._plan_entries[key] = plan
 
 
 # ----------------------------------------------------------------------
@@ -345,7 +444,14 @@ class EngineStats:
         "cross_state_hits",
         "delta_fast_paths",
         "delta_fallbacks",
+        "delta_fused_regions",
+        "delta_anchor_evals",
         "hash_build_rows",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "replans",
+        "columnar_ops",
+        "columnar_fallbacks",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -361,7 +467,14 @@ class EngineStats:
     cross_state_hits = _counter_property("cross_state_hits")
     delta_fast_paths = _counter_property("delta_fast_paths")
     delta_fallbacks = _counter_property("delta_fallbacks")
+    delta_fused_regions = _counter_property("delta_fused_regions")
+    delta_anchor_evals = _counter_property("delta_anchor_evals")
     hash_build_rows = _counter_property("hash_build_rows")
+    plan_cache_hits = _counter_property("plan_cache_hits")
+    plan_cache_misses = _counter_property("plan_cache_misses")
+    replans = _counter_property("replans")
+    columnar_ops = _counter_property("columnar_ops")
+    columnar_fallbacks = _counter_property("columnar_fallbacks")
 
     def op(self, name: str) -> OperatorStats:
         stats = self.operators.get(name)
@@ -376,6 +489,11 @@ class EngineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses + self.replans
+        return self.plan_cache_hits / total if total else 0.0
+
     def render(self) -> str:
         """A small fixed-width table of the counters."""
         lines = [
@@ -383,8 +501,15 @@ class EngineStats:
             f"({self.cache_hit_rate:.1%} hit rate), "
             f"{self.cross_state_hits} cross-state hits, "
             f"hash build rows: {self.hash_build_rows}",
+            f"plans: {self.plan_cache_hits} hits / "
+            f"{self.plan_cache_misses} misses / {self.replans} replans "
+            f"({self.plan_cache_hit_rate:.1%} hit rate), "
+            f"columnar: {self.columnar_ops} vector ops / "
+            f"{self.columnar_fallbacks} fallbacks",
             f"delta: {self.delta_fast_paths} fast paths / "
-            f"{self.delta_fallbacks} fallbacks",
+            f"{self.delta_fallbacks} fallbacks, "
+            f"{self.delta_fused_regions} fused regions, "
+            f"{self.delta_anchor_evals} anchor evals",
             f"{'operator':<12}{'calls':>8}{'rows in':>10}"
             f"{'rows out':>10}{'wall ms':>10}",
         ]
@@ -459,6 +584,7 @@ class QueryEngine:
         interner: Optional[Interner] = None,
         cache: Optional[EngineCache] = None,
         registry: Optional[MetricsRegistry] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self._database = database
         self._db_schema: DatabaseSchema = database.schema
@@ -469,6 +595,15 @@ class QueryEngine:
         self._local: Dict[int, Relation] = {}
         self._schemas: Dict[int, RelationSchema] = {}
         self._plans: Dict[int, _PlanEntry] = {}
+        # ``columnar=None`` follows the environment (REPRO_COLUMNAR /
+        # numpy availability); an explicit flag pins the tier on or off
+        # for this engine (still off without numpy — there is nothing
+        # to vectorize with).
+        if columnar is None:
+            self._columnar = columnar_enabled()
+        else:
+            self._columnar = bool(columnar) and HAVE_NUMPY
+        self._columnar_threshold = columnar_threshold()
         # Pass one ``registry`` to several engines (the per-step engines
         # of a receiver sequence, replay loops) to accumulate counters
         # across all of them.
@@ -568,6 +703,10 @@ class QueryEngine:
             new_database = self._database.apply_delta(effective)
         changed = frozenset(effective)
         memo: Dict[int, _DeltaState] = {}
+        # Per-pass accounting guard: every changed non-Rel node counts
+        # in delta_fast_paths/delta_fallbacks exactly once, even when
+        # the fused region rule handles several nodes in one go.
+        counted: Set[int] = set()
         with trace.span(
             "engine.delta_evaluate",
             category="engine",
@@ -576,7 +715,7 @@ class QueryEngine:
         ):
             return [
                 self._delta(
-                    node, effective, changed, new_database, memo
+                    node, effective, changed, new_database, memo, counted
                 ).new
                 for node in nodes
             ]
@@ -623,7 +762,18 @@ class QueryEngine:
             with trace.span(
                 "engine.join_region", category="engine"
             ) as span:
-                relation, entry = _RegionPlanner(self, node).run()
+                try:
+                    relation, entry = _RegionPlanner(self, node).run()
+                except FaultError:
+                    # Injected planner failure (``engine.plan``):
+                    # degrade to structural evaluation of the region —
+                    # same result, no planning, no vectorization.
+                    relation = self._naive_region(node)
+                    entry = _PlanEntry(
+                        "join-region",
+                        len(relation),
+                        detail="(planner fault: structural fallback)",
+                    )
                 span.set(factors=len(entry.children), rows=len(relation))
         elif isinstance(node, Rel):
             relation = self._database.relation(node.name)
@@ -661,6 +811,14 @@ class QueryEngine:
         self._plans[key] = entry
         return relation
 
+    def _naive_region(self, node: Expr) -> Relation:
+        """Structural evaluation of one σ/×/π/ρ region — the degraded
+        path when a fault plan fails the planner at ``engine.plan``."""
+        if isinstance(node, (Select, Product, Project, Rename)):
+            rels = [self._naive_region(child) for child in children(node)]
+            return self._apply_node(node, rels)
+        return self._evaluate(node)
+
     # -- delta propagation ---------------------------------------------
     def _old_result(self, node: Expr) -> Optional[Relation]:
         """``node``'s pre-state result, if any engine computed it."""
@@ -688,6 +846,27 @@ class QueryEngine:
             return child_rels[0].rename(node.old, node.new)
         raise TypeError(f"unknown expression node {node!r}")
 
+    def _count_delta(
+        self, node: Expr, fallback: bool, counted: Set[int]
+    ) -> None:
+        """Count one node's Δ handling, at most once per pass.
+
+        The accounting invariant (pinned by a hypothesis property): per
+        pass, ``delta_fast_paths + delta_fallbacks`` increments exactly
+        once for every distinct changed non-``Rel`` node — including
+        σ/× interiors the fused region rule handles without visiting
+        them individually."""
+        key = id(node)
+        if key in counted:
+            return
+        counted.add(key)
+        if fallback:
+            self.stats.delta_fallbacks += 1
+            trace.event("engine.delta_fallback", category="engine")
+        else:
+            self.stats.delta_fast_paths += 1
+            trace.event("engine.delta_fast_path", category="engine")
+
     def _delta(
         self,
         node: Expr,
@@ -695,6 +874,7 @@ class QueryEngine:
         changed: FrozenSet[str],
         new_db: Database,
         memo: Dict[int, _DeltaState],
+        counted: Set[int],
     ) -> _DeltaState:
         key = id(node)
         state = memo.get(key)
@@ -716,46 +896,163 @@ class QueryEngine:
             state = _DeltaState(old, new, delta.inserted, delta.deleted)
             memo[key] = state
             return state
-        else:
-            states = [
-                self._delta(child, effective, changed, new_db, memo)
-                for child in children(node)
-            ]
-            old = self._old_result(node)
-            if old is None:
-                # No cached pre-state result anchors a Δ rule here (the
-                # planner only memoizes region roots and factors, not
-                # operator-interior nodes).  Re-apply the operator in
-                # full over the children's old and new states, and seed
-                # the shared cache so the *next* delta pass over this
-                # node runs the fast path.
-                self.stats.delta_fallbacks += 1
-                trace.event("engine.delta_fallback", category="engine")
-                old = self._apply_node(node, [s.old for s in states])
-                self._shared.store(
-                    self._shared.result_key(node, self._database), old
-                )
-                if all(s.unchanged for s in states):
-                    state = _DeltaState(old, old, frozenset(), frozenset())
-                else:
-                    new = self._apply_node(node, [s.new for s in states])
-                    state = _DeltaState(
-                        old,
-                        new,
-                        frozenset(new.tuples - old.tuples),
-                        frozenset(old.tuples - new.tuples),
-                    )
+        if isinstance(node, (Select, Product)):
+            # σ/× regions run the fused planner-backed product-delta
+            # rule instead of per-operator propagation — the structural
+            # fallback cliff used to live exactly here.
+            return self._delta_region(
+                node, effective, changed, new_db, memo, counted
+            )
+        states = [
+            self._delta(child, effective, changed, new_db, memo, counted)
+            for child in children(node)
+        ]
+        old = self._old_result(node)
+        if old is None and isinstance(node, (Project, Rename)):
+            # No cached pre-state anchors the rule; for the unary
+            # region operators the planner evaluates the pre-state
+            # region once (hash joins, memoized, cache-seeding), so the
+            # Δ rule still runs instead of a structural fallback.
+            old = self._evaluate(node)
+            self.stats.delta_anchor_evals += 1
+        if old is None:
+            # Union/Difference with no cached pre-state result:
+            # re-apply the operator in full over the children's old and
+            # new states, and seed the shared cache so the *next* delta
+            # pass over this node runs the fast path.
+            self._count_delta(node, True, counted)
+            old = self._apply_node(node, [s.old for s in states])
+            self._shared.store(
+                self._shared.result_key(node, self._database), old
+            )
+            if all(s.unchanged for s in states):
+                state = _DeltaState(old, old, frozenset(), frozenset())
             else:
-                self.stats.delta_fast_paths += 1
-                trace.event("engine.delta_fast_path", category="engine")
-                added, removed = self._delta_rule(node, old, states)
-                new = old._updated_exact(added, removed)
-                state = _DeltaState(old, new, added, removed)
+                new = self._apply_node(node, [s.new for s in states])
+                state = _DeltaState(
+                    old,
+                    new,
+                    frozenset(new.tuples - old.tuples),
+                    frozenset(old.tuples - new.tuples),
+                )
+        else:
+            self._count_delta(node, False, counted)
+            added, removed = self._delta_rule(node, old, states)
+            new = old._updated_exact(added, removed)
+            state = _DeltaState(old, new, added, removed)
         self._shared.store(
             self._shared.result_key(node, new_db), state.new
         )
         memo[key] = state
         return state
+
+    def _delta_region(
+        self,
+        node: Expr,
+        effective: Mapping[str, RelationDelta],
+        changed: FrozenSet[str],
+        new_db: Database,
+        memo: Dict[int, _DeltaState],
+        counted: Set[int],
+    ) -> _DeltaState:
+        """The fused Δ-rule for one maximal σ/× region.
+
+        Flattens ``node`` through Select/Product only (Project/Rename
+        children stay factors and are Δ-propagated recursively), then
+        applies the product-delta identity — one term per changed
+        factor, the term being the factor list with that factor
+        replaced by its added (resp. removed) rows, post-states (resp.
+        pre-states) elsewhere — with every σ condition pushed into the
+        term's join (selections commute with set difference, so
+        filtering term-wise is exact).  Each term is a join over one
+        small delta, planned by :func:`join_factors`, instead of a
+        structural re-application of the whole region."""
+        factors: List[Expr] = []
+        conditions: List[Condition] = []
+        interior: List[Expr] = []
+
+        def flatten(sub: Expr) -> None:
+            if isinstance(sub, Select):
+                interior.append(sub)
+                flatten(sub.child)
+                conditions.append((sub.left, sub.right, sub.equal))
+            elif isinstance(sub, Product):
+                interior.append(sub)
+                flatten(sub.left)
+                flatten(sub.right)
+            else:
+                factors.append(sub)
+
+        flatten(node)
+        states = [
+            self._delta(f, effective, changed, new_db, memo, counted)
+            for f in factors
+        ]
+        self.stats.delta_fused_regions += 1
+        trace.event("engine.delta_fused_region", category="engine")
+        shared = self._shared
+        # The fused rule handles every changed interior in one go; each
+        # still counts as one fast path (the accounting invariant is
+        # per *node*, not per rule application).
+        for sub in interior:
+            if changed.intersection(shared.base_relations(sub)):
+                self._count_delta(sub, False, counted)
+        old = self._old_result(node)
+        if old is None:
+            # Anchor on a planner-backed (memoized) pre-state
+            # evaluation — joins, not structural re-application.
+            old = self._evaluate(node)
+            self.stats.delta_anchor_evals += 1
+        if all(s.unchanged for s in states):
+            state = _DeltaState(old, old, frozenset(), frozenset())
+        else:
+            budget_tick("engine.delta_region")
+            expected = self._schema(node).names
+            olds = [s.old for s in states]
+            news = [s.new for s in states]
+            added_rows: Set[Tuple] = set()
+            removed_rows: Set[Tuple] = set()
+            for index, s in enumerate(states):
+                if s.added:
+                    term = substituted(
+                        news, index, Relation(s.old.schema, s.added)
+                    )
+                    added_rows |= self._region_term(
+                        term, conditions, expected
+                    )
+                if s.removed:
+                    term = substituted(
+                        olds, index, Relation(s.old.schema, s.removed)
+                    )
+                    removed_rows |= self._region_term(
+                        term, conditions, expected
+                    )
+            # The identities make these exact already (an added
+            # coordinate keeps a term row out of ``old``; a removed one
+            # keeps it in); the set operations are O(|Δ|) insurance
+            # that _updated_exact's invariants hold.
+            added = frozenset(added_rows - old.tuples)
+            removed = frozenset(removed_rows & old.tuples)
+            new = old._updated_exact(added, removed)
+            state = _DeltaState(old, new, added, removed)
+        shared.store(shared.result_key(node, new_db), state.new)
+        memo[id(node)] = state
+        return state
+
+    def _region_term(
+        self,
+        term: Sequence[Relation],
+        conditions: Sequence[Condition],
+        expected: Sequence[str],
+    ) -> FrozenSet[Tuple]:
+        """One product-delta term: join the factor list (conditions
+        pushed down), project to the region's schema order."""
+        if any(r.is_empty() for r in term):
+            return frozenset()
+        joined = join_factors(list(term), list(conditions))
+        if joined.schema.names != tuple(expected):
+            joined = joined.project(expected)
+        return joined.tuples
 
     @staticmethod
     def _delta_rule(
@@ -767,23 +1064,13 @@ class QueryEngine:
         transition, given its cached pre-state result ``old`` and its
         children's Δ-states.  Work is proportional to the child deltas
         (plus, for ``Project`` removals, one support scan of the child's
-        post-state).
+        post-state).  ``Select``/``Product`` never reach this method —
+        ``_delta`` routes whole σ/× regions through the fused
+        ``_delta_region`` rule.
         """
         if isinstance(node, Rename):
             child = states[0]
             return child.added, child.removed
-        if isinstance(node, Select):
-            child = states[0]
-            i = child.old.schema.position(node.left)
-            j = child.old.schema.position(node.right)
-            if node.equal:
-                keep = lambda row: row[i] == row[j]  # noqa: E731
-            else:
-                keep = lambda row: row[i] != row[j]  # noqa: E731
-            return (
-                frozenset(r for r in child.added if keep(r)),
-                frozenset(r for r in child.removed if keep(r)),
-            )
         if isinstance(node, Project):
             child = states[0]
             positions = [
@@ -840,29 +1127,6 @@ class QueryEngine:
                 )
             )
             return added, removed
-        if isinstance(node, Product):
-            left, right = states
-            added = set()
-            for a in left.added:
-                for b in right.new.tuples:
-                    added.add(a + b)
-            if right.added:
-                for a in left.new.tuples:
-                    if a in left.added:
-                        continue
-                    for b in right.added:
-                        added.add(a + b)
-            removed = set()
-            for a in left.removed:
-                for b in right.old.tuples:
-                    removed.add(a + b)
-            if right.removed:
-                for a in left.old.tuples:
-                    if a in left.removed:
-                        continue
-                    for b in right.removed:
-                        removed.add(a + b)
-            return frozenset(added), frozenset(removed)
         raise TypeError(f"unknown expression node {node!r}")
 
     def _render(
@@ -912,6 +1176,8 @@ class _RegionPlanner:
         self._engine = engine
         self._root = root
         self._stats = engine.stats
+        self._catalog = engine._shared.stats_catalog
+        self._plan_note: Optional[str] = None
         self._factors: List[_Factor] = []
         self._conditions: List[Condition] = []
         self._steps: List[str] = []
@@ -999,6 +1265,102 @@ class _RegionPlanner:
         self._factors.append(_Factor(node, names, []))
         return names
 
+    # -- columnar dispatch ---------------------------------------------
+    def _columnar_ready(self, rows_in: int) -> bool:
+        """Whether the next operator should try the columnar tier.
+
+        The ``engine.columnar`` fault site is crossed *unconditionally*
+        (the chaos suite must be able to fail the dispatch decision
+        even on small workloads); a recoverable fault pins this one
+        operator to the tuple path.
+        """
+        try:
+            fault_point(ENGINE_COLUMNAR)
+        except FaultError:
+            self._stats.columnar_fallbacks += 1
+            return False
+        engine = self._engine
+        return engine._columnar and rows_in >= engine._columnar_threshold
+
+    def _select_rows(
+        self, relation: Relation, left: str, right: str, equal: bool
+    ) -> Relation:
+        """σ as a vectorized column comparison, tuple path otherwise."""
+        if self._columnar_ready(len(relation)):
+            view = view_of(relation)
+            mask = select_mask(
+                view,
+                relation.schema.position(left),
+                relation.schema.position(right),
+                equal,
+            )
+            if mask is not None:
+                self._stats.columnar_ops += 1
+                return Relation._from_rows(
+                    relation.schema,
+                    itertools.compress(view.rows, mask),
+                )
+            self._stats.columnar_fallbacks += 1
+        return relation.select(left, right, equal)
+
+    def _project_rows(
+        self, relation: Relation, names: Sequence[str]
+    ) -> Relation:
+        """π-dedup via ``np.unique`` representatives, tuple otherwise."""
+        if self._columnar_ready(len(relation)):
+            view = view_of(relation)
+            positions = [relation.schema.position(n) for n in names]
+            indices = distinct_indices(view, positions)
+            if indices is not None:
+                self._stats.columnar_ops += 1
+                rows = view.rows
+                return Relation._from_rows(
+                    relation.schema.project(names),
+                    (
+                        tuple(rows[k][p] for p in positions)
+                        for k in indices.tolist()
+                    ),
+                )
+            self._stats.columnar_fallbacks += 1
+        return relation.project(names)
+
+    # -- pipelined intermediates (Relation | Batch) --------------------
+    # Inside a region the running intermediate ``current`` is either a
+    # materialized Relation (tuple path) or a columnar Batch: row-index
+    # selections into the factor views, with the single Python-tuple
+    # materialization deferred to the end of the region.  Both carry
+    # identical cardinalities (region intermediates are duplicate-free),
+    # so plans, step traces, and stats agree across the two tiers.
+    def _pipe_names(self, current) -> Tuple[str, ...]:
+        if isinstance(current, Batch):
+            return current.names
+        return current.schema.names
+
+    def _to_relation(self, current) -> Relation:
+        if isinstance(current, Batch):
+            return current.materialize()
+        return current
+
+    def _estimate(
+        self, current, factor: Relation, pairs: Sequence[Tuple[str, str]]
+    ) -> float:
+        """:func:`estimated_join_size` generalized to a Batch left side
+        (same System-R formula; the batch's distinct counts come from a
+        vectorized sample instead of the catalog)."""
+        if not isinstance(current, Batch):
+            return estimated_join_size(current, factor, pairs, self._catalog)
+        catalog = self._catalog
+        size = float(len(current) * len(factor))
+        for left_attr, right_attr in pairs:
+            left_distinct = current.ndistinct(current.position(left_attr))
+            if left_distinct is None:
+                left_distinct = max(1, len(current))
+            right_distinct = catalog.ndistinct(factor, right_attr)
+            size /= max(left_distinct, right_distinct)
+        if pairs:
+            size *= catalog.correction(join_signature(pairs))
+        return size
+
     # -- execution -----------------------------------------------------
     def _factor_relation(self, factor: _Factor, needed: Set[str]) -> Relation:
         relation = self._engine._evaluate(factor.node)
@@ -1008,7 +1370,7 @@ class _RegionPlanner:
         keep = [n for n in relation.schema.names if n in needed]
         if len(keep) != relation.schema.arity:
             start = time.perf_counter()
-            pruned = relation.project(keep)
+            pruned = self._project_rows(relation, keep)
             self._stats.op("project").record(
                 len(relation), len(pruned), time.perf_counter() - start
             )
@@ -1019,15 +1381,31 @@ class _RegionPlanner:
             relation = pruned
         return relation
 
-    def _apply_local(self, relation: Relation) -> Relation:
-        names = set(relation.schema.names)
+    def _apply_local(self, current):
+        names = set(self._pipe_names(current))
         remaining: List[Condition] = []
         for left, right, equal in self._conditions:
             if left in names and right in names:
                 start = time.perf_counter()
-                filtered = relation.select(left, right, equal)
+                rows_in = len(current)
+                filtered = None
+                if isinstance(current, Batch):
+                    filtered = current.select(
+                        current.position(left),
+                        current.position(right),
+                        equal,
+                    )
+                    if filtered is None:
+                        # A non-encodable operand: leave the batch tier
+                        # for the rest of this intermediate.
+                        self._stats.columnar_fallbacks += 1
+                        current = current.materialize()
+                    else:
+                        self._stats.columnar_ops += 1
+                if filtered is None:
+                    filtered = self._select_rows(current, left, right, equal)
                 self._stats.op("select").record(
-                    len(relation),
+                    rows_in,
                     len(filtered),
                     time.perf_counter() - start,
                 )
@@ -1035,48 +1413,79 @@ class _RegionPlanner:
                 self._steps.append(
                     f"filter {left}{op}{right}  rows={len(filtered)}"
                 )
-                relation = filtered
+                current = filtered
             else:
                 remaining.append((left, right, equal))
         self._conditions = remaining
-        return relation
+        return current
 
     def _hash_join(
         self,
-        left: Relation,
+        left,
         right: Relation,
         pairs: Sequence[Tuple[str, str]],
-    ) -> Relation:
+    ):
+        """Equi-join ``current`` (Relation or Batch) with a factor.
+
+        Above the columnar threshold this stays in (or enters) the batch
+        tier: sort/searchsorted over the key arrays, output represented
+        as index selections — no tuple is built.  Otherwise, or on a
+        non-encodable key, the classic build/probe hash loop runs over
+        materialized rows.
+        """
         start = time.perf_counter()
-        # Build the hash index on the smaller side.
-        if len(right) <= len(left):
-            build, probe = right, left
-            build_attrs = [b for _, b in pairs]
-            probe_attrs = [a for a, _ in pairs]
-            swap = False
-        else:
-            build, probe = left, right
-            build_attrs = [a for a, _ in pairs]
-            probe_attrs = [b for _, b in pairs]
-            swap = True
-        build_positions = [build.schema.position(a) for a in build_attrs]
-        probe_positions = [probe.schema.position(a) for a in probe_attrs]
-        index: Dict[Tuple, List[Tuple]] = {}
-        for row in build:
-            index.setdefault(
-                tuple(row[p] for p in build_positions), []
-            ).append(row)
-        self._stats.hash_build_rows += len(build)
-        schema = left.schema.concat(right.schema)
-        rows = set()
-        for row in probe:
-            for match in index.get(
-                tuple(row[p] for p in probe_positions), ()
-            ):
-                rows.add(match + row if swap else row + match)
-        result = Relation(schema, rows)
+        rows_in = len(left) + len(right)
+        result = None
+        attempted = False
+        if self._columnar_ready(rows_in):
+            attempted = True
+            left_batch = (
+                left if isinstance(left, Batch) else batch_of(left)
+            )
+            right_batch = batch_of(right)
+            result = left_batch.join(
+                right_batch,
+                [
+                    (left_batch.position(a), right_batch.position(b))
+                    for a, b in pairs
+                ],
+            )
+            if result is not None:
+                self._stats.columnar_ops += 1
+                self._stats.hash_build_rows += min(len(left), len(right))
+        if result is None:
+            if attempted:
+                self._stats.columnar_fallbacks += 1
+            left_rel = self._to_relation(left)
+            # Build the hash index on the smaller side.
+            if len(right) <= len(left_rel):
+                build, probe = right, left_rel
+                build_attrs = [b for _, b in pairs]
+                probe_attrs = [a for a, _ in pairs]
+                swap = False
+            else:
+                build, probe = left_rel, right
+                build_attrs = [a for a, _ in pairs]
+                probe_attrs = [b for _, b in pairs]
+                swap = True
+            build_positions = [build.schema.position(a) for a in build_attrs]
+            probe_positions = [probe.schema.position(a) for a in probe_attrs]
+            schema = left_rel.schema.concat(right.schema)
+            index: Dict[Tuple, List[Tuple]] = {}
+            for row in build:
+                index.setdefault(
+                    tuple(row[p] for p in build_positions), []
+                ).append(row)
+            self._stats.hash_build_rows += len(build)
+            rows = set()
+            for row in probe:
+                for match in index.get(
+                    tuple(row[p] for p in probe_positions), ()
+                ):
+                    rows.add(match + row if swap else row + match)
+            result = Relation._from_rows(schema, rows)
         self._stats.op("hash_join").record(
-            len(left) + len(right),
+            rows_in,
             len(result),
             time.perf_counter() - start,
         )
@@ -1095,7 +1504,192 @@ class _RegionPlanner:
                 pairs.append((right, left))
         return pairs
 
+    # -- plan caching --------------------------------------------------
+    def _plan_key(self) -> tuple:
+        return self._engine._shared.plan_key(
+            self._root, self._engine._db_schema
+        )
+
+    def _plan_fingerprints(self) -> Tuple[int, ...]:
+        engine = self._engine
+        return engine._shared.result_key(self._root, engine._database)[1]
+
+    def _cached_steps(
+        self, relations: Sequence[Relation]
+    ) -> Optional[Tuple[Tuple[str, int], ...]]:
+        """The cached step sequence to execute, or ``None`` to plan
+        fresh.  Sets ``_plan_note`` and the plan-cache counters."""
+        if len(relations) < 2:
+            return None  # nothing to order; keep trivial regions out
+        engine = self._engine
+        stats = self._stats
+        entry = engine._shared.lookup_plan(self._plan_key())
+        if entry is None or len(entry.factor_sizes) != len(relations):
+            stats.plan_cache_misses += 1
+            self._plan_note = "plan: fresh (recording)"
+            return None
+        if entry.fingerprints == self._plan_fingerprints():
+            stats.plan_cache_hits += 1
+            self._plan_note = "plan: cached (content match)"
+            return entry.steps
+        sizes = tuple(len(r) for r in relations)
+        if all(
+            new <= 2 * old + 16 and old <= 2 * new + 16
+            for old, new in zip(entry.factor_sizes, sizes)
+        ):
+            stats.plan_cache_hits += 1
+            self._plan_note = "plan: cached (sizes compatible)"
+            return entry.steps
+        stats.replans += 1
+        self._plan_note = "plan: replanned (cardinality drift)"
+        return None
+
+    def _store_plan(
+        self,
+        relations: Sequence[Relation],
+        steps: Tuple[Tuple[str, int], ...],
+    ) -> None:
+        if len(relations) < 2:
+            return
+        self._engine._shared.store_plan(
+            self._plan_key(),
+            _CachedPlan(
+                steps=steps,
+                factor_sizes=tuple(len(r) for r in relations),
+                fingerprints=self._plan_fingerprints(),
+            ),
+        )
+
+    def _execute_steps(
+        self,
+        relations: Sequence[Relation],
+        steps: Tuple[Tuple[str, int], ...],
+    ):
+        """Run a cached plan: same step order, pairs re-derived from the
+        (structure-determined) condition list."""
+        seed_index = steps[0][1]
+        current = relations[seed_index]
+        self._steps.append(
+            f"seed {factor_label(self._factors[seed_index].node)}"
+            f"  rows={len(current)}"
+        )
+        current = self._apply_local(current)
+        for kind, index in steps[1:]:
+            factor = relations[index]
+            pairs = self._connecting_pairs(
+                set(self._pipe_names(current)), set(factor.schema.names)
+            )
+            if kind == "join" and pairs:
+                current = self._hash_join(current, factor, pairs)
+                self._consume_pairs(pairs)
+                conds = ", ".join(f"{a}={b}" for a, b in pairs)
+                self._steps.append(
+                    f"hash join {factor_label(self._factors[index].node)} "
+                    f"on ({conds})  rows={len(current)}"
+                )
+            else:
+                start = time.perf_counter()
+                current = self._to_relation(current)
+                joined = current.product(factor)
+                self._stats.op("product").record(
+                    len(current) + len(factor),
+                    len(joined),
+                    time.perf_counter() - start,
+                )
+                self._steps.append(
+                    f"product x {factor_label(self._factors[index].node)}"
+                    f"  rows={len(joined)}"
+                )
+                current = joined
+            current = self._apply_local(current)
+        return current
+
+    def _consume_pairs(self, pairs: Sequence[Tuple[str, str]]) -> None:
+        used = {(a, b) for a, b in pairs} | {(b, a) for a, b in pairs}
+        self._conditions = [
+            c
+            for c in self._conditions
+            if not (c[2] and (c[0], c[1]) in used)
+        ]
+
+    def _greedy_join(self, relations: Sequence[Relation]):
+        """Greedy cardinality-guided join, recording the step sequence
+        for the plan cache and feeding actuals back to the catalog."""
+        catalog = self._catalog
+        recorded: List[Tuple[str, int]] = []
+        order = sorted(
+            range(len(relations)), key=lambda i: (len(relations[i]), i)
+        )
+        remaining = [(i, relations[i]) for i in order]
+        seed_index, current = remaining.pop(0)
+        recorded.append(("seed", seed_index))
+        self._steps.append(
+            f"seed {factor_label(self._factors[seed_index].node)}"
+            f"  rows={len(current)}"
+        )
+        current = self._apply_local(current)
+
+        while remaining:
+            current_names = set(self._pipe_names(current))
+            best: Optional[Tuple[float, int, int, int]] = None
+            best_pairs: List[Tuple[str, str]] = []
+            for position, (index, factor) in enumerate(remaining):
+                pairs = self._connecting_pairs(
+                    current_names, set(factor.schema.names)
+                )
+                if not pairs:
+                    continue
+                rank = (
+                    self._estimate(current, factor, pairs),
+                    len(factor),
+                    index,
+                    position,
+                )
+                if best is None or rank < best:
+                    best = rank
+                    best_pairs = pairs
+            if best is None:
+                # No connecting equality: cross product, smallest first.
+                position = min(
+                    range(len(remaining)),
+                    key=lambda p: (len(remaining[p][1]), remaining[p][0]),
+                )
+                index, factor = remaining.pop(position)
+                recorded.append(("product", index))
+                start = time.perf_counter()
+                current = self._to_relation(current)
+                joined = current.product(factor)
+                self._stats.op("product").record(
+                    len(current) + len(factor),
+                    len(joined),
+                    time.perf_counter() - start,
+                )
+                self._steps.append(
+                    f"product x {factor_label(self._factors[index].node)}"
+                    f"  rows={len(joined)}"
+                )
+                current = joined
+            else:
+                position = best[3]
+                index, factor = remaining.pop(position)
+                recorded.append(("join", index))
+                current = self._hash_join(current, factor, best_pairs)
+                # Feedback: the executed join's actual output size
+                # trains the correlated-predicate correction.
+                catalog.observe_join(
+                    join_signature(best_pairs), best[0], len(current)
+                )
+                self._consume_pairs(best_pairs)
+                conds = ", ".join(f"{a}={b}" for a, b in best_pairs)
+                self._steps.append(
+                    f"hash join {factor_label(self._factors[index].node)} "
+                    f"on ({conds})  est={best[0]:.1f}  rows={len(current)}"
+                )
+            current = self._apply_local(current)
+        return current, tuple(recorded)
+
     def run(self) -> Tuple[Relation, _PlanEntry]:
+        fault_point(ENGINE_PLAN)
         output = self._flatten(self._root)
         expected = self._engine._schema(self._root).names
         needed = set(expected)
@@ -1123,84 +1717,51 @@ class _RegionPlanner:
             )
             return relation, entry
 
-        order = sorted(
-            range(len(relations)), key=lambda i: (len(relations[i]), i)
-        )
-        remaining = [(i, relations[i]) for i in order]
-        seed_index, current = remaining.pop(0)
-        self._steps.append(
-            f"seed {factor_label(self._factors[seed_index].node)}"
-            f"  rows={len(current)}"
-        )
-        current = self._apply_local(current)
-
-        while remaining:
-            current_names = set(current.schema.names)
-            best: Optional[Tuple[float, int, int, int]] = None
-            best_pairs: List[Tuple[str, str]] = []
-            for position, (index, factor) in enumerate(remaining):
-                pairs = self._connecting_pairs(
-                    current_names, set(factor.schema.names)
-                )
-                if not pairs:
-                    continue
-                rank = (
-                    estimated_join_size(current, factor, pairs),
-                    len(factor),
-                    index,
-                    position,
-                )
-                if best is None or rank < best:
-                    best = rank
-                    best_pairs = pairs
-            if best is None:
-                # No connecting equality: cross product, smallest first.
-                position = min(
-                    range(len(remaining)),
-                    key=lambda p: (len(remaining[p][1]), remaining[p][0]),
-                )
-                index, factor = remaining.pop(position)
-                start = time.perf_counter()
-                joined = current.product(factor)
-                self._stats.op("product").record(
-                    len(current) + len(factor),
-                    len(joined),
-                    time.perf_counter() - start,
-                )
-                self._steps.append(
-                    f"product x {factor_label(self._factors[index].node)}"
-                    f"  rows={len(joined)}"
-                )
-                current = joined
-            else:
-                position = best[3]
-                index, factor = remaining.pop(position)
-                current = self._hash_join(current, factor, best_pairs)
-                used = {(a, b) for a, b in best_pairs} | {
-                    (b, a) for a, b in best_pairs
-                }
-                self._conditions = [
-                    c
-                    for c in self._conditions
-                    if not (c[2] and (c[0], c[1]) in used)
-                ]
-                conds = ", ".join(f"{a}={b}" for a, b in best_pairs)
-                self._steps.append(
-                    f"hash join {factor_label(self._factors[index].node)} "
-                    f"on ({conds})  est={best[0]:.1f}  rows={len(current)}"
-                )
-            current = self._apply_local(current)
+        steps = self._cached_steps(relations)
+        if self._plan_note is not None:
+            self._steps.append(self._plan_note)
+        if steps is not None:
+            current = self._execute_steps(relations, steps)
+        else:
+            current, recorded = self._greedy_join(relations)
+            self._store_plan(relations, recorded)
 
         current = self._apply_local(current)
         if self._conditions:
             raise RelationError(
                 f"join planning left conditions {self._conditions} "
                 f"unapplied; available attributes "
-                f"{list(current.schema.names)}"
+                f"{list(self._pipe_names(current))}"
             )
-        if current.schema.names != expected:
+        if isinstance(current, Batch):
+            # The one tuple-materialization pass of the region.  A final
+            # projection is column remapping plus np.unique dedup before
+            # materializing, so only surviving rows become tuples (the
+            # frozenset also dedups, covering the non-encodable case).
+            if current.names != expected:
+                start = time.perf_counter()
+                rows_in = len(current)
+                current = current.project(
+                    [current.position(name) for name in expected]
+                )
+                deduped = current.distinct()
+                if deduped is not None:
+                    self._stats.columnar_ops += 1
+                    current = deduped
+                else:
+                    self._stats.columnar_fallbacks += 1
+                current = current.materialize()
+                self._stats.op("project").record(
+                    rows_in, len(current), time.perf_counter() - start
+                )
+                self._steps.append(
+                    f"project [{', '.join(expected)}]  rows={len(current)}"
+                )
+            else:
+                current = current.materialize()
+        elif current.schema.names != expected:
             start = time.perf_counter()
-            projected = current.project(expected)
+            projected = self._project_rows(current, expected)
             self._stats.op("project").record(
                 len(current), len(projected), time.perf_counter() - start
             )

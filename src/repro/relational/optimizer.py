@@ -100,10 +100,16 @@ def _hash_join(
     return Relation(schema, rows)
 
 
-def _join_factors(
+def join_factors(
     factors: List[Relation], conditions: List[Condition]
 ) -> Relation:
-    """Greedy join planning over evaluated factors."""
+    """Greedy join planning over evaluated factors.
+
+    Public since optimizer v2: the engine's fused σ/× delta rule joins
+    each product-delta term through this planner, so a one-row delta
+    costs one small join instead of a structural re-application of the
+    whole region.  Consumes (mutates) both argument lists.
+    """
     remaining_factors = list(factors)
     # Seed with the smallest factor (cheapest build side).
     remaining_factors.sort(key=len)
@@ -173,6 +179,10 @@ def _join_factors(
             f"available attributes {list(current.schema.names)}"
         )
     return current
+
+
+#: Backwards-compatible private alias (pre-v2 name).
+_join_factors = join_factors
 
 
 def evaluate_optimized(expr: Expr, database: Database) -> Relation:

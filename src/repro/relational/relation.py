@@ -155,7 +155,7 @@ def schema_of(*pairs: Tuple[str, str]) -> RelationSchema:
 class Relation:
     """A finite, typed relation: a schema plus a set of tuples."""
 
-    __slots__ = ("_schema", "_tuples", "_tuple_xor", "_fp")
+    __slots__ = ("_schema", "_tuples", "_tuple_xor", "_fp", "_columnar")
 
     def __init__(
         self,
@@ -173,6 +173,30 @@ class Relation:
         self._tuples = rows
         self._tuple_xor: Optional[int] = None
         self._fp: Optional[int] = None
+        # Lazily-built columnar view (repro.relational.columnar); cached
+        # here because relations are immutable and apply_delta shares
+        # unchanged relation objects between database states.
+        self._columnar = None
+
+    @classmethod
+    def _from_rows(
+        cls, schema: RelationSchema, rows: Iterable[Tuple]
+    ) -> "Relation":
+        """Trusted construction for engine-internal hot paths.
+
+        Every row must already be a tuple of the right arity (rows
+        produced by joining/filtering/projecting *validated* relations
+        are); skips ``__init__``'s O(n) re-tuple and arity pass.
+        """
+        result = cls.__new__(cls)
+        result._schema = schema
+        result._tuples = (
+            rows if isinstance(rows, frozenset) else frozenset(rows)
+        )
+        result._tuple_xor = None
+        result._fp = None
+        result._columnar = None
+        return result
 
     @property
     def schema(self) -> RelationSchema:
@@ -237,6 +261,7 @@ class Relation:
         result._schema = self._schema
         result._tuples = (self._tuples - removed) | added
         result._fp = None
+        result._columnar = None
         if self._tuple_xor is not None:
             acc = self._tuple_xor
             for row in added:
@@ -264,6 +289,7 @@ class Relation:
         result._schema = self._schema
         result._tuples = (self._tuples - removed) | added
         result._fp = None
+        result._columnar = None
         if self._tuple_xor is not None:
             acc = self._tuple_xor
             for row in added:
@@ -339,6 +365,15 @@ class Relation:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The columnar view is a process-local cache of numpy arrays;
+        # rebuild it lazily on the other side instead of shipping it.
+        return (self._schema, self._tuples, self._tuple_xor, self._fp)
+
+    def __setstate__(self, state) -> None:
+        self._schema, self._tuples, self._tuple_xor, self._fp = state
+        self._columnar = None
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented

@@ -43,6 +43,14 @@ from repro.obs.metrics import global_registry
 # Sites
 # ----------------------------------------------------------------------
 ENGINE_EVALUATE = "engine.evaluate"
+ENGINE_PLAN = "engine.plan"
+"""Entry of the join-region planner.  A recoverable :class:`FaultError`
+here makes the engine fall back to the naive structural evaluation of
+the region (same result, no planning); a kill crashes the evaluation."""
+ENGINE_COLUMNAR = "engine.columnar"
+"""The columnar-kernel dispatch decision inside a join region.  A
+recoverable :class:`FaultError` pins that operator to the tuple path;
+a kill crashes the evaluation."""
 CHASE_STEP = "chase.step"
 PARALLEL_WORKER = "parallel.worker"
 WAL_APPEND = "wal.append"
@@ -55,6 +63,8 @@ used to be able to resurrect the old log."""
 #: layer).  Keep in sync with the ``fault_point`` call sites.
 KNOWN_SITES: Tuple[str, ...] = (
     ENGINE_EVALUATE,
+    ENGINE_PLAN,
+    ENGINE_COLUMNAR,
     CHASE_STEP,
     PARALLEL_WORKER,
     WAL_APPEND,
@@ -356,7 +366,9 @@ class FaultInjector:
 
 __all__ = [
     "CHASE_STEP",
+    "ENGINE_COLUMNAR",
     "ENGINE_EVALUATE",
+    "ENGINE_PLAN",
     "KNOWN_SITES",
     "PARALLEL_WORKER",
     "WAL_APPEND",

@@ -24,8 +24,16 @@ from repro.workloads.sharded import (
     raise_batches,
     sharded_company,
 )
+from repro.workloads.canonical_battery import (
+    SkewedJoinBattery,
+    canonical_battery,
+    skewed_join_battery,
+)
 
 __all__ = [
+    "SkewedJoinBattery",
+    "canonical_battery",
+    "skewed_join_battery",
     "random_schema",
     "random_instance",
     "random_receiver",

@@ -15,17 +15,35 @@ battery enumerates the instances that matter:
 
 Combined with random samples it makes the empirical minimal-coloring
 inference reliably converge to the true coloring on small schemas.
+
+Since optimizer v2 the battery also has a *relational* face:
+:func:`skewed_join_battery` builds a seeded large instance (default
+10⁵ fact rows) whose join key follows a skewed (power-law) distribution
+and whose value column is strongly *correlated* with the key — exactly
+the shape on which the System-R independence assumption misestimates a
+two-pair equi-join.  The engine's
+:class:`~repro.relational.cardinality.StatsCatalog` must learn the
+correction from actuals, the plan cache must hold across the repeated
+σ(×) queries, and the delta steps drive the fused region rule
+(``delta_fallbacks`` stays 0 on them).  All values are small ints, so
+the columnar tier can encode every column.
 """
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.coloring.canonical import edge_fixed, fixed_edge_pair, node_fixed
 from repro.core.receiver import Receiver
 from repro.core.signature import MethodSignature
 from repro.graph.instance import Edge, Instance, Obj
 from repro.graph.schema import Schema
+from repro.relational.algebra import Expr, Product, Project, Rel, Select
+from repro.relational.database import Database
+from repro.relational.delta import RelationDelta, relation_delta
+from repro.relational.relation import Relation, schema_of
 
 Sample = Tuple[Instance, Receiver]
 
@@ -106,3 +124,93 @@ def canonical_battery(
     add(set())
     add(u_nodes)
     return samples
+
+
+# ----------------------------------------------------------------------
+# The relational skewed-join battery (optimizer v2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SkewedJoinBattery:
+    """One seeded large relational instance plus its probe queries.
+
+    * ``simple_join`` — σ_{fk=dk}(Fact × Dim): one join pair, exercises
+      the skewed-key hash join and the sampled n-distinct estimate.
+    * ``correlated_join`` — σ_{fv=dv}(σ_{fk=dk}(Fact × Dim)): two join
+      pairs over *correlated* columns (``fv`` tracks ``fk`` for most
+      rows), the case the independence assumption misestimates and the
+      catalog's learned correction repairs.
+    * ``projected_join`` — π_{fk,fv} of the correlated join: heavy
+      duplicate elimination, the π-dedup kernel's case.
+    * ``delta_steps`` — single/few-row Fact changes driving the fused
+      σ(×) delta rule over the same expressions.
+    """
+
+    database: Database
+    simple_join: Expr
+    correlated_join: Expr
+    projected_join: Expr
+    delta_steps: List[Dict[str, RelationDelta]]
+
+    @property
+    def queries(self) -> Tuple[Expr, Expr, Expr]:
+        return (self.simple_join, self.correlated_join, self.projected_join)
+
+
+def skewed_join_battery(
+    rows: int = 100_000,
+    classes: int = 64,
+    seed: int = 1995,
+    delta_steps: int = 8,
+) -> SkewedJoinBattery:
+    """Build the seeded skewed-join instance (see the module docstring).
+
+    ``Fact(fs, fk, fv)`` has ``rows`` tuples: ``fs`` a unique row id,
+    ``fk`` a join key drawn from a power-law over ``classes`` values
+    (a few keys carry most rows), and ``fv`` equal to ``fk`` for ~90%
+    of rows (correlated) and uniform otherwise.  ``Dim(dk, dv)`` holds
+    the diagonal ``(k, k)`` per class plus a sprinkle of off-diagonal
+    rows, so the two-pair join is far smaller than independent
+    per-column selectivities predict.
+    """
+    rng = random.Random(seed)
+    fact_rows = []
+    for row_id in range(rows):
+        # Power-law skew: cubing a uniform [0,1) draw concentrates
+        # mass near key 0 while keeping every class reachable.
+        key = int(classes * (rng.random() ** 3))
+        value = key if rng.random() < 0.9 else rng.randrange(classes)
+        fact_rows.append((row_id, key, value))
+    dim_rows = [(k, k) for k in range(classes)]
+    for _ in range(classes // 4):
+        dim_rows.append(
+            (rng.randrange(classes), rng.randrange(classes))
+        )
+    database = Database(
+        {
+            "Fact": Relation(
+                schema_of(("fs", "int"), ("fk", "int"), ("fv", "int")),
+                fact_rows,
+            ),
+            "Dim": Relation(
+                schema_of(("dk", "int"), ("dv", "int")), dim_rows
+            ),
+        }
+    )
+    simple = Select(Product(Rel("Fact"), Rel("Dim")), "fk", "dk", True)
+    correlated = Select(simple, "fv", "dv", True)
+    projected = Project(correlated, ("fk", "fv"))
+    steps: List[Dict[str, RelationDelta]] = []
+    for step in range(delta_steps):
+        key = int(classes * (rng.random() ** 3))
+        inserted = {(rows + step, key, key)}
+        deleted = (
+            {fact_rows[rng.randrange(rows)]} if step % 2 and rows else set()
+        )
+        steps.append({"Fact": relation_delta(inserted, deleted)})
+    return SkewedJoinBattery(
+        database=database,
+        simple_join=simple,
+        correlated_join=correlated,
+        projected_join=projected,
+        delta_steps=steps,
+    )

@@ -1,0 +1,335 @@
+"""The columnar tier is an *optimization*, never a semantics change.
+
+Property suite for optimizer v2's vectorized hot path and its planning
+machinery:
+
+* kernel properties — ``join_indices`` / ``distinct_indices`` /
+  ``select_mask`` against brute force, and the encodability predicate;
+* batch pipeline — ``Batch`` join/select/project/distinct/materialize
+  against the tuple-level relation algebra;
+* engine differential — columnar forced on (threshold 0) vs. off vs.
+  the reference evaluator over random expressions and databases;
+* bit-exact fallback on non-encodable (string/float/big-int) columns;
+* graceful degradation without numpy and under ``REPRO_COLUMNAR=0``;
+* the :class:`StatsCatalog` influences plans only, never results;
+* plan-cache freshness: content match is a hit, compatible sizes are a
+  hit, cardinality drift forces a replan — with exact results in every
+  case.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.relational.columnar as columnar
+import repro.relational.engine as engine_module
+from repro.relational.algebra import Product, Rel, Rename, Select
+from repro.relational.columnar import (
+    HAVE_NUMPY,
+    _encode,
+    batch_of,
+    distinct_indices,
+    join_indices,
+    select_mask,
+    view_of,
+)
+from repro.relational.database import Database, DatabaseSchema
+from repro.relational.engine import EngineCache, QueryEngine
+from repro.relational.evaluate import evaluate
+from repro.relational.relation import Relation, schema_of
+
+from tests.test_engine import engine_expressions
+from tests.test_property_translate import DB_SCHEMA, databases
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy required")
+
+pair_rows = st.sets(
+    st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _relation(names, rows):
+    return Relation(schema_of(*((n, "D") for n in names)), rows)
+
+
+# ----------------------------------------------------------------------
+# Kernels against brute force
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestKernels:
+    @given(pair_rows, pair_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_join_indices_matches_bruteforce(self, left_rows, right_rows):
+        left = _relation(("a", "b"), left_rows)
+        right = _relation(("c", "d"), right_rows)
+        indices = join_indices(view_of(left), [0], view_of(right), [0])
+        assert indices is not None
+        build_idx, probe_idx = indices
+        build_view, probe_view = view_of(left), view_of(right)
+        found = {
+            (build_view.rows[b], probe_view.rows[p])
+            for b, p in zip(build_idx.tolist(), probe_idx.tolist())
+        }
+        expected = {
+            (l, r)
+            for l in left_rows
+            for r in right_rows
+            if l[0] == r[0]
+        }
+        assert found == expected
+        # Every match appears exactly once (pairs of set rows).
+        assert len(build_idx) == len(expected)
+
+    @given(pair_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_indices_matches_bruteforce(self, rows):
+        relation = _relation(("a", "b"), rows)
+        view = view_of(relation)
+        indices = distinct_indices(view, [1])
+        assert indices is not None
+        projected = {view.rows[k][1] for k in indices.tolist()}
+        assert projected == {row[1] for row in rows}
+        assert len(indices) == len(projected)
+
+    @given(pair_rows, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_select_mask_matches_bruteforce(self, rows, equal):
+        relation = _relation(("a", "b"), rows)
+        view = view_of(relation)
+        mask = select_mask(view, 0, 1, equal)
+        assert mask is not None
+        selected = {
+            row for row, keep in zip(view.rows, mask.tolist()) if keep
+        }
+        expected = {
+            row for row in rows if (row[0] == row[1]) == equal
+        }
+        assert selected == expected
+
+    def test_encode_accepts_exactly_integer_like_columns(self):
+        assert _encode([1, 2, 3]) is not None
+        assert _encode([True, False]) is not None
+        assert _encode([1.5, 2.5]) is None
+        assert _encode(["x", "y"]) is None
+        assert _encode([1, "x"]) is None
+        assert _encode([2**70, 1]) is None  # object dtype, not int64
+        assert _encode([]) is None
+
+
+# ----------------------------------------------------------------------
+# Batch pipeline against the tuple-level algebra
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestBatchPipeline:
+    @given(pair_rows, pair_rows, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_join_select_project_distinct(
+        self, left_rows, right_rows, equal
+    ):
+        left = _relation(("a", "b"), left_rows)
+        right = _relation(("c", "d"), right_rows)
+        batch = batch_of(left).join(batch_of(right), [(1, 0)])
+        assert batch is not None
+        batch = batch.select(0, 3, equal)
+        assert batch is not None
+        projected = batch.project([1, 2])
+        deduped = projected.distinct()
+        assert deduped is not None
+
+        oracle = (
+            left.product(right)
+            .select("b", "c", True)
+            .select("a", "d", equal)
+        )
+        assert batch.materialize() == oracle
+        expected_projection = oracle.project(("b", "c"))
+        # project() alone defers dedup to materialization's frozenset;
+        # distinct() dedups eagerly — both are exact.
+        assert projected.materialize() == expected_projection
+        assert deduped.materialize() == expected_projection
+        assert len(deduped) == len(expected_projection)
+
+    @given(pair_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_materialize_permuted_columns(self, rows):
+        relation = _relation(("a", "b"), rows)
+        swapped = batch_of(relation).project([1, 0])
+        assert swapped.materialize() == relation.project(("b", "a"))
+
+
+# ----------------------------------------------------------------------
+# Engine differential: columnar on == columnar off == reference
+# ----------------------------------------------------------------------
+def _forced_columnar(database):
+    engine = QueryEngine(database, columnar=True)
+    engine._columnar_threshold = 0
+    return engine
+
+
+@needs_numpy
+@given(engine_expressions(), databases())
+@settings(max_examples=120, deadline=None)
+def test_columnar_tier_bit_exact(expr, database):
+    expected = evaluate(expr, database)
+    assert _forced_columnar(database).evaluate(expr) == expected
+    assert QueryEngine(database, columnar=False).evaluate(expr) == expected
+
+
+MIXED_SCHEMA = DatabaseSchema(
+    {
+        "S": schema_of(("a", "int"), ("n", "str")),
+        "T": schema_of(("b", "int"), ("m", "str")),
+    }
+)
+
+
+def _mixed_database():
+    return Database(
+        {
+            "S": Relation(
+                MIXED_SCHEMA.relation_schema("S"),
+                {(i, f"name{i % 3}") for i in range(8)},
+            ),
+            "T": Relation(
+                MIXED_SCHEMA.relation_schema("T"),
+                {(i % 4, f"name{i % 5}") for i in range(8)},
+            ),
+        }
+    )
+
+
+@needs_numpy
+def test_non_encodable_columns_fall_back_bit_exactly():
+    database = _mixed_database()
+    # String-keyed join: the batch tier must bail to the tuple path.
+    string_join = Select(Product(Rel("S"), Rel("T")), "n", "m", True)
+    engine = _forced_columnar(database)
+    assert engine.evaluate(string_join) == evaluate(string_join, database)
+    assert engine.stats.columnar_fallbacks > 0
+
+    # Int-keyed join over the same relations: vectorized fine.
+    int_join = Select(Product(Rel("S"), Rel("T")), "a", "b", True)
+    engine = _forced_columnar(database)
+    assert engine.evaluate(int_join) == evaluate(int_join, database)
+    assert engine.stats.columnar_ops > 0
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+def _small_database():
+    return Database(
+        {
+            "E": Relation(
+                DB_SCHEMA.relation_schema("E"),
+                {(i, (i * 3) % 5) for i in range(5)},
+            ),
+            "U": Relation(
+                DB_SCHEMA.relation_schema("U"), {(i,) for i in range(3)}
+            ),
+        }
+    )
+
+
+def test_no_numpy_degrades_to_tuple_path(monkeypatch):
+    monkeypatch.setattr(columnar, "HAVE_NUMPY", False)
+    monkeypatch.setattr(columnar, "np", None)
+    monkeypatch.setattr(engine_module, "HAVE_NUMPY", False)
+    assert not columnar.columnar_enabled()
+
+    database = _small_database()
+    expr = Select(
+        Product(Rel("E"), Rename(Rel("U"), "u", "v")), "s", "v", True
+    )
+    # Even an explicit columnar=True request degrades silently.
+    engine = QueryEngine(database, columnar=True)
+    engine._columnar_threshold = 0
+    assert engine.evaluate(expr) == evaluate(expr, database)
+    assert engine.stats.columnar_ops == 0
+
+
+def test_env_flag_disables_columnar(monkeypatch):
+    monkeypatch.setenv("REPRO_COLUMNAR", "0")
+    assert not columnar.columnar_enabled()
+    engine = QueryEngine(_small_database())
+    assert not engine._columnar
+
+
+# ----------------------------------------------------------------------
+# Stats feedback and plan cache: plans only, results never
+# ----------------------------------------------------------------------
+@given(
+    engine_expressions(),
+    databases(),
+    st.sampled_from([1.0 / 64.0, 64.0]),
+)
+@settings(max_examples=100, deadline=None)
+def test_catalog_corrections_never_alter_results(expr, database, extreme):
+    cache = EngineCache()
+    # Saturate every learned correction at a clamp boundary: join
+    # orderings may flip, results may not.
+    cache.stats_catalog.correction = lambda signature: extreme
+    engine = QueryEngine(database, cache=cache)
+    assert engine.evaluate(expr) == evaluate(expr, database)
+
+
+def _join_case(fact_rows):
+    database = Database(
+        {
+            "F": Relation(
+                schema_of(("fk", "int"), ("fv", "int")), fact_rows
+            ),
+            "D": Relation(
+                schema_of(("dk", "int"), ("dv", "int")),
+                {(k, k) for k in range(8)},
+            ),
+        }
+    )
+    expr = Select(Product(Rel("F"), Rel("D")), "fk", "dk", True)
+    return database, expr
+
+
+class TestPlanCacheFreshness:
+    def test_content_match_and_size_band_hits(self):
+        rows = {(i % 8, i) for i in range(40)}
+        database, expr = _join_case(rows)
+        cache = EngineCache()
+        first = QueryEngine(database, cache=cache)
+        first.evaluate(expr)
+        assert first.stats.plan_cache_misses == 1
+
+        # Identical content: a content-match hit.
+        cache.forget_results()
+        second = QueryEngine(database, cache=cache)
+        assert second.evaluate(expr) == evaluate(expr, database)
+        assert second.stats.plan_cache_hits == 1
+
+        # Changed fingerprints, compatible sizes: still a (shape) hit,
+        # and the result reflects the *new* content.
+        drifted = {(i % 8, i + 1000) for i in range(40)}
+        new_database, _ = _join_case(drifted)
+        third = QueryEngine(new_database, cache=cache)
+        assert third.evaluate(expr) == evaluate(expr, new_database)
+        assert third.stats.plan_cache_hits == 1
+        assert third.stats.replans == 0
+
+    def test_cardinality_drift_forces_replan(self):
+        database, expr = _join_case({(i % 8, i) for i in range(40)})
+        cache = EngineCache()
+        QueryEngine(database, cache=cache).evaluate(expr)
+
+        # 5x the rows: outside the 2x+16 freshness band.
+        grown, _ = _join_case({(i % 8, i) for i in range(200)})
+        engine = QueryEngine(grown, cache=cache)
+        assert engine.evaluate(expr) == evaluate(expr, grown)
+        assert engine.stats.replans == 1
+        assert engine.stats.plan_cache_hits == 0
+        assert "replan" in engine.stats.render()
+
+        # The replan re-recorded the plan: next engine at this size hits.
+        cache.forget_results()
+        again = QueryEngine(grown, cache=cache)
+        assert again.evaluate(expr) == evaluate(expr, grown)
+        assert again.stats.plan_cache_hits == 1

@@ -11,6 +11,7 @@ from repro.relational.database import Database
 from repro.relational.delta import (
     RelationDelta,
     normalize_changes,
+    relation_delta,
     single_row_change,
 )
 from repro.relational.engine import EngineCache, QueryEngine
@@ -193,9 +194,10 @@ class TestDeltaEvaluate:
             current = new_database
             engine = QueryEngine(current, cache=engine.cache)
 
-    def test_counters_fallback_then_fast_path(self):
-        """First Δ-pass over an uncached interior counts fallbacks; a
-        repeat over the seeded memo is pure Δ-rules."""
+    def test_fused_region_rule_has_no_fallback_cliff(self):
+        """Δ over σ(×) runs the fused region rule — no structural
+        fallbacks, even on the first pass over uncached interiors (the
+        pre-v2 engine counted one fallback per interior node here)."""
         database = Database(
             {
                 "E": Relation(E_SCHEMA, {(0, 1), (1, 2), (2, 0)}),
@@ -209,13 +211,41 @@ class TestDeltaEvaluate:
         engine = QueryEngine(database)
         engine.evaluate(expr)
         engine.delta_evaluate(expr, changes)
-        first_fallbacks = engine.stats.delta_fallbacks
-        assert first_fallbacks > 0
+        assert engine.stats.delta_fallbacks == 0
+        assert engine.stats.delta_fused_regions > 0
+        first_fast = engine.stats.delta_fast_paths
+        assert first_fast > 0
 
         engine.delta_evaluate(expr, changes)
-        assert engine.stats.delta_fallbacks == first_fallbacks
-        assert engine.stats.delta_fast_paths > 0
+        assert engine.stats.delta_fallbacks == 0
+        assert engine.stats.delta_fast_paths > first_fast
         assert "delta:" in engine.stats.render()
+        assert "fused regions" in engine.stats.render()
+
+    def test_fused_region_cold_engine_matches_oracle(self):
+        """The fused rule is exact even with nothing cached: a cold
+        engine Δ-evaluating σ(×) with multi-row, multi-relation deltas
+        agrees with from-scratch evaluation."""
+        database = Database(
+            {
+                "E": Relation(E_SCHEMA, {(0, 1), (1, 2), (2, 0), (3, 1)}),
+                "U": Relation(U_SCHEMA, {(0,), (1,), (3,)}),
+            }
+        )
+        expr = Select(Product(Rel("E"), Rel("U")), "t", "u", True)
+        changes = {
+            "E": relation_delta(
+                inserted={(2, 3), (1, 0)}, deleted={(0, 1), (3, 1)}
+            ),
+            "U": relation_delta(inserted={(2,)}, deleted={(0,)}),
+        }
+        engine = QueryEngine(database)  # cold: no evaluate() first
+        result = engine.delta_evaluate(expr, changes)
+        new_database = database.apply_delta(
+            normalize_changes(database, changes)
+        )
+        assert result == evaluate(expr, new_database)
+        assert engine.stats.delta_fallbacks == 0
 
     def test_noop_changes_degrade_to_plain_evaluation(self):
         database = Database(
