@@ -51,10 +51,17 @@ def pytest_sessionfinish(session, exitstatus):
         for name, values in _SERIES.items()
         if name.startswith("resilience.")
     }
+    obs_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name.startswith("obs.")
+    }
     engine_series = {
         name: values
         for name, values in _SERIES.items()
-        if name not in store_series and name not in resilience_series
+        if name not in store_series
+        and name not in resilience_series
+        and name not in obs_series
     }
     if engine_series:
         path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
@@ -76,6 +83,12 @@ def pytest_sessionfinish(session, exitstatus):
             resilience_series,
             registry=global_registry(),
             suite="resilience",
+        )
+        write_metrics(path, document)
+    if obs_series:
+        path = os.environ.get("BENCH_OBS_JSON", "BENCH_obs.json")
+        document = metrics_dump(
+            obs_series, registry=global_registry(), suite="obs"
         )
         write_metrics(path, document)
 

@@ -11,8 +11,15 @@
   head, then recovers the whole fleet from the coordinator WAL.
 
 Run:  python examples/sharded_store.py
+      python examples/sharded_store.py --trace trace.json --flight flight.json
+      REPRO_SHARDS=2 python examples/sharded_store.py
+
+With ``--trace`` the run emits a stitched Chrome trace — coordinator
+plus one labelled process row per shard worker; with ``--flight`` the
+always-on flight recorder's ring is flushed on exit (crash included).
 """
 
+import os
 import tempfile
 
 from repro.coloring.regions import method_region
@@ -28,6 +35,7 @@ from repro.workloads.sharded import raise_batches, sharded_company
 
 
 def main() -> None:
+    shards = int(os.environ.get("REPRO_SHARDS", "4"))
     instance, receivers = sharded_company(n_employees=32, seed=7)
     method_b, method_c = scenario_b_method(), scenario_c_method()
 
@@ -44,7 +52,7 @@ def main() -> None:
         store = ShardedStore(
             instance,
             ["Employee"],
-            shards=4,
+            shards=shards,
             mode="process",
             wal_dir=wal_dir,
         )
@@ -70,14 +78,24 @@ def main() -> None:
             print("shard fleet == coordinator head: verified")
             counters = global_registry().counters()
             for name in sorted(counters):
-                if name.startswith("store.shard."):
+                if name.startswith("store.shard.") or (
+                    name.startswith("shard") and ".store.txn." in name
+                ):
                     print(f"  {name} = {counters[name]}")
+            histograms = global_registry().histograms()
+            for name in sorted(histograms):
+                if name.startswith("shard") and "commit_ms" in name:
+                    p = histograms[name]["percentiles"]
+                    print(
+                        f"  {name}: p50={p['p50']:.3f}ms "
+                        f"p99={p['p99']:.3f}ms"
+                    )
             head = store.coordinator.head.database.fingerprints()
         finally:
             store.close()
 
         recovered = ShardedStore.from_wal_dir(
-            wal_dir, employee_object_schema(), ["Employee"], shards=4
+            wal_dir, employee_object_schema(), ["Employee"], shards=shards
         )
         try:
             assert (

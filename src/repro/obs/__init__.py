@@ -12,7 +12,11 @@ scenarios:
   engine's ``EngineStats`` is a view over one);
 * :mod:`repro.obs.export` — a text tree renderer, Chrome
   ``trace_event`` JSON (``about://tracing`` / Perfetto), and the flat
-  metrics-JSON schema every ``BENCH_*.json`` artifact uses.
+  metrics-JSON schema every ``BENCH_*.json`` artifact uses;
+* :mod:`repro.obs.flight` — the always-on flight recorder, a bounded
+  ring of post-mortem events (commit tiers, breaker transitions,
+  budget exhaustion, fault injections, worker deaths) flushable to
+  disk on crash or on demand.
 
 Quickstart::
 
@@ -37,8 +41,14 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.cli import run_traced
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightEvent,
+    FlightRecorder,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    RESERVOIR_SIZE,
     Counter,
     Gauge,
     Histogram,
@@ -60,7 +70,11 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightEvent",
+    "FlightRecorder",
     "METRICS_SCHEMA",
+    "RESERVOIR_SIZE",
     "chrome_trace",
     "merge_metrics",
     "metrics_dump",

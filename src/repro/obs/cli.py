@@ -12,9 +12,14 @@ flag:
 * ``--trace out.json`` — additionally dumps a Chrome ``trace_event``
   file loadable in ``about://tracing`` / Perfetto.
 
-The flag is parsed with ``parse_known_args`` so examples keep their own
-argument handling (none of them currently take arguments, but the hook
-must not steal anything that is not ours).
+A sibling ``--flight PATH`` flag flushes the process flight recorder
+(:mod:`repro.obs.flight`) to ``PATH`` after the run — crash included:
+the flush happens in the ``finally`` block, so the dump holds exactly
+the events that led up to a failure.
+
+The flags are parsed with ``parse_known_args`` so examples keep their
+own argument handling (the hook must not steal anything that is not
+ours).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import argparse
 import sys
 from typing import Any, Callable, List, Optional
 
+from repro.obs import flight
 from repro.obs.export import render_tree, write_chrome_trace
 from repro.obs.tracer import tracing
 
@@ -32,7 +38,8 @@ def run_traced(
     name: str,
     argv: Optional[List[str]] = None,
 ) -> Any:
-    """Run an example's ``main`` with optional ``--trace [PATH]``.
+    """Run an example's ``main`` with optional ``--trace [PATH]`` and
+    ``--flight PATH``.
 
     Returns whatever ``main`` returns.  ``argv`` defaults to
     ``sys.argv[1:]``; unrecognised arguments are left alone.
@@ -50,14 +57,25 @@ def run_traced(
             "when given"
         ),
     )
+    parser.add_argument(
+        "--flight",
+        default=None,
+        metavar="PATH",
+        help=(
+            "flush the flight recorder to PATH after the run "
+            "(crash included)"
+        ),
+    )
     args, _ = parser.parse_known_args(
         sys.argv[1:] if argv is None else argv
     )
-    if args.trace is None:
+    if args.trace is None and args.flight is None:
         return main()
     tracer = None
     failed = False
     try:
+        if args.trace is None:
+            return main()
         with tracing() as tracer:
             with tracer.span(name, category="example"):
                 result = main()
@@ -78,6 +96,9 @@ def run_traced(
             if args.trace:
                 write_chrome_trace(tracer, args.trace)
                 print(f"chrome trace written to {args.trace}")
+        if args.flight:
+            if flight.flush(args.flight) is not None:
+                print(f"flight recorder dump written to {args.flight}")
     return result
 
 

@@ -146,6 +146,11 @@ def chrome_trace(tracer: Tracer, pid: Optional[int] = None) -> Dict[str, Any]:
     ``ts``/``dur``; instant events become ``"i"`` events with thread
     scope.  Timestamps come straight off the tracer's monotonic clock,
     so concurrent spans land on their own ``tid`` rows.
+
+    Spans adopted from shard workers (:meth:`Tracer.adopt_remote`)
+    carry their origin ``pid``, so a stitched fleet trace renders each
+    worker process as its own labelled row group — the coordinator and
+    every shard on one timeline.
     """
     if pid is None:
         pid = os.getpid()
@@ -155,9 +160,19 @@ def chrome_trace(tracer: Tracer, pid: Optional[int] = None) -> Dict[str, Any]:
             "ph": "M",
             "pid": pid,
             "tid": 0,
-            "args": {"name": "repro"},
+            "args": {"name": "repro coordinator"},
         }
     ]
+    for remote_pid, label in sorted(tracer.process_labels.items()):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": remote_pid,
+                "tid": 0,
+                "args": {"name": f"repro {label}"},
+            }
+        )
     for span in tracer.spans:
         if not span.finished:
             continue
@@ -168,12 +183,18 @@ def chrome_trace(tracer: Tracer, pid: Optional[int] = None) -> Dict[str, Any]:
                 "ph": "X",
                 "ts": span.start_ns / 1e3,
                 "dur": span.duration_ns / 1e3,
-                "pid": pid,
+                "pid": span.pid if span.pid is not None else pid,
                 "tid": span.thread_id,
                 "args": _safe_args(span.args),
             }
         )
     for event in tracer.events:
+        owner = event.parent
+        event_pid = (
+            owner.pid
+            if owner is not None and owner.pid is not None
+            else pid
+        )
         trace_events.append(
             {
                 "name": event.name,
@@ -181,7 +202,7 @@ def chrome_trace(tracer: Tracer, pid: Optional[int] = None) -> Dict[str, Any]:
                 "ph": "i",
                 "ts": event.ts_ns / 1e3,
                 "s": "t",
-                "pid": pid,
+                "pid": event_pid,
                 "tid": event.thread_id,
                 "args": _safe_args(event.args),
             }
@@ -253,11 +274,15 @@ def metrics_dump(
     series: Mapping[str, Union[float, Sequence[float]]],
     registry: Optional[MetricsRegistry] = None,
     suite: str = "repro",
+    flight: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """A :data:`METRICS_SCHEMA` document.
 
     ``series`` maps measurement names to a value (one run) or a value
-    list (a trajectory); a registry snapshot rides along when given.
+    list (a trajectory); a registry snapshot rides along when given,
+    as does a :class:`~repro.obs.flight.FlightRecorder` dump (the
+    per-transaction audit trail — commit tiers, retries, breaker
+    transitions — next to the numbers they explain).
     """
     normalized = {
         name: {
@@ -277,6 +302,8 @@ def metrics_dump(
     }
     if registry is not None:
         document["metrics"] = registry.to_dict()
+    if flight is not None:
+        document["flight"] = flight.dump()
     return document
 
 

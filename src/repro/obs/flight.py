@@ -1,0 +1,215 @@
+"""The flight recorder: an always-on bounded ring of structured events.
+
+Traces and metrics answer "where did the time go" and "how much
+happened" — but only while someone thought to turn them on.  The
+flight recorder is the third leg: a process-wide ring buffer of the
+**decisions that matter for a post-mortem** — commit-tier outcomes,
+circuit-breaker transitions, budget exhaustion, fault injections,
+worker deaths — that is recording *by default*, costs O(capacity)
+memory forever, and can be flushed to disk the moment something dies
+(shard workers flush on a kill; ``run_traced --flight`` flushes after
+a demo, crash included).
+
+Recording is one deque append under a lock at sites that fire at
+commit/transition granularity (never per row or per engine node), so
+the always-on default survives the repository's <5% overhead
+discipline — ``benchmarks/bench_obs.py`` gates it.
+
+Event schema (:data:`FLIGHT_SCHEMA`): every record carries ``ts_ns``
+(monotonic, same clock as the tracer so dumps line up with traces),
+``kind`` (a dotted event name: ``txn.commit``, ``breaker.transition``,
+``fault.injected``, ``shard.worker_death``, ...), ``pid`` and
+``thread_id``, plus the site-specific ``data`` mapping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+#: Identifier of the flight-recorder dump schema.
+FLIGHT_SCHEMA = "repro.obs/flight-v1"
+
+#: Default ring capacity — bounded memory, enough history to explain
+#: a crash (the interesting events cluster just before it).
+FLIGHT_CAPACITY = 2048
+
+
+class FlightEvent:
+    """One recorded event (plain data; ``to_dict`` for serialization)."""
+
+    __slots__ = ("ts_ns", "kind", "data", "pid", "thread_id")
+
+    def __init__(
+        self,
+        ts_ns: int,
+        kind: str,
+        data: Dict[str, Any],
+        pid: int,
+        thread_id: int,
+    ) -> None:
+        self.ts_ns = ts_ns
+        self.kind = kind
+        self.data = data
+        self.pid = pid
+        self.thread_id = thread_id
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ts_ns": self.ts_ns,
+            "kind": self.kind,
+            "pid": self.pid,
+            "thread_id": self.thread_id,
+            "data": {
+                key: value
+                if isinstance(value, (str, int, float, bool))
+                or value is None
+                else repr(value)
+                for key, value in self.data.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"FlightEvent({self.kind!r}, {self.data!r})"
+
+
+class FlightRecorder:
+    """A thread-safe bounded ring buffer of :class:`FlightEvent`."""
+
+    def __init__(
+        self,
+        capacity: int = FLIGHT_CAPACITY,
+        clock=time.perf_counter_ns,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: Deque[FlightEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, kind: str, **data: Any) -> FlightEvent:
+        event = FlightEvent(
+            self._clock(),
+            kind,
+            data,
+            os.getpid(),
+            threading.get_ident(),
+        )
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        with self._lock:
+            return iter(list(self._events))
+
+    def events(self, kind: Optional[str] = None) -> List[FlightEvent]:
+        """The buffered events (newest last), optionally one kind."""
+        with self._lock:
+            events = list(self._events)
+        if kind is None:
+            return events
+        return [event for event in events if event.kind == kind]
+
+    def dump(self) -> Dict[str, Any]:
+        """The ring as a JSON-serializable document."""
+        with self._lock:
+            events = list(self._events)
+            dropped = self.dropped
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "dropped": dropped,
+            "events": [event.to_dict() for event in events],
+        }
+
+    def flush(self, path: str) -> Dict[str, Any]:
+        """Write :meth:`dump` to ``path``; returns the document.
+
+        Best-effort durable: the write is flushed and fsynced so the
+        dump survives the process dying right after (the whole point of
+        flushing on a crash path).
+        """
+        document = self.dump()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return document
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+
+# ----------------------------------------------------------------------
+# The module-level recorder — ON by default (that is the point)
+# ----------------------------------------------------------------------
+_active: Optional[FlightRecorder] = FlightRecorder()
+
+
+def active() -> Optional[FlightRecorder]:
+    """The installed recorder, or ``None`` while recording is off."""
+    return _active
+
+
+def enable(recorder: Optional[FlightRecorder] = None) -> FlightRecorder:
+    """Install (and return) the process-wide recorder."""
+    global _active
+    if recorder is None:
+        recorder = FlightRecorder()
+    _active = recorder
+    return recorder
+
+
+def disable() -> Optional[FlightRecorder]:
+    """Uninstall the recorder; returns the one removed.
+
+    Instrumented sites degrade to the usual one-global-load fast path.
+    """
+    global _active
+    recorder, _active = _active, None
+    return recorder
+
+
+def record(kind: str, **data: Any) -> None:
+    """Record an event on the installed recorder (no-op when off)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.record(kind, **data)
+
+
+def flush(path: str) -> Optional[Dict[str, Any]]:
+    """Flush the installed recorder to ``path`` (``None`` when off)."""
+    recorder = _active
+    if recorder is None:
+        return None
+    return recorder.flush(path)
+
+
+__all__ = [
+    "FLIGHT_CAPACITY",
+    "FLIGHT_SCHEMA",
+    "FlightEvent",
+    "FlightRecorder",
+    "active",
+    "disable",
+    "enable",
+    "flush",
+    "record",
+]

@@ -17,11 +17,18 @@ registry can be shared by concurrent workers.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from bisect import bisect_left
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+#: Default bound on the number of raw observations a histogram retains
+#: for quantile estimation.  Memory per histogram is O(RESERVOIR_SIZE)
+#: forever, no matter how many values are observed.
+RESERVOIR_SIZE = 512
 
 #: Default histogram bucket upper bounds — log-spaced to cover both row
 #: counts and (milli)second-scale durations.
@@ -76,21 +83,48 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed upper-bound buckets plus sum/count/min/max.
+    """Fixed upper-bound buckets plus sum/count/min/max and quantiles.
 
     ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
     counts overflows.  Bounds are fixed at creation, so merging dumps of
     the same histogram across runs stays well-defined.
+
+    Quantiles come from a **bounded reservoir** (Vitter's algorithm R):
+    at most :data:`RESERVOIR_SIZE` raw observations are retained, each
+    surviving with probability ``k/n``, so :meth:`quantile` estimates
+    p50/p95/p99 over the *whole* observation stream in O(k) memory — a
+    million observations cost the same bytes as a thousand.  The
+    reservoir RNG is seeded from the histogram name, so a fixed
+    workload yields a reproducible sketch.  ``mean``/``sum``/``count``
+    and the bucket counts stay exact.
     """
 
-    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+    __slots__ = (
+        "name",
+        "bounds",
+        "counts",
+        "sum",
+        "count",
+        "min",
+        "max",
+        "reservoir",
+        "reservoir_size",
+        "_rng",
+    )
 
     def __init__(
-        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        reservoir_size: int = RESERVOIR_SIZE,
     ) -> None:
         if list(bounds) != sorted(bounds) or not bounds:
             raise ValueError(
                 f"histogram bounds must be non-empty and sorted: {bounds!r}"
+            )
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
             )
         self.name = name
         self.bounds: Tuple[float, ...] = tuple(bounds)
@@ -99,6 +133,9 @@ class Histogram:
         self.count: int = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.reservoir: List[float] = []
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Number) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
@@ -108,10 +145,85 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        reservoir = self.reservoir
+        if len(reservoir) < self.reservoir_size:
+            reservoir.append(float(value))
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                reservoir[slot] = float(value)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile estimate from the reservoir (``None`` when
+        nothing was observed).  Exact while the stream still fits the
+        reservoir; a sampling estimate beyond that."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        index = min(
+            len(ordered) - 1, int(round(q * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard latency summary: p50/p95/p99."""
+        ordered = sorted(self.reservoir)
+        if not ordered:
+            return {"p50": None, "p95": None, "p99": None}
+        last = len(ordered) - 1
+        return {
+            key: ordered[min(last, int(round(q * last)))]
+            for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+        }
+
+    def merge(self, dump: Mapping[str, Any]) -> None:
+        """Fold a serialized histogram (one :meth:`MetricsRegistry.histograms`
+        entry, e.g. a shard snapshot) into this one.
+
+        Bucket counts, sum, count and min/max merge exactly.  The
+        remote reservoir's samples re-enter this reservoir with
+        acceptance probability ``k/n`` against the merged count — each
+        side's samples already summarize its own stream, so the merged
+        sketch remains a defensible (if approximate) sample of the
+        union.
+        """
+        bounds = tuple(dump.get("bounds", ()))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge bounds "
+                f"{list(bounds)} into {list(self.bounds)}"
+            )
+        self.counts = [
+            mine + theirs
+            for mine, theirs in zip(self.counts, dump["counts"])
+        ]
+        self.sum += dump["sum"]
+        self.count += dump["count"]
+        for extreme in ("min", "max"):
+            value = dump.get(extreme)
+            if value is None:
+                continue
+            mine = getattr(self, extreme)
+            if mine is None:
+                setattr(self, extreme, value)
+            elif extreme == "min":
+                self.min = min(mine, value)
+            else:
+                self.max = max(mine, value)
+        reservoir = self.reservoir
+        for value in dump.get("reservoir", ()):
+            if len(reservoir) < self.reservoir_size:
+                reservoir.append(float(value))
+            else:
+                slot = self._rng.randrange(max(self.count, 1))
+                if slot < self.reservoir_size:
+                    reservoir[slot] = float(value)
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
@@ -119,6 +231,7 @@ class Histogram:
         self.count = 0
         self.min = None
         self.max = None
+        self.reservoir = []
 
 
 class MetricsRegistry:
@@ -172,17 +285,68 @@ class MetricsRegistry:
                 "count": h.count,
                 "min": h.min,
                 "max": h.max,
+                "reservoir": list(h.reservoir),
+                "percentiles": h.percentiles(),
             }
             for name, h in sorted(self._histograms.items())
         }
 
-    def to_dict(self) -> Dict[str, Any]:
-        """The registry's state as plain JSON-serializable data."""
+    def to_dict(self, skip_zero: bool = False) -> Dict[str, Any]:
+        """The registry's state as plain JSON-serializable data.
+
+        With ``skip_zero`` instruments that have recorded nothing
+        (zero counters/gauges, empty histograms) are omitted.  Shard
+        workers ship their delta snapshots this way: a zeroed
+        instrument carries no information in delta semantics, and a
+        forked worker inherits the parent's full key set — including
+        any ``shard{N}.``-prefixed aggregates the parent already
+        merged, which would otherwise echo back and re-prefix into
+        ``shard0.shard0.…`` chains, growing without bound across
+        fleet generations.
+        """
+        counters = self.counters()
+        gauges = self.gauges()
+        histograms = self.histograms()
+        if skip_zero:
+            counters = {n: v for n, v in counters.items() if v}
+            gauges = {n: v for n, v in gauges.items() if v}
+            histograms = {
+                n: d for n, d in histograms.items() if d["count"]
+            }
         return {
-            "counters": self.counters(),
-            "gauges": self.gauges(),
-            "histograms": self.histograms(),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
         }
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Any], prefix: str = ""
+    ) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        This is how per-shard telemetry aggregates at the coordinator:
+        each worker response carries a snapshot of the worker's
+        registry *since the previous response* (snapshot-then-reset on
+        the worker side, so snapshots are deltas), and the coordinator
+        merges them under a ``shard{N}.`` prefix — counters add,
+        gauges keep the high-water mark, histograms merge bucket
+        counts and reservoirs.  A remote histogram whose bounds
+        disagree with an existing local instrument is dropped rather
+        than corrupting it (the name collision is the bug; telemetry
+        must not take the coordinator down).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(prefix + name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(prefix + name).set_max(value)
+        for name, dump in snapshot.get("histograms", {}).items():
+            bounds = tuple(dump.get("bounds", ()))
+            histogram = self.histogram(prefix + name, bounds=bounds)
+            try:
+                histogram.merge(dump)
+            except (KeyError, TypeError, ValueError):
+                continue
 
     def reset(self) -> None:
         """Zero every instrument (instruments themselves survive)."""

@@ -24,10 +24,12 @@ child lists, event list) happen under one lock.
 from __future__ import annotations
 
 import functools
+import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 
 class Span:
@@ -49,6 +51,8 @@ class Span:
         "children",
         "thread_id",
         "events",
+        "span_id",
+        "pid",
         "_tracer",
     )
 
@@ -65,6 +69,9 @@ class Span:
         self.children: List[Span] = []
         self.events: List["Event"] = []
         self.thread_id: Optional[int] = None
+        self.span_id: Optional[int] = None
+        self.pid: Optional[int] = None
+        """Origin process of an adopted remote span (``None`` = local)."""
 
     def set(self, **args: Any) -> "Span":
         """Attach (or overwrite) attributes; returns the span."""
@@ -175,9 +182,14 @@ class Tracer:
         self._clock = clock
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._span_ids = itertools.count(1)
+        self.trace_id = f"{os.getpid():x}-{time.time_ns():x}"
         self.roots: List[Span] = []
         self.spans: List[Span] = []
         self.events: List[Event] = []
+        #: Labels for the Chrome export's per-process rows, keyed by
+        #: pid — filled by :meth:`adopt_remote` (``shard 0``, ...).
+        self.process_labels: Dict[int, str] = {}
 
     # -- span construction --------------------------------------------
     def span(self, name: str, category: str = "app", **args: Any) -> Span:
@@ -245,6 +257,7 @@ class Tracer:
         span.parent = parent
         span.thread_id = threading.get_ident()
         with self._lock:
+            span.span_id = next(self._span_ids)
             if parent is None:
                 self.roots.append(span)
             else:
@@ -268,6 +281,125 @@ class Tracer:
             self.roots.clear()
             self.spans.clear()
             self.events.clear()
+
+    # -- cross-process propagation and stitching -----------------------
+    def context(self) -> Dict[str, Any]:
+        """The trace context to attach to an outbound request.
+
+        ``(trace_id, parent_span_id)`` is the whole wire contract: the
+        receiver runs its own local tracer, tags its serialized spans
+        with the trace id, and the caller stitches them back in under
+        the span that was current when the request went out.
+        """
+        current = self.current()
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": (
+                current.span_id if current is not None else None
+            ),
+        }
+
+    def serialize_spans(self) -> List[Dict[str, Any]]:
+        """Every finished span as plain picklable/JSON-able data.
+
+        The payload a shard worker ships back in its response:
+        ``parent_id`` references ``span_id`` within the same payload
+        (``None`` for the worker's own roots, which the stitcher hangs
+        under the request span).  Instant events ride along on their
+        owning span.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        payload: List[Dict[str, Any]] = []
+        for span in spans:
+            if not span.finished:
+                continue
+            payload.append(
+                {
+                    "span_id": span.span_id,
+                    "parent_id": (
+                        span.parent.span_id
+                        if span.parent is not None
+                        else None
+                    ),
+                    "name": span.name,
+                    "category": span.category,
+                    "args": dict(span.args),
+                    "start_ns": span.start_ns,
+                    "end_ns": span.end_ns,
+                    "thread_id": span.thread_id,
+                    "events": [
+                        {
+                            "name": event.name,
+                            "category": event.category,
+                            "args": dict(event.args),
+                            "ts_ns": event.ts_ns,
+                        }
+                        for event in span.events
+                    ],
+                }
+            )
+        return payload
+
+    def adopt_remote(
+        self,
+        payload: Sequence[Mapping[str, Any]],
+        parent: Optional[Span] = None,
+        pid: Optional[int] = None,
+        process_label: Optional[str] = None,
+    ) -> List[Span]:
+        """Stitch a :meth:`serialize_spans` payload into this trace.
+
+        Rebuilds the remote spans (tagged with ``pid`` so the Chrome
+        export gives each worker process its own row), re-links their
+        parent/child structure, and hangs the payload's roots under
+        ``parent`` — the coordinator span that issued the request — so
+        a cross-shard commit renders as one causal tree.  Timestamps
+        are adopted verbatim: ``perf_counter_ns`` reads the shared
+        system monotonic clock on the platforms the fleet runs on (and
+        workers are forked, not re-imported), so coordinator and
+        worker spans land on one comparable timeline.
+        """
+        rebuilt: Dict[int, Span] = {}
+        adopted: List[Span] = []
+        for entry in payload:
+            span = Span(
+                self,
+                entry["name"],
+                entry["category"],
+                dict(entry["args"]),
+            )
+            span.start_ns = entry["start_ns"]
+            span.end_ns = entry["end_ns"]
+            span.thread_id = entry.get("thread_id")
+            span.pid = pid
+            rebuilt[entry["span_id"]] = span
+            adopted.append(span)
+        with self._lock:
+            if pid is not None and process_label is not None:
+                self.process_labels[pid] = process_label
+            for entry, span in zip(payload, adopted):
+                span.span_id = next(self._span_ids)
+                remote_parent = rebuilt.get(entry.get("parent_id"))
+                owner = remote_parent if remote_parent is not None else parent
+                span.parent = owner
+                if owner is None:
+                    self.roots.append(span)
+                else:
+                    owner.children.append(span)
+                self.spans.append(span)
+                for event_entry in entry.get("events", ()):
+                    event = Event(
+                        event_entry["name"],
+                        event_entry["category"],
+                        dict(event_entry["args"]),
+                        event_entry["ts_ns"],
+                        span.thread_id or 0,
+                        span,
+                    )
+                    span.events.append(event)
+                    self.events.append(event)
+        return adopted
 
 
 # ----------------------------------------------------------------------

@@ -100,7 +100,7 @@ from typing import (
 )
 
 from repro.obs import tracer as trace
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.relational.algebra import (
     Difference,
     Empty,
@@ -759,6 +759,7 @@ class QueryEngine:
         self.stats.cache_misses += 1
         start = time.perf_counter()
         if isinstance(node, (Select, Product, Project, Rename)):
+            columnar_before = self.stats.columnar_ops
             with trace.span(
                 "engine.join_region", category="engine"
             ) as span:
@@ -775,6 +776,16 @@ class QueryEngine:
                         detail="(planner fault: structural fallback)",
                     )
                 span.set(factors=len(entry.children), rows=len(relation))
+            # Columnar vs tuple-at-a-time region latency, split by which
+            # execution tier actually ran (did any vector op fire?).
+            tier = (
+                "columnar"
+                if self.stats.columnar_ops > columnar_before
+                else "tuple"
+            )
+            global_registry().histogram(
+                f"engine.region.{tier}_ms"
+            ).observe((time.perf_counter() - start) * 1000.0)
         elif isinstance(node, Rel):
             relation = self._database.relation(node.name)
             entry = _PlanEntry("scan", len(relation), detail=node.name)

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Callable
 
+from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 
@@ -113,6 +114,12 @@ class CircuitBreaker:
             category="resilience",
             breaker=self.name,
             state=state,
+        )
+        flight.record(
+            "breaker.transition",
+            breaker=self.name,
+            state=state,
+            failures=self._failures,
         )
 
     # -- the protocol --------------------------------------------------

@@ -33,6 +33,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, TypeVar
 
+from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 
@@ -164,6 +165,12 @@ class Budget:
                 category="resilience",
                 site=site,
                 kind=kind,
+                steps=self.steps,
+            )
+            flight.record(
+                "budget.exceeded",
+                site=site,
+                limit=kind,
                 steps=self.steps,
             )
         if kind == "cancelled":

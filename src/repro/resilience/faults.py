@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type
 
+from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 
@@ -58,6 +59,14 @@ WAL_COMPACT_REPLACE = "wal.compact.replace"
 """After ``os.replace`` swaps the compacted log in, before the parent
 directory fsync makes the rename durable — the window where a crash
 used to be able to resurrect the old log."""
+SHARD_WORKER = "shard.worker"
+"""Top of a shard worker's command loop, before the command executes.
+A ``kill`` here makes the **worker process itself die** (flight
+recorder flushed to its dump path, pipe left hanging), not a shipped
+error — the crash-forensics path.  Deliberately *not* in
+:data:`KNOWN_SITES`: the chaos suite's single-process workload never
+crosses it; the fleet forensics test
+(``tests/test_fleet_telemetry.py``) covers it instead."""
 
 #: Every site the chaos suite must cover (one entry per instrumented
 #: layer).  Keep in sync with the ``fault_point`` call sites.
@@ -241,6 +250,13 @@ class FaultPlan:
                 site=site,
                 action=fatal.action,
             )
+            flight.record(
+                "fault.injected",
+                site=site,
+                action=fatal.action,
+                hit=self.hits[site] - 1,
+                seed=self.seed,
+            )
             raise fatal.error_type(
                 f"injected {fatal.action} at {site!r} "
                 f"(hit {self.hits[site] - 1}, seed {self.seed})"
@@ -371,6 +387,7 @@ __all__ = [
     "ENGINE_PLAN",
     "KNOWN_SITES",
     "PARALLEL_WORKER",
+    "SHARD_WORKER",
     "WAL_APPEND",
     "CrashPoint",
     "FaultError",

@@ -31,11 +31,13 @@ another shard, so such batches escalate too.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.coloring.regions import UpdateRegion, method_region
 from repro.core.receiver import Receiver
+from repro.obs.metrics import global_registry
 from repro.store.sharding.partition import Partitioning
 
 DISJOINT = "disjoint"
@@ -78,6 +80,20 @@ class Router:
         caller holding a tighter inferred §4 coloring may pass
         ``coloring_region(schema, inferred)`` instead.
         """
+        started = time.perf_counter()
+        try:
+            return self._route(method, receivers, region)
+        finally:
+            global_registry().histogram(
+                "store.shard.route_ms"
+            ).observe((time.perf_counter() - started) * 1000.0)
+
+    def _route(
+        self,
+        method,
+        receivers: Sequence[Receiver],
+        region: Optional[UpdateRegion] = None,
+    ) -> Route:
         if region is None:
             region = method_region(method)
         sub_batches = self.partitioning.split_receivers(receivers)

@@ -33,6 +33,28 @@ receivers and deltas crossing as pickles.  Dispatch is
 send-to-all-then-collect, so shard work overlaps without any parent
 threads.  Crash recovery rebuilds shards from the coordinator WAL:
 shard logs are derived state; the coordinator log is the truth.
+
+**Fleet telemetry** (process mode).  Every request crosses the pipe as
+``(command, ctx)`` where ``ctx`` is ``None`` or a trace context
+``{"trace": True, "trace_id": ..., "parent_span_id": ...}`` captured
+from the coordinator's active tracer at send time.  Every reply comes
+back as ``(status, payload, telemetry)`` where ``telemetry`` carries
+the worker's pid, its spans for this request (serialized from a
+worker-local :class:`~repro.obs.tracer.Tracer`), and a
+*snapshot-then-reset* delta of the worker's metrics registry.  The
+coordinator stitches the spans into its own trace via
+:meth:`~repro.obs.tracer.Tracer.adopt_remote` — the fork start method
+shares ``perf_counter_ns``'s monotonic clock, so remote timestamps
+land on the same timeline — and folds the metrics under a
+``shard{N}.`` prefix with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`.  A
+cross-shard commit therefore renders as one causal tree spanning the
+coordinator and every worker, with per-process rows in the Chrome
+export.  Workers also honour the ``shard.worker`` fault site: a kill
+rule flushes the worker's flight recorder to
+``<wal_dir>/flight-shard-N.json`` and drops the pipe, which the parent
+surfaces as a :class:`ShardingError` with the orphaned request span
+marked ``aborted``.
 """
 
 from __future__ import annotations
@@ -44,10 +66,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.instance import Instance
 from repro.objrel.mapping import instance_to_database
+from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.relational.database import Database
 from repro.relational.delta import RelationDelta
+from repro.resilience.faults import SHARD_WORKER, CrashPoint, fault_point
 from repro.store.sharding.partition import (
     Partitioning,
     ShardingError,
@@ -154,27 +178,76 @@ def _shard_worker(
     instance: Instance,
     wal: Optional[str],
     durability: str,
+    flight_path: Optional[str] = None,
 ) -> None:
-    """Worker-process main loop: one backend, commands off the pipe.
+    """Worker-process main loop: one backend, envelopes off the pipe.
 
     Runs until a ``close`` command (or EOF from a dying parent).
-    Failures are shipped back as ``("error", message)`` rather than
-    killing the worker — the shard stays serviceable and the parent
-    decides whether to resync.
+    Failures are shipped back as ``("error", message, telemetry)``
+    rather than killing the worker — the shard stays serviceable and
+    the parent decides whether to resync.  Every reply's telemetry
+    carries this request's spans (when the envelope asked for tracing)
+    and a delta snapshot of the worker's metrics registry; the registry
+    resets after each reply so repeated merges at the coordinator never
+    double-count.  The ``shard.worker`` fault site sits *outside* the
+    ship-don't-die handler: a kill rule flushes the flight recorder and
+    drops the pipe, simulating real worker death.
     """
     backend = ShardBackend(
         shard, instance, wal=wal, durability=durability
     )
+    registry = global_registry()
+    registry.reset()  # fork inherits parent counts; deltas start clean
     while True:
         try:
-            command = conn.recv()
+            envelope = conn.recv()
         except EOFError:
             break
+        command, ctx = envelope
         try:
-            result = backend.handle(command)
-            conn.send(("ok", result))
+            fault_point(SHARD_WORKER)
+        except CrashPoint:
+            # Simulated worker death.  The flight recorder's flushed
+            # ring — ending in the injected-fault event — IS the crash
+            # forensics; the parent only ever sees the pipe go dark.
+            flight.record(
+                "shard.worker_crash", shard=shard, op=command[0]
+            )
+            if flight_path is not None:
+                flight.flush(flight_path)
+            conn.close()
+            return
+        tracer: Optional[trace.Tracer] = None
+        if ctx is not None and ctx.get("trace"):
+            tracer = trace.Tracer()
+            tracer.trace_id = ctx.get("trace_id", tracer.trace_id)
+        status = "ok"
+        try:
+            if tracer is not None:
+                with trace.tracing(tracer):
+                    with tracer.span(
+                        "shard.handle",
+                        category="shard",
+                        shard=shard,
+                        op=command[0],
+                        parent_span_id=ctx.get("parent_span_id"),
+                    ):
+                        payload: Any = backend.handle(command)
+            else:
+                payload = backend.handle(command)
         except BaseException as exc:  # ship, don't die
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            status = "error"
+            payload = f"{type(exc).__name__}: {exc}"
+        telemetry = {
+            "pid": os.getpid(),
+            "shard": shard,
+            "spans": (
+                tracer.serialize_spans() if tracer is not None else []
+            ),
+            "metrics": registry.to_dict(skip_zero=True),
+        }
+        registry.reset()
+        conn.send((status, payload, telemetry))
         if command[0] == "close":
             break
     conn.close()
@@ -194,6 +267,15 @@ class ProcessShard:
     ``send`` is asynchronous — the front-end sends to *all* shards
     before collecting any reply, so sub-batches execute concurrently
     in their workers with zero threads in the parent.
+
+    ``send`` wraps every command in the telemetry envelope (trace
+    context from the coordinator's active tracer, or ``None``);
+    ``recv`` unwraps the reply, adopts the worker's spans under the
+    span active *at receive time* (the per-shard collection span), and
+    folds the worker's metric deltas into the coordinator registry
+    under a ``shard{N}.`` prefix.  A pipe EOF — the worker died — is
+    recorded to the flight recorder and marks the orphaned collection
+    span ``aborted`` before raising :class:`ShardingError`.
     """
 
     def __init__(
@@ -203,14 +285,16 @@ class ProcessShard:
         wal: Optional[str] = None,
         durability: str = "flush",
         context=None,
+        flight_path: Optional[str] = None,
     ) -> None:
         ctx = context if context is not None else _mp_context()
         self.shard = shard
+        self.flight_path = flight_path
         parent, child = ctx.Pipe()
         self._conn = parent
         self._process = ctx.Process(
             target=_shard_worker,
-            args=(child, shard, instance, wal, durability),
+            args=(child, shard, instance, wal, durability, flight_path),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
@@ -218,20 +302,60 @@ class ProcessShard:
         child.close()
 
     def send(self, command: Tuple[Any, ...]) -> None:
-        self._conn.send(command)
+        tracer = trace.active()
+        ctx = None
+        if tracer is not None:
+            span = tracer.current()
+            ctx = {
+                "trace": True,
+                "trace_id": tracer.trace_id,
+                "parent_span_id": (
+                    span.span_id if span is not None else None
+                ),
+            }
+        self._conn.send((command, ctx))
 
     def recv(self) -> Any:
         try:
-            status, payload = self._conn.recv()
+            status, payload, telemetry = self._conn.recv()
         except EOFError:
+            flight.record("shard.worker_death", shard=self.shard)
+            global_registry().counter(
+                "store.shard.worker_deaths"
+            ).inc()
+            tracer = trace.active()
+            if tracer is not None:
+                span = tracer.current()
+                if span is not None:
+                    span.set(aborted=True)
             raise ShardingError(
                 f"shard {self.shard} worker died (pipe EOF)"
             ) from None
+        self._stitch(telemetry)
         if status == "error":
             raise ShardingError(
                 f"shard {self.shard} failed: {payload}"
             )
         return payload
+
+    def _stitch(self, telemetry: Optional[Mapping[str, Any]]) -> None:
+        """Fold one reply's telemetry into the coordinator's view."""
+        if not telemetry:
+            return
+        tracer = trace.active()
+        spans = telemetry.get("spans")
+        if tracer is not None and spans:
+            tracer.adopt_remote(
+                spans,
+                parent=tracer.current(),
+                pid=telemetry.get("pid"),
+                process_label=f"shard{self.shard}",
+            )
+        metrics = telemetry.get("metrics")
+        if metrics:
+            global_registry().merge_snapshot(
+                metrics, prefix=f"shard{self.shard}."
+            )
 
     def call(self, command: Tuple[Any, ...]) -> Any:
         self.send(command)
@@ -293,8 +417,17 @@ class ShardedStore:
     def _make_shard(self, shard: int, instance: Instance):
         wal = self._wal_path(f"shard-{shard}")
         if self.mode == "process":
+            flight_path = (
+                os.path.join(self.wal_dir, f"flight-shard-{shard}.json")
+                if self.wal_dir is not None
+                else None
+            )
             return ProcessShard(
-                shard, instance, wal=wal, durability=self.durability
+                shard,
+                instance,
+                wal=wal,
+                durability=self.durability,
+                flight_path=flight_path,
             )
         return InlineShard(
             ShardBackend(

@@ -58,6 +58,7 @@ from typing import (
 
 from repro.core.receiver import Receiver, is_key_set
 from repro.graph.instance import Instance
+from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.parallel.apply import method_read_relations, parallel_changes
@@ -198,6 +199,10 @@ class Transaction:
         self._database = self.snapshot.database
         self._instance = self.snapshot.instance
         self._engine: Optional[QueryEngine] = None
+        self.attempt = 1
+        self._path: Optional[str] = None
+        self._commit_ms: Optional[float] = None
+        self._commit_started: Optional[float] = None
         registry = global_registry()
         registry.counter("store.txn.begun").inc()
         trace.event(
@@ -451,6 +456,7 @@ class Transaction:
         self._require_active()
         store = self.store
         registry = global_registry()
+        self._commit_started = time.perf_counter()
         with trace.span(
             "store.txn.commit", category="store", txn=self.id
         ) as span:
@@ -458,6 +464,7 @@ class Transaction:
                 head = store.head
                 intervening = store.versions_after(self.snapshot.version)
                 if not intervening:
+                    self._path = "fastpath"
                     span.set(path="fastpath")
                     registry.counter("store.txn.fastpath").inc()
                     return self._publish(
@@ -468,6 +475,7 @@ class Transaction:
                 )
                 if not writes_overlap and not reads_overlap:
                     # Disjoint read/write sets: commutes structurally.
+                    self._path = "structural"
                     span.set(path="structural")
                     registry.counter("store.txn.structural_commutes").inc()
                     return self._publish(self._writes, None)
@@ -482,6 +490,7 @@ class Transaction:
                     # same values the snapshot run read, so the observed
                     # effect re-derives exactly, with deltas correct
                     # against the head.
+                    self._path = "replay"
                     span.set(path="replay")
                     registry.counter("store.txn.commute_fastpaths").inc()
                     instance, staged = self._replay_on(head)
@@ -489,10 +498,12 @@ class Transaction:
                 if store.commutativity and self._commutes_semantically(
                     intervening
                 ):
+                    self._path = "commute"
                     span.set(path="commute")
                     registry.counter("store.txn.commute_fastpaths").inc()
                     instance, staged = self._replay_on(head)
                     return self._publish(staged, instance)
+                self._path = "abort"
                 span.set(path="abort")
                 overlap = sorted(
                     (self._reads | set(self._writes))
@@ -501,6 +512,18 @@ class Transaction:
                         for version in intervening
                         for name in version.written_relations
                     }
+                )
+                self._commit_ms = (
+                    time.perf_counter() - self._commit_started
+                ) * 1000.0
+                registry.histogram("store.txn.commit_ms.abort").observe(
+                    self._commit_ms
+                )
+                flight.record(
+                    "txn.conflict",
+                    txn=self.id,
+                    intervening=len(intervening),
+                    overlap=overlap,
                 )
                 self._abort()
                 raise TransactionConflict(
@@ -522,7 +545,23 @@ class Transaction:
         )
         self.status = COMMITTED
         self.snapshot.release()
-        global_registry().counter("store.txn.commits").inc()
+        registry = global_registry()
+        registry.counter("store.txn.commits").inc()
+        if self._commit_started is not None:
+            self._commit_ms = (
+                time.perf_counter() - self._commit_started
+            ) * 1000.0
+            registry.histogram(
+                f"store.txn.commit_ms.{self._path or 'fastpath'}"
+            ).observe(self._commit_ms)
+        flight.record(
+            "txn.commit",
+            txn=self.id,
+            path=self._path,
+            ms=self._commit_ms,
+            version=getattr(version, "version", None),
+            attempt=self.attempt,
+        )
         return version
 
     def _abort(self) -> None:
@@ -537,6 +576,34 @@ class Transaction:
         """Drop the transaction without publishing anything."""
         if self.status == ACTIVE:
             self._abort()
+
+    def audit(self) -> Dict[str, object]:
+        """A JSON-serializable audit record for this transaction.
+
+        Captures what the transaction read and wrote, which commit tier
+        resolved it (``fastpath`` / ``structural`` / ``replay`` /
+        ``commute`` / ``abort``), the commit latency, and which retry
+        attempt it was — the per-transaction trail the flight recorder
+        summarizes fleet-wide.
+        """
+        return {
+            "txn": self.id,
+            "status": self.status,
+            "snapshot_version": self.snapshot.version,
+            "attempt": self.attempt,
+            "path": self._path,
+            "commit_ms": self._commit_ms,
+            "reads": sorted(self._reads),
+            "writes": sorted(self._writes),
+            "operations": [
+                {
+                    "method": op.method.name,
+                    "receivers": len(op.receivers),
+                }
+                for op in self._operations
+            ],
+            "replayable": self._replayable,
+        }
 
     def __enter__(self) -> "Transaction":
         return self
@@ -574,9 +641,13 @@ def run_transaction(
     policy = RetryPolicy(
         retries=retries, base_delay=backoff, factor=2.0, max_delay=0.25
     )
+    attempts = 0
 
     def attempt() -> Tuple[T, Version]:
+        nonlocal attempts
+        attempts += 1
         txn = Transaction(store, max_workers=max_workers)
+        txn.attempt = attempts
         try:
             result = body(txn)
             version = txn.commit()

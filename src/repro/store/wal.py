@@ -48,6 +48,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -364,7 +365,11 @@ class WriteAheadLog:
         elif self.durability == "fsync":
             self._handle.flush()
             if not self.group_commit:
+                started = time.perf_counter()
                 os.fsync(self._handle.fileno())
+                global_registry().histogram(
+                    "store.wal.fsync_ms"
+                ).observe((time.perf_counter() - started) * 1000.0)
 
     def append(
         self, kind: str, version: int, payload: Mapping[str, Any]
@@ -452,10 +457,14 @@ class WriteAheadLog:
                 handle = self._handle
                 self._sync_cond.release()
                 error: Optional[BaseException] = None
+                started = time.perf_counter()
                 try:
                     os.fsync(handle.fileno())
                 except (OSError, ValueError) as exc:
                     error = exc
+                registry.histogram("store.wal.fsync_ms").observe(
+                    (time.perf_counter() - started) * 1000.0
+                )
                 self._sync_cond.acquire()
                 self._sync_in_progress = False
                 self._sync_cond.notify_all()

@@ -573,3 +573,185 @@ def test_run_traced_leaves_unknown_arguments_alone():
     seen = []
     run_traced(lambda: seen.append(1), "t", argv=["--other", "--trace"])
     assert seen == [1]
+
+
+# ----------------------------------------------------------------------
+# Observability v2: reservoir quantiles, snapshot merging, flight
+# ----------------------------------------------------------------------
+def test_histogram_reservoir_bounds_memory_on_a_million_observations():
+    """The satellite regression: 10^6 observations cost O(k) memory,
+    keep the mean/count exact, and estimate quantiles within a few
+    percent (the reservoir RNG is name-seeded, so this is
+    deterministic, not flaky)."""
+    from repro.obs.metrics import RESERVOIR_SIZE, Histogram
+
+    histogram = Histogram("obs.test.million", bounds=(10.0, 1000.0))
+    n = 1_000_000
+    for value in range(n):
+        histogram.observe(value)
+    # Exact aggregates survive the sketching.
+    assert histogram.count == n
+    assert histogram.mean == (n - 1) / 2
+    assert histogram.min == 0 and histogram.max == n - 1
+    # Bounded memory: the reservoir never outgrows its cap.
+    assert len(histogram.reservoir) == RESERVOIR_SIZE
+    # Quantile estimates land within 5% of the true rank.
+    for q in (0.5, 0.95, 0.99):
+        estimate = histogram.quantile(q)
+        assert abs(estimate / n - q) < 0.05, (q, estimate)
+    percentiles = histogram.percentiles()
+    assert set(percentiles) == {"p50", "p95", "p99"}
+    assert all(v is not None for v in percentiles.values())
+
+
+def test_histogram_quantiles_exact_while_stream_fits_reservoir():
+    from repro.obs.metrics import Histogram
+
+    histogram = Histogram("obs.test.small", bounds=(50.0,))
+    for value in range(1, 101):
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == 1
+    assert histogram.quantile(1.0) == 100
+    assert histogram.quantile(0.5) == 51  # round(0.5 * 99) = 50th index
+    assert Histogram("obs.test.empty", bounds=(1.0,)).quantile(0.5) is None
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_merge_combines_streams_and_rejects_bad_bounds():
+    from repro.obs.metrics import Histogram
+
+    bounds = (10.0, 100.0)
+    low, high = Histogram("obs.m.low", bounds), Histogram("obs.m.high", bounds)
+    for value in range(10):
+        low.observe(value)
+    for value in range(101, 201):
+        high.observe(value)
+    dump = {
+        "bounds": list(high.bounds),
+        "counts": list(high.counts),
+        "sum": high.sum,
+        "count": high.count,
+        "min": high.min,
+        "max": high.max,
+        "reservoir": list(high.reservoir),
+    }
+    low.merge(dump)
+    assert low.count == 110
+    assert low.sum == sum(range(10)) + sum(range(101, 201))
+    assert low.min == 0 and low.max == 200
+    assert low.counts[-1] == 100  # the high stream overflowed both bounds
+    assert any(value > 100 for value in low.reservoir)
+    with pytest.raises(ValueError):
+        low.merge({"bounds": [1.0], "counts": [0, 0], "sum": 0, "count": 0})
+
+
+def test_registry_merge_snapshot_prefixes_and_adds_deltas():
+    """The coordinator-side fold: worker snapshots land under a
+    ``shard{N}.`` prefix, and because workers snapshot-then-reset,
+    repeated merges accumulate instead of double-counting."""
+    worker = MetricsRegistry()
+    worker.counter("store.txn.commits").inc(3)
+    worker.gauge("parallel.fanout").set_max(4)
+    worker.histogram("store.txn.commit_ms.fastpath", bounds=(1.0, 10.0)).observe(2.5)
+    snapshot = worker.to_dict()
+
+    coordinator = MetricsRegistry()
+    coordinator.merge_snapshot(snapshot, prefix="shard0.")
+    coordinator.merge_snapshot(snapshot, prefix="shard0.")  # next delta
+    coordinator.merge_snapshot(snapshot, prefix="shard1.")
+
+    counters = coordinator.counters()
+    assert counters["shard0.store.txn.commits"] == 6
+    assert counters["shard1.store.txn.commits"] == 3
+    assert coordinator.gauges()["shard0.parallel.fanout"] == 4
+    merged = coordinator.histograms()["shard0.store.txn.commit_ms.fastpath"]
+    assert merged["count"] == 2
+    assert merged["percentiles"]["p50"] == 2.5
+
+
+def test_to_dict_skip_zero_omits_reset_instruments():
+    """A forked worker inherits the parent's full key set (including
+    already-prefixed ``shard{N}.`` aggregates); after its birth reset
+    the skip_zero snapshot must be empty, or every fleet generation
+    would echo the keys back re-prefixed (``shard0.shard0.…``)."""
+    registry = MetricsRegistry()
+    registry.counter("store.txn.commits").inc(3)
+    registry.gauge("parallel.fanout").set_max(4)
+    registry.histogram("shard0.store.txn.commit_ms.fastpath").observe(2.5)
+
+    full = registry.to_dict()
+    assert set(full["histograms"]) == {"shard0.store.txn.commit_ms.fastpath"}
+
+    registry.reset()  # instruments survive, values zero
+    assert set(registry.to_dict()["counters"]) == {"store.txn.commits"}
+    empty = registry.to_dict(skip_zero=True)
+    assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    registry.counter("store.txn.commits").inc()
+    delta = registry.to_dict(skip_zero=True)
+    assert delta["counters"] == {"store.txn.commits": 1}
+    assert delta["histograms"] == {}
+
+
+def test_flight_recorder_ring_drops_oldest_and_dumps(tmp_path):
+    from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder
+
+    recorder = FlightRecorder(capacity=4)
+    for index in range(6):
+        recorder.record("txn.commit", txn=index)
+    assert len(recorder) == 4
+    assert recorder.dropped == 2
+    assert [e.data["txn"] for e in recorder.events("txn.commit")] == [2, 3, 4, 5]
+    document = recorder.flush(str(tmp_path / "flight.json"))
+    assert document["schema"] == FLIGHT_SCHEMA
+    assert document["dropped"] == 2
+    reloaded = json.loads((tmp_path / "flight.json").read_text())
+    assert [e["kind"] for e in reloaded["events"]] == ["txn.commit"] * 4
+    # Non-JSON payload values degrade to repr, not a crash.
+    recorder.record("odd", payload={1, 2})
+    assert isinstance(recorder.dump()["events"][-1]["data"]["payload"], str)
+
+
+def test_flight_module_disabled_is_a_noop():
+    from repro.obs import flight
+
+    previous = flight.disable()
+    try:
+        flight.record("ignored.event", x=1)  # must not raise, must not record
+        assert flight.active() is None
+        assert flight.flush("/nonexistent/path.json") is None
+        recorder = flight.enable()
+        flight.record("kept.event")
+        assert len(recorder.events("kept.event")) == 1
+    finally:
+        flight.enable(previous)
+
+
+def test_run_traced_flight_flag_flushes_even_on_crash(tmp_path, capsys):
+    from repro.obs import flight
+    from repro.obs.cli import run_traced
+
+    flight.enable()
+    flight.record("before.crash", step=1)
+    path = str(tmp_path / "flight.json")
+
+    def crashing():
+        flight.record("at.crash", step=2)
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        run_traced(crashing, "example.crash", argv=["--flight", path])
+    document = json.loads(open(path).read())
+    kinds = [event["kind"] for event in document["events"]]
+    assert "before.crash" in kinds and "at.crash" in kinds
+    assert f"flight recorder dump written to {path}" in capsys.readouterr().out
+
+
+def test_metrics_dump_carries_the_flight_audit_trail():
+    from repro.obs.flight import FlightRecorder
+
+    recorder = FlightRecorder(capacity=8)
+    recorder.record("txn.commit", txn=1, path="fastpath")
+    document = metrics_dump({"x": 1.0}, flight=recorder)
+    assert document["flight"]["events"][0]["data"]["path"] == "fastpath"
