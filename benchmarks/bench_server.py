@@ -1,0 +1,229 @@
+"""Experiment: the network front end under load, shedding on vs off.
+
+Two kinds of measurement:
+
+* **Closed-loop costs** — round-trip latency of a pipelined ``ping``
+  train and of ``apply_batch`` carrying the Section 7 (B') raise over
+  the wire (``server.rtt.*``, ``server.apply_batch``): what one
+  request costs when the server is idle.
+
+* **Open-loop overload** (``server.load.*``) — a seeded open-loop
+  generator issues requests at a fixed arrival rate ~4x the server's
+  service capacity (one handler slot, deterministic ``delay_ms``
+  service time), *without* waiting for responses — the arrival process
+  does not slow down when the server does, which is what makes
+  overload overload.  Run twice: admission control **on** (queue
+  high-water bounds the backlog; excess arrivals shed typed
+  ``OVERLOADED``) and **off** (every arrival queues).  Per-request
+  latency is measured client-side from submit to response, split into
+  admitted (completed) vs shed.
+
+Series names all start with ``server.`` so ``conftest``'s session hook
+routes them to ``BENCH_server.json`` (env ``BENCH_SERVER_JSON``).
+Latency-like values are recorded in seconds; throughput is recorded as
+*seconds per completed transaction* (``server.load.txn_cost.*``) so
+"lower is better" holds for every series ``regress.py`` watches.
+
+Acceptance gate (``benchmark_acceptance``):
+``test_admission_ablation_gate`` — with shedding on, p99 latency of
+*admitted* requests must beat the shedding-off p99 by >= 2x, while
+completed-transaction throughput stays within 10% of the unshedded
+arm.  That is the whole point of the ladder: the server gives up
+capacity it never had, and the requests it does accept keep their
+latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import record_timing
+from benchmarks.harness import best_of
+from repro.server.admission import AdmissionController
+from repro.server.client import ServerError, connect
+from repro.server.server import ReproServer
+from repro.server.testing import company_store, standard_methods
+
+# Open-loop shape: one handler slot with SERVICE_MS deterministic
+# service time gives capacity 1000/SERVICE_MS req/s; arrivals come at
+# OVERDRIVE times that.  REQUESTS is sized so the unshedded backlog
+# grows well past the shed arm's high-water bound.
+SERVICE_MS = 2.0
+OVERDRIVE = 4.0
+REQUESTS = 240
+QUEUE_HIGH_WATER = 8
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def open_loop_run(enabled: bool) -> Dict[str, float]:
+    """One overload run; returns latency and throughput aggregates."""
+    store, _ = company_store(n_employees=4, seed=7)
+    admission = AdmissionController(
+        queue_high_water=QUEUE_HIGH_WATER,
+        retry_after_ms=5.0,
+        enabled=enabled,
+    )
+    interval = SERVICE_MS / 1000.0 / OVERDRIVE
+
+    async def run() -> Dict[str, float]:
+        async with ReproServer(
+            store,
+            standard_methods(),
+            port=0,
+            admission=admission,
+            handler_threads=1,
+        ) as server:
+            client = await connect("127.0.0.1", server.port)
+            loop = asyncio.get_running_loop()
+
+            async def timed(future: "asyncio.Future", start: float):
+                """(submit-to-response latency, None) on success,
+                (None, error) on a shed."""
+                try:
+                    await future
+                except ServerError as exc:
+                    return None, exc
+                return loop.time() - start, None
+
+            try:
+                tasks = []
+                first = loop.time()
+                for i in range(REQUESTS):
+                    # Open loop: issue on the arrival schedule no
+                    # matter how far behind the server is.
+                    target = first + i * interval
+                    delay = target - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    start = loop.time()
+                    tasks.append(
+                        asyncio.ensure_future(
+                            timed(
+                                client.submit(
+                                    "ping",
+                                    {
+                                        "payload": i,
+                                        "delay_ms": SERVICE_MS,
+                                    },
+                                ),
+                                start,
+                            )
+                        )
+                    )
+                outcomes = await asyncio.gather(*tasks)
+                finished = loop.time()
+            finally:
+                await client.close()
+        latencies = [lat for lat, err in outcomes if lat is not None]
+        shed = [err for lat, err in outcomes if err is not None]
+        elapsed = finished - first
+        return {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "completed": float(len(latencies)),
+            "shed": float(len(shed)),
+            "txn_per_s": len(latencies) / elapsed,
+            "txn_cost": elapsed / len(latencies),
+        }
+
+    try:
+        return asyncio.run(run())
+    finally:
+        store.close()
+
+
+def test_rtt_ping():
+    """Idle round-trip of a 32-deep pipelined ping train."""
+    store, _ = company_store(n_employees=4, seed=7)
+
+    async def run() -> None:
+        async with ReproServer(
+            store, standard_methods(), port=0
+        ) as server:
+            client = await connect("127.0.0.1", server.port)
+            try:
+                futures = [
+                    client.submit("ping", {"payload": i})
+                    for i in range(32)
+                ]
+                results = await asyncio.gather(*futures)
+                assert [r["payload"] for r in results] == list(
+                    range(32)
+                )
+            finally:
+                await client.close()
+
+    try:
+        record_timing(
+            "server.rtt.pipelined_ping32", best_of(lambda: asyncio.run(run()))
+        )
+    finally:
+        store.close()
+
+
+def test_apply_batch_over_the_wire():
+    """The (B') raise as a wire transaction, against fresh stores."""
+
+    def run_once() -> None:
+        store, receivers = company_store(n_employees=32, seed=7)
+
+        async def run() -> None:
+            async with ReproServer(
+                store, standard_methods(), port=0
+            ) as server:
+                client = await connect("127.0.0.1", server.port)
+                try:
+                    result = await client.apply_batch(
+                        "raise_salary", receivers
+                    )
+                    assert result["version"] == 1
+                finally:
+                    await client.close()
+
+        try:
+            asyncio.run(run())
+        finally:
+            store.close()
+
+    record_timing("server.apply_batch.32", best_of(run_once))
+
+
+@pytest.mark.benchmark_acceptance
+def test_admission_ablation_gate():
+    """Shedding on: admitted p99 >= 2x better; txn/s within 10%."""
+    on = open_loop_run(enabled=True)
+    off = open_loop_run(enabled=False)
+
+    for arm, label in ((on, "shed_on"), (off, "shed_off")):
+        record_timing(f"server.load.p50.{label}", arm["p50"])
+        record_timing(f"server.load.p95.{label}", arm["p95"])
+        record_timing(f"server.load.p99.{label}", arm["p99"])
+        record_timing(f"server.load.txn_cost.{label}", arm["txn_cost"])
+
+    # The ablation really sheds on one arm and not the other.
+    assert on["shed"] > 0, "overload never tripped the ladder"
+    assert off["shed"] == 0, "the disabled arm must admit everything"
+    # The gate: bounded queues buy admitted-request latency...
+    assert off["p99"] >= 2.0 * on["p99"], (
+        f"admission bought only {off['p99'] / on['p99']:.2f}x at p99 "
+        f"(on={on['p99'] * 1000:.2f}ms off={off['p99'] * 1000:.2f}ms)"
+    )
+    # ...without giving up meaningful throughput: both arms keep the
+    # single handler slot saturated.
+    ratio = on["txn_per_s"] / off["txn_per_s"]
+    assert 0.9 <= ratio, (
+        f"shedding cost {1 - ratio:.1%} of completed-txn throughput "
+        f"(on={on['txn_per_s']:.0f}/s off={off['txn_per_s']:.0f}/s)"
+    )

@@ -56,12 +56,18 @@ def pytest_sessionfinish(session, exitstatus):
         for name, values in _SERIES.items()
         if name.startswith("obs.")
     }
+    server_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name.startswith("server.")
+    }
     engine_series = {
         name: values
         for name, values in _SERIES.items()
         if name not in store_series
         and name not in resilience_series
         and name not in obs_series
+        and name not in server_series
     }
     if engine_series:
         path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
@@ -89,6 +95,12 @@ def pytest_sessionfinish(session, exitstatus):
         path = os.environ.get("BENCH_OBS_JSON", "BENCH_obs.json")
         document = metrics_dump(
             obs_series, registry=global_registry(), suite="obs"
+        )
+        write_metrics(path, document)
+    if server_series:
+        path = os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json")
+        document = metrics_dump(
+            server_series, registry=global_registry(), suite="server"
         )
         write_metrics(path, document)
 

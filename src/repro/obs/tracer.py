@@ -240,6 +240,42 @@ class Tracer:
 
         return bound
 
+    @contextmanager
+    def adopting(self, parent: Optional["Span"]) -> Iterator[None]:
+        """Adopt ``parent`` for the calling thread for one block.
+
+        The context-manager form of :meth:`wrap`, for callers that hold
+        a parent *span object* rather than a callable to bind — the
+        network server's handler threads look the request's originating
+        span up by id (:meth:`span_by_id`) and nest their work under it,
+        so an in-process round trip renders as one causal tree.
+        ``parent=None`` is a no-op block.
+        """
+        if parent is None:
+            yield
+            return
+        previous = getattr(self._local, "adopted", None)
+        self._local.adopted = parent
+        try:
+            yield
+        finally:
+            self._local.adopted = previous
+
+    def span_by_id(self, span_id: Optional[int]) -> Optional["Span"]:
+        """The recorded span with ``span_id``, or ``None``.
+
+        Newest-first scan: the ids being looked up are almost always
+        the request spans opened moments ago (the trace-context
+        ``parent_span_id`` of an in-process peer).
+        """
+        if span_id is None:
+            return None
+        with self._lock:
+            for span in reversed(self.spans):
+                if span.span_id == span_id:
+                    return span
+        return None
+
     # -- span lifecycle (called by Span.__enter__/__exit__) ------------
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)

@@ -129,6 +129,8 @@ from repro.relational.columnar import (
     select_mask,
     view_of,
 )
+from repro.resilience.budget import Budget
+from repro.resilience.budget import applied as budget_applied
 from repro.resilience.budget import tick as budget_tick
 from repro.resilience.faults import (
     ENGINE_COLUMNAR,
@@ -623,16 +625,34 @@ class QueryEngine:
         """Intern ``expr`` in this engine's interner (CSE)."""
         return self._interner.intern(expr)
 
-    def evaluate(self, expr: Expr) -> Relation:
-        """Evaluate ``expr``, reusing every previously computed subtree."""
+    def evaluate(
+        self, expr: Expr, budget: Optional["Budget"] = None
+    ) -> Relation:
+        """Evaluate ``expr``, reusing every previously computed subtree.
+
+        ``budget`` installs an explicit per-query
+        :class:`~repro.resilience.budget.Budget` for the duration of
+        this evaluation — the cooperative ``engine.node`` ticks charge
+        it, and exhaustion raises
+        :class:`~repro.resilience.budget.BudgetExceeded` from the
+        innermost loop.  This is the parameter-threading alternative to
+        the ambient ``with budget:`` installation (which still works,
+        and which an explicit budget stacks on top of): callers that
+        serve many principals concurrently — the network front end
+        attaching one deadline per request — pass the budget with the
+        query instead of mutating thread-ambient state.
+        """
         fault_point(ENGINE_EVALUATE)
-        node = self.intern(expr)
-        tracer = trace.active()
-        if tracer is None:
-            return self._evaluate(node)
-        with tracer.span("engine.evaluate", category="engine") as span:
-            relation = self._evaluate(node)
-            span.set(rows=len(relation))
+        with budget_applied(budget):
+            node = self.intern(expr)
+            tracer = trace.active()
+            if tracer is None:
+                return self._evaluate(node)
+            with tracer.span(
+                "engine.evaluate", category="engine"
+            ) as span:
+                relation = self._evaluate(node)
+                span.set(rows=len(relation))
         return relation
 
     def schema(self, expr: Expr) -> RelationSchema:

@@ -40,6 +40,8 @@ from repro.resilience.faults import (
     ENGINE_EVALUATE,
     KNOWN_SITES,
     PARALLEL_WORKER,
+    SERVER_ACCEPT,
+    SERVER_HANDLER,
     WAL_APPEND,
     CrashPoint,
     FaultError,
@@ -69,6 +71,8 @@ __all__ = [
     "OPEN",
     "PARALLEL_WORKER",
     "RetryPolicy",
+    "SERVER_ACCEPT",
+    "SERVER_HANDLER",
     "WAL_APPEND",
     "applied",
     "current",

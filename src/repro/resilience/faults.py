@@ -67,6 +67,22 @@ error — the crash-forensics path.  Deliberately *not* in
 :data:`KNOWN_SITES`: the chaos suite's single-process workload never
 crosses it; the fleet forensics test
 (``tests/test_fleet_telemetry.py``) covers it instead."""
+SERVER_ACCEPT = "server.accept"
+"""Entry of the network server's per-connection accept path, before a
+session exists.  A ``kill`` drops the connection on the floor (the
+client observes a clean EOF, the listener keeps serving); an ``error``
+is swallowed the same way.  Like :data:`SHARD_WORKER`, not in
+:data:`KNOWN_SITES` — the library-level chaos workload never opens a
+socket; ``tests/test_server_chaos.py`` covers it under the same
+seeds."""
+SERVER_HANDLER = "server.handler"
+"""Top of a request handler, after admission, before the session
+executes the op.  A ``kill`` simulates the handler dying mid-request:
+the server records ``server.handler_death`` in the flight ring and
+ships the client a typed ``HANDLER_DEATH`` error instead of a torn
+frame, and store atomicity holds (the transaction either never started
+or committed in full).  Covered by ``tests/test_server_chaos.py``, not
+:data:`KNOWN_SITES`."""
 
 #: Every site the chaos suite must cover (one entry per instrumented
 #: layer).  Keep in sync with the ``fault_point`` call sites.
@@ -387,6 +403,8 @@ __all__ = [
     "ENGINE_PLAN",
     "KNOWN_SITES",
     "PARALLEL_WORKER",
+    "SERVER_ACCEPT",
+    "SERVER_HANDLER",
     "SHARD_WORKER",
     "WAL_APPEND",
     "CrashPoint",

@@ -1,0 +1,54 @@
+"""repro.server: the network front end.
+
+The store subsystem (:mod:`repro.store`) gives the paper's update
+semantics a transactional, versioned, optionally sharded home; this
+package puts it on a socket.  The pieces:
+
+* :mod:`repro.server.protocol` — length-prefixed JSON frames, request
+  ids (pipelining), typed error codes, Obj/receiver wire encoding;
+* :mod:`repro.server.admission` — the budget → breaker → queue
+  high-water shed ladder, run at decode time;
+* :mod:`repro.server.session` — one connection's request dispatch onto
+  store transactions (autocommit ``apply_batch``, explicit
+  ``begin``/``apply``/``commit``/``abort``, queries, stats, audit);
+* :mod:`repro.server.server` — the asyncio front end: event loop owns
+  sockets and admission, a thread pool owns store work, strict FIFO
+  per connection;
+* :mod:`repro.server.client` — the pipelined async client with typed
+  errors and hint-aware retry;
+* :mod:`repro.server.testing` — the in-process ephemeral-port harness.
+
+``python -m repro.server`` serves the Section 7 company workload for
+interactive use; :mod:`examples.server_demo` drives it end to end.
+"""
+
+from repro.server.admission import AdmissionController, Decision
+from repro.server.client import (
+    ConnectionClosed,
+    ReproClient,
+    ServerError,
+    connect,
+)
+from repro.server.protocol import (
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+from repro.server.server import ReproServer, serve
+from repro.server.session import Session, SessionError
+
+__all__ = [
+    "AdmissionController",
+    "ConnectionClosed",
+    "Decision",
+    "FrameDecoder",
+    "ProtocolError",
+    "ReproClient",
+    "ReproServer",
+    "ServerError",
+    "Session",
+    "SessionError",
+    "connect",
+    "encode_frame",
+    "serve",
+]

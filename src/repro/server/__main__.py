@@ -1,0 +1,107 @@
+"""``python -m repro.server`` — serve the Section 7 company workload.
+
+Boots a company store (sharded when ``--shards`` > 1) behind the
+network front end and serves until interrupted.  The method registry
+is the two Section 7 scenarios: ``raise_salary`` (order-independent
+scenario B') and ``manager_salary`` (order-dependent scenario C').
+
+::
+
+    python -m repro.server --port 8731 --employees 64 --shards 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Optional, Sequence
+
+from repro.server.admission import AdmissionController
+from repro.server.server import ReproServer
+from repro.server.testing import (
+    company_store,
+    sharded_store,
+    standard_methods,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731)
+    parser.add_argument(
+        "--employees",
+        type=int,
+        default=32,
+        help="company size of the served store (default 32)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="> 1 serves a sharded fleet instead of one store",
+    )
+    parser.add_argument(
+        "--queue-high-water",
+        type=int,
+        default=64,
+        help="admission ladder's global queue cap (default 64)",
+    )
+    parser.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="disable load shedding (the ablation configuration)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    if args.shards > 1:
+        store, _ = sharded_store(
+            n_employees=args.employees,
+            seed=args.seed,
+            shards=args.shards,
+        )
+    else:
+        store, _ = company_store(
+            n_employees=args.employees, seed=args.seed
+        )
+    admission = AdmissionController(
+        queue_high_water=args.queue_high_water,
+        enabled=not args.no_admission,
+    )
+    try:
+        async with ReproServer(
+            store,
+            standard_methods(),
+            host=args.host,
+            port=args.port,
+            admission=admission,
+        ) as server:
+            print(
+                f"repro.server listening on {args.host}:{server.port} "
+                f"({args.employees} employees, "
+                f"{args.shards} shard(s), admission "
+                f"{'off' if args.no_admission else 'on'})"
+            )
+            await asyncio.Event().wait()
+    finally:
+        store.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("repro.server: interrupted, shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,311 @@
+"""The async client: pipelining, typed errors, retry with hints.
+
+:class:`ReproClient` keeps one TCP connection and matches responses to
+requests by ``id``, so any number of requests may be in flight at once
+(:meth:`ReproClient.submit` returns a future immediately; awaiting it
+is optional until the answer matters).  That is the pipelining half of
+the protocol contract — the server answers a connection's requests in
+FIFO order, the client stops caring about order entirely.
+
+Failures are typed: a non-``ok`` response raises :class:`ServerError`
+carrying the protocol ``code`` and any ``retry_after_ms`` hint; a
+connection dropping mid-flight fails every pending future with
+:class:`ConnectionClosed`.  :meth:`ReproClient.request_with_retry`
+composes both with the library's unified
+:class:`~repro.resilience.retry.RetryPolicy`: retryable codes
+(:data:`~repro.server.protocol.RETRYABLE_CODES` — sheds and handler
+deaths, which the server guarantees left the store unchanged-or-fully-
+applied) back off by ``max(policy delay, server hint)`` and try again.
+
+Tracing: each request opens a short ``client.request`` span covering
+only the synchronous encode-and-write section (never an ``await`` —
+concurrent awaits in one event-loop thread would interleave span
+open/close and violate the tracer's per-thread stack discipline).  The
+span's id rides the wire in the request's ``trace`` context; an
+in-process server adopts it as the parent of its ``server.handle``
+span, which makes the whole request render as one stitched tree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.core.receiver import Receiver
+from repro.obs import tracer as trace
+from repro.resilience.retry import RetryPolicy
+from repro.server import protocol
+
+
+class ServerError(RuntimeError):
+    """A typed non-``ok`` response."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in protocol.RETRYABLE_CODES
+
+
+class ConnectionClosed(ConnectionError):
+    """The server went away with requests still pending."""
+
+
+class ReproClient:
+    """One pipelined connection to a :class:`~repro.server.ReproServer`.
+
+    Use as an async context manager, or pair :meth:`connect` with
+    :meth:`close`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._dead: Optional[Exception] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def connect(self) -> "ReproClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except RuntimeError:
+                pass
+            self._writer = None
+        self._fail_pending(ConnectionClosed("client closed"))
+
+    async def __aenter__(self) -> "ReproClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- response matching ---------------------------------------------
+    async def _read_loop(self) -> None:
+        decoder = protocol.FrameDecoder()
+        assert self._reader is not None
+        try:
+            while True:
+                data = await self._reader.read(64 * 1024)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    self._settle(message)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        finally:
+            if not self._closed:
+                self._dead = ConnectionClosed(
+                    "server closed the connection"
+                )
+                self._fail_pending(self._dead)
+
+    def _settle(self, message: Mapping[str, Any]) -> None:
+        future = self._pending.pop(message.get("id"), None)
+        if future is None or future.done():
+            return
+        if message.get("ok"):
+            future.set_result(message.get("result", {}))
+            return
+        error = message.get("error") or {}
+        future.set_exception(
+            ServerError(
+                error.get("code", protocol.INTERNAL),
+                error.get("message", "unspecified server error"),
+                retry_after_ms=error.get(protocol.RETRY_AFTER),
+            )
+        )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- requests ------------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> "asyncio.Future[Dict[str, Any]]":
+        """Write one request now; return the future of its response.
+
+        This is the pipelining primitive: call it N times before
+        awaiting anything and all N requests are on the wire.
+        """
+        if self._dead is not None:
+            # The reader saw the server go away: fail fast rather
+            # than write into a dead socket and wait forever.
+            raise self._dead
+        if self._writer is None:
+            raise ConnectionClosed("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        ctx: Optional[Dict[str, Any]] = None
+        tracer = trace.active()
+        if tracer is None:
+            message = protocol.request(
+                request_id, op, params, deadline_ms=deadline_ms
+            )
+            frame = protocol.encode_frame(message)
+        else:
+            # Span covers only this synchronous section — holding it
+            # across an await would interleave with other in-flight
+            # requests on this event-loop thread.
+            with tracer.span(
+                "client.request",
+                category="client",
+                op=op,
+                request=request_id,
+            ) as span:
+                ctx = {
+                    "trace_id": tracer.trace_id,
+                    "parent_span_id": span.span_id,
+                }
+                message = protocol.request(
+                    request_id,
+                    op,
+                    params,
+                    deadline_ms=deadline_ms,
+                    trace=ctx,
+                )
+                frame = protocol.encode_frame(message)
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write(frame)
+        return future
+
+    async def request(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One request, awaited to its response."""
+        return await self.submit(op, params, deadline_ms=deadline_ms)
+
+    async def request_with_retry(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> Dict[str, Any]:
+        """Retry retryable typed errors, honoring server backoff hints."""
+        policy = policy or RetryPolicy()
+        rng = rng or random.Random()
+        attempt = 0
+        while True:
+            try:
+                return await self.request(
+                    op, params, deadline_ms=deadline_ms
+                )
+            except ServerError as exc:
+                if not exc.retryable or attempt >= policy.retries:
+                    raise
+                delay = policy.delay(attempt, rng)
+                if exc.retry_after_ms is not None:
+                    delay = max(delay, exc.retry_after_ms / 1000.0)
+                attempt += 1
+                await asyncio.sleep(delay)
+
+    # -- convenience ops -----------------------------------------------
+    async def ping(self, payload: Any = None, **params: Any) -> Dict:
+        return await self.request(
+            "ping", {"payload": payload, **params}
+        )
+
+    async def query(
+        self, expr: str, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self.request(
+            "query", {"expr": expr}, deadline_ms=deadline_ms
+        )
+
+    async def apply_batch(
+        self,
+        method: str,
+        receivers: Iterable[Receiver],
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return await self.request(
+            "apply_batch",
+            {
+                "method": method,
+                "receivers": protocol.encode_receivers(receivers),
+            },
+            deadline_ms=deadline_ms,
+        )
+
+    async def begin(self) -> Dict[str, Any]:
+        return await self.request("begin")
+
+    async def apply(
+        self, method: str, receivers: Iterable[Receiver]
+    ) -> Dict[str, Any]:
+        return await self.request(
+            "apply",
+            {
+                "method": method,
+                "receivers": protocol.encode_receivers(receivers),
+            },
+        )
+
+    async def commit(self) -> Dict[str, Any]:
+        return await self.request("commit")
+
+    async def abort(self) -> Dict[str, Any]:
+        return await self.request("abort")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request("stats")
+
+    async def audit(self, limit: int = 32) -> Dict[str, Any]:
+        return await self.request("audit", {"limit": limit})
+
+
+async def connect(host: str, port: int) -> ReproClient:
+    """Open a connected client (the caller owns ``close()``)."""
+    return await ReproClient(host, port).connect()
+
+
+__all__ = [
+    "ConnectionClosed",
+    "ReproClient",
+    "ServerError",
+    "connect",
+]

@@ -1,0 +1,112 @@
+"""In-process test harness: a real server on an ephemeral port.
+
+The pattern is the one database test suites converge on (EdgeDB's
+``testbase.server``, Postgres's ``PostgresNode``): don't mock the
+protocol — boot the *actual* server inside the test process on an
+ephemeral port, connect the *actual* client, and drive scenarios over
+real sockets.  Everything still runs in one process, so tests can
+reach around the wire and assert directly on the store, the admission
+controller, and the flight ring.
+
+pytest here has no asyncio plugin, so the harness is a synchronous
+entry point: :func:`run_server_test` wraps server boot, client
+connects, the scenario coroutine, and teardown in one
+``asyncio.run``.  A scenario is ``async def scenario(server, *clients)``
+and its return value comes back to the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.receiver import Receiver
+from repro.server.client import ReproClient, connect
+from repro.server.server import ReproServer
+from repro.sqlsim.scenarios import scenario_b_method, scenario_c_method
+from repro.store.sharding import ShardedStore
+from repro.store.versioned import VersionedStore
+from repro.workloads.sharded import sharded_company
+
+
+def standard_methods() -> Dict[str, Any]:
+    """The wire-name registry the harness servers expose."""
+    return {
+        "raise_salary": scenario_b_method(),
+        "manager_salary": scenario_c_method(),
+    }
+
+
+def company_store(
+    n_employees: int = 8,
+    seed: int = 7,
+    **store_kwargs: Any,
+) -> Tuple[VersionedStore, List[Receiver]]:
+    """A single-node company store plus scenario (B')'s key set."""
+    instance, receivers = sharded_company(
+        n_employees=n_employees, seed=seed
+    )
+    return VersionedStore(instance=instance, **store_kwargs), receivers
+
+
+def sharded_store(
+    n_employees: int = 16,
+    seed: int = 7,
+    shards: int = 2,
+    mode: str = "inline",
+    wal_dir: Optional[str] = None,
+) -> Tuple[ShardedStore, List[Receiver]]:
+    """A sharded company fleet plus scenario (B')'s key set."""
+    instance, receivers = sharded_company(
+        n_employees=n_employees, seed=seed
+    )
+    store = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=shards,
+        mode=mode,
+        wal_dir=wal_dir,
+    )
+    return store, receivers
+
+
+def run_server_test(
+    store,
+    scenario: Callable[..., Awaitable[Any]],
+    methods: Optional[Mapping[str, Any]] = None,
+    clients: int = 1,
+    **server_kwargs: Any,
+) -> Any:
+    """Boot ``store`` behind a server, run ``scenario``, tear down.
+
+    ``scenario`` receives the :class:`ReproServer` followed by
+    ``clients`` connected :class:`ReproClient` instances; whatever it
+    returns is returned here.  The caller still owns closing ``store``.
+    """
+    if methods is None:
+        methods = standard_methods()
+
+    async def main() -> Any:
+        async with ReproServer(
+            store, methods, port=0, **server_kwargs
+        ) as server:
+            connected: List[ReproClient] = []
+            try:
+                for _ in range(clients):
+                    connected.append(
+                        await connect("127.0.0.1", server.port)
+                    )
+                return await scenario(server, *connected)
+            finally:
+                for client in connected:
+                    await client.close()
+
+    return asyncio.run(main())
+
+
+__all__ = [
+    "company_store",
+    "run_server_test",
+    "sharded_store",
+    "standard_methods",
+]

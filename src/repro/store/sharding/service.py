@@ -555,6 +555,16 @@ class ShardedStore:
             self.coordinator,
             lambda txn: txn.apply_method(method, receivers),
         )
+        self._stage_down(version)
+        return version
+
+    def _stage_down(self, version: Version) -> None:
+        """Redo a committed coordinator version onto the shard fleet.
+
+        Caller holds :attr:`_lock`.  Idempotent: deltas re-normalize
+        against each shard's head, so replaying after a partial failure
+        converges.
+        """
         per_shard, replicated = self.partitioning.split_changes(
             version.changes
         )
@@ -573,7 +583,19 @@ class ShardedStore:
                 shard=shard_obj.shard,
             ):
                 shard_obj.recv()
-        return version
+
+    def stage_version(self, version: Version) -> None:
+        """Propagate a version committed *directly on the coordinator*.
+
+        The escape hatch for writers that bypass :meth:`apply_batch` —
+        the network front end's explicit transactions commit on the
+        coordinator store (full commit-tier escalation, authoritative
+        WAL record) and then call this to redo the committed change set
+        onto every shard, exactly as the cross-shard route does.
+        Idempotent for the same reason staging is.
+        """
+        with self._lock:
+            self._stage_down(version)
 
     # -- consistency and repair ----------------------------------------
     def resync_shard(self, shard: int) -> None:

@@ -1,0 +1,235 @@
+"""Chaos at the network boundary: the two server fault sites.
+
+:data:`~repro.resilience.faults.SERVER_ACCEPT` and
+:data:`~repro.resilience.faults.SERVER_HANDLER` are deliberately *not*
+in ``KNOWN_SITES`` (the library chaos workload never opens a socket —
+the same reasoning that keeps ``SHARD_WORKER`` out); this suite is
+their coverage, run by CI's chaos job under the same
+``CHAOS_SEED`` values (7, 23, 1995) as the library suite.
+
+The invariant is the network restatement of whole-batch atomicity: a
+handler dying anywhere inside a request leaves the store **unchanged
+or fully applied**, the client sees a *typed* retryable error (never a
+hang, never a torn frame), and the death is visible in the flight
+ring.
+"""
+
+import os
+
+import pytest
+
+from repro.core.sequential import apply_sequence
+from repro.obs import flight
+from repro.resilience.faults import (
+    SERVER_ACCEPT,
+    SERVER_HANDLER,
+    WAL_APPEND,
+    FaultPlan,
+)
+from repro.objrel.mapping import instance_to_database
+from repro.resilience.retry import RetryPolicy
+from repro.server import protocol
+from repro.server.client import ConnectionClosed, ServerError
+from repro.server.testing import run_server_test
+from repro.sqlsim.scenarios import scenario_b_method
+from repro.store import VersionedStore
+from repro.store.recovery import recover
+from repro.workloads.sharded import raise_batches, sharded_company
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+def fingerprints(instance):
+    return instance_to_database(instance).fingerprints()
+
+
+def company_store(n=8, **store_kwargs):
+    instance, receivers = sharded_company(
+        n_employees=n, seed=CHAOS_SEED
+    )
+    store = VersionedStore(instance=instance, **store_kwargs)
+    return store, instance, receivers
+
+
+# ----------------------------------------------------------------------
+# server.accept
+# ----------------------------------------------------------------------
+def test_accept_kill_drops_one_connection_server_lives():
+    """A killed accept path loses that connection — cleanly — and the
+    next connection is served normally."""
+    store, instance, receivers = company_store()
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(
+        SERVER_ACCEPT, at=0, times=1
+    )
+
+    async def scenario(server, doomed, healthy):
+        # The first connection was accepted by a dying handler: its
+        # requests fail with a clean close, never a hang.
+        with pytest.raises(ConnectionClosed):
+            await doomed.ping(payload="into the void")
+        # The server itself is alive: the second connection works,
+        # end to end, including writes.
+        result = await healthy.apply_batch("raise_salary", receivers)
+        assert result["version"] == 1
+
+    try:
+        with plan.installed():
+            run_server_test(store, scenario, clients=2)
+        assert plan.hits.get(SERVER_ACCEPT, 0) >= 1
+        assert [f.site for f in plan.firings] == [SERVER_ACCEPT]
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.head.database.fingerprints() == fingerprints(
+            expected
+        )
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# server.handler
+# ----------------------------------------------------------------------
+def test_handler_kill_mid_apply_batch_is_atomic_and_typed():
+    """The headline: a handler killed executing ``apply_batch`` leaves
+    the store unchanged, answers a typed retryable HANDLER_DEATH, logs
+    a flight event — and the identical retried request applies in
+    full."""
+    store, instance, receivers = company_store()
+    before = store.head.database.fingerprints()
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(
+        SERVER_HANDLER, at=0, times=1
+    )
+    deaths_before = len(
+        flight.active().events("server.handler_death")
+    )
+
+    async def doomed_batch(server, client):
+        with pytest.raises(ServerError) as err:
+            await client.apply_batch("raise_salary", receivers)
+        assert err.value.code == protocol.HANDLER_DEATH
+        assert err.value.retryable
+        # The connection survives its handler's death.
+        pong = await client.ping(payload="alive")
+        assert pong["payload"] == "alive"
+
+    async def retried_batch(server, client):
+        result = await client.apply_batch("raise_salary", receivers)
+        assert result["version"] == 1
+
+    try:
+        with plan.installed():
+            run_server_test(store, doomed_batch)
+        assert plan.hits.get(SERVER_HANDLER, 0) >= 1
+        assert [f.site for f in plan.firings] == [SERVER_HANDLER]
+        # Unchanged, not torn.
+        assert store.head.database.fingerprints() == before
+        deaths = flight.active().events("server.handler_death")
+        assert len(deaths) > deaths_before
+        assert deaths[-1].data["op"] == "apply_batch"
+        # The client's verbatim retry (fresh server, same store)
+        # completes the batch in full.
+        run_server_test(store, retried_batch)
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.head.database.fingerprints() == fingerprints(
+            expected
+        )
+    finally:
+        store.close()
+
+
+def test_handler_death_is_transparent_under_retry():
+    """``request_with_retry`` absorbs a one-shot handler death."""
+    store, instance, receivers = company_store()
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(
+        SERVER_HANDLER, at=0, times=1
+    )
+
+    async def scenario(server, client):
+        result = await client.request_with_retry(
+            "apply_batch",
+            {
+                "method": "raise_salary",
+                "receivers": protocol.encode_receivers(receivers),
+            },
+            policy=RetryPolicy(retries=3, base_delay=0.001),
+        )
+        assert result["version"] == 1
+
+    try:
+        with plan.installed():
+            run_server_test(store, scenario)
+        assert [f.site for f in plan.firings] == [SERVER_HANDLER]
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.head.database.fingerprints() == fingerprints(
+            expected
+        )
+    finally:
+        store.close()
+
+
+def test_seeded_death_stream_matches_successful_prefix_oracle():
+    """Under a seeded probabilistic kill stream, the final state equals
+    the fold of exactly the batches that *reported* success — every
+    failure was all-or-nothing."""
+    store, instance, receivers = company_store(n=16)
+    batches = raise_batches(receivers, batch_size=2)
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(
+        SERVER_HANDLER, probability=0.5
+    )
+    succeeded = []
+
+    async def scenario(server, client):
+        for batch in batches:
+            try:
+                await client.apply_batch("raise_salary", batch)
+            except ServerError as err:
+                assert err.code == protocol.HANDLER_DEATH
+            else:
+                succeeded.append(batch)
+
+    try:
+        with plan.installed():
+            run_server_test(store, scenario)
+        # The seeded stream must actually produce both outcomes for
+        # the differential to mean anything (holds for CI's seeds).
+        assert succeeded and len(succeeded) < len(batches)
+        reference = instance
+        for batch in succeeded:
+            reference = apply_sequence(
+                scenario_b_method(), reference, batch
+            )
+        assert store.head.database.fingerprints() == fingerprints(
+            reference
+        )
+    finally:
+        store.close()
+
+
+def test_wal_append_kill_through_the_server(tmp_path):
+    """A store-internal crash point (mid-commit WAL append) reached
+    *through the wire* is still a typed handler death: the client gets
+    HANDLER_DEATH, the in-memory head is unchanged, and recovery from
+    the log lands on the pre-crash state."""
+    path = tmp_path / "server-chaos.wal"
+    store, instance, receivers = company_store(wal=str(path))
+    before = store.head.database.fingerprints()
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(WAL_APPEND, at=0)
+
+    async def scenario(server, client):
+        with pytest.raises(ServerError) as err:
+            await client.apply_batch("raise_salary", receivers)
+        assert err.value.code == protocol.HANDLER_DEATH
+
+    try:
+        with plan.installed():
+            run_server_test(store, scenario)
+        assert plan.hits.get(WAL_APPEND, 0) >= 1
+        assert store.head.database.fingerprints() == before
+    finally:
+        store.close()
+    assert recover(str(path)).database.fingerprints() == before
