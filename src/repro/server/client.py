@@ -114,6 +114,7 @@ class ReproClient:
     async def _read_loop(self) -> None:
         decoder = protocol.FrameDecoder()
         assert self._reader is not None
+        error: Optional[ConnectionClosed] = None
         try:
             while True:
                 data = await self._reader.read(64 * 1024)
@@ -121,11 +122,19 @@ class ReproClient:
                     break
                 for message in decoder.feed(data):
                     self._settle(message)
+        except protocol.ProtocolError as exc:
+            # A corrupt or oversize frame from the server: framing
+            # state is unrecoverable, so the connection is dead.
+            # Swallowed here (not re-raised) so it never surfaces as
+            # an unretrieved task exception or escapes close().
+            error = ConnectionClosed(
+                f"protocol error from server: {exc}"
+            )
         except (ConnectionError, asyncio.CancelledError):
             raise
         finally:
             if not self._closed:
-                self._dead = ConnectionClosed(
+                self._dead = error or ConnectionClosed(
                     "server closed the connection"
                 )
                 self._fail_pending(self._dead)

@@ -173,6 +173,7 @@ class ReproServer:
             connection.closed = True
             if connection.worker is not None:
                 connection.worker.cancel()
+            self._abandon_queue(connection)
             connection.session.close()
             try:
                 connection.writer.close()
@@ -249,6 +250,7 @@ class ReproServer:
             connection.closed = True
             if connection.worker is not None:
                 connection.worker.cancel()
+            self._abandon_queue(connection)
             session.close()
             self._connections.pop(session.session_id, None)
             try:
@@ -307,33 +309,61 @@ class ReproServer:
         )
 
     async def _drain_queue(self, connection: _Connection) -> None:
-        """The per-connection worker: strict FIFO execution."""
+        """The per-connection worker: strict FIFO execution.
+
+        Every dequeued request exits admission exactly once — the
+        ``finally`` covers cancellation while executing *and* while
+        awaiting the response write, so a connection dying mid-pipeline
+        cannot leak ``_in_flight`` slots.  Entries still sitting in the
+        FIFO when the worker is cancelled are released by
+        :meth:`_abandon_queue` during teardown.
+        """
         loop = asyncio.get_running_loop()
         while True:
             request_id, op, params, deadline, ctx = (
                 await connection.queue.get()
             )
             try:
-                response = await loop.run_in_executor(
-                    self._executor,
-                    self._execute,
-                    connection.session,
-                    request_id,
-                    op,
-                    params,
-                    deadline,
-                    ctx,
-                )
-            except asyncio.CancelledError:
+                try:
+                    response = await loop.run_in_executor(
+                        self._executor,
+                        self._execute,
+                        connection.session,
+                        request_id,
+                        op,
+                        params,
+                        deadline,
+                        ctx,
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # pragma: no cover - last resort
+                    code, text = classify_error(exc)
+                    response = protocol.error_response(
+                        request_id, code, text
+                    )
+                await connection.send(response)
+            finally:
                 self.admission.exit()
-                raise
-            except Exception as exc:  # pragma: no cover - last resort
-                code, text = classify_error(exc)
-                response = protocol.error_response(
-                    request_id, code, text
-                )
-            await connection.send(response)
+
+    def _abandon_queue(self, connection: _Connection) -> None:
+        """Release admission slots held by never-executed queue entries.
+
+        Runs on the event loop after the connection's worker has been
+        cancelled, so no entry can be concurrently dequeued; each entry
+        entered admission exactly once at dispatch, so each gets exactly
+        one ``exit()`` here.
+        """
+        abandoned = 0
+        while True:
+            try:
+                connection.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
             self.admission.exit()
+            abandoned += 1
+        if abandoned:
+            global_registry().counter("server.abandoned").inc(abandoned)
 
     # -- handler-thread execution --------------------------------------
     def _execute(

@@ -17,8 +17,10 @@ The session is backend-polymorphic over the two store shapes:
 * a :class:`~repro.store.sharding.ShardedStore` — ``apply_batch``
   routes through the fleet (disjoint or cross-shard, exactly as the
   library call does), queries read the coordinator head, and explicit
-  transactions commit on the coordinator then redo onto the shards via
-  :meth:`~repro.store.sharding.ShardedStore.stage_version`.
+  transactions commit on the coordinator and redo onto the shards via
+  :meth:`~repro.store.sharding.ShardedStore.commit_transaction`, which
+  holds the store lock across both steps so a concurrent
+  ``apply_batch`` cannot interleave a later version between them.
 
 Requests inside an explicit transaction execute in connection order
 (the server's per-connection FIFO guarantees it), so a session's
@@ -236,20 +238,31 @@ class Session:
 
     def _op_commit(self, params, budget) -> Dict[str, Any]:
         txn = self._require_txn()
+        staged = True
         try:
-            version = txn.commit()
-            if self.sharded and version.changes:
-                # The coordinator decided; redo onto the fleet (the
-                # same idempotent staging the cross-shard route uses).
-                self.store.stage_version(version)
+            if self.sharded:
+                # Commit and shard staging under the store lock — a
+                # concurrent apply_batch cannot publish and stage a
+                # later version in between (which would let our older
+                # deltas walk the shards backwards).  A staging failure
+                # after the durable coordinator commit comes back as
+                # staged=False (the store already attempted resync): the
+                # commit *succeeded* and must be reported as such, only
+                # degraded.
+                version, staged = self.store.commit_transaction(txn)
+            else:
+                version = txn.commit()
         finally:
             self.last_audit = txn.audit()
             self.txn = None
-        return {
+        result = {
             "version": version.version,
             "tier": self.last_audit.get("path"),
             "txn": self.last_audit.get("txn"),
         }
+        if not staged:
+            result["staging"] = "degraded"
+        return result
 
     def _op_abort(self, params, budget) -> Dict[str, Any]:
         txn = self._require_txn()
@@ -281,11 +294,21 @@ class Session:
         return result
 
     def _op_audit(self, params, budget) -> Dict[str, Any]:
-        limit = int(params.get("limit", 32))
+        limit = params.get("limit", 32)
+        if (
+            isinstance(limit, bool)
+            or not isinstance(limit, int)
+            or limit < 0
+        ):
+            raise SessionError(
+                protocol.BAD_REQUEST,
+                f"audit 'limit' must be a non-negative integer, "
+                f"got {limit!r}",
+            )
         recorder = flight.active()
         events = (
             [event.to_dict() for event in recorder.events()[-limit:]]
-            if recorder is not None
+            if recorder is not None and limit > 0
             else []
         )
         return {"last_txn": self.last_audit, "flight": events}

@@ -593,29 +593,96 @@ class ShardedStore:
         WAL record) and then call this to redo the committed change set
         onto every shard, exactly as the cross-shard route does.
         Idempotent for the same reason staging is.
+
+        Commit-then-stage through this method is *not* atomic with
+        respect to a concurrent :meth:`apply_batch` — another writer can
+        commit and stage a later coordinator version between the commit
+        and this call, after which staging the older deltas would walk
+        the shards backwards.  Writers holding an open coordinator
+        transaction should use :meth:`commit_transaction`, which keeps
+        the store lock across both steps.
         """
         with self._lock:
             self._stage_down(version)
 
+    def commit_transaction(self, txn) -> Tuple[Version, bool]:
+        """Commit a coordinator transaction and stage it onto the fleet.
+
+        The store lock is held across the coordinator commit *and* the
+        shard staging — exactly as :meth:`apply_batch` holds it across
+        the cross-shard route — so no concurrent batch can publish and
+        stage a later version in between (which would let the older
+        deltas re-add tuples the newer version removed).
+
+        Returns ``(version, staged)``.  ``staged`` is ``False`` only
+        when the commit durably published on the coordinator but shard
+        redo failed *and* the automatic resync could not heal every
+        shard; callers should surface that as a degraded (but
+        committed) outcome, never as a failed commit.
+        """
+        with self._lock:
+            version = txn.commit()
+            staged = True
+            if version.changes:
+                try:
+                    self._stage_down(version)
+                except Exception as exc:
+                    global_registry().counter(
+                        "store.shard.stage_failures"
+                    ).inc()
+                    flight.record(
+                        "store.stage_failure",
+                        version=version.version,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    # The commit is durable; heal the fleet from the
+                    # coordinator head rather than leaving shards
+                    # stale.  Every shard gets a resync attempt even
+                    # if an earlier one fails.
+                    staged = all(
+                        [
+                            self._try_resync_locked(shard)
+                            for shard in range(self.shards)
+                        ]
+                    )
+        return version, staged
+
     # -- consistency and repair ----------------------------------------
-    def resync_shard(self, shard: int) -> None:
-        """Heal one shard from the coordinator head (idempotent)."""
+    def _try_resync_locked(self, shard: int) -> bool:
+        """Best-effort :meth:`resync_shard` body; caller holds the lock."""
+        try:
+            self._resync_shard_locked(shard)
+            return True
+        except Exception as exc:
+            flight.record(
+                "store.resync_failure",
+                shard=shard,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return False
+
+    def _resync_shard_locked(self, shard: int) -> None:
+        """Heal one shard from the coordinator head; caller holds the lock."""
         target = instance_slice_database(
             self.partitioning, self.coordinator.head, shard
         )
+        current = dict(self._shards[shard].call(("dump",)))
+        delta = {
+            name: RelationDelta(
+                frozenset(target[name] - current.get(name, frozenset())),
+                frozenset(current.get(name, frozenset()) - target[name]),
+            )
+            for name in target
+            if target[name] != current.get(name, frozenset())
+        }
+        if delta:
+            self._shards[shard].call(("stage", delta))
+        global_registry().counter("store.shard.resyncs").inc()
+
+    def resync_shard(self, shard: int) -> None:
+        """Heal one shard from the coordinator head (idempotent)."""
         with self._lock:
-            current = dict(self._shards[shard].call(("dump",)))
-            delta = {
-                name: RelationDelta(
-                    frozenset(target[name] - current.get(name, frozenset())),
-                    frozenset(current.get(name, frozenset()) - target[name]),
-                )
-                for name in target
-                if target[name] != current.get(name, frozenset())
-            }
-            if delta:
-                self._shards[shard].call(("stage", delta))
-            global_registry().counter("store.shard.resyncs").inc()
+            self._resync_shard_locked(shard)
 
     def merged_relations(self) -> Dict[str, frozenset]:
         """The global relations reassembled from the shard fleet.

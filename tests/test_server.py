@@ -28,7 +28,7 @@ from repro.resilience.budget import Budget, BudgetExceeded
 from repro.resilience.retry import RetryPolicy
 from repro.server import protocol
 from repro.server.admission import AdmissionController
-from repro.server.client import ServerError
+from repro.server.client import ConnectionClosed, ServerError, connect
 from repro.server.testing import (
     company_store,
     run_server_test,
@@ -371,6 +371,47 @@ def test_overload_sheds_typed_and_never_hangs():
         store.close()
 
 
+def test_disconnect_with_queued_requests_releases_admission():
+    """A connection dying mid-pipeline must return every admitted
+    slot.  ``_in_flight`` is server-global and never resets, so a leak
+    here would permanently shrink effective capacity until the queue
+    rung sheds all traffic as OVERLOADED."""
+    store, _ = company_store(n_employees=4)
+    admission = AdmissionController(queue_high_water=16)
+
+    async def scenario(server, doomed, survivor):
+        # A slow request pins the only handler thread; the rest are
+        # admitted but still queued when the connection dies.
+        futures = [doomed.submit("ping", {"delay_ms": 60})]
+        futures.extend(
+            doomed.submit("ping", {"payload": i}) for i in range(8)
+        )
+        await asyncio.sleep(0.01)
+        assert server.admission.in_flight >= 2
+        await doomed.close()
+        await asyncio.gather(*futures, return_exceptions=True)
+        # Teardown must drain the abandoned queue entries.
+        for _ in range(200):
+            if server.admission.in_flight == 0:
+                break
+            await asyncio.sleep(0.01)
+        assert server.admission.in_flight == 0
+        # The surviving connection still gets full capacity.
+        pong = await survivor.ping(payload="alive")
+        assert pong["payload"] == "alive"
+
+    try:
+        run_server_test(
+            store,
+            scenario,
+            clients=2,
+            admission=admission,
+            handler_threads=1,
+        )
+    finally:
+        store.close()
+
+
 def test_client_retry_honors_the_shed_hint():
     """request_with_retry turns a shed into a delayed success."""
     store, _ = company_store(n_employees=4)
@@ -459,7 +500,7 @@ def test_abort_discards_and_txn_state_is_typed():
 
 def test_explicit_transaction_on_sharded_backend_stages_down(tmp_path):
     """A commit through the wire lands on the coordinator *and* the
-    shard fleet (stage_version), so verify_consistent still holds."""
+    shard fleet (commit_transaction), so verify_consistent holds."""
     instance, receivers = sharded_company(n_employees=12, seed=13)
     store, _ = sharded_store(
         n_employees=12,
@@ -483,6 +524,91 @@ def test_explicit_transaction_on_sharded_backend_stages_down(tmp_path):
             fingerprints(expected)
         )
         store.verify_consistent()
+    finally:
+        store.close()
+
+
+def test_commit_reports_success_when_staging_fails(tmp_path):
+    """A staging failure *after* the durable coordinator commit must
+    not surface as INTERNAL: the commit happened.  The store heals the
+    shards by resync, so the client sees a plain success and the fleet
+    stays consistent."""
+    instance, receivers = sharded_company(n_employees=8, seed=5)
+    store, _ = sharded_store(
+        n_employees=8,
+        seed=5,
+        shards=REPRO_SHARDS,
+        wal_dir=str(tmp_path / "fleet"),
+    )
+
+    def broken(version):
+        raise RuntimeError("shard pipe broke")
+
+    store._stage_down = broken
+
+    async def scenario(server, client):
+        await client.begin()
+        await client.apply("raise_salary", receivers)
+        committed = await client.commit()
+        assert committed["version"] == 1
+        # Resync healed every shard, so the commit is not degraded.
+        assert "staging" not in committed
+        after = await client.query("Employee.salary")
+        assert after["rows"]
+
+    try:
+        run_server_test(store, scenario)
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(expected)
+        )
+        store.verify_consistent()
+    finally:
+        store.close()
+
+
+def test_commit_is_degraded_when_staging_and_resync_fail():
+    """When the fleet is unreachable, the commit still succeeded on
+    the coordinator: the client gets a success response flagged
+    degraded, never a non-retryable INTERNAL for a durable commit."""
+    instance, receivers = sharded_company(n_employees=8, seed=5)
+    store, _ = sharded_store(
+        n_employees=8, seed=5, shards=REPRO_SHARDS
+    )
+
+    def broken(*args, **kwargs):
+        raise RuntimeError("fleet unreachable")
+
+    store._stage_down = broken
+    original_calls = [shard.call for shard in store._shards]
+    for shard in store._shards:
+        shard.call = broken
+
+    async def scenario(server, client):
+        await client.begin()
+        await client.apply("raise_salary", receivers)
+        committed = await client.commit()
+        assert committed["version"] == 1
+        assert committed["staging"] == "degraded"
+
+    try:
+        run_server_test(store, scenario)
+        # The commit is durable on the coordinator; once the fleet is
+        # reachable again, resync heals it.
+        del store._stage_down
+        for shard, call in zip(store._shards, original_calls):
+            shard.call = call
+        for k in range(store.shards):
+            store.resync_shard(k)
+        store.verify_consistent()
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(expected)
+        )
     finally:
         store.close()
 
@@ -660,6 +786,59 @@ def test_request_renders_as_one_stitched_trace_tree(tmp_path):
     assert {
         f"repro shard{i}" for i in range(REPRO_SHARDS)
     } <= labels
+
+
+def test_client_survives_corrupt_frame_from_server():
+    """A corrupt/oversize frame from the server kills the connection
+    cleanly: pending futures fail with ConnectionClosed, the reader
+    task finishes without an unretrieved exception, and close() does
+    not propagate the protocol error."""
+
+    async def main():
+        async def handler(reader, writer):
+            await reader.read(256)
+            # A header claiming a frame bigger than the cap.
+            writer.write(
+                protocol.HEADER.pack(protocol.MAX_FRAME_BYTES + 1)
+            )
+            await writer.drain()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = await connect("127.0.0.1", port)
+        try:
+            future = client.submit("ping", {})
+            with pytest.raises(ConnectionClosed):
+                await future
+            # The connection is marked dead: later submits fail fast.
+            with pytest.raises(ConnectionClosed):
+                client.submit("ping", {})
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(main())
+
+
+def test_audit_limit_is_validated():
+    store, _ = company_store(n_employees=4)
+
+    async def scenario(server, client):
+        for bad in ("nope", -1, True, 1.5):
+            with pytest.raises(ServerError) as err:
+                await client.request("audit", {"limit": bad})
+            assert err.value.code == protocol.BAD_REQUEST
+        empty = await client.request("audit", {"limit": 0})
+        assert empty["flight"] == []
+        # The connection survives the typed errors.
+        ok = await client.audit(limit=8)
+        assert "flight" in ok
+
+    try:
+        run_server_test(store, scenario)
+    finally:
+        store.close()
 
 
 def test_stats_and_audit_expose_the_flight_ring():

@@ -359,6 +359,49 @@ def test_resync_heals_a_diverged_shard():
         store.close()
 
 
+def test_commit_transaction_stages_atomically_and_heals():
+    """The network front end's explicit-commit path: coordinator
+    commit and shard staging under one lock hold, with automatic
+    resync when staging fails after the durable commit."""
+    instance, receivers = sharded_company(n_employees=16, seed=4)
+    store = ShardedStore(instance, ["Employee"], shards=REPRO_SHARDS)
+    method = scenario_b_method()
+    # Two disjoint halves of the key set: each commit changes state
+    # (re-applying the same receivers would be a no-op second time).
+    first, second = receivers[:8], receivers[8:]
+    try:
+        # Happy path: commit + staging, fleet stays consistent.
+        txn = store.coordinator.begin()
+        txn.apply_method(method, first)
+        version, staged = store.commit_transaction(txn)
+        assert staged and version.version == 1
+        store.verify_consistent()
+
+        # Staging failure after the durable commit: the store heals
+        # every shard from the coordinator head instead of leaving
+        # the fleet silently stale.
+        def broken(v):
+            raise RuntimeError("shard pipe broke")
+
+        store._stage_down = broken
+        txn = store.coordinator.begin()
+        txn.apply_method(method, second)
+        version, staged = store.commit_transaction(txn)
+        assert version.version == 2
+        assert staged, "resync should have healed every shard"
+        store.verify_consistent()
+        del store._stage_down
+
+        # An empty commit publishes nothing new: the head stays put
+        # and the fleet stays consistent.
+        txn = store.coordinator.begin()
+        version, staged = store.commit_transaction(txn)
+        assert staged and version.version == 2
+        store.verify_consistent()
+    finally:
+        store.close()
+
+
 def test_from_wal_dir_recovers_the_coordinator_history(tmp_path):
     wal_dir = str(tmp_path / "fleet")
     rng = random.Random(8)
