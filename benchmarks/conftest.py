@@ -61,6 +61,11 @@ def pytest_sessionfinish(session, exitstatus):
         for name, values in _SERIES.items()
         if name.startswith("server.")
     }
+    fleet_series = {
+        name: values
+        for name, values in _SERIES.items()
+        if name.startswith("fleet.")
+    }
     engine_series = {
         name: values
         for name, values in _SERIES.items()
@@ -68,6 +73,7 @@ def pytest_sessionfinish(session, exitstatus):
         and name not in resilience_series
         and name not in obs_series
         and name not in server_series
+        and name not in fleet_series
     }
     if engine_series:
         path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
@@ -101,6 +107,12 @@ def pytest_sessionfinish(session, exitstatus):
         path = os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json")
         document = metrics_dump(
             server_series, registry=global_registry(), suite="server"
+        )
+        write_metrics(path, document)
+    if fleet_series:
+        path = os.environ.get("BENCH_FLEET_JSON", "BENCH_fleet.json")
+        document = metrics_dump(
+            fleet_series, registry=global_registry(), suite="fleet"
         )
         write_metrics(path, document)
 

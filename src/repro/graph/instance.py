@@ -105,6 +105,30 @@ def item_label(item: Item) -> str:
     raise TypeError(f"not an instance item: {item!r}")
 
 
+def _check_nodes(schema: Schema, nodes: Iterable[Obj]) -> None:
+    for node in nodes:
+        if not schema.has_class(node.cls):
+            raise SchemaError(
+                f"object {node} labeled by unknown class {node.cls!r}"
+            )
+
+
+def _check_edges(
+    schema: Schema, edges: Iterable[Edge], node_set: FrozenSet[Obj]
+) -> None:
+    for edge in edges:
+        schema_edge = schema.edge(edge.label)
+        if edge.source not in node_set or edge.target not in node_set:
+            raise SchemaError(f"dangling edge {edge}")
+        if (
+            edge.source.cls != schema_edge.source
+            or edge.target.cls != schema_edge.target
+        ):
+            raise SchemaError(
+                f"edge {edge} incompatible with schema edge {schema_edge}"
+            )
+
+
 class Instance:
     """An immutable object-base instance.
 
@@ -129,26 +153,34 @@ class Instance:
     ) -> None:
         node_set: FrozenSet[Obj] = frozenset(nodes)
         edge_set: FrozenSet[Edge] = frozenset(edges)
-        for node in node_set:
-            if not schema.has_class(node.cls):
-                raise SchemaError(
-                    f"object {node} labeled by unknown class {node.cls!r}"
-                )
-        for edge in edge_set:
-            schema_edge = schema.edge(edge.label)
-            if edge.source not in node_set or edge.target not in node_set:
-                raise SchemaError(f"dangling edge {edge}")
-            if (
-                edge.source.cls != schema_edge.source
-                or edge.target.cls != schema_edge.target
-            ):
-                raise SchemaError(
-                    f"edge {edge} incompatible with schema edge {schema_edge}"
-                )
+        _check_nodes(schema, node_set)
+        _check_edges(schema, edge_set, node_set)
         self._schema = schema
         self._nodes = node_set
         self._edges = edge_set
         self._hash: Optional[int] = None
+
+    @classmethod
+    def _derive(
+        cls,
+        schema: Schema,
+        nodes: FrozenSet[Obj],
+        edges: FrozenSet[Edge],
+    ) -> "Instance":
+        """Construct from parts carried over from an already-validated
+        instance, skipping the full re-validation pass.
+
+        The functional updates below go through here after validating
+        only the *added* items: removals and carried-over items cannot
+        invalidate an instance, so re-checking every node and edge on
+        each delta would make a small update cost O(instance).
+        """
+        instance = cls.__new__(cls)
+        instance._schema = schema
+        instance._nodes = frozenset(nodes)
+        instance._edges = frozenset(edges)
+        instance._hash = None
+        return instance
 
     # ------------------------------------------------------------------
     # Accessors
@@ -209,25 +241,37 @@ class Instance:
     # ------------------------------------------------------------------
     def with_nodes(self, nodes: Iterable[Obj]) -> "Instance":
         """A new instance with ``nodes`` added."""
-        return Instance(self._schema, self._nodes | set(nodes), self._edges)
+        added = frozenset(nodes)
+        _check_nodes(self._schema, added)
+        return Instance._derive(
+            self._schema, self._nodes | added, self._edges
+        )
 
     def with_edges(self, edges: Iterable[Edge]) -> "Instance":
         """A new instance with ``edges`` added (endpoints must exist)."""
-        return Instance(self._schema, self._nodes, self._edges | set(edges))
+        added = frozenset(edges)
+        _check_edges(self._schema, added, self._nodes)
+        return Instance._derive(
+            self._schema, self._nodes, self._edges | added
+        )
 
     def without_edges(self, edges: Iterable[Edge]) -> "Instance":
         """A new instance with ``edges`` removed."""
-        return Instance(self._schema, self._nodes, self._edges - set(edges))
+        return Instance._derive(
+            self._schema, self._nodes, self._edges - frozenset(edges)
+        )
 
     def without_nodes(self, nodes: Iterable[Obj]) -> "Instance":
         """A new instance with ``nodes`` and all their incident edges removed."""
         doomed: Set[Obj] = set(nodes)
-        kept_edges = {
+        kept_edges = frozenset(
             e
             for e in self._edges
             if e.source not in doomed and e.target not in doomed
-        }
-        return Instance(self._schema, self._nodes - doomed, kept_edges)
+        )
+        return Instance._derive(
+            self._schema, self._nodes - doomed, kept_edges
+        )
 
     def replace_property(
         self, node: Obj, label: str, targets: Iterable[Obj]
@@ -238,8 +282,9 @@ class Instance:
         (Definition 5.4(5)).
         """
         old = self.edges_from(node, label)
-        new = {Edge(node, label, t) for t in targets}
-        return Instance(
+        new = frozenset(Edge(node, label, t) for t in targets)
+        _check_edges(self._schema, new, self._nodes)
+        return Instance._derive(
             self._schema, self._nodes, (self._edges - old) | new
         )
 

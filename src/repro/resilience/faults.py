@@ -67,6 +67,20 @@ error — the crash-forensics path.  Deliberately *not* in
 :data:`KNOWN_SITES`: the chaos suite's single-process workload never
 crosses it; the fleet forensics test
 (``tests/test_fleet_telemetry.py``) covers it instead."""
+SHARD_RESTART = "shard.restart"
+"""Top of every supervised worker-restart attempt, before the
+replacement process is forked.  A ``kill`` or ``error`` makes that
+attempt fail — exhausting the restart budget degrades the shard to
+coordinator-side inline execution instead of failing the caller.
+Like :data:`SHARD_WORKER`, not in :data:`KNOWN_SITES`: only the fleet
+chaos tests (``tests/test_sharding.py``) cross it."""
+SHARD_STAGE_FENCE = "shard.stage.fence"
+"""A shard backend's epoch fence, crossed before every fenced command
+(apply / stage / mark) executes.  Inside a worker process a ``kill``
+here dies *mid-staging* — after the coordinator decided, before the
+shard acked — the window the supervisor's redo-after-restart must
+close.  Not in :data:`KNOWN_SITES` for the same reason as
+:data:`SHARD_WORKER`."""
 SERVER_ACCEPT = "server.accept"
 """Entry of the network server's per-connection accept path, before a
 session exists.  A ``kill`` drops the connection on the floor (the
@@ -405,6 +419,8 @@ __all__ = [
     "PARALLEL_WORKER",
     "SERVER_ACCEPT",
     "SERVER_HANDLER",
+    "SHARD_RESTART",
+    "SHARD_STAGE_FENCE",
     "SHARD_WORKER",
     "WAL_APPEND",
     "CrashPoint",

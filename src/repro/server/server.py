@@ -323,6 +323,7 @@ class ReproServer:
             request_id, op, params, deadline, ctx = (
                 await connection.queue.get()
             )
+            started = time.monotonic()
             try:
                 try:
                     response = await loop.run_in_executor(
@@ -345,6 +346,11 @@ class ReproServer:
                 await connection.send(response)
             finally:
                 self.admission.exit()
+                # Feed the adaptive controller the measured service
+                # time (a no-op on the static path).
+                self.admission.observe(
+                    (time.monotonic() - started) * 1000.0
+                )
 
     def _abandon_queue(self, connection: _Connection) -> None:
         """Release admission slots held by never-executed queue entries.

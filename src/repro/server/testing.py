@@ -55,6 +55,7 @@ def sharded_store(
     shards: int = 2,
     mode: str = "inline",
     wal_dir: Optional[str] = None,
+    **store_kwargs: Any,
 ) -> Tuple[ShardedStore, List[Receiver]]:
     """A sharded company fleet plus scenario (B')'s key set."""
     instance, receivers = sharded_company(
@@ -66,6 +67,7 @@ def sharded_store(
         shards=shards,
         mode=mode,
         wal_dir=wal_dir,
+        **store_kwargs,
     )
     return store, receivers
 

@@ -58,6 +58,11 @@ class Table:
         self.key = key
         self.version = 0
         self._rows: Dict[int, Row] = {}
+        # Lazily built key-value -> row-id index; ``None`` when stale.
+        # Inserts and deletes maintain it incrementally, so key-checked
+        # bulk loads and point lookups stay O(1) per row instead of
+        # scanning the table.
+        self._key_index: Optional[Dict[Hashable, int]] = None
         self._row_ids = itertools.count(1)
         for row in rows:
             self.insert(row)
@@ -74,20 +79,22 @@ class Table:
             )
         if self.key is not None:
             value = row[self.key]
-            if any(
-                existing[self.key] == value
-                for existing in self._rows.values()
-            ):
+            if value in self._ensure_key_index():
                 raise TableError(
                     f"duplicate key {value!r} in table {self.name}"
                 )
         row_id = next(self._row_ids)
         self._rows[row_id] = dict(row)
+        if self.key is not None and self._key_index is not None:
+            self._key_index[row[self.key]] = row_id
         self.version += 1
         return row_id
 
     def delete_row(self, row_id: int) -> None:
-        if self._rows.pop(row_id, None) is not None:
+        row = self._rows.pop(row_id, None)
+        if row is not None:
+            if self.key is not None and self._key_index is not None:
+                self._key_index.pop(row[self.key], None)
             self.version += 1
 
     def update_row(
@@ -99,10 +106,20 @@ class Table:
             if column not in self.columns:
                 raise TableError(f"unknown column {column!r}")
         row = self._rows[row_id]
+        if self.key is not None and self.key in changes:
+            self._key_index = None
         for column, value in changes.items():
             row[column] = value
         if changes:
             self.version += 1
+
+    def _ensure_key_index(self) -> Dict[Hashable, int]:
+        if self._key_index is None:
+            self._key_index = {
+                row[self.key]: row_id
+                for row_id, row in self._rows.items()
+            }
+        return self._key_index
 
     # ------------------------------------------------------------------
     # Reading
@@ -131,10 +148,10 @@ class Table:
         """Find the row with the given primary-key value."""
         if self.key is None:
             raise TableError(f"table {self.name} has no key")
-        for row in self._rows.values():
-            if row[self.key] == key_value:
-                return dict(row)
-        return None
+        row_id = self._ensure_key_index().get(key_value)
+        if row_id is None:
+            return None
+        return dict(self._rows[row_id])
 
     def snapshot(self) -> "Table":
         """A deep copy (used to compare execution strategies)."""

@@ -29,6 +29,7 @@ from repro.resilience.faults import CrashPoint, FaultInjector
 from repro.store.wal import (
     KIND_CHECKPOINT,
     KIND_COMMIT,
+    KIND_SHARD_META,
     WalError,
     WalRecord,
     parse_record,
@@ -107,6 +108,17 @@ class RecoveredState:
 
     problems: List[str] = field(default_factory=list)
 
+    shard_meta: Optional[Dict] = None
+    """Payload of the last ``shard_meta`` record (``None`` when the log
+    carries none) — a shard backend's ``{"epoch", "applied", "dirty"}``
+    recovery marker."""
+
+    commits_after_meta: int = 0
+    """Commit records appended *after* the last ``shard_meta`` marker.
+    Non-zero means the final commits' provenance is unknown (the marker
+    that would have classified them was torn away), so a shard must
+    treat the recovered state as dirty."""
+
     @property
     def clean(self) -> bool:
         """Whether the log validated end to end (nothing truncated)."""
@@ -161,6 +173,14 @@ def recover(path: str, truncate: bool = True) -> RecoveredState:
                 handle.truncate(valid_bytes)
         version, database = replay(records)
         commits = sum(1 for r in records if r.kind == KIND_COMMIT)
+        shard_meta: Optional[Dict] = None
+        commits_after_meta = 0
+        for record in records:
+            if record.kind == KIND_SHARD_META:
+                shard_meta = dict(record.payload)
+                commits_after_meta = 0
+            elif record.kind == KIND_COMMIT:
+                commits_after_meta += 1
         span.set(
             records=len(records),
             commits=commits,
@@ -179,6 +199,8 @@ def recover(path: str, truncate: bool = True) -> RecoveredState:
         commits_applied=commits,
         truncated_bytes=torn,
         problems=problems,
+        shard_meta=shard_meta,
+        commits_after_meta=commits_after_meta,
     )
 
 

@@ -12,12 +12,18 @@ the instance; this package spends that proof as a *partitioner*:
   :class:`~repro.coloring.regions.UpdateRegion`;
 * :mod:`repro.store.sharding.service` — :class:`ShardedStore`, the
   front-end over one coordinator plus ``N`` shard stores, each
-  optionally a persistent worker process.
+  optionally a persistent worker process;
+* :mod:`repro.store.sharding.supervisor` — :class:`ShardSupervisor`,
+  the self-healing ladder: worker-death detection, epoch-fenced
+  restarts with per-shard WAL recovery and tail catch-up, and the
+  degrade-to-inline fallback past the restart budget.
 """
 
 from repro.store.sharding.partition import (
     Partitioning,
     ShardingError,
+    StaleEpochError,
+    WorkerDied,
     merge_changes,
     stable_shard_hash,
 )
@@ -34,6 +40,7 @@ from repro.store.sharding.service import (
     ShardedStore,
     database_delta,
 )
+from repro.store.sharding.supervisor import ShardSupervisor
 
 __all__ = [
     "CROSS_SHARD",
@@ -44,8 +51,11 @@ __all__ = [
     "Route",
     "Router",
     "ShardBackend",
+    "ShardSupervisor",
     "ShardedStore",
     "ShardingError",
+    "StaleEpochError",
+    "WorkerDied",
     "database_delta",
     "merge_changes",
     "stable_shard_hash",

@@ -56,6 +56,27 @@ class ShardingError(StoreError):
     """Raised on misuse of the sharding layer."""
 
 
+class WorkerDied(ShardingError):
+    """A shard worker went dark mid-conversation (pipe EOF / EPIPE).
+
+    The supervised fleet treats this as a restartable event, not a
+    caller-visible failure: :class:`~repro.store.sharding.supervisor.
+    ShardSupervisor` catches it, heals the shard, and re-executes the
+    in-flight command.  Subclassing :class:`ShardingError` keeps
+    unsupervised callers' ``except ShardingError`` handling intact.
+    """
+
+
+class StaleEpochError(ShardingError):
+    """A fenced command carried an epoch older than the shard's own.
+
+    The zombie-worker guard: every restart bumps the shard's epoch, so
+    a command built for (or acked by) a predecessor worker can never be
+    mistaken for current — the backend rejects it instead of staging a
+    delta the coordinator already re-issued to the replacement.
+    """
+
+
 def stable_shard_hash(obj: Obj) -> int:
     """A process-independent hash of an object.
 
@@ -241,6 +262,8 @@ def merge_changes(
 __all__ = [
     "Partitioning",
     "ShardingError",
+    "StaleEpochError",
+    "WorkerDied",
     "merge_changes",
     "stable_shard_hash",
 ]

@@ -52,6 +52,11 @@ class Route:
     reason: str
     region: UpdateRegion
     sub_batches: Dict[int, Tuple[Receiver, ...]]
+    degraded_shards: Tuple[int, ...] = ()
+    """Touched shards currently served by the coordinator-side inline
+    fallback (their worker is down and past its restart budget).  The
+    batch still executes — this is the route's visibility into the
+    degraded fleet, not a failure."""
 
     @property
     def is_disjoint(self) -> bool:
@@ -73,16 +78,24 @@ class Router:
         method,
         receivers: Sequence[Receiver],
         region: Optional[UpdateRegion] = None,
+        degraded: Sequence[int] = (),
     ) -> Route:
         """Decide how ``(method, receivers)`` executes.
 
         ``region`` overrides the structural :func:`method_region` — a
         caller holding a tighter inferred §4 coloring may pass
-        ``coloring_region(schema, inferred)`` instead.
+        ``coloring_region(schema, inferred)`` instead.  ``degraded``
+        names shards currently on the inline fallback; touched ones are
+        reported on the route and counted.
         """
         started = time.perf_counter()
         try:
-            return self._route(method, receivers, region)
+            route = self._route(method, receivers, region, degraded)
+            if route.degraded_shards:
+                global_registry().counter(
+                    "store.shard.route.degraded_batches"
+                ).inc()
+            return route
         finally:
             global_registry().histogram(
                 "store.shard.route_ms"
@@ -93,10 +106,14 @@ class Router:
         method,
         receivers: Sequence[Receiver],
         region: Optional[UpdateRegion] = None,
+        degraded: Sequence[int] = (),
     ) -> Route:
         if region is None:
             region = method_region(method)
         sub_batches = self.partitioning.split_receivers(receivers)
+        touched_degraded = tuple(
+            shard for shard in sorted(sub_batches) if shard in set(degraded)
+        )
 
         stray = sorted(
             {
@@ -112,6 +129,7 @@ class Router:
                 f"receiving class(es) {stray} not partitioned",
                 region,
                 sub_batches,
+                touched_degraded,
             )
         foreign_args = sorted(
             {
@@ -131,16 +149,20 @@ class Router:
                 "partitioned",
                 region,
                 sub_batches,
+                touched_degraded,
             )
         reason = self.partitioning.disjoint_reason(region)
         if reason is not None:
-            return Route(CROSS_SHARD, reason, region, sub_batches)
+            return Route(
+                CROSS_SHARD, reason, region, sub_batches, touched_degraded
+            )
         return Route(
             DISJOINT,
             f"writes partitioned, reads replicated, "
             f"{len(sub_batches)} shard(s)",
             region,
             sub_batches,
+            touched_degraded,
         )
 
 

@@ -23,16 +23,39 @@ Batches flow through :meth:`ShardedStore.apply_batch`:
   the committed delta is then split by ownership and *staged* to every
   shard (partitioned rows to their owners, replicated deltas to all).
   Staging is idempotent redo — deltas re-normalize against each
-  shard's head — so a failed shard is healed by :meth:`resync_shard`,
-  which re-slices from the coordinator head.
+  shard's head — so a failed shard is healed by :meth:`resync_shard`.
 
 Execution modes: ``inline`` backends run in-process (useful for tests
 and as the degraded fallback), ``process`` backends each own a
 persistent worker process fed commands over a pipe, with methods,
 receivers and deltas crossing as pickles.  Dispatch is
 send-to-all-then-collect, so shard work overlaps without any parent
-threads.  Crash recovery rebuilds shards from the coordinator WAL:
-shard logs are derived state; the coordinator log is the truth.
+threads.
+
+**Self-healing** (this layer's fault story, paper Thm 5.12/6.5).  The
+coordinator log is the authoritative state machine; shards are
+replicas that must be *fencible* and *catch-up-able*:
+
+* Every fenced pipe command (``apply`` / ``stage`` / ``mark`` /
+  ``checkpoint``) carries the shard's monotone **epoch**; a backend
+  rejects commands from an older epoch with :class:`StaleEpochError`
+  (the zombie guard) and adopts newer ones.  Epochs, the highest
+  *applied* coordinator version, and a *dirty* bit (last local commit
+  was an apply whose coordinator commit the shard never saw confirmed)
+  persist in the shard WAL as ``shard_meta`` records.
+* A worker death surfaces as :class:`WorkerDied`; the
+  :class:`~repro.store.sharding.supervisor.ShardSupervisor` restarts
+  the process under the shared :class:`RetryPolicy` + a per-shard
+  breaker, recovers the shard's own WAL, **catches up by staging only
+  the missing tail** of coordinator deltas (order-independence makes
+  the tail replay safe in any certified-disjoint order), and re-issues
+  the in-flight command under the bumped epoch.  Past the restart
+  budget the shard *degrades* to a coordinator-side
+  :class:`InlineShard` so batches keep succeeding; a later breaker
+  probe promotes it back to a real worker.
+* :meth:`from_wal_dir` no longer deletes shard logs: each shard
+  recovers its own WAL and tail-catches-up, falling back to the full
+  re-slice only on divergence (dirty marker) or an unrecoverable log.
 
 **Fleet telemetry** (process mode).  Every request crosses the pipe as
 ``(command, ctx)`` where ``ctx`` is ``None`` or a trace context
@@ -53,8 +76,8 @@ coordinator and every worker, with per-process rows in the Chrome
 export.  Workers also honour the ``shard.worker`` fault site: a kill
 rule flushes the worker's flight recorder to
 ``<wal_dir>/flight-shard-N.json`` and drops the pipe, which the parent
-surfaces as a :class:`ShardingError` with the orphaned request span
-marked ``aborted``.
+surfaces as a :class:`WorkerDied` (healed when supervised, raised
+otherwise with the orphaned request span marked ``aborted``).
 """
 
 from __future__ import annotations
@@ -65,21 +88,36 @@ import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.instance import Instance
-from repro.objrel.mapping import instance_to_database
+from repro.objrel.mapping import database_to_instance, instance_to_database
 from repro.obs import flight
 from repro.obs import tracer as trace
 from repro.obs.metrics import global_registry
 from repro.relational.database import Database
 from repro.relational.delta import RelationDelta
-from repro.resilience.faults import SHARD_WORKER, CrashPoint, fault_point
+from repro.resilience.faults import (
+    SHARD_STAGE_FENCE,
+    SHARD_WORKER,
+    CrashPoint,
+    fault_point,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.store.sharding.partition import (
     Partitioning,
     ShardingError,
+    StaleEpochError,
+    WorkerDied,
     merge_changes,
 )
 from repro.store.sharding.router import Route, Router
-from repro.store.versioned import MethodApplication, VersionedStore, Version
+from repro.store.sharding.supervisor import ShardSupervisor
+from repro.store.versioned import (
+    MethodApplication,
+    StoreError,
+    Version,
+    VersionedStore,
+)
 from repro.store.txn import run_transaction
+from repro.store.wal import KIND_COMMIT, KIND_SHARD_META, WalError
 
 
 def database_delta(
@@ -97,6 +135,13 @@ def database_delta(
     return changes
 
 
+def _delta_rows(changes: Mapping[str, RelationDelta]) -> int:
+    return sum(
+        len(delta.inserted) + len(delta.deleted)
+        for delta in changes.values()
+    )
+
+
 class ShardBackend:
     """One shard's store plus its command interpreter.
 
@@ -105,32 +150,179 @@ class ShardBackend:
     Commands are ``(op, *operands)`` tuples; every payload that crosses
     a pipe is plain picklable data (methods, receivers, deltas, row
     sets) — never a live store object.
+
+    Recovery bookkeeping rides on three fields persisted as
+    ``shard_meta`` WAL records after every fenced command:
+
+    * ``epoch`` — the fence.  Commands stamped with an older epoch are
+      rejected (:class:`StaleEpochError`); newer ones are adopted.
+    * ``applied`` — the highest coordinator version this shard's state
+      is known to reflect.  Advanced only by exact staged versions or
+      by coordinator-asserted ``confirmed`` stamps, *never* by the
+      shard's own disjoint apply (whose coordinator version is unknown
+      at apply time) — over-reporting would make a tail catch-up skip
+      a delta, which is the one unrecoverable mistake.
+    * ``dirty`` — the last local commit was an apply the coordinator
+      has not confirmed.  A dirty shard may be *ahead* of the
+      coordinator by an unpublished batch, so recovery must dump-diff
+      instead of tail-replaying.
     """
 
     def __init__(
         self,
         shard: int,
-        instance: Instance,
+        instance: Optional[Instance],
         wal: Optional[str] = None,
         durability: str = "flush",
+        epoch: int = 0,
+        applied: int = 0,
+        recover: bool = False,
+        schema=None,
     ) -> None:
         self.shard = shard
-        self.store = VersionedStore(
-            instance=instance, wal=wal, durability=durability
+        self.epoch = int(epoch)
+        self.applied = int(applied)
+        self.dirty = False
+        self.recovered = False
+        if recover:
+            self._recover(wal, durability, schema)
+        if not self.recovered:
+            if instance is None:
+                raise ShardingError(
+                    f"shard {shard} log {wal!r} is unrecoverable and "
+                    "no slice was provided to rebuild from"
+                )
+            self.store = VersionedStore(
+                instance=instance, wal=wal, durability=durability
+            )
+        self._persist_meta()
+
+    def _recover(self, wal, durability, schema) -> None:
+        """Best-effort recovery from the shard's own WAL.
+
+        Leaves :attr:`recovered` ``False`` (the caller falls back to a
+        fresh slice) when the log is missing, unreadable, or holds no
+        checkpointed state.  A torn tail, a missing meta marker, or
+        commits after the last marker all force ``dirty`` — the
+        conservative verdict that costs a dump-diff, never divergence.
+        """
+        if wal is None or not os.path.exists(wal):
+            return
+        from repro.store.recovery import RecoveryError, recover
+
+        try:
+            state = recover(wal, truncate=True)
+        except (OSError, RecoveryError, WalError):
+            return
+        if state.database is None:
+            return
+        try:
+            self.store = VersionedStore.from_wal(
+                wal, schema=schema, durability=durability
+            )
+        except (OSError, StoreError, WalError):
+            return
+        self.recovered = True
+        meta = state.shard_meta
+        if meta is None:
+            self.dirty = True
+            return
+        self.applied = max(self.applied, int(meta.get("applied", 0)))
+        self.epoch = max(self.epoch, int(meta.get("epoch", 0)))
+        self.dirty = (
+            bool(meta.get("dirty", True))
+            or state.commits_after_meta > 0
+            or not state.clean
         )
+
+    # -- the fence and the marker --------------------------------------
+    def _fence(self, epoch: Optional[int], op: str) -> None:
+        fault_point(SHARD_STAGE_FENCE)
+        if epoch is None:
+            return
+        if epoch < self.epoch:
+            global_registry().counter("store.shard.fenced").inc()
+            flight.record(
+                "shard.stage.fence",
+                shard=self.shard,
+                op=op,
+                stale_epoch=epoch,
+                epoch=self.epoch,
+            )
+            raise StaleEpochError(
+                f"shard {self.shard} fenced a stale {op!r}: "
+                f"epoch {epoch} < {self.epoch}"
+            )
+        if epoch > self.epoch:
+            self.epoch = int(epoch)
+            self._persist_meta()
+
+    def _confirm(self, confirmed: Optional[int]) -> None:
+        if confirmed is not None:
+            self.applied = max(self.applied, int(confirmed))
+
+    def _persist_meta(self) -> None:
+        wal = self.store.wal
+        if wal is None or wal.poisoned:
+            return
+        wal.append(
+            KIND_SHARD_META,
+            self.store.head.version,
+            {
+                "epoch": self.epoch,
+                "applied": self.applied,
+                "dirty": self.dirty,
+            },
+        )
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "version": self.store.head.version,
+            "epoch": self.epoch,
+            "applied": self.applied,
+            "dirty": self.dirty,
+            "recovered": self.recovered,
+        }
 
     def handle(self, command: Tuple[Any, ...]) -> Any:
         op = command[0]
         if op == "apply":
-            _, method, receivers = command
+            _, epoch, confirmed, method, receivers = command
+            self._fence(epoch, op)
+            # The coordinator asserts every version <= confirmed is
+            # already reflected here (untouched shards' slices of
+            # those deltas were empty); the apply below is *not*
+            # attributable to a coordinator version yet, hence dirty.
+            self._confirm(confirmed)
             _, version = run_transaction(
                 self.store,
                 lambda txn: txn.apply_method(method, receivers),
             )
+            self.dirty = True
+            self._persist_meta()
             return dict(version.changes)
         if op == "stage":
-            (_, changes) = command
-            return self.store.commit_changes(changes).version
+            _, epoch, version_number, changes = command
+            self._fence(epoch, op)
+            result = self.store.commit_changes(changes).version
+            if version_number is not None:
+                # Only a coordinator-attributed stage may clear the
+                # dirty bit: an anonymous delta has unknown provenance,
+                # so the marker must keep distrusting tail replay.
+                self.applied = max(self.applied, int(version_number))
+                self.dirty = False
+            self._persist_meta()
+            return result
+        if op == "mark":
+            _, epoch, confirmed = command
+            self._fence(epoch, op)
+            self._confirm(confirmed)
+            self.dirty = False
+            self._persist_meta()
+            return self.applied
+        if op == "status":
+            return self.status()
         if op == "dump":
             database = self.store.head.database
             return {
@@ -140,9 +332,13 @@ class ShardBackend:
         if op == "fingerprints":
             return self.store.head.database.fingerprints()
         if op == "checkpoint":
-            (_, compact) = command
+            _, epoch, compact = command
+            self._fence(epoch, op)
             if self.store.wal is not None:
                 self.store.checkpoint(compact=compact)
+                # compact() drops every record before the checkpoint —
+                # including the last meta marker — so re-stamp it.
+                self._persist_meta()
             return self.store.head.version
         if op == "close":
             self.store.close()
@@ -175,29 +371,58 @@ class InlineShard:
 def _shard_worker(
     conn,
     shard: int,
-    instance: Instance,
+    instance: Optional[Instance],
     wal: Optional[str],
     durability: str,
     flight_path: Optional[str] = None,
+    epoch: int = 0,
+    recover: bool = False,
+    schema=None,
+    applied: int = 0,
 ) -> None:
     """Worker-process main loop: one backend, envelopes off the pipe.
 
     Runs until a ``close`` command (or EOF from a dying parent).
     Failures are shipped back as ``("error", message, telemetry)``
     rather than killing the worker — the shard stays serviceable and
-    the parent decides whether to resync.  Every reply's telemetry
-    carries this request's spans (when the envelope asked for tracing)
-    and a delta snapshot of the worker's metrics registry; the registry
-    resets after each reply so repeated merges at the coordinator never
-    double-count.  The ``shard.worker`` fault site sits *outside* the
-    ship-don't-die handler: a kill rule flushes the flight recorder and
-    drops the pipe, simulating real worker death.
+    the parent decides whether to resync.  A fenced command rejected by
+    the epoch guard ships as ``("fenced", message, telemetry)`` so the
+    parent can re-raise it typed.  Every reply's telemetry carries this
+    request's spans (when the envelope asked for tracing) and a delta
+    snapshot of the worker's metrics registry; the registry resets
+    after each reply so repeated merges at the coordinator never
+    double-count.  Two sites simulate real worker death (flight ring
+    flushed, pipe dropped, no reply): ``shard.worker`` at the top of
+    the loop, and a :class:`CrashPoint` escaping the backend — which is
+    how a ``shard.stage.fence`` kill dies *mid-staging*.
     """
-    backend = ShardBackend(
-        shard, instance, wal=wal, durability=durability
-    )
+    backend: Optional[ShardBackend] = None
+    backend_error: Optional[str] = None
+    try:
+        backend = ShardBackend(
+            shard,
+            instance,
+            wal=wal,
+            durability=durability,
+            epoch=epoch,
+            applied=applied,
+            recover=recover,
+            schema=schema,
+        )
+    except BaseException as exc:
+        backend_error = f"{type(exc).__name__}: {exc}"
     registry = global_registry()
     registry.reset()  # fork inherits parent counts; deltas start clean
+
+    def die(op: str) -> None:
+        # Simulated worker death.  The flight recorder's flushed ring
+        # — ending in the injected-fault event — IS the crash
+        # forensics; the parent only ever sees the pipe go dark.
+        flight.record("shard.worker_crash", shard=shard, op=op)
+        if flight_path is not None:
+            flight.flush(flight_path)
+        conn.close()
+
     while True:
         try:
             envelope = conn.recv()
@@ -207,15 +432,7 @@ def _shard_worker(
         try:
             fault_point(SHARD_WORKER)
         except CrashPoint:
-            # Simulated worker death.  The flight recorder's flushed
-            # ring — ending in the injected-fault event — IS the crash
-            # forensics; the parent only ever sees the pipe go dark.
-            flight.record(
-                "shard.worker_crash", shard=shard, op=command[0]
-            )
-            if flight_path is not None:
-                flight.flush(flight_path)
-            conn.close()
+            die(command[0])
             return
         tracer: Optional[trace.Tracer] = None
         if ctx is not None and ctx.get("trace"):
@@ -223,6 +440,11 @@ def _shard_worker(
             tracer.trace_id = ctx.get("trace_id", tracer.trace_id)
         status = "ok"
         try:
+            if backend is None:
+                raise ShardingError(
+                    f"shard {shard} backend failed to start: "
+                    f"{backend_error}"
+                )
             if tracer is not None:
                 with trace.tracing(tracer):
                     with tracer.span(
@@ -235,6 +457,12 @@ def _shard_worker(
                         payload: Any = backend.handle(command)
             else:
                 payload = backend.handle(command)
+        except CrashPoint:
+            die(command[0])
+            return
+        except StaleEpochError as exc:
+            status = "fenced"
+            payload = str(exc)
         except BaseException as exc:  # ship, don't die
             status = "error"
             payload = f"{type(exc).__name__}: {exc}"
@@ -273,19 +501,24 @@ class ProcessShard:
     ``recv`` unwraps the reply, adopts the worker's spans under the
     span active *at receive time* (the per-shard collection span), and
     folds the worker's metric deltas into the coordinator registry
-    under a ``shard{N}.`` prefix.  A pipe EOF — the worker died — is
-    recorded to the flight recorder and marks the orphaned collection
-    span ``aborted`` before raising :class:`ShardingError`.
+    under a ``shard{N}.`` prefix.  A dead worker — pipe EOF on recv,
+    EPIPE on send — is recorded to the flight recorder, marks the
+    orphaned collection span ``aborted``, and raises
+    :class:`WorkerDied` for the supervisor to heal.
     """
 
     def __init__(
         self,
         shard: int,
-        instance: Instance,
+        instance: Optional[Instance],
         wal: Optional[str] = None,
         durability: str = "flush",
         context=None,
         flight_path: Optional[str] = None,
+        epoch: int = 0,
+        recover: bool = False,
+        schema=None,
+        applied: int = 0,
     ) -> None:
         ctx = context if context is not None else _mp_context()
         self.shard = shard
@@ -294,12 +527,27 @@ class ProcessShard:
         self._conn = parent
         self._process = ctx.Process(
             target=_shard_worker,
-            args=(child, shard, instance, wal, durability, flight_path),
+            args=(child, shard, instance, wal, durability, flight_path,
+                  epoch, recover, schema, applied),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
         self._process.start()
         child.close()
+
+    def _death(self, during: str) -> WorkerDied:
+        flight.record(
+            "shard.worker_death", shard=self.shard, during=during
+        )
+        global_registry().counter("store.shard.worker_deaths").inc()
+        tracer = trace.active()
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None:
+                span.set(aborted=True)
+        return WorkerDied(
+            f"shard {self.shard} worker died (pipe {during})"
+        )
 
     def send(self, command: Tuple[Any, ...]) -> None:
         tracer = trace.active()
@@ -313,25 +561,19 @@ class ProcessShard:
                     span.span_id if span is not None else None
                 ),
             }
-        self._conn.send((command, ctx))
+        try:
+            self._conn.send((command, ctx))
+        except (BrokenPipeError, OSError):
+            raise self._death("EPIPE") from None
 
     def recv(self) -> Any:
         try:
             status, payload, telemetry = self._conn.recv()
         except EOFError:
-            flight.record("shard.worker_death", shard=self.shard)
-            global_registry().counter(
-                "store.shard.worker_deaths"
-            ).inc()
-            tracer = trace.active()
-            if tracer is not None:
-                span = tracer.current()
-                if span is not None:
-                    span.set(aborted=True)
-            raise ShardingError(
-                f"shard {self.shard} worker died (pipe EOF)"
-            ) from None
+            raise self._death("EOF") from None
         self._stitch(telemetry)
+        if status == "fenced":
+            raise StaleEpochError(payload)
         if status == "error":
             raise ShardingError(
                 f"shard {self.shard} failed: {payload}"
@@ -373,6 +615,16 @@ class ProcessShard:
             self._process.terminate()
             self._process.join(timeout=5.0)
 
+    def reap(self) -> None:
+        """Discard a dead (or deposed) worker without the handshake."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=5.0)
+
 
 class ShardedStore:
     """Front-end over a coordinator store plus ``N`` shard stores."""
@@ -385,6 +637,11 @@ class ShardedStore:
         mode: str = "inline",
         wal_dir: Optional[str] = None,
         durability: str = "flush",
+        supervised: bool = True,
+        restart_policy: Optional[RetryPolicy] = None,
+        restart_breaker_reset: float = 0.25,
+        _coordinator: Optional[VersionedStore] = None,
+        _recover_shards: bool = False,
     ) -> None:
         if mode not in ("inline", "process"):
             raise ShardingError(f"unknown execution mode {mode!r}")
@@ -397,16 +654,42 @@ class ShardedStore:
         self.durability = durability
         if wal_dir is not None:
             os.makedirs(wal_dir, exist_ok=True)
-        self.coordinator = VersionedStore(
-            instance=instance,
-            wal=self._wal_path("coordinator"),
-            durability=durability,
+        self.coordinator = (
+            _coordinator
+            if _coordinator is not None
+            else VersionedStore(
+                instance=instance,
+                wal=self._wal_path("coordinator"),
+                durability=durability,
+            )
         )
         self._lock = threading.Lock()
-        self._shards: List[Any] = [
-            self._make_shard(k, self.partitioning.slice_instance(instance, k))
-            for k in range(shards)
-        ]
+        # The highest coordinator version every shard reflects.  One
+        # scalar suffices: staging is strictly in commit order, and a
+        # disjoint commit leaves untouched shards' slices of its delta
+        # empty by construction.
+        self._staged_version = self.coordinator.head.version
+        self.supervisor = ShardSupervisor(
+            self,
+            enabled=supervised,
+            policy=restart_policy,
+            breaker_reset=restart_breaker_reset,
+        )
+        self.recovery_report: Dict[int, Dict[str, Any]] = {}
+        self._shards: List[Any] = []
+        for k in range(shards):
+            if _recover_shards:
+                handle, report = self._recover_shard(k)
+                self.recovery_report[k] = report
+                self._shards.append(handle)
+            else:
+                self._shards.append(
+                    self._spawn_shard(
+                        k,
+                        self.partitioning.slice_instance(instance, k),
+                        epoch=0,
+                    )
+                )
 
     # -- construction helpers ------------------------------------------
     def _wal_path(self, name: str) -> Optional[str]:
@@ -414,8 +697,16 @@ class ShardedStore:
             return None
         return os.path.join(self.wal_dir, f"{name}.wal")
 
-    def _make_shard(self, shard: int, instance: Instance):
+    def _spawn_shard(
+        self,
+        shard: int,
+        instance: Optional[Instance],
+        epoch: int,
+        recover: bool = False,
+        applied: int = 0,
+    ):
         wal = self._wal_path(f"shard-{shard}")
+        schema = self.partitioning.schema if recover else None
         if self.mode == "process":
             flight_path = (
                 os.path.join(self.wal_dir, f"flight-shard-{shard}.json")
@@ -428,12 +719,96 @@ class ShardedStore:
                 wal=wal,
                 durability=self.durability,
                 flight_path=flight_path,
+                epoch=epoch,
+                recover=recover,
+                schema=schema,
+                applied=applied,
             )
         return InlineShard(
             ShardBackend(
-                shard, instance, wal=wal, durability=self.durability
+                shard,
+                instance,
+                wal=wal,
+                durability=self.durability,
+                epoch=epoch,
+                applied=applied,
+                recover=recover,
+                schema=schema,
             )
         )
+
+    def _degraded_shard(self, shard: int, epoch: int) -> InlineShard:
+        """The coordinator-side fallback for a shard past its restart
+        budget: an in-process backend sliced from the head (already
+        caught up by construction), no WAL — the on-disk log keeps the
+        dead worker's last state for the eventual real restart to
+        recover and tail-catch-up from."""
+        return InlineShard(
+            ShardBackend(
+                shard,
+                self._slice_of_head(shard),
+                wal=None,
+                durability=self.durability,
+                epoch=epoch,
+                applied=self.coordinator.head.version,
+            )
+        )
+
+    def _head_instance(self) -> Instance:
+        head = self.coordinator.head
+        if head.instance is not None:
+            return head.instance
+        return database_to_instance(
+            head.database, self.partitioning.schema
+        )
+
+    def _slice_of_head(self, shard: int) -> Instance:
+        return self.partitioning.slice_instance(
+            self._head_instance(), shard
+        )
+
+    def _recover_shard(self, shard: int) -> Tuple[Any, Dict[str, Any]]:
+        """Bring one shard up from its own WAL (tail catch-up) or,
+        failing that, from a fresh slice of the recovered head."""
+        wal = self._wal_path(f"shard-{shard}")
+        handle = None
+        status = None
+        if wal is not None and os.path.exists(wal):
+            try:
+                handle = self._spawn_shard(
+                    shard, None, epoch=0, recover=True
+                )
+                status = handle.call(("status",))
+                if not status.get("recovered"):
+                    raise ShardingError(
+                        f"shard {shard} log did not recover"
+                    )
+            except ShardingError:
+                if handle is not None:
+                    self.supervisor.reap(handle)
+                handle, status = None, None
+        if handle is None or status is None:
+            # Full re-slice: the log is gone or unrecoverable.  Drop
+            # the stale file so the fresh store seeds a clean one.
+            if wal is not None and os.path.exists(wal):
+                os.remove(wal)
+            handle = self._spawn_shard(
+                shard,
+                self._slice_of_head(shard),
+                epoch=0,
+                applied=self.coordinator.head.version,
+            )
+            global_registry().counter("store.shard.resyncs.full").inc()
+            flight.record("shard.recovered", shard=shard, mode="full")
+            return handle, {"mode": "full", "rows": None}
+        self.supervisor.adopt(shard, int(status.get("epoch", 0)))
+        mode, rows = self._catch_up_locked(
+            shard, handle, self.supervisor.epoch(shard), status=status
+        )
+        flight.record(
+            "shard.recovered", shard=shard, mode=mode, rows=rows
+        )
+        return handle, {"mode": mode, "rows": rows}
 
     @classmethod
     def from_wal_dir(
@@ -444,39 +819,41 @@ class ShardedStore:
         shards: int = 2,
         mode: str = "inline",
         durability: str = "flush",
+        supervised: bool = True,
     ) -> "ShardedStore":
-        """Recover from the coordinator WAL and re-slice the shards.
+        """Recover the fleet: coordinator from its log, shards from
+        *theirs*.
 
-        The coordinator log is the authoritative history; shard logs
-        are derived state (a shard can even be *ahead* by the tail of a
-        disjoint batch whose coordinator commit a crash cut off — that
-        batch is simply not part of the recovered history).  Rebuilding
-        shards from the recovered head makes every copy agree by
-        construction, which is exactly :meth:`resync_shard` applied to
-        all shards at once.
+        The coordinator log is the authoritative history (versions
+        resume from the recovered head, not from zero).  Shard logs are
+        no longer deleted: each shard replays its own checkpoint+tail,
+        then **catches up by staging only the coordinator deltas past
+        its ``applied`` marker** — the order-independence theorems make
+        that tail replay safe.  The full re-slice survives only as the
+        fallback for a divergent (dirty) or unrecoverable shard log.
+        Per-shard outcomes land in :attr:`recovery_report` as
+        ``{shard: {"mode": "tail" | "full", "rows": ...}}``.
         """
-        from repro.store.recovery import recover
-
         path = os.path.join(wal_dir, "coordinator.wal")
-        state = recover(path, truncate=True)
-        if state.database is None:
+        try:
+            coordinator = VersionedStore.from_wal(
+                path, schema=schema, durability=durability
+            )
+        except (OSError, StoreError) as exc:
             raise ShardingError(
                 f"coordinator log {path!r} holds no recoverable state"
-            )
-        from repro.objrel.mapping import database_to_instance
-
-        instance = database_to_instance(state.database, schema)
-        for shard in range(shards):
-            stale = os.path.join(wal_dir, f"shard-{shard}.wal")
-            if os.path.exists(stale):
-                os.remove(stale)
+                f" ({exc})"
+            ) from None
         return cls(
-            instance,
+            coordinator.head.instance,
             partition_classes,
             shards=shards,
             mode=mode,
             wal_dir=wal_dir,
             durability=durability,
+            supervised=supervised,
+            _coordinator=coordinator,
+            _recover_shards=True,
         )
 
     # -- the batch entry point -----------------------------------------
@@ -490,10 +867,14 @@ class ShardedStore:
         Routes the batch, executes it on the disjoint or cross-shard
         path, and returns the committed coordinator version together
         with the route (so callers — and tests — can see which path
-        ran and why).
+        ran, why, and whether any touched shard was degraded).
         """
         receivers = tuple(receivers)
-        route = self.router.route(method, receivers)
+        route = self.router.route(
+            method,
+            receivers,
+            degraded=self.supervisor.degraded_shards(),
+        )
         registry = global_registry()
         with self._lock, trace.span(
             "store.shard.batch",
@@ -519,28 +900,51 @@ class ShardedStore:
         agrees with the global one restricted to its sub-batch because
         the route certified that every relation the method reads is
         replicated (bit-identical on all shards).
+
+        A shard dying mid-batch is healed by the supervisor (restart →
+        WAL recovery → catch-up → redo of this sub-batch under the new
+        epoch); the redo cannot double-apply because a recovered shard
+        whose last commit was an unconfirmed apply is dirty and gets
+        dump-diffed back to the coordinator head first.
         """
         registry = global_registry()
         touched = sorted(route.sub_batches)
-        for shard in touched:
-            self._shards[shard].send(
-                ("apply", method, route.sub_batches[shard])
+        commands = {
+            shard: (
+                lambda s=shard: (
+                    "apply",
+                    self.supervisor.epoch(s),
+                    self._staged_version,
+                    method,
+                    route.sub_batches[s],
+                )
             )
-        parts = []
-        for shard in touched:
-            with trace.span(
-                "store.shard.commit",
-                category="store",
-                shard=shard,
-                receivers=len(route.sub_batches[shard]),
-            ):
-                parts.append(self._shards[shard].recv())
-            registry.counter("store.shard.sub_batches").inc()
-        merged = merge_changes(parts)
-        return self.coordinator.commit_changes(
+            for shard in touched
+        }
+        try:
+            parts_map = self.supervisor.broadcast(
+                commands,
+                span_name="store.shard.commit",
+                span_attrs=lambda s: {
+                    "receivers": len(route.sub_batches[s])
+                },
+                on_reply=lambda s, payload: registry.counter(
+                    "store.shard.sub_batches"
+                ).inc(),
+            )
+        except Exception:
+            # Shards that committed their sub-batch are now ahead of a
+            # coordinator that will never publish it; pull them back.
+            for shard in touched:
+                self._try_resync_locked(shard)
+            raise
+        merged = merge_changes(parts_map[s] for s in touched)
+        version = self.coordinator.commit_changes(
             merged,
             operations=[MethodApplication(method, tuple(receivers))],
         )
+        self._staged_version = version.version
+        return version
 
     def _apply_cross_shard(self, method, receivers, route: Route) -> Version:
         """2PC-lite: decide on the coordinator, redo onto the shards.
@@ -555,34 +959,80 @@ class ShardedStore:
             self.coordinator,
             lambda txn: txn.apply_method(method, receivers),
         )
-        self._stage_down(version)
+        self._stage_pending(version.version)
         return version
 
     def _stage_down(self, version: Version) -> None:
-        """Redo a committed coordinator version onto the shard fleet.
+        """Redo one committed coordinator version onto the shard fleet.
 
-        Caller holds :attr:`_lock`.  Idempotent: deltas re-normalize
-        against each shard's head, so replaying after a partial failure
-        converges.
+        Caller holds :attr:`_lock` and guarantees every earlier version
+        is already staged.  Idempotent: deltas re-normalize against
+        each shard's head, so replaying after a partial failure
+        converges.  Shards whose slice of the delta is empty get a
+        cheap ``mark`` so their ``applied`` marker (and dirty bit) stay
+        tight for recovery.
         """
         per_shard, replicated = self.partitioning.split_changes(
             version.changes
         )
-        sent = []
+        commands = {}
         for shard_obj in self._shards:
+            shard = shard_obj.shard
             payload = dict(replicated)
-            payload.update(per_shard.get(shard_obj.shard, {}))
-            if not payload:
-                continue
-            shard_obj.send(("stage", payload))
-            sent.append(shard_obj)
-        for shard_obj in sent:
-            with trace.span(
-                "store.shard.stage",
-                category="store",
-                shard=shard_obj.shard,
-            ):
-                shard_obj.recv()
+            payload.update(per_shard.get(shard, {}))
+            if payload:
+                commands[shard] = (
+                    lambda s=shard, p=payload: (
+                        "stage",
+                        self.supervisor.epoch(s),
+                        version.version,
+                        p,
+                    )
+                )
+            else:
+                commands[shard] = (
+                    lambda s=shard: (
+                        "mark",
+                        self.supervisor.epoch(s),
+                        version.version,
+                    )
+                )
+        self.supervisor.broadcast(
+            commands, span_name="store.shard.stage"
+        )
+
+    def _stage_pending(self, through: int) -> None:
+        """Stage every committed-but-unstaged version up to ``through``.
+
+        Caller holds :attr:`_lock`.  Strictly in commit order — the
+        monotone :attr:`_staged_version` cursor is what makes staging
+        atomic under interleaving: a writer that finds earlier versions
+        unstaged stages them first, and one that finds its own version
+        already staged does nothing, so deltas can never walk a shard
+        backwards.  A pruned gap (no full :class:`Version` chain) falls
+        back to dump-diff resyncs against the head.
+        """
+        if through <= self._staged_version:
+            return
+        chain: Optional[List[Version]] = []
+        expected = self._staged_version + 1
+        for entry in self.coordinator.versions_after(self._staged_version):
+            if entry.version > through:
+                break
+            if not isinstance(entry, Version) or entry.version != expected:
+                chain = None
+                break
+            chain.append(entry)
+            expected += 1
+        if chain is None or expected != through + 1:
+            for shard in range(self.shards):
+                self._resync_shard_locked(shard, mode="full")
+            self._staged_version = self.coordinator.head.version
+            return
+        for entry in chain:
+            if entry.changes:
+                self._stage_down(entry)
+            self._staged_version = entry.version
 
     def stage_version(self, version: Version) -> None:
         """Propagate a version committed *directly on the coordinator*.
@@ -592,18 +1042,19 @@ class ShardedStore:
         coordinator store (full commit-tier escalation, authoritative
         WAL record) and then call this to redo the committed change set
         onto every shard, exactly as the cross-shard route does.
-        Idempotent for the same reason staging is.
 
-        Commit-then-stage through this method is *not* atomic with
-        respect to a concurrent :meth:`apply_batch` — another writer can
-        commit and stage a later coordinator version between the commit
-        and this call, after which staging the older deltas would walk
-        the shards backwards.  Writers holding an open coordinator
-        transaction should use :meth:`commit_transaction`, which keeps
-        the store lock across both steps.
+        Atomic under interleaving: the lock is held for the whole redo,
+        and staging goes through the monotone :meth:`_stage_pending`
+        cursor — if a concurrent writer already staged a *later*
+        version, this call is a no-op (the cursor passed ``version`` on
+        the way, staging it in order); if *earlier* versions are still
+        unstaged, they are staged first.  Older deltas therefore never
+        replay after newer ones, which is what used to let two
+        interleaved commit-then-stage writers walk the shards
+        backwards.
         """
         with self._lock:
-            self._stage_down(version)
+            self._stage_pending(version.version)
 
     def commit_transaction(self, txn) -> Tuple[Version, bool]:
         """Commit a coordinator transaction and stage it onto the fleet.
@@ -625,7 +1076,7 @@ class ShardedStore:
             staged = True
             if version.changes:
                 try:
-                    self._stage_down(version)
+                    self._stage_pending(version.version)
                 except Exception as exc:
                     global_registry().counter(
                         "store.shard.stage_failures"
@@ -645,9 +1096,161 @@ class ShardedStore:
                             for shard in range(self.shards)
                         ]
                     )
+                    self._staged_version = (
+                        self.coordinator.head.version
+                    )
         return version, staged
 
     # -- consistency and repair ----------------------------------------
+    def _coordinator_tail(
+        self, after: int, through: int
+    ) -> Optional[List[Tuple[int, Dict[str, RelationDelta]]]]:
+        """Coordinator change sets for versions in ``(after, through]``.
+
+        ``None`` when the contiguous chain is unavailable — pruned from
+        memory *and* not fully present in the coordinator WAL (e.g.
+        compacted away) — or when ``after`` claims to be ahead of
+        ``through`` (divergence; the caller must dump-diff).
+        """
+        if after == through:
+            return []
+        if after > through or after < 0:
+            return None
+        chain: Optional[List[Tuple[int, Dict[str, RelationDelta]]]] = []
+        expected = after + 1
+        for entry in self.coordinator.versions_after(after):
+            if entry.version > through:
+                break
+            # Summaries (pruned) and empty-changes roots (a store
+            # recovered with from_wal seeds one at the head version)
+            # do not carry the real delta; fall through to the log.
+            if (
+                not isinstance(entry, Version)
+                or entry.version != expected
+                or not entry.changes
+            ):
+                chain = None
+                break
+            chain.append((entry.version, dict(entry.changes)))
+            expected += 1
+        if chain is not None and expected == through + 1:
+            return chain
+        # In-memory history is pruned or absent (a store recovered
+        # with from_wal has no version chain); scan the authoritative
+        # log instead.
+        path = self._wal_path("coordinator")
+        if path is None or not os.path.exists(path):
+            return None
+        from repro.store.recovery import scan_wal
+
+        if self.coordinator.wal is not None:
+            try:
+                self.coordinator.wal.size_bytes()  # flush buffered tail
+            except (OSError, ValueError):
+                return None
+        records, _, _ = scan_wal(path)
+        commits: Dict[int, Dict[str, RelationDelta]] = {}
+        for record in records:
+            if (
+                record.kind == KIND_COMMIT
+                and after < record.version <= through
+            ):
+                commits[record.version] = record.changes
+        if set(commits) != set(range(after + 1, through + 1)):
+            return None
+        return [(v, commits[v]) for v in sorted(commits)]
+
+    def _stage_tail(
+        self,
+        shard: int,
+        tail: List[Tuple[int, Dict[str, RelationDelta]]],
+        handle,
+        epoch: int,
+    ) -> int:
+        """Stage a shard's slice of each tail version, in order; returns
+        rows shipped.  A trailing ``mark`` advances the applied marker
+        through versions whose slice was empty."""
+        rows = 0
+        last = None
+        for version_number, changes in tail:
+            per_shard, replicated = self.partitioning.split_changes(
+                changes
+            )
+            payload = dict(replicated)
+            payload.update(per_shard.get(shard, {}))
+            if payload:
+                rows += _delta_rows(payload)
+                handle.call(("stage", epoch, version_number, payload))
+            last = version_number
+        if last is not None:
+            handle.call(("mark", epoch, last))
+        global_registry().counter("store.shard.catchup_rows").inc(rows)
+        return rows
+
+    def _dump_diff(self, shard: int, handle, epoch: int) -> int:
+        """Full heal: diff the shard's dump against the head slice and
+        stage the difference; returns rows shipped."""
+        target = instance_slice_database(
+            self.partitioning, self.coordinator.head, shard
+        )
+        current = dict(handle.call(("dump",)))
+        delta = {
+            name: RelationDelta(
+                frozenset(target[name] - current.get(name, frozenset())),
+                frozenset(current.get(name, frozenset()) - target[name]),
+            )
+            for name in target
+            if target[name] != current.get(name, frozenset())
+        }
+        head_version = self.coordinator.head.version
+        if delta:
+            handle.call(("stage", epoch, head_version, delta))
+        else:
+            handle.call(("mark", epoch, head_version))
+        return _delta_rows(delta)
+
+    def _catch_up_locked(
+        self, shard: int, handle, epoch: int, status=None
+    ) -> Tuple[str, int]:
+        """Bring one (freshly restarted or recovered) shard to the
+        coordinator head; caller holds the lock (or is constructing).
+
+        Tail replay when the shard's marker is trustworthy (not dirty)
+        and the missing deltas are available; dump-diff otherwise.
+        Uses ``handle`` directly — never the supervisor — so a heal in
+        progress cannot recurse into another heal.
+        """
+        registry = global_registry()
+        if status is None:
+            status = handle.call(("status",))
+        head = self.coordinator.head
+        if not status.get("dirty"):
+            tail = self._coordinator_tail(
+                int(status.get("applied", -1)), head.version
+            )
+            if tail is not None:
+                rows = self._stage_tail(shard, tail, handle, epoch)
+                registry.counter("store.shard.resyncs.tail").inc()
+                return "tail", rows
+        rows = self._dump_diff(shard, handle, epoch)
+        registry.counter("store.shard.resyncs.full").inc()
+        return "full", rows
+
+    def catch_up_shard(self, shard: int) -> Dict[str, Any]:
+        """Bring one shard up to the coordinator head incrementally.
+
+        Returns ``{"mode": "tail" | "full", "rows": n}`` — ``tail``
+        staged only the deltas past the shard's ``applied`` marker;
+        ``full`` fell back to the dump-diff heal.
+        """
+        with self._lock:
+            mode, rows = self._catch_up_locked(
+                shard,
+                self._shards[shard],
+                self.supervisor.epoch(shard),
+            )
+            return {"mode": mode, "rows": rows}
+
     def _try_resync_locked(self, shard: int) -> bool:
         """Best-effort :meth:`resync_shard` body; caller holds the lock."""
         try:
@@ -661,28 +1264,84 @@ class ShardedStore:
             )
             return False
 
-    def _resync_shard_locked(self, shard: int) -> None:
-        """Heal one shard from the coordinator head; caller holds the lock."""
-        target = instance_slice_database(
-            self.partitioning, self.coordinator.head, shard
-        )
-        current = dict(self._shards[shard].call(("dump",)))
-        delta = {
-            name: RelationDelta(
-                frozenset(target[name] - current.get(name, frozenset())),
-                frozenset(current.get(name, frozenset()) - target[name]),
+    def _resync_shard_locked(self, shard: int, mode: str = "auto") -> str:
+        """Heal one shard from the coordinator head; caller holds the
+        lock.  Returns the mode used (``"tail"`` or ``"full"``)."""
+        if mode not in ("auto", "tail", "full"):
+            raise ShardingError(f"unknown resync mode {mode!r}")
+        registry = global_registry()
+        head = self.coordinator.head
+        if mode in ("auto", "tail"):
+            try:
+                status = self.supervisor.call(
+                    shard, lambda: ("status",)
+                )
+            except ShardingError:
+                status = None
+            # "auto" takes the tail only when lag *explains* the need
+            # to resync (marker clean and behind the head); a shard
+            # that claims to be current yet needs healing is corrupt
+            # in a way the marker cannot see, so it gets the
+            # verifying dump-diff.  A *demanded* tail still requires a
+            # clean marker: an unconfirmed local commit means the tail
+            # cannot be trusted to reconstruct the slice.
+            clean = status is not None and not status.get("dirty")
+            behind = clean and (
+                int(status.get("applied", -1)) < head.version
             )
-            for name in target
-            if target[name] != current.get(name, frozenset())
-        }
-        if delta:
-            self._shards[shard].call(("stage", delta))
-        global_registry().counter("store.shard.resyncs").inc()
+            if behind or (mode == "tail" and clean):
+                tail = self._coordinator_tail(
+                    int(status.get("applied", -1)), head.version
+                )
+                if tail is not None:
+                    rows = self._stage_tail(
+                        shard,
+                        tail,
+                        self._shards[shard],
+                        self.supervisor.epoch(shard),
+                    )
+                    registry.counter("store.shard.resyncs").inc()
+                    registry.counter("store.shard.resyncs.tail").inc()
+                    flight.record(
+                        "shard.resync", shard=shard, mode="tail",
+                        rows=rows,
+                    )
+                    return "tail"
+            if mode == "tail":
+                raise ShardingError(
+                    f"shard {shard} tail resync unavailable "
+                    "(dirty marker, divergence, or pruned history)"
+                )
+        rows = self._dump_diff(
+            shard, self._shards[shard], self.supervisor.epoch(shard)
+        )
+        registry.counter("store.shard.resyncs").inc()
+        registry.counter("store.shard.resyncs.full").inc()
+        flight.record(
+            "shard.resync", shard=shard, mode="full", rows=rows
+        )
+        return "full"
 
-    def resync_shard(self, shard: int) -> None:
-        """Heal one shard from the coordinator head (idempotent)."""
+    def resync_shard(self, shard: int, mode: str = "auto") -> str:
+        """Heal one shard from the coordinator head (idempotent).
+
+        ``mode="tail"`` demands the incremental catch-up (raises when
+        unavailable); ``"full"`` forces the verifying dump-diff;
+        ``"auto"`` picks the tail only when the shard's recovery marker
+        is clean and strictly behind the head.  Returns the mode used.
+        """
         with self._lock:
-            self._resync_shard_locked(shard)
+            return self._resync_shard_locked(shard, mode=mode)
+
+    def heal(self, shard: Optional[int] = None) -> None:
+        """Force a re-promotion probe of degraded shards (all by
+        default), bypassing the restart breaker's cool-down."""
+        with self._lock:
+            targets = (
+                range(self.shards) if shard is None else (shard,)
+            )
+            for k in targets:
+                self.supervisor.probe(k, force=True)
 
     def merged_relations(self) -> Dict[str, frozenset]:
         """The global relations reassembled from the shard fleet.
@@ -691,11 +1350,19 @@ class ShardedStore:
         agree); partitioned relations are the union of every shard's
         owned rows.  Comparing this against the coordinator head is the
         differential witness that sharded execution lost nothing.
+        Dumps go through the supervisor, so a dead worker is healed
+        (or degraded) and re-dumped instead of hanging the caller on a
+        dark pipe.
         """
         with self._lock:
-            for shard_obj in self._shards:
-                shard_obj.send(("dump",))
-            dumps = [shard_obj.recv() for shard_obj in self._shards]
+            commands = {
+                shard_obj.shard: (lambda: ("dump",))
+                for shard_obj in self._shards
+            }
+            results = self.supervisor.broadcast(commands)
+            dumps = [
+                results[shard_obj.shard] for shard_obj in self._shards
+            ]
         merged: Dict[str, frozenset] = {}
         for name in dumps[0]:
             if self.partitioning.is_partitioned(name):
@@ -728,14 +1395,34 @@ class ShardedStore:
         with self._lock:
             if self.coordinator.wal is not None:
                 self.coordinator.checkpoint(compact=compact)
-            for shard_obj in self._shards:
-                shard_obj.send(("checkpoint", compact))
-            for shard_obj in self._shards:
-                shard_obj.recv()
+            commands = {
+                shard_obj.shard: (
+                    lambda s=shard_obj.shard: (
+                        "checkpoint",
+                        self.supervisor.epoch(s),
+                        compact,
+                    )
+                )
+                for shard_obj in self._shards
+            }
+            self.supervisor.broadcast(commands)
 
     def close(self) -> None:
         with self._lock:
             for shard_obj in self._shards:
+                # Final marker: a cleanly closed shard records that its
+                # state reflects everything staged, so the next open
+                # recovers with a clean (tail-capable) log.
+                try:
+                    shard_obj.call(
+                        (
+                            "mark",
+                            self.supervisor.epoch(shard_obj.shard),
+                            self._staged_version,
+                        )
+                    )
+                except Exception:
+                    pass
                 shard_obj.close()
             self.coordinator.close()
 
@@ -749,8 +1436,6 @@ def instance_slice_database(
     includes exactly the *borrowed* objects a fresh slice would — a
     resynced shard is indistinguishable from a freshly built one.
     """
-    from repro.objrel.mapping import database_to_instance
-
     instance = head.instance
     if instance is None:
         instance = database_to_instance(

@@ -71,6 +71,13 @@ DURABILITY_MODES = ("lazy", "flush", "fsync")
 #: Record kinds the replay machinery understands.
 KIND_COMMIT = "commit"
 KIND_CHECKPOINT = "checkpoint"
+#: Shard-local recovery marker: ``{"epoch": e, "applied": v, "dirty": b}``
+#: appended by a shard backend after every fenced command.  Replay skips
+#: it (non-commit kinds after the checkpoint are ignored); recovery
+#: surfaces the *last* one as :attr:`RecoveredState.shard_meta` so a
+#: restarted shard knows which coordinator version it reflects and
+#: whether its final commit was an unconfirmed local apply.
+KIND_SHARD_META = "shard_meta"
 
 
 class WalError(ValueError):

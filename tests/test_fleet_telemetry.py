@@ -217,6 +217,9 @@ def test_worker_kill_flushes_flight_dump_and_marks_span_aborted(tmp_path):
             shards=2,
             mode="process",
             wal_dir=str(tmp_path / "fleet"),
+            # Unsupervised on purpose: this test is about the *raw*
+            # death forensics, not the healing ladder on top of them.
+            supervised=False,
         )
         try:
             with trace.tracing() as tracer:
@@ -245,7 +248,7 @@ def test_worker_kill_flushes_flight_dump_and_marks_span_aborted(tmp_path):
     deaths = coordinator_flight.events("shard.worker_death")
     assert deaths and deaths[0].data["shard"] in (0, 1)
     aborted = [s for s in tracer.spans if s.args.get("aborted")]
-    assert aborted and aborted[0].name == "store.shard.commit"
+    assert any(s.name == "store.shard.commit" for s in aborted)
 
 
 # ----------------------------------------------------------------------

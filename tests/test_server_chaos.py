@@ -233,3 +233,185 @@ def test_wal_append_kill_through_the_server(tmp_path):
     finally:
         store.close()
     assert recover(str(path)).database.fingerprints() == before
+
+
+# ----------------------------------------------------------------------
+# shard.worker / shard.stage.fence through the wire
+# ----------------------------------------------------------------------
+import multiprocessing
+import shutil
+
+from repro.core.receiver import Receiver
+from repro.parallel.apply import apply_parallel
+from repro.resilience.faults import SHARD_STAGE_FENCE, SHARD_WORKER
+from repro.sqlsim.scenarios import scenario_c_method
+from repro.store import ShardedStore
+
+REPRO_SHARDS = int(os.environ.get("REPRO_SHARDS", "2"))
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-kill chaos relies on fork inheritance of the plan",
+)
+
+
+def fleet_store(tmp_path, **store_kwargs):
+    """A process-mode shard fleet (must be built *inside* an installed
+    plan so the forked workers inherit it)."""
+    instance, receivers = sharded_company(
+        n_employees=16, seed=CHAOS_SEED
+    )
+    store = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=REPRO_SHARDS,
+        mode="process",
+        wal_dir=str(tmp_path / "fleet"),
+        **store_kwargs,
+    )
+    return store, instance, receivers
+
+
+def export_flight_artifacts(store, tag):
+    """Copy per-shard crash dumps (and the coordinator ring) to the CI
+    artifact directory, when one is configured."""
+    artifact_dir = os.environ.get("FLEET_FLIGHT_DIR")
+    if not artifact_dir:
+        return
+    os.makedirs(artifact_dir, exist_ok=True)
+    wal_dir = store.wal_dir
+    if wal_dir and os.path.isdir(wal_dir):
+        for name in sorted(os.listdir(wal_dir)):
+            if name.startswith("flight-shard-"):
+                shutil.copy(
+                    os.path.join(wal_dir, name),
+                    os.path.join(
+                        artifact_dir, f"{tag}-seed{CHAOS_SEED}-{name}"
+                    ),
+                )
+    recorder = flight.active()
+    if recorder is not None:
+        recorder.flush(
+            os.path.join(
+                artifact_dir,
+                f"{tag}-seed{CHAOS_SEED}-coordinator.json",
+            )
+        )
+
+
+@fork_only
+def test_worker_kill_behind_the_server_is_transparent(tmp_path):
+    """A shard worker killed mid-batch behind the network front end is
+    healed (restarted, or degraded past the budget) without the client
+    ever seeing an error: every ``apply_batch`` succeeds, and the fleet
+    reassembles to exactly the coordinator head."""
+    from repro.obs.metrics import global_registry
+
+    deaths_before = global_registry().counters().get(
+        "store.shard.worker_deaths", 0
+    )
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(SHARD_WORKER, at=1)
+    with plan.installed():
+        store, instance, receivers = fleet_store(tmp_path)
+        try:
+            batches = raise_batches(receivers, batch_size=6)
+
+            async def scenario(server, client):
+                versions = []
+                for batch in batches:
+                    result = await client.apply_batch(
+                        "raise_salary", batch
+                    )
+                    versions.append(result["version"])
+                return versions
+
+            versions = run_server_test(store, scenario)
+        except BaseException:
+            store.close()
+            raise
+    try:
+        assert versions == sorted(versions)
+        counters = global_registry().counters()
+        assert (
+            counters.get("store.shard.worker_deaths", 0) > deaths_before
+        )
+        assert (
+            counters.get("store.shard.restarts", 0)
+            + counters.get("store.shard.degraded", 0)
+        ) >= 1
+        # The fault is gone: the fleet returns to full service.
+        store.heal()
+        assert store.supervisor.degraded_shards() == ()
+        store.verify_consistent()
+        expected = apply_sequence(
+            scenario_b_method(), instance, receivers
+        )
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(expected)
+        )
+        export_flight_artifacts(store, "worker-kill")
+    finally:
+        store.close()
+
+
+@fork_only
+def test_stage_fence_kill_behind_the_server_is_atomic(tmp_path):
+    """Kill-mid-staging through the wire: workers die inside the epoch
+    fence while staging a cross-shard commit.  Retried requests land
+    exactly once (the coordinator commit is the decision record) and
+    the healed fleet equals the reference fold."""
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(SHARD_STAGE_FENCE, at=2)
+    with plan.installed():
+        store, instance, receivers = fleet_store(tmp_path)
+        try:
+            employees = sorted(
+                obj
+                for obj in instance.nodes
+                if obj.cls == "Employee"
+            )
+            reference = [
+                (scenario_b_method(), list(receivers[:8])),
+                (
+                    scenario_c_method(),
+                    [Receiver([obj]) for obj in employees[:6]],
+                ),
+                (scenario_b_method(), list(receivers[8:])),
+            ]
+            wire = [
+                ("raise_salary", reference[0][1]),
+                ("manager_salary", reference[1][1]),
+                ("raise_salary", reference[2][1]),
+            ]
+
+            async def scenario(server, client):
+                for method_name, batch in wire:
+                    await client.request_with_retry(
+                        "apply_batch",
+                        {
+                            "method": method_name,
+                            "receivers": protocol.encode_receivers(
+                                batch
+                            ),
+                        },
+                        policy=RetryPolicy(
+                            retries=4, base_delay=0.001
+                        ),
+                    )
+
+            run_server_test(store, scenario)
+        except BaseException:
+            store.close()
+            raise
+    try:
+        store.heal()
+        assert store.supervisor.degraded_shards() == ()
+        store.verify_consistent()
+        expected = instance
+        for method, batch in reference:
+            expected = apply_parallel(method, expected, batch)
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(expected)
+        )
+        export_flight_artifacts(store, "stage-fence-kill")
+    finally:
+        store.close()

@@ -8,8 +8,10 @@ the shard fleet must reassemble to exactly the coordinator head.  The
 shard count.
 """
 
+import multiprocessing
 import os
 import random
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -20,8 +22,15 @@ from repro.core.receiver import Receiver
 from repro.core.sequential import apply_sequence
 from repro.graph.instance import Obj
 from repro.objrel.mapping import instance_to_database
+from repro.obs import flight
+from repro.obs.metrics import global_registry
 from repro.parallel.apply import apply_parallel, apply_parallel_transactional
 from repro.relational.delta import RelationDelta
+from repro.resilience.faults import (
+    SHARD_STAGE_FENCE,
+    SHARD_WORKER,
+    FaultPlan,
+)
 from repro.sqlsim.scenarios import (
     employee_object_schema,
     scenario_b_method,
@@ -33,6 +42,8 @@ from repro.store.sharding import (
     DISJOINT,
     Partitioning,
     Router,
+    StaleEpochError,
+    WorkerDied,
     merge_changes,
     stable_shard_hash,
 )
@@ -43,6 +54,12 @@ from repro.workloads.sharded import (
 )
 
 REPRO_SHARDS = int(os.environ.get("REPRO_SHARDS", "2"))
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-kill chaos relies on fork inheritance of the plan",
+)
 
 
 def fingerprints(instance):
@@ -341,6 +358,8 @@ def test_resync_heals_a_diverged_shard():
         store._shards[0].call(
             (
                 "stage",
+                store.supervisor.epoch(0),
+                None,
                 {
                     "Employee.salary": RelationDelta(
                         deleted=frozenset({victim})
@@ -350,7 +369,9 @@ def test_resync_heals_a_diverged_shard():
         )
         with pytest.raises(ShardingError):
             store.verify_consistent()
-        store.resync_shard(0)
+        # The anonymous corruption left the marker untrustworthy, so
+        # the auto heal takes the verifying dump-diff.
+        assert store.resync_shard(0) == "full"
         store.verify_consistent()
         # Resync is idempotent: healing a healthy shard is a no-op.
         store.resync_shard(0)
@@ -431,6 +452,564 @@ def test_from_wal_dir_recovers_the_coordinator_history(tmp_path):
             scenario_b_method(), receivers[:4]
         )
         assert route.kind == DISJOINT
+        recovered.verify_consistent()
+    finally:
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Self-healing fleet: chaos schedules, fencing, incremental recovery
+# ----------------------------------------------------------------------
+def chaos_workload(n_employees=16, rounds=5, batch_size=5):
+    """A seeded mixed stream, reproducible from ``CHAOS_SEED``."""
+    instance, receivers = sharded_company(
+        n_employees=n_employees, seed=CHAOS_SEED % 97
+    )
+    rng = random.Random(CHAOS_SEED)
+    batches = list(
+        mixed_batches(
+            instance, receivers, rng, rounds=rounds, batch_size=batch_size
+        )
+    )
+    return instance, receivers, batches
+
+
+def settle(store):
+    """``verify_consistent``, healing through residual worker deaths.
+
+    A surviving plan-carrying worker may still die *during* the
+    verifying dump; the supervisor heals it, and the retry verifies
+    the healed fleet.  Real divergence re-raises unchanged.
+    """
+    for _ in range(3):
+        try:
+            store.verify_consistent()
+            return
+        except WorkerDied:
+            continue
+    store.verify_consistent()
+
+
+def drive_with_faults(store, batches):
+    """Apply ``batches`` under an installed plan, asserting the chaos
+    contract after every one: unchanged-or-fully-applied on the
+    coordinator, and a fleet healed back to exactly the head.
+
+    Returns the batches that durably committed (the reference fold's
+    input) — a batch whose apply raised counts if and only if the
+    coordinator published it (the commit is the decision record;
+    staging is idempotent redo).
+    """
+    applied = []
+    for method, batch in batches:
+        before = store.coordinator.head.version
+        try:
+            store.apply_batch(method, batch)
+        except Exception:
+            # Committed-but-unstaged tails (a cross-shard route that
+            # died after the durable commit) must catch the shards up.
+            for _ in range(3):
+                try:
+                    store.stage_version(store.coordinator.head)
+                    break
+                except Exception:
+                    continue
+            if store.coordinator.head.version > before:
+                applied.append((method, batch))
+        else:
+            applied.append((method, batch))
+        settle(store)
+    return applied
+
+
+def counter_value(name):
+    return global_registry().counters().get(name, 0)
+
+
+@fork_only
+@pytest.mark.parametrize("at", range(4))
+def test_worker_kill_at_every_pipe_command_heals_transparently(
+    at, tmp_path
+):
+    """Kill-at-every-pipe-command schedule: for each envelope index,
+    workers inherit a plan that kills them at that command.  Every
+    batch is unchanged-or-fully-applied, the fleet re-verifies after
+    every schedule step, and service returns to full strength once the
+    fault clears."""
+    instance, receivers, batches = chaos_workload()
+    deaths_before = counter_value("store.shard.worker_deaths")
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(SHARD_WORKER, at=at)
+    with plan.installed():
+        # Construct *inside* the plan so forked workers inherit it.
+        store = ShardedStore(
+            instance,
+            ["Employee"],
+            shards=REPRO_SHARDS,
+            mode="process",
+            wal_dir=str(tmp_path / "fleet"),
+        )
+        try:
+            applied = drive_with_faults(store, batches)
+        except BaseException:
+            store.close()
+            raise
+    try:
+        assert (
+            counter_value("store.shard.worker_deaths") > deaths_before
+        )
+        # Return to full service: once the plan is gone, re-promotion
+        # (probe or explicit heal) brings every shard back up.
+        time.sleep(0.3)
+        store.heal()
+        assert store.supervisor.degraded_shards() == ()
+        settle(store)
+        employees = sorted(
+            obj for obj in instance.nodes if obj.cls == "Employee"
+        )
+        extra = (
+            scenario_c_method(),
+            [Receiver([obj]) for obj in employees[:5]],
+        )
+        store.apply_batch(*extra)
+        store.verify_consistent()
+        reference = unsharded_fold(applied + [extra], instance)
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(reference)
+        )
+    finally:
+        store.close()
+
+
+@fork_only
+def test_worker_kill_mid_staging_is_unchanged_or_fully_applied(tmp_path):
+    """Kill-mid-staging schedule: workers die *inside* the epoch fence
+    while holding a stage/apply command.  The durable coordinator
+    commit decides; the healed shard replays only what the marker says
+    is missing, so no schedule can half-apply a batch."""
+    instance, receivers, batches = chaos_workload()
+    deaths_before = counter_value("store.shard.worker_deaths")
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(SHARD_STAGE_FENCE, at=2)
+    with plan.installed():
+        store = ShardedStore(
+            instance,
+            ["Employee"],
+            shards=REPRO_SHARDS,
+            mode="process",
+            wal_dir=str(tmp_path / "fleet"),
+        )
+        try:
+            applied = drive_with_faults(store, batches)
+        except BaseException:
+            store.close()
+            raise
+    try:
+        assert (
+            counter_value("store.shard.worker_deaths") > deaths_before
+        )
+        time.sleep(0.3)
+        store.heal()
+        assert store.supervisor.degraded_shards() == ()
+        settle(store)
+        reference = unsharded_fold(applied, instance)
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(reference)
+        )
+    finally:
+        store.close()
+
+
+@fork_only
+def test_restart_exhaustion_degrades_then_repromotes(tmp_path):
+    """Past the restart budget the shard degrades to a coordinator-side
+    inline backend — batches keep committing — and once the fault
+    clears the breaker's probe path re-promotes it to a real worker."""
+    instance, receivers, batches = chaos_workload()
+    degraded_before = counter_value("store.shard.degraded")
+    failures_before = counter_value("store.shard.restart_failures")
+    plan = FaultPlan(seed=CHAOS_SEED).kill_at(
+        SHARD_WORKER, at=0, times=None
+    )
+    with plan.installed():
+        store = ShardedStore(
+            instance,
+            ["Employee"],
+            shards=REPRO_SHARDS,
+            mode="process",
+            wal_dir=str(tmp_path / "fleet"),
+        )
+        try:
+            routes = []
+            for method, batch in batches:
+                # Every fresh worker dies instantly: after the restart
+                # budget the fleet must *still* take every batch.
+                _, route = store.apply_batch(method, batch)
+                routes.append(route)
+                store.verify_consistent()
+            assert store.supervisor.degraded_shards() != ()
+        except BaseException:
+            store.close()
+            raise
+    try:
+        assert any(route.degraded_shards for route in routes)
+        assert counter_value("store.shard.degraded") > degraded_before
+        assert (
+            counter_value("store.shard.restart_failures")
+            >= failures_before + 3
+        )
+        # The fault is gone: re-promotion restores real workers.
+        time.sleep(0.3)
+        store.heal()
+        assert store.supervisor.degraded_shards() == ()
+        assert all(
+            store.supervisor.state(k) == "up"
+            for k in range(REPRO_SHARDS)
+        )
+        extra = (scenario_b_method(), receivers[:4])
+        store.apply_batch(*extra)
+        store.verify_consistent()
+        reference = unsharded_fold(batches + [extra], instance)
+        assert store.coordinator.head.database.fingerprints() == (
+            fingerprints(reference)
+        )
+    finally:
+        store.close()
+
+
+def test_stale_epoch_commands_are_fenced():
+    """A command stamped with an older epoch is rejected before it can
+    touch shard state — the fence that stops a deposed worker's
+    half-finished conversation from racing its replacement."""
+    instance, receivers = sharded_company(n_employees=16, seed=3)
+    store = ShardedStore(instance, ["Employee"], shards=2)
+    try:
+        store.apply_batch(scenario_b_method(), receivers)
+        fenced_before = counter_value("store.shard.fenced")
+        events_before = len(
+            flight.active().events("shard.stage.fence")
+        )
+        handle = store._shards[0]
+        # A newer epoch deposes the current one...
+        handle.call(("mark", store.supervisor.epoch(0) + 1, 0))
+        # ...so the old epoch's write bounces off the fence.
+        with pytest.raises(StaleEpochError):
+            handle.call(
+                (
+                    "stage",
+                    store.supervisor.epoch(0),
+                    None,
+                    {
+                        "Employee.salary": RelationDelta(
+                            deleted=frozenset(
+                                handle.call(("dump",))[
+                                    "Employee.salary"
+                                ]
+                            )
+                        )
+                    },
+                )
+            )
+        assert counter_value("store.shard.fenced") == fenced_before + 1
+        assert (
+            len(flight.active().events("shard.stage.fence"))
+            > events_before
+        )
+        # The fence fired before any mutation: still consistent.
+        store.verify_consistent()
+    finally:
+        store.close()
+
+
+def test_resync_mode_is_tail_for_clean_behind_shards(tmp_path):
+    """A shard with a trusted marker catches up by staging only the
+    missing tail of coordinator deltas; a dirty marker (or an explicit
+    demand it cannot meet) falls back to the verifying dump-diff."""
+    instance, receivers = sharded_company(n_employees=16, seed=5)
+    store = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=2,
+        wal_dir=str(tmp_path / "fleet"),
+    )
+    method = scenario_b_method()
+    try:
+        # Cross-shard staging leaves every shard clean (stage + mark).
+        employees = sorted(
+            obj for obj in instance.nodes if obj.cls == "Employee"
+        )
+        store.apply_batch(
+            scenario_c_method(),
+            [Receiver([obj]) for obj in employees[:6]],
+        )
+        store.verify_consistent()
+        # Commits straight on the coordinator leave the fleet behind.
+        for receiver in receivers[:4]:
+            txn = store.coordinator.begin()
+            txn.apply_method(method, [receiver])
+            txn.commit()
+        with pytest.raises(ShardingError):
+            store.verify_consistent()
+        tail_before = counter_value("store.shard.resyncs.tail")
+        rows_before = counter_value("store.shard.catchup_rows")
+        assert store.resync_shard(0) == "tail"
+        assert store.resync_shard(1) == "tail"
+        assert (
+            counter_value("store.shard.resyncs.tail") == tail_before + 2
+        )
+        assert counter_value("store.shard.catchup_rows") > rows_before
+        store.verify_consistent()
+        # Already-at-head shards report an empty tail.
+        assert store.catch_up_shard(0) == {"mode": "tail", "rows": 0}
+
+        # A disjoint apply leaves the touched shards dirty (their last
+        # local commit is unconfirmed), so tail replay is off the table
+        # until the coordinator confirms.
+        _, route = store.apply_batch(method, receivers[4:8])
+        victim = sorted(route.sub_batches)[0]
+        with pytest.raises(ShardingError):
+            store.resync_shard(victim, mode="tail")
+        full_before = counter_value("store.shard.resyncs.full")
+        assert store.resync_shard(victim) == "full"
+        assert (
+            counter_value("store.shard.resyncs.full") == full_before + 1
+        )
+        store.verify_consistent()
+    finally:
+        store.close()
+
+
+def test_stage_version_interleaving_cannot_walk_shards_backwards():
+    """Regression for the explicit-commit race: when the *later* of two
+    dependent commits stages first, the monotone cursor replays both in
+    commit order, and the earlier writer's late call is a no-op — an
+    old delta can never re-add tuples a newer version removed."""
+    instance, receivers = sharded_company(n_employees=16, seed=6)
+    store = ShardedStore(instance, ["Employee"], shards=2)
+    try:
+        salary = sorted(store.merged_relations()["Employee.salary"])
+        emp, current = salary[0]
+        moneys = sorted(
+            {money for _, money in salary if money != current}
+        )
+        mid, new = moneys[0], moneys[1]
+        v1 = store.coordinator.commit_changes(
+            {
+                "Employee.salary": RelationDelta(
+                    deleted=frozenset({(emp, current)}),
+                    inserted=frozenset({(emp, mid)}),
+                )
+            }
+        )
+        v2 = store.coordinator.commit_changes(
+            {
+                "Employee.salary": RelationDelta(
+                    deleted=frozenset({(emp, mid)}),
+                    inserted=frozenset({(emp, new)}),
+                )
+            }
+        )
+        assert (v1.version, v2.version) == (1, 2)
+        # The later writer wins the race to stage_version...
+        store.stage_version(v2)
+        store.verify_consistent()
+        # ...and the earlier writer's arrival changes nothing.
+        store.stage_version(v1)
+        store.verify_consistent()
+        merged = store.merged_relations()["Employee.salary"]
+        assert (emp, new) in merged
+        assert (emp, mid) not in merged
+        assert (emp, current) not in merged
+    finally:
+        store.close()
+
+
+@fork_only
+def test_merged_relations_heals_a_down_shard(tmp_path):
+    """Reads hit dead workers too: ``merged_relations`` (and therefore
+    ``verify_consistent``) heals a down shard through the supervisor
+    instead of failing the caller."""
+    instance, receivers = sharded_company(n_employees=16, seed=9)
+    store = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=2,
+        mode="process",
+        wal_dir=str(tmp_path / "fleet"),
+    )
+    try:
+        store.apply_batch(scenario_b_method(), receivers[:8])
+        victim = store._shards[0]._process
+        victim.kill()
+        victim.join(timeout=5.0)
+        merged = store.merged_relations()
+        assert store.supervisor.restarts[0] >= 1
+        assert merged["Employee.salary"] == (
+            store.coordinator.head.database.relation(
+                "Employee.salary"
+            ).tuples
+        )
+        store.verify_consistent()
+    finally:
+        store.close()
+
+    # Unsupervised fleets keep the pre-supervision contract: the death
+    # propagates to the caller unchanged.
+    bare = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=2,
+        mode="process",
+        wal_dir=str(tmp_path / "bare"),
+        supervised=False,
+    )
+    try:
+        victim = bare._shards[0]._process
+        victim.kill()
+        victim.join(timeout=5.0)
+        with pytest.raises(ShardingError):
+            bare.merged_relations()
+    finally:
+        bare.close()
+
+
+def test_from_wal_dir_recovery_is_per_shard_tail(tmp_path):
+    """Reopening a cleanly closed fleet recovers every shard from its
+    *own* log and catches up by tail — zero full re-slices — while a
+    missing log falls back to a full slice for that shard only."""
+    wal_dir = str(tmp_path / "fleet")
+    instance, receivers, batches = chaos_workload(rounds=4)
+    store = ShardedStore(
+        instance, ["Employee"], shards=2, wal_dir=wal_dir
+    )
+    try:
+        for method, batch in batches:
+            store.apply_batch(method, batch)
+        head = store.coordinator.head.database.fingerprints()
+    finally:
+        store.close()
+
+    full_before = counter_value("store.shard.resyncs.full")
+    recovered = ShardedStore.from_wal_dir(
+        wal_dir, employee_object_schema(), ["Employee"], shards=2
+    )
+    try:
+        assert all(
+            report["mode"] == "tail"
+            for report in recovered.recovery_report.values()
+        )
+        assert (
+            counter_value("store.shard.resyncs.full") == full_before
+        )
+        assert (
+            recovered.coordinator.head.database.fingerprints() == head
+        )
+        recovered.verify_consistent()
+    finally:
+        recovered.close()
+
+    # A lost shard log cannot be tail-replayed: that shard (and only
+    # that shard) re-slices from the recovered head.
+    os.remove(os.path.join(wal_dir, "shard-0.wal"))
+    resliced = ShardedStore.from_wal_dir(
+        wal_dir, employee_object_schema(), ["Employee"], shards=2
+    )
+    try:
+        assert resliced.recovery_report[0]["mode"] == "full"
+        assert resliced.recovery_report[1]["mode"] == "tail"
+        assert (
+            resliced.coordinator.head.database.fingerprints() == head
+        )
+        resliced.verify_consistent()
+    finally:
+        resliced.close()
+
+
+@fork_only
+@pytest.mark.benchmark_acceptance
+def test_recovery_cost_is_the_tail_not_the_slice(tmp_path):
+    """The incremental-recovery acceptance gate: healing a killed
+    worker stages only the missing tail of coordinator deltas — rows
+    moved are a small fraction of the full slice — and reopening a
+    fleet with intact logs performs zero full re-slices."""
+    wal_dir = str(tmp_path / "fleet")
+    instance, receivers = sharded_company(n_employees=32, seed=7)
+    store = ShardedStore(
+        instance,
+        ["Employee"],
+        shards=2,
+        mode="process",
+        wal_dir=wal_dir,
+    )
+    method = scenario_b_method()
+    try:
+        store.apply_batch(method, receivers[:16])
+        # Cross-shard staging confirms every marker (shards go clean).
+        employees = sorted(
+            obj for obj in instance.nodes if obj.cls == "Employee"
+        )
+        store.apply_batch(
+            scenario_c_method(),
+            [Receiver([obj]) for obj in employees[:6]],
+        )
+        store.verify_consistent()
+        # One coordinator-only commit owned by shard 0: the healed
+        # worker has exactly this tail to stage.
+        behind = next(
+            r
+            for r in receivers[16:]
+            if store.partitioning.shard_of_receiver(r) == 0
+        )
+        txn = store.coordinator.begin()
+        txn.apply_method(method, [behind])
+        txn.commit()
+
+        slice_rows = sum(
+            len(rows)
+            for rows in store._shards[0].call(("dump",)).values()
+        )
+        rows_before = counter_value("store.shard.catchup_rows")
+        restarts_before = len(
+            flight.active().events("shard.worker_restart")
+        )
+        victim = store._shards[0]._process
+        victim.kill()
+        victim.join(timeout=5.0)
+
+        # The next batch heals transparently...
+        fresh = [
+            r
+            for r in receivers[16:]
+            if r is not behind
+        ]
+        store.apply_batch(method, fresh[:8])
+        restart_events = flight.active().events(
+            "shard.worker_restart"
+        )[restarts_before:]
+        assert restart_events, "the kill must trigger a restart"
+        # ...by replaying the tail, not re-slicing the shard.
+        assert restart_events[-1].data["mode"] == "tail"
+        moved = counter_value("store.shard.catchup_rows") - rows_before
+        assert moved >= 1
+        assert moved * 5 <= slice_rows, (
+            f"catch-up moved {moved} rows against a {slice_rows}-row "
+            f"slice — that is a re-slice, not an incremental tail"
+        )
+        store.verify_consistent()
+    finally:
+        store.close()
+
+    # Intact logs ⇒ zero full re-slices on reopen.
+    full_before = counter_value("store.shard.resyncs.full")
+    recovered = ShardedStore.from_wal_dir(
+        wal_dir, employee_object_schema(), ["Employee"], shards=2
+    )
+    try:
+        assert all(
+            report["mode"] == "tail"
+            for report in recovered.recovery_report.values()
+        )
+        assert (
+            counter_value("store.shard.resyncs.full") == full_before
+        )
         recovered.verify_consistent()
     finally:
         recovered.close()
